@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared fixture for the evaluation benches: builds the TPC-H database
+ * at the configured scale factor (env AQUOMAN_SF, default 0.02), runs
+ * queries through both paths, and extrapolates the machine-independent
+ * traces to the paper's SF-1000 operating point so that Fig. 16-style
+ * numbers land in the same regime the paper reports.
+ */
+
+#ifndef AQUOMAN_BENCH_BENCH_UTIL_HH
+#define AQUOMAN_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "aquoman/device.hh"
+#include "aquoman/perf_model.hh"
+#include "tpch/dbgen.hh"
+#include "tpch/queries.hh"
+
+namespace aquoman::bench {
+
+/** Benchmark scale factor (env AQUOMAN_SF). */
+inline double
+scaleFactor()
+{
+    const char *env = std::getenv("AQUOMAN_SF");
+    return env ? std::atof(env) : 0.02;
+}
+
+/** The TPC-H fixture shared by the figure benches. */
+struct Fixture
+{
+    double sf;
+    tpch::TpchDatabase db;
+    FlashDevice flash;
+    ControllerSwitch sw;
+    TableStore store;
+    Catalog catalog;
+
+    explicit Fixture(double sf_)
+        : sf(sf_),
+          db(tpch::TpchDatabase::generate(
+              tpch::TpchConfig{sf_, 19920101})),
+          flash(flashConfig()), sw(flash), store(sw)
+    {
+        db.installInto(catalog, store);
+    }
+
+    static FlashConfig
+    flashConfig()
+    {
+        FlashConfig fc;
+        fc.capacityBytes = 32ll << 30;
+        return fc;
+    }
+
+    /**
+     * AQUOMAN configuration whose capacity parameters are scaled from
+     * the paper's 1TB operating point down to this fixture's data
+     * size, so DRAM-overflow behaviour (Sec. VI-E cond. 4) reproduces.
+     */
+    AquomanConfig
+    scaledDevice(std::int64_t paper_dram_bytes) const
+    {
+        AquomanConfig cfg;
+        double ratio = sf / 1000.0;
+        cfg.dramBytes = static_cast<std::int64_t>(
+            static_cast<double>(paper_dram_bytes) * ratio);
+        cfg.sorterBlockBytes = std::max<std::int64_t>(
+            4096,
+            static_cast<std::int64_t>((1ll << 30) * ratio));
+        cfg.paperScaleRatio = 1.0 / ratio;
+        return cfg;
+    }
+
+    EngineMetrics
+    baselineMetrics(int q)
+    {
+        Executor ex(catalog, &sw);
+        ex.run(tpch::tpchQuery(q, sf));
+        return ex.metrics();
+    }
+
+    OffloadedQueryResult
+    offload(int q, const AquomanConfig &cfg)
+    {
+        AquomanDevice device(catalog, sw, cfg);
+        return device.runQuery(tpch::tpchQuery(q, sf));
+    }
+};
+
+/** Scale a machine-independent trace linearly to SF-1000. */
+inline EngineMetrics
+scaleMetrics(const EngineMetrics &m, double sf)
+{
+    double k = 1000.0 / sf;
+    EngineMetrics out = m;
+    out.rowOps *= k;
+    out.seqRowOps *= k;
+    out.flashBytesRead = static_cast<std::int64_t>(m.flashBytesRead * k);
+    out.touchedBaseBytes =
+        static_cast<std::int64_t>(m.touchedBaseBytes * k);
+    out.peakIntermediateBytes =
+        static_cast<std::int64_t>(m.peakIntermediateBytes * k);
+    out.totalIntermediateBytes =
+        static_cast<std::int64_t>(m.totalIntermediateBytes * k);
+    return out;
+}
+
+/** Scale a device trace linearly to SF-1000. */
+inline AquomanRunStats
+scaleStats(const AquomanRunStats &s, double sf)
+{
+    double k = 1000.0 / sf;
+    AquomanRunStats out = s;
+    out.deviceSeconds *= k;
+    out.deviceFlashBytes =
+        static_cast<std::int64_t>(s.deviceFlashBytes * k);
+    out.deviceDramPeak = static_cast<std::int64_t>(s.deviceDramPeak * k);
+    out.spillRows = static_cast<std::int64_t>(s.spillRows * k);
+    out.spillGroups = static_cast<std::int64_t>(s.spillGroups * k);
+    out.dmaBytes = static_cast<std::int64_t>(s.dmaBytes * k);
+    out.hostResidual = scaleMetrics(s.hostResidual, sf);
+    return out;
+}
+
+/** Print a section header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n================================================"
+                "====================\n%s\n"
+                "================================================"
+                "====================\n",
+                title.c_str());
+}
+
+} // namespace aquoman::bench
+
+#endif // AQUOMAN_BENCH_BENCH_UTIL_HH

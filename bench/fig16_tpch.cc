@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Reproduces Figure 16 of the paper on TPC-H:
+ *  (a) per-query runtime for the five systems S, L, S-AQUOMAN,
+ *      L-AQUOMAN and S-AQUOMAN16 (Table VI);
+ *  (b) maximum / average memory of L vs L-AQUOMAN (x86 + device DRAM);
+ *  (c) fraction of runtime on AQUOMAN and x86 CPU-cycle saving.
+ *
+ * Queries execute functionally at the bench scale factor (AQUOMAN_SF);
+ * machine-independent traces are extrapolated to the paper's SF-1000
+ * operating point before the system models price them, so shapes are
+ * comparable with the published figure.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace aquoman;
+using namespace aquoman::bench;
+
+namespace {
+
+struct QueryRow
+{
+    int q;
+    double runS, runL, runSAq, runLAq, runSAq16;
+    double maxMemL, maxMemLAq, devMemLAq;
+    double avgMemL, avgMemLAq;
+    double fracOnDevice, cpuSaving;
+    OffloadClass cls;
+};
+
+} // namespace
+
+int
+main()
+{
+    double sf = scaleFactor();
+    Fixture fx(sf);
+    header("Fig 16: TPC-H SF-1000 AQUOMAN performance profiling "
+           "(functional runs at SF " + std::to_string(sf) + ")");
+
+    HostModel hostS(HostConfig::small());
+    HostModel hostL(HostConfig::large());
+
+    std::vector<QueryRow> rows;
+    double gb = 1024.0 * 1024.0 * 1024.0;
+    for (int q : tpch::allQueryNumbers()) {
+        EngineMetrics base = scaleMetrics(fx.baselineMetrics(q), sf);
+        AquomanRunStats aq40 = scaleStats(
+            fx.offload(q, fx.scaledDevice(40ll << 30)).stats, sf);
+        AquomanRunStats aq16 = scaleStats(
+            fx.offload(q, fx.scaledDevice(16ll << 30)).stats, sf);
+
+        SystemEvaluation evS40 = evaluateOffload(base, aq40, hostS);
+        SystemEvaluation evL40 = evaluateOffload(base, aq40, hostL);
+        SystemEvaluation evS16 = evaluateOffload(base, aq16, hostS);
+
+        QueryRow r;
+        r.q = q;
+        r.runS = hostS.estimate(base).runtime;
+        r.runL = hostL.estimate(base).runtime;
+        r.runSAq = evS40.offloadRuntime;
+        r.runLAq = evL40.offloadRuntime;
+        r.runSAq16 = evS16.offloadRuntime;
+        r.maxMemL = hostL.estimate(base).maxRss / gb;
+        r.maxMemLAq = evL40.hostMaxRss / gb;
+        r.devMemLAq = evL40.deviceDramPeak / gb;
+        r.avgMemL = hostL.estimate(base).avgRss / gb;
+        r.avgMemLAq = evL40.hostAvgRss / gb;
+        r.fracOnDevice = evL40.offloadFraction;
+        r.cpuSaving = evL40.cpuSaving;
+        r.cls = evL40.offloadClass;
+        rows.push_back(r);
+    }
+
+    header("Fig 16(a): run time (seconds, modelled at SF-1000)");
+    std::printf("%-5s %9s %9s %11s %11s %11s\n", "query", "S", "L",
+                "S-AQUOMAN", "L-AQUOMAN", "S-AQUOMAN16");
+    double sum_s = 0, sum_l = 0, sum_saq = 0, sum_laq = 0, sum_saq16 = 0;
+    for (const auto &r : rows) {
+        std::printf("q%-4d %9.1f %9.1f %11.1f %11.1f %11.1f\n", r.q,
+                    r.runS, r.runL, r.runSAq, r.runLAq, r.runSAq16);
+        sum_s += r.runS;
+        sum_l += r.runL;
+        sum_saq += r.runSAq;
+        sum_laq += r.runLAq;
+        sum_saq16 += r.runSAq16;
+    }
+    std::printf("%-5s %9.1f %9.1f %11.1f %11.1f %11.1f\n", "Total",
+                sum_s, sum_l, sum_saq, sum_laq, sum_saq16);
+    std::printf("\npaper shape checks: L/S speedup = %.2fx "
+                "(paper ~1.6x); S-AQUOMAN16/L = %.2fx (paper ~1.0x)\n",
+                sum_s / sum_l, sum_saq16 / sum_l);
+
+    header("Fig 16(b): memory footprint (GB, system L)");
+    std::printf("%-5s %10s %12s %13s %10s %12s\n", "query",
+                "L maxRSS", "L-AQ maxRSS", "L-AQ devDRAM", "L avgRSS",
+                "L-AQ avgRSS");
+    double max_dev = 0, sum_avg_l = 0, sum_avg_laq = 0;
+    for (const auto &r : rows) {
+        std::printf("q%-4d %10.1f %12.1f %13.1f %10.1f %12.1f\n", r.q,
+                    r.maxMemL, r.maxMemLAq, r.devMemLAq, r.avgMemL,
+                    r.avgMemLAq);
+        max_dev = std::max(max_dev, r.devMemLAq);
+        sum_avg_l += r.avgMemL;
+        sum_avg_laq += r.avgMemLAq;
+    }
+    std::printf("\npaper shape checks: max AQUOMAN DRAM = %.1fGB "
+                "(paper 40GB); avg x86 RSS saving = %.0f%% "
+                "(paper ~60%%, ~3x reduction)\n",
+                max_dev, 100.0 * (1.0 - sum_avg_laq / sum_avg_l));
+
+    header("Fig 16(c): %% runtime on AQUOMAN and x86 CPU-cycle saving "
+           "(system L)");
+    std::printf("%-5s %14s %14s %9s\n", "query", "run time %",
+                "cpu saving %", "class");
+    double sum_saving = 0;
+    for (const auto &r : rows) {
+        std::printf("q%-4d %14.1f %14.1f %9s\n", r.q,
+                    100.0 * r.fracOnDevice, 100.0 * r.cpuSaving,
+                    offloadClassName(r.cls));
+        sum_saving += r.cpuSaving;
+    }
+    std::printf("\npaper shape check: average CPU saving = %.0f%% "
+                "(paper ~71%%)\n",
+                100.0 * sum_saving / rows.size());
+    return 0;
+}

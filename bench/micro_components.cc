@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the AQUOMAN hardware-model
+ * components: bitonic sorter, VCAS/TopK chain, merger, Aggregate
+ * Group-By and PE interpretation. These measure the *simulator's* cost,
+ * useful when scaling the benches to larger scale factors.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "aquoman/swissknife/bitonic.hh"
+#include "aquoman/swissknife/groupby.hh"
+#include "aquoman/swissknife/merger.hh"
+#include "aquoman/swissknife/streaming_sorter.hh"
+#include "aquoman/swissknife/topk.hh"
+#include "aquoman/transform_compiler.hh"
+#include "common/rng.hh"
+
+namespace aquoman {
+namespace {
+
+KvStream
+randomStream(std::int64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    KvStream s(n);
+    for (std::int64_t i = 0; i < n; ++i)
+        s[i] = {rng.uniform(0, 1 << 30), i};
+    return s;
+}
+
+void
+BM_BitonicSortVector(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    BitonicSorter sorter(n);
+    KvStream v = randomStream(n, 1);
+    for (auto _ : state) {
+        KvStream copy = v;
+        sorter.sortVector(copy.data());
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BitonicSortVector)->Arg(8)->Arg(32)->Arg(64);
+
+void
+BM_TopKChain(benchmark::State &state)
+{
+    std::int64_t n = state.range(0);
+    KvStream input = randomStream(n, 2);
+    for (auto _ : state) {
+        TopKAccelerator topk(100, 32);
+        topk.pushAll(input);
+        benchmark::DoNotOptimize(topk.finish());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopKChain)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_MergerIntersect(benchmark::State &state)
+{
+    std::int64_t n = state.range(0);
+    KvStream left = randomStream(n, 3);
+    std::sort(left.begin(), left.end());
+    KvStream right;
+    for (std::int64_t k = 0; k < n / 4; ++k)
+        right.push_back({k * 4, k});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(intersectInner(left, right));
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MergerIntersect)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_GroupByAccelerator(benchmark::State &state)
+{
+    std::int64_t groups = state.range(0);
+    Rng rng(4);
+    std::vector<std::pair<std::int64_t, std::int64_t>> rows(1 << 16);
+    for (auto &r : rows)
+        r = {rng.uniform(0, groups - 1), rng.uniform(0, 100)};
+    for (auto _ : state) {
+        GroupByAccelerator gb(AquomanConfig{}, 1,
+                              {HwAgg::Sum, HwAgg::Cnt});
+        for (const auto &[g, v] : rows)
+            gb.update({g}, {v, 0});
+        benchmark::DoNotOptimize(gb.finish());
+    }
+    state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_GroupByAccelerator)->Arg(16)->Arg(1024)->Arg(100000);
+
+void
+BM_StreamingSorter(benchmark::State &state)
+{
+    std::int64_t n = state.range(0);
+    AquomanConfig cfg;
+    cfg.sorterBlockBytes = 1 << 16;
+    StreamingSorter sorter(cfg);
+    KvStream input = randomStream(n, 5);
+    for (auto _ : state) {
+        KvStream copy = input;
+        benchmark::DoNotOptimize(sorter.sort(copy, true));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StreamingSorter)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_PeTransformRow(benchmark::State &state)
+{
+    std::map<std::string, ColumnType> schema = {
+        {"ep", ColumnType::Decimal},
+        {"disc", ColumnType::Decimal},
+        {"tax", ColumnType::Decimal}};
+    auto rev = mul(col("ep"), sub(litDec("1.00"), col("disc")));
+    TransformResult tr = compileTransform(
+        {{"disc_price", rev},
+         {"charge", mul(rev, add(litDec("1.00"), col("tax")))}},
+        schema, AquomanConfig{});
+    SystolicArray array = tr.program->buildArray();
+    std::vector<std::int64_t> in = {10000, 5, 4}, out;
+    for (auto _ : state) {
+        array.runRow(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PeTransformRow);
+
+} // namespace
+} // namespace aquoman
+
+BENCHMARK_MAIN();

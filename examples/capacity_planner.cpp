@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Capacity planner: the paper's headline trade-off as a what-if tool.
+ * Sweeps host sizes (threads x DRAM) with and without AQUOMAN SSDs
+ * over the TPC-H mix and prints the equivalence frontier — e.g. that a
+ * 4-core/16GB host with AQUOMAN matches a 32-core/128GB host with
+ * plain SSDs (Sec. VIII-C).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "aquoman/device.hh"
+#include "aquoman/perf_model.hh"
+#include "tpch/dbgen.hh"
+#include "tpch/queries.hh"
+
+using namespace aquoman;
+
+int
+main(int argc, char **argv)
+{
+    double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+    tpch::TpchConfig cfg;
+    cfg.scaleFactor = sf;
+    auto db = tpch::TpchDatabase::generate(cfg);
+    FlashConfig fc;
+    fc.capacityBytes = 32ll << 30;
+    FlashDevice flash(fc);
+    ControllerSwitch sw(flash);
+    TableStore store(sw);
+    Catalog catalog;
+    db.installInto(catalog, store);
+
+    // Machine-independent traces, one pass per path.
+    std::vector<EngineMetrics> base;
+    std::vector<AquomanRunStats> aq;
+    for (int q : tpch::allQueryNumbers()) {
+        Executor ex(catalog, &sw);
+        ex.run(tpch::tpchQuery(q, sf));
+        base.push_back(ex.metrics());
+        AquomanDevice device(catalog, sw, AquomanConfig::paper40());
+        aq.push_back(device.runQuery(tpch::tpchQuery(q, sf)).stats);
+    }
+
+    struct HostSize { int threads; std::int64_t dram_gb; };
+    std::vector<HostSize> sizes = {{2, 8},   {4, 16}, {8, 32},
+                                   {16, 64}, {32, 128}};
+
+    std::printf("TPC-H mix total runtime (s, functional scale SF "
+                "%.3f)\n\n", sf);
+    std::printf("%-18s %14s %16s\n", "host", "plain SSDs",
+                "AQUOMAN SSDs");
+    double plain_large = 0.0;
+    std::vector<double> aq_totals;
+    for (const auto &hs : sizes) {
+        HostConfig hc;
+        hc.name = std::to_string(hs.threads) + "c/"
+            + std::to_string(hs.dram_gb) + "GB";
+        hc.hardwareThreads = hs.threads;
+        hc.dramBytes = hs.dram_gb << 30;
+        HostModel model(hc);
+        double plain = 0.0, offl = 0.0;
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            plain += model.estimate(base[i]).runtime;
+            offl += evaluateOffload(base[i], aq[i], model)
+                        .offloadRuntime;
+        }
+        std::printf("%-18s %14.2f %16.2f\n", hc.name.c_str(), plain,
+                    offl);
+        if (hs.threads == 32)
+            plain_large = plain;
+        aq_totals.push_back(offl);
+    }
+
+    std::printf("\nheadline check (Sec. VIII-C): the smallest "
+                "AQUOMAN-augmented host that matches the 32c/128GB "
+                "plain-SSD host:\n");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        if (aq_totals[i] <= plain_large * 1.1) {
+            std::printf("  -> %dc/%lldGB with AQUOMAN (%.2fs) ~ "
+                        "32c/128GB plain (%.2fs)\n",
+                        sizes[i].threads,
+                        static_cast<long long>(sizes[i].dram_gb),
+                        aq_totals[i], plain_large);
+            break;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,140 @@
+#include "aquoman/pe.hh"
+
+#include <sstream>
+
+#include "common/date.hh"
+#include "common/decimal.hh"
+
+namespace aquoman {
+
+const char *
+peOpcodeName(PeOpcode op)
+{
+    switch (op) {
+      case PeOpcode::Pass:      return "pass";
+      case PeOpcode::Copy:      return "copy";
+      case PeOpcode::Store:     return "store";
+      case PeOpcode::Add:       return "add";
+      case PeOpcode::Sub:       return "sub";
+      case PeOpcode::Mul:       return "mul";
+      case PeOpcode::Div:       return "div";
+      case PeOpcode::Eq:        return "eq";
+      case PeOpcode::Lt:        return "lt";
+      case PeOpcode::Gt:        return "gt";
+      case PeOpcode::MulScaled: return "muls";
+      case PeOpcode::DivScaled: return "divs";
+      case PeOpcode::Year:      return "year";
+    }
+    return "?";
+}
+
+std::string
+PeInstruction::toString() const
+{
+    std::ostringstream os;
+    os << peOpcodeName(op) << " r" << rd << ", r" << rs;
+    if (useImm)
+        os << ", #" << imm;
+    return os.str();
+}
+
+void
+Pe::runRow(std::deque<std::int64_t> &in, std::deque<std::int64_t> &out)
+{
+    auto read_rs = [&](int rs) -> std::int64_t {
+        if (rs == 0) {
+            AQ_ASSERT(!in.empty(), "PE input FIFO underflow");
+            std::int64_t v = in.front();
+            in.pop_front();
+            return v;
+        }
+        return regs[rs];
+    };
+    auto write_rd = [&](int rd, std::int64_t v) {
+        if (rd == 0)
+            out.push_back(v);
+        else
+            regs[rd] = v;
+    };
+    for (const PeInstruction &i : program) {
+        switch (i.op) {
+          case PeOpcode::Pass:
+            write_rd(i.rd, read_rs(i.rs));
+            break;
+          case PeOpcode::Copy: {
+            std::int64_t v = read_rs(i.rs);
+            write_rd(i.rd, v);
+            opReg.push_back(v);
+            break;
+          }
+          case PeOpcode::Store:
+            opReg.push_back(read_rs(i.rs));
+            break;
+          default: {
+            std::int64_t a = read_rs(i.rs);
+            std::int64_t b;
+            if (i.useImm) {
+                b = i.imm;
+            } else if (i.op == PeOpcode::Year) {
+                b = 0; // unary
+            } else {
+                AQ_ASSERT(!opReg.empty(), "PE operand FIFO underflow");
+                b = opReg.front();
+                opReg.pop_front();
+            }
+            std::int64_t r = 0;
+            switch (i.op) {
+              case PeOpcode::Add: r = a + b; break;
+              case PeOpcode::Sub: r = a - b; break;
+              case PeOpcode::Mul: r = a * b; break;
+              case PeOpcode::Div: r = b == 0 ? 0 : a / b; break;
+              case PeOpcode::Eq:  r = a == b; break;
+              case PeOpcode::Lt:  r = a < b; break;
+              case PeOpcode::Gt:  r = a > b; break;
+              case PeOpcode::MulScaled: r = decimalMul(a, b); break;
+              case PeOpcode::DivScaled: r = decimalDiv(a, b); break;
+              case PeOpcode::Year:
+                r = civilFromDays(static_cast<std::int32_t>(a)).year;
+                break;
+              default:
+                panic("unreachable PE opcode");
+            }
+            write_rd(i.rd, r);
+            break;
+          }
+        }
+    }
+}
+
+SystolicArray::SystolicArray(std::vector<std::vector<PeInstruction>> progs)
+{
+    AQ_ASSERT(!progs.empty(), "systolic array needs at least one PE");
+    pes.resize(progs.size());
+    for (std::size_t i = 0; i < progs.size(); ++i)
+        pes[i].loadProgram(std::move(progs[i]));
+}
+
+int
+SystolicArray::maxProgramLength() const
+{
+    int best = 0;
+    for (const Pe &pe : pes)
+        best = std::max(best, static_cast<int>(pe.instructions().size()));
+    return best;
+}
+
+void
+SystolicArray::runRow(const std::vector<std::int64_t> &inputs,
+                      std::vector<std::int64_t> &outputs)
+{
+    std::deque<std::int64_t> fifo(inputs.begin(), inputs.end());
+    std::deque<std::int64_t> next;
+    for (Pe &pe : pes) {
+        next.clear();
+        pe.runRow(fifo, next);
+        fifo.swap(next);
+    }
+    outputs.assign(fifo.begin(), fifo.end());
+}
+
+} // namespace aquoman

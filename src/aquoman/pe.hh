@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Row Transformer Processing Engine (Sec. VI-B, Table II). A PE is a
+ * 4-stage vector processor with no branches and no data memory: seven
+ * general-purpose registers rf[1..7], an operand FIFO (opReg), and a
+ * special register rf[0] hardwired to the input FIFO on reads and the
+ * output FIFO on writes. The program counter runs the instruction
+ * memory once per row and rolls back to zero.
+ *
+ * Two model extensions over the published ISA, both documented in
+ * DESIGN.md: MulScaled/DivScaled are the fixed-point rescaling forms of
+ * Mul/Div used for decimal columns (the FPGA implements the rescale in
+ * the same DSP pipeline), and Year is the calendar-year extraction the
+ * date-handling unit provides.
+ */
+
+#ifndef AQUOMAN_AQUOMAN_PE_HH
+#define AQUOMAN_AQUOMAN_PE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace aquoman {
+
+/** PE opcodes (Table II plus the documented extensions). */
+enum class PeOpcode : std::uint8_t
+{
+    Pass,      ///< rf[rd] <= rf[rs]
+    Copy,      ///< rf[rd] <= rf[rs]; opReg <= rf[rs]
+    Store,     ///< opReg <= rf[rs]
+    Add,       ///< rf[rd] <= rf[rs] + <opReg|imm>
+    Sub,       ///< rf[rd] <= rf[rs] - <opReg|imm>
+    Mul,       ///< rf[rd] <= rf[rs] * <opReg|imm>
+    Div,       ///< rf[rd] <= rf[rs] / <opReg|imm>
+    Eq,        ///< rf[rd] <= rf[rs] == <opReg|imm>
+    Lt,        ///< rf[rd] <= rf[rs] < <opReg|imm>
+    Gt,        ///< rf[rd] <= rf[rs] > <opReg|imm>
+    MulScaled, ///< fixed-point: rf[rd] <= rf[rs] * x / 100
+    DivScaled, ///< fixed-point: rf[rd] <= rf[rs] * 100 / x
+    Year,      ///< rf[rd] <= year(rf[rs])
+};
+
+/** Mnemonic of @p op. */
+const char *peOpcodeName(PeOpcode op);
+
+/** One 32-bit PE instruction (decoded form). */
+struct PeInstruction
+{
+    PeOpcode op = PeOpcode::Pass;
+    int rd = 0;     ///< destination register (0 = output FIFO)
+    int rs = 0;     ///< source register (0 = input FIFO)
+    bool useImm = false;
+    std::int64_t imm = 0;
+
+    std::string toString() const;
+};
+
+/** Number of registers in a PE register file (rf[0] is the FIFO). */
+constexpr int kPeRegisters = 8;
+
+/**
+ * Functional model of one PE. Executes its instruction memory once per
+ * row, popping inputs from @c in and pushing results to @c out.
+ */
+class Pe
+{
+  public:
+    /**
+     * Load the instruction memory. The register file is sized to the
+     * program: kPeRegisters for ISA-conformant programs, wider for the
+     * simulator's elastic "as big as needed" mode (Sec. VII).
+     */
+    void
+    loadProgram(std::vector<PeInstruction> prog)
+    {
+        program = std::move(prog);
+        int max_reg = kPeRegisters - 1;
+        for (const auto &i : program)
+            max_reg = std::max({max_reg, i.rd, i.rs});
+        regs.assign(max_reg + 1, 0);
+    }
+
+    const std::vector<PeInstruction> &instructions() const
+    {
+        return program;
+    }
+
+    /**
+     * Run the program once (one row): reads operands from @p in (in
+     * order), appends outputs to @p out.
+     */
+    void runRow(std::deque<std::int64_t> &in,
+                std::deque<std::int64_t> &out);
+
+  private:
+    std::vector<PeInstruction> program;
+    std::vector<std::int64_t> regs;
+    std::deque<std::int64_t> opReg;
+};
+
+/**
+ * The Row Transformer systolic array: a chain of PEs where each PE's
+ * output FIFO feeds the next PE's input FIFO. The first PE consumes the
+ * row's input column values; the last PE's outputs are the row of the
+ * intermediate table.
+ */
+class SystolicArray
+{
+  public:
+    /** Build a chain of per-PE programs. */
+    explicit SystolicArray(std::vector<std::vector<PeInstruction>> progs);
+
+    int numPes() const { return static_cast<int>(pes.size()); }
+
+    /** Instructions loaded into PE @p i. */
+    const std::vector<PeInstruction> &
+    program(int i) const
+    {
+        return pes.at(i).instructions();
+    }
+
+    /** Longest per-PE program (the array's per-row cycle bound). */
+    int maxProgramLength() const;
+
+    /**
+     * Push one row of input values through the chain.
+     * @param inputs input column values, leftmost column first
+     * @param outputs produced intermediate-row values
+     */
+    void runRow(const std::vector<std::int64_t> &inputs,
+                std::vector<std::int64_t> &outputs);
+
+  private:
+    std::vector<Pe> pes;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_AQUOMAN_PE_HH

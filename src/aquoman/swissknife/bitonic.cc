@@ -1,0 +1,39 @@
+#include "aquoman/swissknife/bitonic.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace aquoman {
+
+BitonicSorter::BitonicSorter(int vector_size) : size(vector_size)
+{
+    AQ_ASSERT(size > 0 && (size & (size - 1)) == 0,
+              "bitonic vector size must be a power of two, got ", size);
+    // log2(n) * (log2(n)+1) / 2 merge stages.
+    int log_n = 0;
+    while ((1 << log_n) < size)
+        ++log_n;
+    stages = log_n * (log_n + 1) / 2;
+}
+
+void
+BitonicSorter::sortVector(Kv *v)
+{
+    // Standard iterative bitonic sort network (ascending).
+    for (int k = 2; k <= size; k <<= 1) {
+        for (int j = k >> 1; j > 0; j >>= 1) {
+            for (int i = 0; i < size; ++i) {
+                int partner = i ^ j;
+                if (partner > i) {
+                    bool up = (i & k) == 0;
+                    ++ops;
+                    if ((v[partner] < v[i]) == up)
+                        std::swap(v[i], v[partner]);
+                }
+            }
+        }
+    }
+}
+
+} // namespace aquoman

@@ -1,0 +1,109 @@
+#include "aquoman/swissknife/groupby.hh"
+
+#include <limits>
+
+namespace aquoman {
+
+GroupByAccelerator::GroupByAccelerator(const AquomanConfig &cfg,
+                                       int id_width,
+                                       std::vector<HwAgg> aggs)
+    : config(cfg), idWidth(id_width), aggKinds(std::move(aggs))
+{
+    AQ_ASSERT(idWidth >= 0);
+    AQ_ASSERT(static_cast<int>(aggKinds.size())
+                  <= config.aggSlotsPerBucket,
+              "bucket supports ", config.aggSlotsPerBucket,
+              " aggregate slots, requested ", aggKinds.size());
+    idTooWide = idWidth * 8 > config.groupIdBytes;
+    buckets.resize(config.groupByBuckets);
+}
+
+std::size_t
+GroupByAccelerator::hashId(const std::vector<std::int64_t> &id) const
+{
+    // FNV-1a over the identifier lanes, folded to the bucket count.
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::int64_t lane : id) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= static_cast<std::uint8_t>(lane >> (8 * b));
+            h *= 1099511628211ull;
+        }
+    }
+    return static_cast<std::size_t>(h % buckets.size());
+}
+
+void
+GroupByAccelerator::initAggs(std::vector<std::int64_t> &agg,
+                             std::vector<std::int64_t> &cnt) const
+{
+    agg.assign(aggKinds.size(), 0);
+    cnt.assign(aggKinds.size(), 0);
+    for (std::size_t i = 0; i < aggKinds.size(); ++i) {
+        if (aggKinds[i] == HwAgg::Min)
+            agg[i] = std::numeric_limits<std::int64_t>::max();
+        if (aggKinds[i] == HwAgg::Max)
+            agg[i] = std::numeric_limits<std::int64_t>::min();
+    }
+}
+
+void
+GroupByAccelerator::applyRow(std::vector<std::int64_t> &agg,
+                             std::vector<std::int64_t> &cnt,
+                             const std::vector<std::int64_t> &values) const
+{
+    for (std::size_t i = 0; i < aggKinds.size(); ++i) {
+        std::int64_t v = values[i];
+        switch (aggKinds[i]) {
+          case HwAgg::Sum: agg[i] += v; break;
+          case HwAgg::Min: agg[i] = std::min(agg[i], v); break;
+          case HwAgg::Max: agg[i] = std::max(agg[i], v); break;
+          case HwAgg::Cnt: agg[i] += 1; break;
+        }
+        cnt[i] += 1;
+    }
+}
+
+void
+GroupByAccelerator::update(const std::vector<std::int64_t> &group_id,
+                           const std::vector<std::int64_t> &values)
+{
+    AQ_ASSERT(static_cast<int>(group_id.size()) == idWidth);
+    AQ_ASSERT(values.size() == aggKinds.size());
+    ++runStats.rowsIn;
+    Bucket &b = buckets[hashId(group_id)];
+    if (!b.used) {
+        b.used = true;
+        b.id = group_id;
+        initAggs(b.agg, b.cnt);
+        ++runStats.groupsInSram;
+    }
+    if (b.id == group_id) {
+        applyRow(b.agg, b.cnt, values);
+        return;
+    }
+    // Hash collision: this row belongs to a spill-over group the x86
+    // host accumulates (the device keeps streaming at line rate).
+    ++runStats.rowsSpilled;
+    auto [it, fresh] = spill.try_emplace(group_id);
+    if (fresh) {
+        initAggs(it->second.agg, it->second.cnt);
+        it->second.id = group_id;
+        ++runStats.groupsSpilled;
+    }
+    applyRow(it->second.agg, it->second.cnt, values);
+}
+
+std::vector<GroupResult>
+GroupByAccelerator::finish()
+{
+    std::vector<GroupResult> out;
+    for (const Bucket &b : buckets) {
+        if (b.used)
+            out.push_back({b.id, b.agg, b.cnt, false});
+    }
+    for (const auto &[id, b] : spill)
+        out.push_back({id, b.agg, b.cnt, true});
+    return out;
+}
+
+} // namespace aquoman

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Aggregate Group-By accelerator (Sec. VI-C, Fig. 12). Group identifier
+ * vectors are hashed into a 1024-bucket table; each bucket holds one
+ * group identifier (max 16B) and up to eight aggregate slots
+ * (sum/min/max/cnt) in banked SRAM. On a hash collision one group keeps
+ * the bucket and the other becomes a spill-over group whose rows are
+ * shipped to the x86 host (Sec. VI-E).
+ */
+
+#ifndef AQUOMAN_AQUOMAN_SWISSKNIFE_GROUPBY_HH
+#define AQUOMAN_AQUOMAN_SWISSKNIFE_GROUPBY_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "aquoman/config.hh"
+#include "common/logging.hh"
+
+namespace aquoman {
+
+/** Hardware aggregate kinds one SRAM slot supports. */
+enum class HwAgg { Sum, Min, Max, Cnt };
+
+/** One finished group: identifier values plus aggregate results. */
+struct GroupResult
+{
+    std::vector<std::int64_t> groupId;
+    std::vector<std::int64_t> aggregates;
+    std::vector<std::int64_t> counts; ///< rows contributing per agg
+    bool fromSpill = false;           ///< accumulated by the host
+};
+
+/** Statistics of one Aggregate Group-By run. */
+struct GroupByStats
+{
+    std::int64_t rowsIn = 0;
+    std::int64_t rowsSpilled = 0;   ///< rows shipped to the host
+    std::int64_t groupsInSram = 0;
+    std::int64_t groupsSpilled = 0; ///< distinct spill-over groups
+};
+
+/** The Aggregate Group-By accelerator. */
+class GroupByAccelerator
+{
+  public:
+    /**
+     * @param cfg       device configuration (buckets, id bytes, slots)
+     * @param id_width  number of 64-bit group-identifier lanes
+     * @param aggs      aggregate kinds, one per aggregate column
+     */
+    GroupByAccelerator(const AquomanConfig &cfg, int id_width,
+                       std::vector<HwAgg> aggs);
+
+    /**
+     * Accumulate one row.
+     * @param group_id identifier lanes (id_width values)
+     * @param values   one value per aggregate column
+     */
+    void update(const std::vector<std::int64_t> &group_id,
+                const std::vector<std::int64_t> &values);
+
+    /**
+     * Drain results: SRAM groups plus host-accumulated spill groups,
+     * merged. Order is unspecified (the host sorts final output).
+     */
+    std::vector<GroupResult> finish();
+
+    const GroupByStats &stats() const { return runStats; }
+
+    /** True if the identifier width exceeds the 16B hardware limit. */
+    bool idWidthExceedsHardware() const { return idTooWide; }
+
+  private:
+    struct Bucket
+    {
+        bool used = false;
+        std::vector<std::int64_t> id;
+        std::vector<std::int64_t> agg;
+        std::vector<std::int64_t> cnt;
+    };
+
+    std::size_t hashId(const std::vector<std::int64_t> &id) const;
+    void initAggs(std::vector<std::int64_t> &agg,
+                  std::vector<std::int64_t> &cnt) const;
+    void applyRow(std::vector<std::int64_t> &agg,
+                  std::vector<std::int64_t> &cnt,
+                  const std::vector<std::int64_t> &values) const;
+
+    AquomanConfig config;
+    int idWidth;
+    bool idTooWide;
+    std::vector<HwAgg> aggKinds;
+    std::vector<Bucket> buckets;
+    /** Host-side accumulation of spill-over groups. */
+    std::map<std::vector<std::int64_t>, Bucket> spill;
+    GroupByStats runStats;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_AQUOMAN_SWISSKNIFE_GROUPBY_HH

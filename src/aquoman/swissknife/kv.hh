@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The record format flowing through the SQL Swissknife's sort/merge
+ * datapath: <key, value> pairs (the paper's sorter is synthesised for
+ * kv<uint64,uint64>; the value field carries the RowID the key was read
+ * from, Sec. VI-D).
+ */
+
+#ifndef AQUOMAN_AQUOMAN_SWISSKNIFE_KV_HH
+#define AQUOMAN_AQUOMAN_SWISSKNIFE_KV_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace aquoman {
+
+/** One sort/merge record: a 64-bit key and a 64-bit value (RowID). */
+struct Kv
+{
+    std::int64_t key = 0;
+    std::int64_t value = 0;
+
+    friend bool
+    operator<(const Kv &a, const Kv &b)
+    {
+        if (a.key != b.key)
+            return a.key < b.key;
+        return a.value < b.value;
+    }
+
+    friend bool
+    operator==(const Kv &a, const Kv &b)
+    {
+        return a.key == b.key && a.value == b.value;
+    }
+};
+
+/** Bytes one Kv record occupies in device DRAM / SRAM. */
+constexpr std::int64_t kKvBytes = 16;
+
+using KvStream = std::vector<Kv>;
+
+} // namespace aquoman
+
+#endif // AQUOMAN_AQUOMAN_SWISSKNIFE_KV_HH

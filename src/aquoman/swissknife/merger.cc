@@ -1,0 +1,141 @@
+#include "aquoman/swissknife/merger.hh"
+
+#include "common/logging.hh"
+
+namespace aquoman {
+
+namespace {
+
+/**
+ * Walk both sorted streams like the hardware scheduler: repeatedly take
+ * from the stream whose head is smaller, counting vector fetches and
+ * source alternations.
+ */
+template <typename OnLeft, typename OnRight>
+void
+scheduledWalk(const KvStream &a, const KvStream &b, MergeStats *stats,
+              int vector_size, OnLeft on_a, OnRight on_b)
+{
+    std::size_t i = 0, j = 0;
+    int last_src = -1;
+    auto account = [&](int src) {
+        if (!stats)
+            return;
+        if (src != last_src) {
+            ++stats->sourceSwitches;
+            last_src = src;
+        }
+    };
+    while (i < a.size() || j < b.size()) {
+        bool take_a;
+        if (i >= a.size()) {
+            take_a = false;
+        } else if (j >= b.size()) {
+            take_a = true;
+        } else if (a[i].key == b[j].key) {
+            // Equal keys alternate sources so the Intersection Engine
+            // needs only a look-ahead of one (Sec. VI-C).
+            take_a = last_src != 0;
+        } else {
+            take_a = a[i].key < b[j].key;
+        }
+        if (take_a) {
+            account(0);
+            on_a(a[i++]);
+        } else {
+            account(1);
+            on_b(b[j++]);
+        }
+    }
+    if (stats) {
+        stats->vectorsFetched +=
+            (a.size() + b.size() + vector_size - 1) / vector_size;
+    }
+}
+
+} // namespace
+
+KvStream
+merge2to1(const KvStream &a, const KvStream &b, MergeStats *stats,
+          int vector_size)
+{
+    KvStream out;
+    out.reserve(a.size() + b.size());
+    scheduledWalk(a, b, stats, vector_size,
+                  [&](const Kv &r) { out.push_back(r); },
+                  [&](const Kv &r) { out.push_back(r); });
+    if (stats)
+        stats->recordsOut += static_cast<std::int64_t>(out.size());
+    return out;
+}
+
+std::vector<MatchedPair>
+intersectInner(const KvStream &left, const KvStream &right,
+               MergeStats *stats)
+{
+    std::vector<MatchedPair> out;
+    std::size_t i = 0, j = 0;
+    while (i < left.size() && j < right.size()) {
+        if (left[i].key < right[j].key) {
+            ++i;
+        } else if (right[j].key < left[i].key) {
+            ++j;
+        } else {
+            AQ_ASSERT(j + 1 >= right.size()
+                          || right[j + 1].key != right[j].key,
+                      "intersectInner requires unique right keys");
+            std::int64_t key = left[i].key;
+            while (i < left.size() && left[i].key == key) {
+                out.push_back({key, left[i].value, right[j].value});
+                ++i;
+            }
+            ++j;
+        }
+    }
+    if (stats) {
+        stats->recordsOut += static_cast<std::int64_t>(out.size());
+        stats->vectorsFetched += (left.size() + right.size() + 31) / 32;
+    }
+    return out;
+}
+
+namespace {
+
+KvStream
+semiAnti(const KvStream &left, const KvStream &right, bool want_match,
+         MergeStats *stats)
+{
+    KvStream out;
+    std::size_t i = 0, j = 0;
+    while (i < left.size()) {
+        while (j < right.size() && right[j].key < left[i].key)
+            ++j;
+        bool match = j < right.size() && right[j].key == left[i].key;
+        if (match == want_match)
+            out.push_back(left[i]);
+        ++i;
+    }
+    if (stats) {
+        stats->recordsOut += static_cast<std::int64_t>(out.size());
+        stats->vectorsFetched += (left.size() + right.size() + 31) / 32;
+    }
+    return out;
+}
+
+} // namespace
+
+KvStream
+intersectSemi(const KvStream &left, const KvStream &right,
+              MergeStats *stats)
+{
+    return semiAnti(left, right, true, stats);
+}
+
+KvStream
+intersectAnti(const KvStream &left, const KvStream &right,
+              MergeStats *stats)
+{
+    return semiAnti(left, right, false, stats);
+}
+
+} // namespace aquoman

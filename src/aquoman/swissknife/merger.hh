@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Merger accelerator (Sec. VI-C, Fig. 14): a 2-to-1 sorted-stream
+ * merger (VCAS engine + scheduler) followed by an Intersection Engine.
+ * Besides the paper's intersection output it exposes the join flavours
+ * AQUOMAN's Table Tasks need: inner (emit matched value pairs against a
+ * unique-key side), semi and anti (emit left records with/without a
+ * match). The scheduler's source-alternation behaviour is counted
+ * because it drives the streaming-sorter throughput model (Table V).
+ */
+
+#ifndef AQUOMAN_AQUOMAN_SWISSKNIFE_MERGER_HH
+#define AQUOMAN_AQUOMAN_SWISSKNIFE_MERGER_HH
+
+#include <cstdint>
+
+#include "aquoman/swissknife/kv.hh"
+
+namespace aquoman {
+
+/** Scheduler statistics of one merge pass. */
+struct MergeStats
+{
+    std::int64_t vectorsFetched = 0;  ///< input vectors scheduled
+    std::int64_t sourceSwitches = 0;  ///< scheduler alternations
+    std::int64_t recordsOut = 0;
+};
+
+/** 2-to-1 merge of two ascending streams into one ascending stream. */
+KvStream merge2to1(const KvStream &a, const KvStream &b,
+                   MergeStats *stats = nullptr, int vector_size = 32);
+
+/** A matched pair of values sharing a key. */
+struct MatchedPair
+{
+    std::int64_t key;
+    std::int64_t leftValue;
+    std::int64_t rightValue;
+};
+
+/**
+ * Inner intersection join of two ascending streams. The right stream
+ * must have unique keys (primary-key side); every left record whose key
+ * exists on the right yields one pair, preserving left order of equal
+ * keys as produced by the merge.
+ */
+std::vector<MatchedPair> intersectInner(const KvStream &left,
+                                        const KvStream &right,
+                                        MergeStats *stats = nullptr);
+
+/** Left records whose key appears on the right (semi join). */
+KvStream intersectSemi(const KvStream &left, const KvStream &right,
+                       MergeStats *stats = nullptr);
+
+/** Left records whose key does not appear on the right (anti join). */
+KvStream intersectAnti(const KvStream &left, const KvStream &right,
+                       MergeStats *stats = nullptr);
+
+} // namespace aquoman
+
+#endif // AQUOMAN_AQUOMAN_SWISSKNIFE_MERGER_HH

@@ -1,0 +1,72 @@
+#include "aquoman/swissknife/topk.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aquoman {
+
+TopKAccelerator::TopKAccelerator(int k, int vector_size)
+    : requestedK(k), vecSize(vector_size), sorter(vector_size)
+{
+    AQ_ASSERT(k > 0);
+    int blocks = (k + vector_size - 1) / vector_size;
+    for (int i = 0; i < blocks; ++i)
+        chain.emplace_back(vector_size);
+}
+
+void
+TopKAccelerator::push(const Kv &record)
+{
+    pending.push_back(record);
+    ++pushed;
+    if (static_cast<int>(pending.size()) == vecSize)
+        flushVector();
+}
+
+void
+TopKAccelerator::flushVector()
+{
+    // Pad a short tail vector with minus infinity so it cannot displace
+    // real records.
+    while (static_cast<int>(pending.size()) < vecSize) {
+        pending.push_back(Kv{std::numeric_limits<std::int64_t>::min(),
+                             std::numeric_limits<std::int64_t>::min()});
+    }
+    sorter.sortVector(pending.data());
+    ++sortedVectors;
+    // The chain: each block keeps the biggest half, streams the rest on.
+    for (Vcas &block : chain)
+        block.compareAndSwap(pending);
+    pending.clear();
+}
+
+KvStream
+TopKAccelerator::finish()
+{
+    if (!pending.empty())
+        flushVector();
+    KvStream all;
+    for (const Vcas &block : chain) {
+        const KvStream &c = block.contents();
+        all.insert(all.end(), c.begin(), c.end());
+    }
+    std::sort(all.begin(), all.end());
+    std::reverse(all.begin(), all.end()); // descending
+    // Drop padding and trim to k (or the stream length).
+    std::int64_t keep = std::min<std::int64_t>(requestedK, pushed);
+    if (static_cast<std::int64_t>(all.size()) > keep)
+        all.resize(keep);
+    return all;
+}
+
+std::int64_t
+TopKAccelerator::casSteps() const
+{
+    std::int64_t total = 0;
+    for (const Vcas &block : chain)
+        total += block.steps();
+    return total;
+}
+
+} // namespace aquoman

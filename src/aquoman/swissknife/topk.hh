@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TopK accelerator (Sec. VI-C, Fig. 13): a pipelined bitonic sorter
+ * followed by a daisy chain of k/n VCAS blocks that retains the k
+ * biggest records of a stream.
+ */
+
+#ifndef AQUOMAN_AQUOMAN_SWISSKNIFE_TOPK_HH
+#define AQUOMAN_AQUOMAN_SWISSKNIFE_TOPK_HH
+
+#include <memory>
+#include <vector>
+
+#include "aquoman/swissknife/bitonic.hh"
+#include "aquoman/swissknife/vcas.hh"
+
+namespace aquoman {
+
+/** Keeps the k biggest records of a Kv stream. */
+class TopKAccelerator
+{
+  public:
+    /**
+     * @param k           records to retain (rounded up to a multiple
+     *                    of the vector size)
+     * @param vector_size hardware vector width (power of two)
+     */
+    TopKAccelerator(int k, int vector_size = 32);
+
+    /** Feed one record (buffers to vectors internally). */
+    void push(const Kv &record);
+
+    /** Feed a whole stream. */
+    void
+    pushAll(const KvStream &records)
+    {
+        for (const Kv &r : records)
+            push(r);
+    }
+
+    /**
+     * Finish and return the biggest records, descending, truncated to
+     * the requested k (or fewer if the stream was shorter).
+     */
+    KvStream finish();
+
+    /** Number of VCAS blocks in the chain. */
+    int chainLength() const { return static_cast<int>(chain.size()); }
+
+    /** Total element-wise CAS steps executed (perf counter). */
+    std::int64_t casSteps() const;
+
+    /** Vectors pushed through the bitonic sorter (perf counter). */
+    std::int64_t vectorsSorted() const { return sortedVectors; }
+
+  private:
+    void flushVector();
+
+    int requestedK;
+    int vecSize;
+    BitonicSorter sorter;
+    std::vector<Vcas> chain;
+    KvStream pending;
+    std::int64_t pushed = 0;
+    std::int64_t sortedVectors = 0;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_AQUOMAN_SWISSKNIFE_TOPK_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Vector Compare-And-Swap (Algorithm 1 of the paper). A VCAS block
+ * stores the current top-n vector (ascending); when a new ascending
+ * input vector arrives it keeps the biggest half of the 2n elements and
+ * streams out the smallest half, one element-wise CAS step per pipeline
+ * stage.
+ */
+
+#ifndef AQUOMAN_AQUOMAN_SWISSKNIFE_VCAS_HH
+#define AQUOMAN_AQUOMAN_SWISSKNIFE_VCAS_HH
+
+#include <algorithm>
+#include <limits>
+
+#include "aquoman/swissknife/kv.hh"
+#include "common/logging.hh"
+
+namespace aquoman {
+
+/** One VCAS block holding n elements. */
+class Vcas
+{
+  public:
+    explicit Vcas(int n_) : n(n_)
+    {
+        // Initialise to minus infinity so the first inputs displace.
+        top.assign(n, Kv{std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::min()});
+    }
+
+    int size() const { return n; }
+
+    /** Current top-n contents, ascending. */
+    const KvStream &contents() const { return top; }
+
+    /**
+     * Algorithm 1: feed one ascending input vector of n elements. The
+     * n element-wise CAS steps walk both tails, keeping the larger
+     * half in the block. @p in_out on entry holds the sorted input; on
+     * exit it holds the smaller half, ascending, for the next VCAS.
+     */
+    void
+    compareAndSwap(KvStream &in_out)
+    {
+        AQ_ASSERT(static_cast<int>(in_out.size()) == n,
+                  "VCAS expects vectors of ", n);
+        KvStream new_top(n);
+        int ti = n - 1, ii = n - 1;
+        for (int k = n - 1; k >= 0; --k) {
+            if (ii < 0 || (ti >= 0 && !(top[ti] < in_out[ii])))
+                new_top[k] = top[ti--];
+            else
+                new_top[k] = in_out[ii--];
+        }
+        // Leftover prefixes are the n smallest; merge them ascending.
+        KvStream out(n);
+        int a = 0, b = 0;
+        for (int k = 0; k < n; ++k) {
+            if (a > ti || (b <= ii && in_out[b] < top[a]))
+                out[k] = in_out[b++];
+            else
+                out[k] = top[a++];
+        }
+        top.swap(new_top);
+        in_out.swap(out);
+        casSteps += n;
+    }
+
+    /** Element-wise CAS steps performed so far. */
+    std::int64_t steps() const { return casSteps; }
+
+  private:
+    int n;
+    KvStream top;
+    std::int64_t casSteps = 0;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_AQUOMAN_SWISSKNIFE_VCAS_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The AQUOMAN Table-Task compiler (Sec. V / VI-D / VI-E). Given a query
+ * plan, it (a) normalises each stage into the shape the fixed pipeline
+ * executes — leaf scans with predicates, a join tree, an optional final
+ * aggregate, post-ops — and (b) decides offloadability:
+ *
+ *  - LIKE over a string column whose heap exceeds the 1MB regex cache
+ *    makes the whole query host-executed (paper: q9, q13, q16, q20);
+ *  - an Aggregate Group-By / TopK output is never buffered in device
+ *    DRAM, so stages consuming one run on the host (paper: q11, q17,
+ *    q18, q22 suspend mid-query);
+ *  - unsupported operators (outer join, count-distinct, ordered string
+ *    comparisons) fall back to the host.
+ */
+
+#ifndef AQUOMAN_AQUOMAN_TASK_COMPILER_HH
+#define AQUOMAN_AQUOMAN_TASK_COMPILER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aquoman/config.hh"
+#include "columnstore/catalog.hh"
+#include "relalg/plan.hh"
+
+namespace aquoman {
+
+/** A Filter or Project applied within a leaf / above a group-by. */
+struct StageOp
+{
+    enum class Kind { Filter, Project };
+    Kind kind;
+    ExprPtr predicate;                 ///< Filter
+    std::vector<NamedExpr> projections; ///< Project
+};
+
+/** One input of a stage's join tree. */
+struct LeafInfo
+{
+    std::string table;    ///< base table ("" when a stage reference)
+    std::string stageRef; ///< prior stage id ("" when a base table)
+    std::string alias;    ///< column-name prefix
+    std::vector<std::string> columns; ///< pruned scan columns
+    /** Filters/projects between the scan and the join, bottom-up. */
+    std::vector<StageOp> ops;
+};
+
+/** A node of the normalised join tree. */
+struct ShapeNode
+{
+    bool isLeaf = false;
+    int leaf = -1;       ///< index into StageShape::leaves
+    JoinType joinType = JoinType::Inner;
+    int left = -1;       ///< node index
+    int right = -1;      ///< node index
+    std::vector<std::string> leftKeys;
+    std::vector<std::string> rightKeys;
+    ExprPtr residual;
+};
+
+/** Final aggregation of a stage. */
+struct GroupBySpec
+{
+    std::vector<std::string> groupColumns;
+    std::vector<AggSpec> aggregates;
+};
+
+/** Normalised stage shape. */
+struct StageShape
+{
+    std::vector<LeafInfo> leaves;
+    std::vector<ShapeNode> nodes;
+    int root = -1;
+    /**
+     * Filters/Projects between the join-tree root and the group-by
+     * (application order). Projects here are the Row Transformation
+     * Programs; Filters feed the Row Selector / mask pipeline.
+     */
+    std::vector<StageOp> rootOps;
+    std::optional<GroupBySpec> groupBy;
+    /** Filters/projects above the group-by (having etc.), in order. */
+    std::vector<StageOp> postOps;
+    std::vector<SortKey> sortKeys;
+    std::int64_t limit = -1;
+};
+
+/** Why a stage (or query) runs on the host instead of the device. */
+struct HostReason
+{
+    std::string stageId;
+    std::string reason;
+};
+
+/** Per-stage compilation outcome. */
+struct StageDecision
+{
+    std::string stageId;
+    bool onDevice = false;
+    std::string reason; ///< populated when onDevice is false
+    StageShape shape;   ///< valid when the shape was recognised
+    bool shapeValid = false;
+};
+
+/** Whole-query compilation outcome. */
+struct QueryCompilation
+{
+    std::string queryName;
+    bool anyDeviceStage = false;
+    /** Set when a big-heap regex forces the whole query to the host. */
+    bool regexForcedHost = false;
+    std::vector<StageDecision> stages;
+};
+
+/** The Table-Task compiler. */
+class TaskCompiler
+{
+  public:
+    TaskCompiler(const Catalog &cat, const AquomanConfig &cfg)
+        : catalog(cat), config(cfg)
+    {
+    }
+
+    /** Compile a whole query: stage shapes plus offload decisions. */
+    QueryCompilation compile(const Query &q) const;
+
+    /**
+     * Normalise one plan tree. Returns nullopt (with @p why set) when
+     * the plan does not fit the pipeline's shape.
+     */
+    std::optional<StageShape> analyze(const PlanPtr &plan,
+                                      std::string &why) const;
+
+  private:
+    bool likeOverBigHeap(const ExprPtr &e, const LeafInfo &leaf,
+                         std::string &why) const;
+    bool checkLeafSupport(const LeafInfo &leaf, std::string &why) const;
+
+    const Catalog &catalog;
+    const AquomanConfig &config;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_AQUOMAN_TASK_COMPILER_HH

@@ -1,0 +1,709 @@
+#include "aquoman/transform_compiler.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/decimal.hh"
+#include "relalg/eval.hh"
+
+namespace aquoman {
+
+namespace {
+
+/**
+ * Fold every all-constant subtree into a literal, using the reference
+ * evaluator over a one-row dummy relation so folding semantics are
+ * identical to runtime semantics.
+ */
+ExprPtr
+foldConstants(const ExprPtr &e)
+{
+    if (!e || e->kind == ExprKind::ColRef || e->kind == ExprKind::Const
+            || e->kind == ExprKind::ConstStr) {
+        return e;
+    }
+    std::vector<std::string> cols;
+    collectColumns(e, cols);
+    if (cols.empty() && e->kind != ExprKind::Like) {
+        RelTable dummy;
+        RelColumn one("__one", ColumnType::Int64);
+        one.push(1);
+        dummy.addColumn(std::move(one));
+        RelColumn v = evalExpr(e, dummy);
+        auto folded = std::make_shared<Expr>();
+        folded->kind = ExprKind::Const;
+        folded->resultType = v.type;
+        folded->constVal = v.get(0);
+        return folded;
+    }
+    auto copy = std::make_shared<Expr>(*e);
+    for (auto &c : copy->children)
+        c = foldConstants(c);
+    return copy;
+}
+
+/** One instruction over virtual registers (>=1). */
+struct IrInstr
+{
+    PeOpcode op;
+    int dst = 0;          ///< virtual register, or 0 for "emit to output"
+    int src = 0;          ///< virtual register, or 0 for "read input FIFO"
+    int operand = 0;      ///< RHS virtual register (0 = none / imm)
+    bool useImm = false;
+    std::int64_t imm = 0;
+};
+
+/** Lowering + code-generation state. */
+class Codegen
+{
+  public:
+    Codegen(const std::map<std::string, ColumnType> &schema_)
+        : schema(schema_)
+    {
+    }
+
+    /** Compile failed with @p reason. */
+    struct Failure
+    {
+        std::string reason;
+    };
+
+    /**
+     * Generate code for @p e. Returns the virtual register holding the
+     * result and the value's type.
+     */
+    std::pair<int, ColumnType>
+    gen(const ExprPtr &e)
+    {
+        std::string key = serialize(e);
+        auto hit = cse.find(key);
+        if (hit != cse.end())
+            return hit->second;
+        auto result = genUncached(e);
+        cse.emplace(std::move(key), result);
+        return result;
+    }
+
+    /**
+     * Read an input column from the FIFO at its first use. The stream
+     * order of input columns is defined as first-use order, so FIFO
+     * pops always match arrival order.
+     */
+    std::pair<int, ColumnType>
+    readInput(const std::string &column)
+    {
+        auto hit = inputRegs.find(column);
+        if (hit != inputRegs.end())
+            return hit->second;
+        auto it = schema.find(column);
+        if (it == schema.end())
+            throw Failure{"unknown column '" + column + "'"};
+        int vr = fresh();
+        code.push_back({PeOpcode::Pass, vr, 0, 0, false, 0});
+        inputRegs[column] = {vr, it->second};
+        inputOrder.push_back(column);
+        return {vr, it->second};
+    }
+
+    /** Emit the final value of @p e to the output FIFO. */
+    ColumnType
+    emitOutput(const ExprPtr &e)
+    {
+        auto [vr, type] = gen(e);
+        code.push_back({PeOpcode::Pass, 0, vr, 0, false, 0});
+        return type;
+    }
+
+    const std::vector<IrInstr> &instructions() const { return code; }
+    const std::vector<std::string> &inputs() const { return inputOrder; }
+    int numVirtualRegs() const { return nextReg; }
+
+  private:
+    int fresh() { return nextReg++; }
+
+    /** ALU op with register LHS and either imm or register RHS. */
+    int
+    alu(PeOpcode op, int src, int operand_reg, bool use_imm,
+        std::int64_t imm)
+    {
+        int vr = fresh();
+        code.push_back({op, vr, src, operand_reg, use_imm, imm});
+        return vr;
+    }
+
+    /** Materialise an immediate into a register: t = src*0 + imm. */
+    int
+    materializeImm(int any_reg, std::int64_t imm)
+    {
+        int t = alu(PeOpcode::Mul, any_reg, 0, true, 0);
+        return alu(PeOpcode::Add, t, 0, true, imm);
+    }
+
+    static bool
+    isDecimal(ColumnType t)
+    {
+        return t == ColumnType::Decimal;
+    }
+
+    /** Scale a value (or fold into an imm) from integer to decimal. */
+    std::pair<int, std::int64_t>
+    promote(int reg, bool is_imm, std::int64_t imm)
+    {
+        if (is_imm)
+            return {reg, imm * kDecimalScale};
+        return {alu(PeOpcode::Mul, reg, 0, true, kDecimalScale), imm};
+    }
+
+    struct Operand
+    {
+        bool isImm;
+        std::int64_t imm;
+        int reg;            // valid when !isImm
+        ColumnType type;
+    };
+
+    Operand
+    genOperand(const ExprPtr &e)
+    {
+        if (e->kind == ExprKind::Const)
+            return {true, e->constVal, 0, e->resultType};
+        if (e->kind == ExprKind::ConstStr)
+            throw Failure{"unresolved string constant"};
+        auto [vr, t] = gen(e);
+        return {false, 0, vr, t};
+    }
+
+    /**
+     * Emit `a OP b` where exactly the hardware forms are allowed:
+     * reg OP imm, or reg OP opReg (Store b; OP a). Non-register LHS is
+     * rewritten using commutativity / mirroring / materialisation.
+     */
+    int
+    binary(PeOpcode op, Operand a, Operand b)
+    {
+        if (a.isImm && b.isImm)
+            throw Failure{"constant folding left to the planner"};
+        if (a.isImm) {
+            // Mirror or materialise so the LHS is a register.
+            switch (op) {
+              case PeOpcode::Add:
+              case PeOpcode::Mul:
+              case PeOpcode::MulScaled:
+              case PeOpcode::Eq:
+                std::swap(a, b);
+                break;
+              case PeOpcode::Lt:
+                op = PeOpcode::Gt;
+                std::swap(a, b);
+                break;
+              case PeOpcode::Gt:
+                op = PeOpcode::Lt;
+                std::swap(a, b);
+                break;
+              case PeOpcode::Sub: {
+                // c - x == (x - c) * -1
+                int t = alu(PeOpcode::Sub, b.reg, 0, true, a.imm);
+                return alu(PeOpcode::Mul, t, 0, true, -1);
+              }
+              default: {
+                a = {false, 0, materializeImm(b.reg, a.imm), a.type};
+                break;
+              }
+            }
+        }
+        if (b.isImm)
+            return alu(op, a.reg, 0, true, b.imm);
+        // Glued pair: Store pushes the RHS, the ALU pops it.
+        code.push_back({PeOpcode::Store, -1, b.reg, 0, false, 0});
+        return alu(op, a.reg, b.reg, false, 0);
+    }
+
+    std::pair<int, ColumnType>
+    genUncached(const ExprPtr &e)
+    {
+        switch (e->kind) {
+          case ExprKind::ColRef:
+            return readInput(e->column);
+          case ExprKind::Const: {
+            // Bare constant output: materialise off any resident input.
+            if (inputRegs.empty())
+                throw Failure{"constant-only transform"};
+            int any = inputRegs.begin()->second.first;
+            return {materializeImm(any, e->constVal), e->resultType};
+          }
+          case ExprKind::Arith:
+            return genArith(e);
+          case ExprKind::Compare:
+            return genCompare(e);
+          case ExprKind::Logic: {
+            auto [va, ta] = gen(e->children[0]);
+            auto [vb, tb] = gen(e->children[1]);
+            (void)ta;
+            (void)tb;
+            if (e->logicOp == LogicOp::And) {
+                int r = binary(PeOpcode::Mul, {false, 0, va,
+                                               ColumnType::Int32},
+                               {false, 0, vb, ColumnType::Int32});
+                return {r, ColumnType::Int32};
+            }
+            int s = binary(PeOpcode::Add,
+                           {false, 0, va, ColumnType::Int32},
+                           {false, 0, vb, ColumnType::Int32});
+            return {alu(PeOpcode::Gt, s, 0, true, 0), ColumnType::Int32};
+          }
+          case ExprKind::Not: {
+            auto [va, ta] = gen(e->children[0]);
+            (void)ta;
+            return {alu(PeOpcode::Eq, va, 0, true, 0), ColumnType::Int32};
+          }
+          case ExprKind::InList: {
+            if (!e->listStrs.empty())
+                throw Failure{"unresolved string IN-list"};
+            auto [va, ta] = gen(e->children[0]);
+            (void)ta;
+            int acc = -1;
+            for (std::int64_t v : e->listVals) {
+                int hit = alu(PeOpcode::Eq, va, 0, true, v);
+                if (acc < 0) {
+                    acc = hit;
+                } else {
+                    acc = binary(PeOpcode::Add,
+                                 {false, 0, acc, ColumnType::Int32},
+                                 {false, 0, hit, ColumnType::Int32});
+                }
+            }
+            if (acc < 0)
+                throw Failure{"empty IN-list"};
+            return {alu(PeOpcode::Gt, acc, 0, true, 0),
+                    ColumnType::Int32};
+          }
+          case ExprKind::Case:
+            return genCase(e);
+          case ExprKind::Year: {
+            auto [va, ta] = gen(e->children[0]);
+            if (ta != ColumnType::Date)
+                throw Failure{"year() over non-date"};
+            return {alu(PeOpcode::Year, va, 0, true, 0),
+                    ColumnType::Int64};
+          }
+          case ExprKind::Like:
+            throw Failure{"LIKE must be resolved by the regex "
+                          "accelerator before PE compilation"};
+          case ExprKind::ConstStr:
+            throw Failure{"unresolved string constant"};
+        }
+        throw Failure{"unknown expression kind"};
+    }
+
+    std::pair<int, ColumnType>
+    genArith(const ExprPtr &e)
+    {
+        Operand a = genOperand(e->children[0]);
+        Operand b = genOperand(e->children[1]);
+        bool date_shift = a.type == ColumnType::Date
+            && !isDecimal(b.type);
+        bool dec = (isDecimal(a.type) || isDecimal(b.type)) && !date_shift;
+        if (dec) {
+            if (!isDecimal(a.type)) {
+                auto [r, i] = promote(a.reg, a.isImm, a.imm);
+                a.reg = r;
+                a.imm = i;
+                a.type = ColumnType::Decimal;
+            }
+            if (!isDecimal(b.type)) {
+                auto [r, i] = promote(b.reg, b.isImm, b.imm);
+                b.reg = r;
+                b.imm = i;
+                b.type = ColumnType::Decimal;
+            }
+        }
+        PeOpcode op;
+        ColumnType rt = dec ? ColumnType::Decimal
+            : (date_shift ? ColumnType::Date : ColumnType::Int64);
+        switch (e->arithOp) {
+          case ArithOp::Add: op = PeOpcode::Add; break;
+          case ArithOp::Sub:
+            op = PeOpcode::Sub;
+            if (a.type == ColumnType::Date && b.type == ColumnType::Date)
+                rt = ColumnType::Int64;
+            break;
+          case ArithOp::Mul:
+            op = dec ? PeOpcode::MulScaled : PeOpcode::Mul;
+            break;
+          case ArithOp::Div:
+            op = dec ? PeOpcode::DivScaled : PeOpcode::Div;
+            break;
+          default:
+            throw Failure{"bad arith op"};
+        }
+        return {binary(op, a, b), rt};
+    }
+
+    std::pair<int, ColumnType>
+    genCompare(const ExprPtr &e)
+    {
+        Operand a = genOperand(e->children[0]);
+        Operand b = genOperand(e->children[1]);
+        if (isStringType(a.type) || isStringType(b.type)) {
+            // Interned offsets support only (in)equality.
+            if (e->cmpOp != CmpOp::Eq && e->cmpOp != CmpOp::Ne)
+                throw Failure{"ordered string comparison"};
+        }
+        bool dec = isDecimal(a.type) || isDecimal(b.type);
+        if (dec) {
+            if (!isDecimal(a.type)) {
+                auto [r, i] = promote(a.reg, a.isImm, a.imm);
+                a.reg = r;
+                a.imm = i;
+            }
+            if (!isDecimal(b.type)) {
+                auto [r, i] = promote(b.reg, b.isImm, b.imm);
+                b.reg = r;
+                b.imm = i;
+            }
+        }
+        auto direct = [&](PeOpcode op) {
+            return binary(op, a, b);
+        };
+        auto negated = [&](PeOpcode op) {
+            int t = binary(op, a, b);
+            return alu(PeOpcode::Eq, t, 0, true, 0);
+        };
+        int r = 0;
+        switch (e->cmpOp) {
+          case CmpOp::Eq: r = direct(PeOpcode::Eq); break;
+          case CmpOp::Lt: r = direct(PeOpcode::Lt); break;
+          case CmpOp::Gt: r = direct(PeOpcode::Gt); break;
+          case CmpOp::Ne: r = negated(PeOpcode::Eq); break;
+          case CmpOp::Ge: r = negated(PeOpcode::Lt); break;
+          case CmpOp::Le: r = negated(PeOpcode::Gt); break;
+        }
+        return {r, ColumnType::Int32};
+    }
+
+    std::pair<int, ColumnType>
+    genCase(const ExprPtr &e)
+    {
+        // Fold right: case(w,t,rest) == w*t + (1-w)*rest. Boolean w is
+        // 0/1 so plain Mul is exact for any value type. Constant arms
+        // stay immediates for the multiplies.
+        std::size_t arms = (e->children.size() - 1) / 2;
+        Operand acc = genOperand(e->children.back());
+        ColumnType result_t = acc.type;
+        for (std::size_t i = arms; i-- > 0;) {
+            auto [w, wt] = gen(e->children[2 * i]);
+            (void)wt;
+            Operand t = genOperand(e->children[2 * i + 1]);
+            int notw = alu(PeOpcode::Eq, w, 0, true, 0);
+            int lhs = binary(PeOpcode::Mul,
+                             {false, 0, w, ColumnType::Int64}, t);
+            int rhs = binary(PeOpcode::Mul,
+                             {false, 0, notw, ColumnType::Int64}, acc);
+            int sum = binary(PeOpcode::Add,
+                             {false, 0, lhs, ColumnType::Int64},
+                             {false, 0, rhs, ColumnType::Int64});
+            acc = {false, 0, sum, t.type};
+            result_t = t.type;
+        }
+        if (acc.isImm)
+            throw Failure{"constant-only CASE"};
+        return {acc.reg, result_t};
+    }
+
+    static std::string
+    serialize(const ExprPtr &e)
+    {
+        std::ostringstream os;
+        serializeInto(e, os);
+        return os.str();
+    }
+
+    static void
+    serializeInto(const ExprPtr &e, std::ostringstream &os)
+    {
+        os << static_cast<int>(e->kind) << "(";
+        switch (e->kind) {
+          case ExprKind::ColRef: os << e->column; break;
+          case ExprKind::Const:
+            os << e->constVal << ":" << static_cast<int>(e->resultType);
+            break;
+          case ExprKind::Arith: os << static_cast<int>(e->arithOp); break;
+          case ExprKind::Compare: os << static_cast<int>(e->cmpOp); break;
+          case ExprKind::Logic: os << static_cast<int>(e->logicOp); break;
+          case ExprKind::InList:
+            for (auto v : e->listVals)
+                os << v << ",";
+            break;
+          default: break;
+        }
+        for (const auto &c : e->children) {
+            os << ",";
+            serializeInto(c, os);
+        }
+        os << ")";
+    }
+
+    const std::map<std::string, ColumnType> &schema;
+    std::vector<IrInstr> code;
+    std::unordered_map<std::string, std::pair<int, ColumnType>> cse;
+    std::map<std::string, std::pair<int, ColumnType>> inputRegs;
+    std::vector<std::string> inputOrder;
+    int nextReg = 1;
+};
+
+/**
+ * Emit the whole program onto one "wide" PE with a direct virtual-to-
+ * physical register mapping. Used as the simulator's elastic fallback
+ * when a transform cannot be register-allocated into ISA-sized PEs.
+ */
+std::vector<std::vector<PeInstruction>>
+emitWide(const std::vector<IrInstr> &code, int &total_instructions)
+{
+    std::vector<PeInstruction> prog;
+    for (const IrInstr &ins : code) {
+        PeInstruction out;
+        out.op = ins.op;
+        out.useImm = ins.useImm;
+        out.imm = ins.imm;
+        out.rs = ins.src;
+        out.rd = ins.op == PeOpcode::Store ? 0 : ins.dst;
+        prog.push_back(out);
+    }
+    total_instructions = static_cast<int>(prog.size());
+    return {std::move(prog)};
+}
+
+/**
+ * Partition the linear virtual-register program into per-PE chunks and
+ * allocate physical registers. Live values cross chunk boundaries
+ * through the inter-PE FIFOs (epilogue/prologue PASS pairs, ascending
+ * vreg order); raw input-column values not yet consumed are passed
+ * through with register-free `Pass r0, r0` instructions.
+ *
+ * Returns empty when some chunk cannot fit the 7-register file; the
+ * caller then falls back to emitWide.
+ */
+std::vector<std::vector<PeInstruction>>
+partition(const std::vector<IrInstr> &code, int num_vregs, int slots,
+          int &total_instructions)
+{
+    std::int64_t n = static_cast<std::int64_t>(code.size());
+    std::vector<std::int64_t> def(num_vregs + 1, -1);
+    std::vector<std::int64_t> last_use(num_vregs + 1, -1);
+    std::vector<std::int64_t> inputs_before(n + 1, 0);
+    std::vector<std::int64_t> emits_before(n + 1, 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const IrInstr &ins = code[i];
+        if (ins.dst > 0 && def[ins.dst] < 0)
+            def[ins.dst] = i;
+        if (ins.src > 0)
+            last_use[ins.src] = i;
+        if (!ins.useImm && ins.operand > 0)
+            last_use[ins.operand] = i;
+        inputs_before[i + 1] = inputs_before[i] + (ins.src == 0 ? 1 : 0);
+        emits_before[i + 1] = emits_before[i]
+            + (ins.dst == 0 && ins.op != PeOpcode::Store ? 1 : 0);
+    }
+    const std::int64_t total_inputs = inputs_before[n];
+
+    /** Values live across point p (defined at/before, used at/after). */
+    auto live_at = [&](std::int64_t p) {
+        int live = 0;
+        for (int v = 1; v <= num_vregs; ++v)
+            if (def[v] >= 0 && def[v] <= p && last_use[v] > p)
+                ++live;
+        return live;
+    };
+
+    std::vector<std::vector<PeInstruction>> pes;
+    std::int64_t start = 0;
+    total_instructions = 0;
+    while (start < n) {
+        std::vector<int> live_in;
+        for (int v = 1; v <= num_vregs; ++v)
+            if (def[v] >= 0 && def[v] < start && last_use[v] >= start)
+                live_in.push_back(v);
+
+        // Grow the chunk while register pressure and slots permit.
+        std::int64_t end = start;
+        while (end < n) {
+            std::int64_t candidate = end + 1;
+            // Keep Store glued to its consumer ALU.
+            while (candidate < n
+                       && code[candidate - 1].op == PeOpcode::Store)
+                ++candidate;
+            int max_live = static_cast<int>(live_in.size());
+            for (std::int64_t p = start; p < candidate; ++p)
+                max_live = std::max(max_live, live_at(p));
+            int live_out = 0;
+            for (int v = 1; v <= num_vregs; ++v)
+                if (def[v] >= 0 && def[v] < candidate
+                        && last_use[v] >= candidate)
+                    ++live_out;
+            std::int64_t raw_pass = total_inputs
+                - inputs_before[candidate];
+            std::int64_t cost = emits_before[start]
+                + static_cast<std::int64_t>(live_in.size())
+                + (candidate - start) + live_out + raw_pass;
+            if (max_live > kPeRegisters - 1
+                    || (cost > slots && end > start)) {
+                break;
+            }
+            if (max_live <= kPeRegisters - 1 && cost <= slots) {
+                end = candidate;
+            } else {
+                // Even the minimal chunk violates a budget.
+                if (max_live > kPeRegisters - 1)
+                    return {};
+                end = candidate; // oversized single group: accept
+                break;
+            }
+        }
+        if (end == start)
+            return {}; // pressure violation on the first group
+
+        // Physical register allocation for [start, end).
+        std::vector<PeInstruction> prog;
+        std::map<int, int> phys;
+        std::vector<bool> in_use(kPeRegisters, false);
+        auto alloc = [&](int vreg) -> int {
+            for (int r = 1; r < kPeRegisters; ++r) {
+                if (!in_use[r]) {
+                    in_use[r] = true;
+                    phys[vreg] = r;
+                    return r;
+                }
+            }
+            return -1;
+        };
+        bool overflow = false;
+        auto release_dead = [&](std::int64_t now) {
+            for (auto it = phys.begin(); it != phys.end();) {
+                if (last_use[it->first] >= 0 && last_use[it->first] <= now
+                        && last_use[it->first] < end) {
+                    in_use[it->second] = false;
+                    it = phys.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        };
+
+        // Prologue part 1: pass already-emitted output values through
+        // (they sit at the head of this PE's input FIFO).
+        for (std::int64_t e = 0; e < emits_before[start]; ++e)
+            prog.push_back({PeOpcode::Pass, 0, 0, false, 0});
+        // Prologue part 2: load live-in values (ascending vreg order).
+        for (int v : live_in) {
+            if (alloc(v) < 0)
+                return {};
+        }
+        for (std::size_t k = 0; k < live_in.size(); ++k)
+            prog.push_back({PeOpcode::Pass, phys[live_in[k]], 0,
+                            false, 0});
+
+        for (std::int64_t p = start; p < end && !overflow; ++p) {
+            const IrInstr &ins = code[p];
+            auto src_of = [&](int vreg) {
+                auto it = phys.find(vreg);
+                AQ_ASSERT(it != phys.end(), "vreg ", vreg,
+                          " not resident");
+                return it->second;
+            };
+            PeInstruction out;
+            out.op = ins.op;
+            out.useImm = ins.useImm;
+            out.imm = ins.imm;
+            out.rs = ins.src == 0 ? 0 : src_of(ins.src);
+            if (ins.op == PeOpcode::Store) {
+                out.rd = 0;
+                prog.push_back(out);
+                continue;
+            }
+            release_dead(p);
+            if (ins.dst == 0) {
+                out.rd = 0;
+            } else if (phys.count(ins.dst)) {
+                out.rd = phys[ins.dst];
+            } else {
+                int r = alloc(ins.dst);
+                if (r < 0) {
+                    overflow = true;
+                    break;
+                }
+                out.rd = r;
+            }
+            prog.push_back(out);
+        }
+        if (overflow)
+            return {};
+
+        // Epilogue: live-out vregs (ascending), then raw passthroughs.
+        for (int v = 1; v <= num_vregs; ++v) {
+            if (def[v] >= 0 && def[v] < end && last_use[v] >= end) {
+                auto it = phys.find(v);
+                AQ_ASSERT(it != phys.end(), "live-out vreg ", v,
+                          " not resident");
+                prog.push_back({PeOpcode::Pass, 0, it->second, false, 0});
+            }
+        }
+        for (std::int64_t r = 0; r < total_inputs - inputs_before[end];
+             ++r) {
+            prog.push_back({PeOpcode::Pass, 0, 0, false, 0});
+        }
+        total_instructions += static_cast<int>(prog.size());
+        pes.push_back(std::move(prog));
+        start = end;
+    }
+    return pes;
+}
+
+} // namespace
+
+TransformResult
+compileTransform(const std::vector<NamedExpr> &outputs,
+                 const std::map<std::string, ColumnType> &schema,
+                 const AquomanConfig &cfg, bool elastic)
+{
+    TransformResult result;
+    Codegen cg(schema);
+    try {
+        CompiledTransform ct;
+        for (const auto &ne : outputs) {
+            ct.outputNames.push_back(ne.name);
+            ct.outputTypes.push_back(cg.emitOutput(foldConstants(ne.expr)));
+        }
+        ct.inputColumns = cg.inputs();
+        int total = 0;
+        ct.programs = partition(cg.instructions(), cg.numVirtualRegs(),
+                                cfg.peInstructionSlots, total);
+        bool wide = ct.programs.empty();
+        if (wide) {
+            ct.programs = emitWide(cg.instructions(), total);
+        }
+        ct.totalInstructions = total;
+        ct.fitsFpgaProfile = !wide
+            && static_cast<int>(ct.programs.size())
+                <= cfg.numProcessingEngines;
+        for (const auto &p : ct.programs) {
+            if (static_cast<int>(p.size()) > cfg.peInstructionSlots)
+                ct.fitsFpgaProfile = false;
+        }
+        if (!elastic && !ct.fitsFpgaProfile) {
+            result.error = "transform does not fit the FPGA profile ("
+                + std::to_string(ct.programs.size()) + " PEs, longest "
+                + "program "
+                + std::to_string(SystolicArray(ct.programs)
+                                     .maxProgramLength())
+                + " slots)";
+            return result;
+        }
+        result.program = std::move(ct);
+    } catch (const Codegen::Failure &f) {
+        result.error = f.reason;
+    }
+    return result;
+}
+
+} // namespace aquoman

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Compiles Row Transformation Programs: the per-row expression DAG of a
+ * Table Task is lowered to the PE ISA (Table II), common subexpressions
+ * are shared (the paper's FORK nodes), live values are forwarded
+ * between PEs through their FIFOs (PASS nodes), and the linear schedule
+ * is partitioned across the systolic array under the register-file and
+ * instruction-memory budgets.
+ *
+ * The compiler operates on integer-resolved expressions: string
+ * constants must already be interned to heap offsets and LIKE
+ * predicates replaced by regex-accelerator bit columns (the Table-Task
+ * compiler does both).
+ */
+
+#ifndef AQUOMAN_AQUOMAN_TRANSFORM_COMPILER_HH
+#define AQUOMAN_AQUOMAN_TRANSFORM_COMPILER_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aquoman/config.hh"
+#include "aquoman/pe.hh"
+#include "relalg/plan.hh"
+
+namespace aquoman {
+
+/** A compiled Row Transformation Program. */
+struct CompiledTransform
+{
+    /** Columns streamed into PE0's input FIFO, in arrival order. */
+    std::vector<std::string> inputColumns;
+
+    /** Names and types of the produced intermediate-table columns. */
+    std::vector<std::string> outputNames;
+    std::vector<ColumnType> outputTypes;
+
+    /** Per-PE instruction memories. */
+    std::vector<std::vector<PeInstruction>> programs;
+
+    /** Total instructions including PASS/forwarding overhead. */
+    int totalInstructions = 0;
+
+    /** True when the program fits the FPGA profile (PEs x slots). */
+    bool fitsFpgaProfile = false;
+
+    /** Build the array ready to execute. */
+    SystolicArray
+    buildArray() const
+    {
+        return SystolicArray(programs);
+    }
+};
+
+/** Why a transform could not be compiled. */
+struct TransformError
+{
+    std::string reason;
+};
+
+/** Result of compilation: a program or a reason it is not offloadable. */
+struct TransformResult
+{
+    std::optional<CompiledTransform> program;
+    std::string error;
+
+    bool ok() const { return program.has_value(); }
+};
+
+/**
+ * Compile @p outputs over a relation whose column types are given by
+ * @p schema.
+ *
+ * @param outputs   named per-row expressions (already string-resolved)
+ * @param schema    input column name -> type
+ * @param cfg       device configuration (PE count / slots)
+ * @param elastic   simulator mode: allow more PEs than cfg provides
+ *                  (the paper's simulator assumes "as big a Row
+ *                  Transformer as needed")
+ */
+TransformResult
+compileTransform(const std::vector<NamedExpr> &outputs,
+                 const std::map<std::string, ColumnType> &schema,
+                 const AquomanConfig &cfg, bool elastic = true);
+
+} // namespace aquoman
+
+#endif // AQUOMAN_AQUOMAN_TRANSFORM_COMPILER_HH

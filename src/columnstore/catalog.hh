@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Database catalog: names tables, records key metadata (dense primary
+ * keys, foreign-key RowID materialisation in the MonetDB style) and owns
+ * the flash-resident handles. The AQUOMAN Table-Task compiler consults
+ * this metadata for its join and memory optimisations (Sec. VI-D).
+ */
+
+#ifndef AQUOMAN_COLUMNSTORE_CATALOG_HH
+#define AQUOMAN_COLUMNSTORE_CATALOG_HH
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "columnstore/flash_layout.hh"
+
+namespace aquoman {
+
+/** Per-table catalog entry. */
+struct CatalogEntry
+{
+    std::shared_ptr<const Table> table;
+    std::shared_ptr<FlashResidentTable> resident;
+
+    /**
+     * Name of the dense primary-key column (RowID-equivalent in
+     * MonetDB's internal representation), empty if none.
+     */
+    std::string densePrimaryKey;
+
+    /**
+     * Foreign-key columns materialised as RowID references into another
+     * table: fk column name -> (target table, implicit via RowID).
+     */
+    std::map<std::string, std::string> fkRowIdTargets;
+
+    /** Lazily computed per-varchar-column heap footprints. */
+    mutable std::map<std::string, std::int64_t> columnHeapCache;
+};
+
+/**
+ * Bytes of string heap reachable from @p column of @p entry's table
+ * (the sum of its distinct strings). Cached: the value prices scans of
+ * one varchar column without charging the whole table heap.
+ */
+inline std::int64_t
+columnHeapBytes(const CatalogEntry &entry, const std::string &column)
+{
+    auto it = entry.columnHeapCache.find(column);
+    if (it != entry.columnHeapCache.end())
+        return it->second;
+    const Table &t = *entry.table;
+    const Column &c = t.col(column);
+    std::int64_t bytes = 0;
+    if (c.type() == ColumnType::Varchar) {
+        std::set<std::int64_t> offsets;
+        for (std::int64_t i = 0; i < c.size(); ++i)
+            offsets.insert(c.get(i));
+        for (std::int64_t off : offsets) {
+            bytes += static_cast<std::int64_t>(
+                t.strings().get(off).size()) + 1;
+        }
+    }
+    entry.columnHeapCache[column] = bytes;
+    return bytes;
+}
+
+/** Name-indexed collection of catalog entries. */
+class Catalog
+{
+  public:
+    /** Register a table (already flash-resident). */
+    CatalogEntry &
+    put(std::shared_ptr<const Table> table,
+        std::shared_ptr<FlashResidentTable> resident)
+    {
+        const std::string &name = table->name();
+        CatalogEntry &e = entries[name];
+        e.table = std::move(table);
+        e.resident = std::move(resident);
+        return e;
+    }
+
+    /** Lookup by name. @throws FatalError when absent. */
+    const CatalogEntry &
+    get(const std::string &name) const
+    {
+        auto it = entries.find(name);
+        if (it == entries.end())
+            fatal("no table '", name, "' in catalog");
+        return it->second;
+    }
+
+    CatalogEntry &
+    get(const std::string &name)
+    {
+        auto it = entries.find(name);
+        if (it == entries.end())
+            fatal("no table '", name, "' in catalog");
+        return it->second;
+    }
+
+    bool has(const std::string &name) const
+    {
+        return entries.count(name) != 0;
+    }
+
+    const std::map<std::string, CatalogEntry> &all() const
+    {
+        return entries;
+    }
+
+  private:
+    std::map<std::string, CatalogEntry> entries;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COLUMNSTORE_CATALOG_HH

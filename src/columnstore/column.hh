@@ -1,0 +1,88 @@
+/**
+ * @file
+ * In-memory representation of one column (a MonetDB BAT tail). Values
+ * are held uniformly as int64 for simplicity of the vectorised engine;
+ * the declared ColumnType governs on-flash width and interpretation
+ * (Date = day count, Decimal = hundredths, Varchar = heap offset).
+ */
+
+#ifndef AQUOMAN_COLUMNSTORE_COLUMN_HH
+#define AQUOMAN_COLUMNSTORE_COLUMN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "columnstore/string_heap.hh"
+
+namespace aquoman {
+
+/** One named, typed column of values. */
+class Column
+{
+  public:
+    Column() = default;
+
+    Column(std::string name_, ColumnType type_)
+        : colName(std::move(name_)), colType(type_)
+    {
+    }
+
+    const std::string &name() const { return colName; }
+    ColumnType type() const { return colType; }
+
+    /** Number of values. */
+    std::int64_t size() const
+    {
+        return static_cast<std::int64_t>(vals.size());
+    }
+
+    /** Append a raw (already encoded) value. */
+    void push(std::int64_t v) { vals.push_back(v); }
+
+    /** Read value at @p row. */
+    std::int64_t
+    get(std::int64_t row) const
+    {
+        AQ_ASSERT(row >= 0 && row < size(), "column ", colName);
+        return vals[row];
+    }
+
+    /** Overwrite value at @p row. */
+    void
+    set(std::int64_t row, std::int64_t v)
+    {
+        AQ_ASSERT(row >= 0 && row < size());
+        vals[row] = v;
+    }
+
+    /** Whole value vector (hot path for the vectorised engine). */
+    const std::vector<std::int64_t> &data() const { return vals; }
+    std::vector<std::int64_t> &data() { return vals; }
+
+    /** Bytes this column occupies in its on-flash encoding. */
+    std::int64_t
+    storedBytes() const
+    {
+        return size() * columnTypeWidth(colType);
+    }
+
+    /**
+     * Mark the column as sorted ascending (dense primary keys are).
+     * AQUOMAN's join planner exploits this to skip sort Table Tasks.
+     */
+    void setSorted(bool s) { sortedAsc = s; }
+    bool sorted() const { return sortedAsc; }
+
+  private:
+    std::string colName;
+    ColumnType colType = ColumnType::Int64;
+    std::vector<std::int64_t> vals;
+    bool sortedAsc = false;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COLUMNSTORE_COLUMN_HH

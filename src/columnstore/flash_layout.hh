@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Persistence of column files onto the simulated flash device. Each
+ * column becomes one contiguous extent of 8KB pages holding its values
+ * in their on-flash width (4B for int32/date, 8B for int64/decimal and
+ * varchar heap offsets); the table's string heap becomes one extra
+ * extent. Both the host I/O path and the AQUOMAN path read columns back
+ * through the flash controller switch, so all traffic is accounted.
+ */
+
+#ifndef AQUOMAN_COLUMNSTORE_FLASH_LAYOUT_HH
+#define AQUOMAN_COLUMNSTORE_FLASH_LAYOUT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "columnstore/table.hh"
+#include "flash/controller_switch.hh"
+
+namespace aquoman {
+
+/** Flash extents backing one persisted table. */
+struct TableLayout
+{
+    std::vector<FlashExtent> columnExtents; ///< one per column
+    FlashExtent heapExtent;                 ///< string heap bytes
+};
+
+/**
+ * A table persisted to flash. The in-memory Table remains the string
+ * authority; numeric reads decode real bytes from the device.
+ */
+class FlashResidentTable
+{
+  public:
+    FlashResidentTable(std::shared_ptr<const Table> tbl, TableLayout lay)
+        : tablePtr(std::move(tbl)), layout(std::move(lay))
+    {
+    }
+
+    const Table &table() const { return *tablePtr; }
+    const TableLayout &extents() const { return layout; }
+
+    /** On-flash bytes of column @p col for @p rows rows. */
+    std::int64_t
+    columnBytes(int col, std::int64_t rows) const
+    {
+        return rows * columnTypeWidth(tablePtr->col(col).type());
+    }
+
+    /**
+     * Read rows [row_begin, row_end) of column @p col from flash through
+     * @p sw on behalf of @p port, decoding into int64 values.
+     */
+    void
+    readColumnRange(ControllerSwitch &sw, FlashPort port, int col,
+                    std::int64_t row_begin, std::int64_t row_end,
+                    std::vector<std::int64_t> &out) const
+    {
+        const Column &c = tablePtr->col(col);
+        AQ_ASSERT(row_begin >= 0 && row_end <= c.size()
+                  && row_begin <= row_end);
+        int width = columnTypeWidth(c.type());
+        std::int64_t n = row_end - row_begin;
+        out.resize(n);
+        if (n == 0)
+            return;
+        std::vector<std::uint8_t> buf(n * width);
+        sw.read(port, layout.columnExtents.at(col), row_begin * width,
+                buf.data(), n * width);
+        if (width == 4) {
+            for (std::int64_t i = 0; i < n; ++i) {
+                std::int32_t v;
+                std::memcpy(&v, buf.data() + i * 4, 4);
+                out[i] = v;
+            }
+        } else {
+            for (std::int64_t i = 0; i < n; ++i) {
+                std::int64_t v;
+                std::memcpy(&v, buf.data() + i * 8, 8);
+                out[i] = v;
+            }
+        }
+    }
+
+  private:
+    std::shared_ptr<const Table> tablePtr;
+    TableLayout layout;
+};
+
+/** Writes tables onto a flash device and hands back resident handles. */
+class TableStore
+{
+  public:
+    explicit TableStore(ControllerSwitch &sw_) : sw(sw_) {}
+
+    /**
+     * Persist @p table (host-port writes: loading a database is a host
+     * activity) and return the flash-resident handle.
+     */
+    std::shared_ptr<FlashResidentTable>
+    store(std::shared_ptr<const Table> table)
+    {
+        table->checkConsistent();
+        TableLayout layout;
+        FlashDevice &dev = sw.dev();
+        for (int i = 0; i < table->numColumns(); ++i) {
+            const Column &c = table->col(i);
+            int width = columnTypeWidth(c.type());
+            std::int64_t bytes = c.size() * width;
+            FlashExtent ext = dev.allocate(std::max<std::int64_t>(bytes, 1));
+            std::vector<std::uint8_t> buf(bytes);
+            if (width == 4) {
+                for (std::int64_t r = 0; r < c.size(); ++r) {
+                    auto v = static_cast<std::int32_t>(c.get(r));
+                    std::memcpy(buf.data() + r * 4, &v, 4);
+                }
+            } else {
+                for (std::int64_t r = 0; r < c.size(); ++r) {
+                    std::int64_t v = c.get(r);
+                    std::memcpy(buf.data() + r * 8, &v, 8);
+                }
+            }
+            if (bytes > 0)
+                sw.write(FlashPort::Host, ext, 0, buf.data(), bytes);
+            layout.columnExtents.push_back(ext);
+        }
+        const auto &heap = table->strings().raw();
+        layout.heapExtent = dev.allocate(
+            std::max<std::int64_t>(heap.size(), 1));
+        if (!heap.empty()) {
+            sw.write(FlashPort::Host, layout.heapExtent, 0, heap.data(),
+                     static_cast<std::int64_t>(heap.size()));
+        }
+        return std::make_shared<FlashResidentTable>(std::move(table),
+                                                    std::move(layout));
+    }
+
+    ControllerSwitch &controller() { return sw; }
+
+  private:
+    ControllerSwitch &sw;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COLUMNSTORE_FLASH_LAYOUT_HH

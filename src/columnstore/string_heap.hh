@@ -1,0 +1,87 @@
+/**
+ * @file
+ * String heap backing varchar columns, in the style of MonetDB's string
+ * BATs: the column file stores fixed-width offsets into a shared heap of
+ * NUL-terminated strings, and repeated strings are interned so that
+ * small-domain columns (e.g. country names) have a small heap. The heap
+ * size is what decides whether regular-expression filtering can run in
+ * AQUOMAN's 1MB regex-accelerator cache (Sec. VI-B / VI-E).
+ */
+
+#ifndef AQUOMAN_COLUMNSTORE_STRING_HEAP_HH
+#define AQUOMAN_COLUMNSTORE_STRING_HEAP_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace aquoman {
+
+/** Interning heap of NUL-terminated strings addressed by byte offset. */
+class StringHeap
+{
+  public:
+    /**
+     * Intern @p s, returning its heap offset. Identical strings share
+     * one heap entry.
+     */
+    std::int64_t
+    intern(std::string_view s)
+    {
+        auto it = internMap.find(std::string(s));
+        if (it != internMap.end())
+            return it->second;
+        std::int64_t off = static_cast<std::int64_t>(bytes.size());
+        bytes.insert(bytes.end(), s.begin(), s.end());
+        bytes.push_back('\0');
+        internMap.emplace(std::string(s), off);
+        return off;
+    }
+
+    /**
+     * Offset of @p s if it is already interned, -1 otherwise (used to
+     * resolve string constants to dictionary offsets without mutating
+     * the heap).
+     */
+    std::int64_t
+    find(std::string_view s) const
+    {
+        auto it = internMap.find(std::string(s));
+        return it == internMap.end() ? -1 : it->second;
+    }
+
+    /** Read the string at heap offset @p off. */
+    std::string_view
+    get(std::int64_t off) const
+    {
+        AQ_ASSERT(off >= 0 && off < static_cast<std::int64_t>(bytes.size()));
+        return std::string_view(bytes.data() + off);
+    }
+
+    /** Total heap size in bytes (== unique-string bytes). */
+    std::int64_t sizeBytes() const
+    {
+        return static_cast<std::int64_t>(bytes.size());
+    }
+
+    /** Number of distinct strings interned. */
+    std::int64_t numStrings() const
+    {
+        return static_cast<std::int64_t>(internMap.size());
+    }
+
+    /** Raw heap bytes (for flash persistence). */
+    const std::vector<char> &raw() const { return bytes; }
+
+  private:
+    std::vector<char> bytes;
+    std::unordered_map<std::string, std::int64_t> internMap;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COLUMNSTORE_STRING_HEAP_HH

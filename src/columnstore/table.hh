@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A relational table as a collection of columns plus the table-local
+ * string heap, mirroring MonetDB's column-file-per-attribute layout.
+ */
+
+#ifndef AQUOMAN_COLUMNSTORE_TABLE_HH
+#define AQUOMAN_COLUMNSTORE_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "columnstore/column.hh"
+#include "columnstore/string_heap.hh"
+
+namespace aquoman {
+
+/** Column collection with shared string heap and name lookup. */
+class Table
+{
+  public:
+    Table() : heap(std::make_shared<StringHeap>()) {}
+
+    explicit Table(std::string name_)
+        : tableName(std::move(name_)), heap(std::make_shared<StringHeap>())
+    {
+    }
+
+    const std::string &name() const { return tableName; }
+
+    /** Add a column; all columns must end up the same length. */
+    Column &
+    addColumn(const std::string &col_name, ColumnType type)
+    {
+        AQ_ASSERT(colIndex.find(col_name) == colIndex.end(),
+                  "duplicate column ", col_name);
+        colIndex[col_name] = static_cast<int>(cols.size());
+        cols.emplace_back(col_name, type);
+        return cols.back();
+    }
+
+    /** Column count. */
+    int numColumns() const { return static_cast<int>(cols.size()); }
+
+    /** Row count (length of the first column; 0 when empty). */
+    std::int64_t
+    numRows() const
+    {
+        return cols.empty() ? 0 : cols.front().size();
+    }
+
+    /** Column by position. */
+    const Column &col(int i) const { return cols.at(i); }
+    Column &col(int i) { return cols.at(i); }
+
+    /** Column by name. @throws FatalError when absent. */
+    const Column &
+    col(const std::string &col_name) const
+    {
+        return cols.at(indexOf(col_name));
+    }
+
+    Column &
+    col(const std::string &col_name)
+    {
+        return cols.at(indexOf(col_name));
+    }
+
+    /** Position of @p col_name. @throws FatalError when absent. */
+    int
+    indexOf(const std::string &col_name) const
+    {
+        auto it = colIndex.find(col_name);
+        if (it == colIndex.end())
+            fatal("no column '", col_name, "' in table '", tableName, "'");
+        return it->second;
+    }
+
+    /** True if the table has a column of this name. */
+    bool
+    hasColumn(const std::string &col_name) const
+    {
+        return colIndex.find(col_name) != colIndex.end();
+    }
+
+    /** Table-local string heap backing all varchar columns. */
+    StringHeap &strings() { return *heap; }
+    const StringHeap &strings() const { return *heap; }
+    std::shared_ptr<StringHeap> stringsPtr() const { return heap; }
+
+    /** Intern and append a string value into @p column. */
+    void
+    pushString(Column &column, std::string_view s)
+    {
+        AQ_ASSERT(column.type() == ColumnType::Varchar);
+        column.push(heap->intern(s));
+    }
+
+    /** Read back a string value. */
+    std::string_view
+    getString(const Column &column, std::int64_t row) const
+    {
+        AQ_ASSERT(column.type() == ColumnType::Varchar);
+        return heap->get(column.get(row));
+    }
+
+    /** Sum of all columns' on-flash bytes plus the string heap. */
+    std::int64_t
+    storedBytes() const
+    {
+        std::int64_t total = heap->sizeBytes();
+        for (const auto &c : cols)
+            total += c.storedBytes();
+        return total;
+    }
+
+    /** Verify that all columns have equal length. */
+    void
+    checkConsistent() const
+    {
+        for (const auto &c : cols) {
+            AQ_ASSERT(c.size() == numRows(), "ragged table ", tableName,
+                      " column ", c.name());
+        }
+    }
+
+  private:
+    std::string tableName;
+    /// deque: addColumn must not invalidate references handed out earlier
+    std::deque<Column> cols;
+    std::map<std::string, int> colIndex;
+    std::shared_ptr<StringHeap> heap;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COLUMNSTORE_TABLE_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Packed bit vector used for row-selection masks. AQUOMAN stores one
+ * selection bit per row; the Row Selector produces Row-Mask Vectors of
+ * kRowVectorSize bits, so the vector exposes 32-bit word access alongside
+ * per-bit access.
+ */
+
+#ifndef AQUOMAN_COMMON_BITVECTOR_HH
+#define AQUOMAN_COMMON_BITVECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace aquoman {
+
+/** Densely packed vector of bits with 32-bit row-mask word access. */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct @p n bits, all initialised to @p value. */
+    explicit BitVector(std::int64_t n, bool value = false)
+    {
+        resize(n, value);
+    }
+
+    /** Number of bits held. */
+    std::int64_t size() const { return numBits; }
+
+    /** Resize to @p n bits; new bits take @p value. */
+    void
+    resize(std::int64_t n, bool value = false)
+    {
+        std::uint32_t fill = value ? ~0u : 0u;
+        std::int64_t old_bits = numBits;
+        words.resize((n + 31) / 32, fill);
+        numBits = n;
+        if (value && old_bits % 32 != 0 && n > old_bits) {
+            // Bits above old_bits in the old tail word were zero; set them.
+            for (std::int64_t i = old_bits; i < std::min(n, ((old_bits + 31)
+                    / 32) * 32); ++i) {
+                set(i, true);
+            }
+        }
+        clearTailSlack();
+    }
+
+    /** Read bit @p i. */
+    bool
+    get(std::int64_t i) const
+    {
+        AQ_ASSERT(i >= 0 && i < numBits);
+        return (words[i >> 5] >> (i & 31)) & 1u;
+    }
+
+    /** Write bit @p i. */
+    void
+    set(std::int64_t i, bool value)
+    {
+        AQ_ASSERT(i >= 0 && i < numBits);
+        std::uint32_t bit = 1u << (i & 31);
+        if (value)
+            words[i >> 5] |= bit;
+        else
+            words[i >> 5] &= ~bit;
+    }
+
+    /** Number of 32-bit mask words. */
+    std::int64_t numWords() const { return words.size(); }
+
+    /** Read the 32-row mask word @p w (rows w*32 .. w*32+31). */
+    std::uint32_t
+    word(std::int64_t w) const
+    {
+        AQ_ASSERT(w >= 0 && w < numWords());
+        return words[w];
+    }
+
+    /** Overwrite mask word @p w. */
+    void
+    setWord(std::int64_t w, std::uint32_t value)
+    {
+        AQ_ASSERT(w >= 0 && w < numWords());
+        words[w] = value;
+        if (w == numWords() - 1)
+            clearTailSlack();
+    }
+
+    /** Bitwise-AND with @p other (sizes must match). */
+    void
+    andWith(const BitVector &other)
+    {
+        AQ_ASSERT(numBits == other.numBits);
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] &= other.words[i];
+    }
+
+    /** Bitwise-OR with @p other (sizes must match). */
+    void
+    orWith(const BitVector &other)
+    {
+        AQ_ASSERT(numBits == other.numBits);
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] |= other.words[i];
+    }
+
+    /** Count of set bits. */
+    std::int64_t
+    popcount() const
+    {
+        std::int64_t n = 0;
+        for (std::uint32_t w : words)
+            n += __builtin_popcount(w);
+        return n;
+    }
+
+    /** True if no bit is set. */
+    bool
+    allZero() const
+    {
+        for (std::uint32_t w : words)
+            if (w)
+                return false;
+        return true;
+    }
+
+  private:
+    /** Zero the unused bits in the last word so popcount stays exact. */
+    void
+    clearTailSlack()
+    {
+        std::int64_t slack = static_cast<std::int64_t>(words.size()) * 32
+            - numBits;
+        if (slack > 0 && !words.empty())
+            words.back() &= ~0u >> slack;
+    }
+
+    std::vector<std::uint32_t> words;
+    std::int64_t numBits = 0;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COMMON_BITVECTOR_HH

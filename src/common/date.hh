@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Proleptic-Gregorian date codec. Dates are stored in columns as int32
+ * day counts since 1970-01-01 (the usual columnar encoding), which lets
+ * the Row Selector compare them as plain integers.
+ */
+
+#ifndef AQUOMAN_COMMON_DATE_HH
+#define AQUOMAN_COMMON_DATE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace aquoman {
+
+/**
+ * Days since 1970-01-01 for the given civil date.
+ * Uses Howard Hinnant's days_from_civil algorithm.
+ */
+constexpr std::int32_t
+daysFromCivil(int y, int m, int d)
+{
+    y -= m <= 2;
+    const int era = (y >= 0 ? y : y - 399) / 400;
+    const unsigned yoe = static_cast<unsigned>(y - era * 400);
+    const unsigned doy =
+        (153 * (static_cast<unsigned>(m) + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+    const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+/** Civil date decomposition of a day count (inverse of daysFromCivil). */
+struct CivilDate
+{
+    int year;
+    int month;
+    int day;
+};
+
+/** Convert a day count back to a civil date. */
+constexpr CivilDate
+civilFromDays(std::int32_t z)
+{
+    z += 719468;
+    const int era = (z >= 0 ? z : z - 146096) / 146097;
+    const unsigned doe = static_cast<unsigned>(z - era * 146097);
+    const unsigned yoe =
+        (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    const int y = static_cast<int>(yoe) + era * 400;
+    const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    const unsigned mp = (5 * doy + 2) / 153;
+    const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+    const unsigned m = mp + (mp < 10 ? 3 : -9);
+    return {y + (m <= 2), static_cast<int>(m), static_cast<int>(d)};
+}
+
+/** Parse an ISO "YYYY-MM-DD" literal to a day count. */
+inline std::int32_t
+parseDate(const std::string &iso)
+{
+    if (iso.size() != 10 || iso[4] != '-' || iso[7] != '-')
+        fatal("bad date literal '", iso, "'");
+    int y = std::stoi(iso.substr(0, 4));
+    int m = std::stoi(iso.substr(5, 2));
+    int d = std::stoi(iso.substr(8, 2));
+    if (m < 1 || m > 12 || d < 1 || d > 31)
+        fatal("bad date literal '", iso, "'");
+    return daysFromCivil(y, m, d);
+}
+
+/** Format a day count as ISO "YYYY-MM-DD". */
+inline std::string
+dateToString(std::int32_t days)
+{
+    CivilDate cd = civilFromDays(days);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", cd.year, cd.month,
+                  cd.day);
+    return buf;
+}
+
+/** Add @p months calendar months to a day count (clamping the day). */
+inline std::int32_t
+addMonths(std::int32_t days, int months)
+{
+    CivilDate cd = civilFromDays(days);
+    int total = cd.year * 12 + (cd.month - 1) + months;
+    int y = total / 12;
+    int m = total % 12;
+    if (m < 0) {
+        m += 12;
+        y -= 1;
+    }
+    static const int mdays[12] =
+        {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+    int dim = mdays[m];
+    if (m == 1 && ((y % 4 == 0 && y % 100 != 0) || y % 400 == 0))
+        dim = 29;
+    int d = cd.day > dim ? dim : cd.day;
+    return daysFromCivil(y, m + 1, d);
+}
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COMMON_DATE_HH

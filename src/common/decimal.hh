@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-point decimal arithmetic. TPC-H money values have two fractional
+ * digits; MonetDB stores them as scaled integers. All engine and AQUOMAN
+ * arithmetic on Decimal columns uses these helpers so that the software
+ * baseline and the offloaded PE programs agree bit-for-bit.
+ */
+
+#ifndef AQUOMAN_COMMON_DECIMAL_HH
+#define AQUOMAN_COMMON_DECIMAL_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace aquoman {
+
+/** Scale factor applied to decimal column values (two fractional digits). */
+constexpr std::int64_t kDecimalScale = 100;
+
+/** Build a scaled decimal from integral and hundredth parts. */
+constexpr std::int64_t
+makeDecimal(std::int64_t whole, std::int64_t hundredths = 0)
+{
+    return whole * kDecimalScale + hundredths;
+}
+
+/** Multiply two scaled decimals, keeping the result at kDecimalScale. */
+constexpr std::int64_t
+decimalMul(std::int64_t a, std::int64_t b)
+{
+    return a * b / kDecimalScale;
+}
+
+/** Divide two scaled decimals, keeping the result at kDecimalScale. */
+constexpr std::int64_t
+decimalDiv(std::int64_t a, std::int64_t b)
+{
+    return b == 0 ? 0 : a * kDecimalScale / b;
+}
+
+/** Format a scaled decimal as "123.45" (INT64_MIN prints as NULL). */
+inline std::string
+decimalToString(std::int64_t v)
+{
+    if (v == std::numeric_limits<std::int64_t>::min())
+        return "NULL"; // engine null sentinel; negation would overflow
+    bool neg = v < 0;
+    std::int64_t a = neg ? -v : v;
+    std::string s = std::to_string(a / kDecimalScale) + ".";
+    std::int64_t frac = a % kDecimalScale;
+    if (frac < 10)
+        s += "0";
+    s += std::to_string(frac);
+    return neg ? "-" + s : s;
+}
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COMMON_DECIMAL_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Logging and error-termination helpers in the spirit of gem5's
+ * base/logging.hh. `fatal` reports user-caused configuration errors,
+ * `panic` reports internal invariant violations.
+ */
+
+#ifndef AQUOMAN_COMMON_LOGGING_HH
+#define AQUOMAN_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aquoman {
+
+/** Exception thrown for unrecoverable user errors (bad configuration). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Concatenate all arguments into a single string via operator<<. */
+template <typename... Args>
+std::string
+strCat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+/**
+ * Abort processing due to a user-visible misconfiguration.
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(strCat("fatal: ", args...));
+}
+
+/**
+ * Abort processing due to an internal bug (condition that should never
+ * happen regardless of user input).
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(strCat("panic: ", args...));
+}
+
+/** Check an invariant; panics with the stringified condition on failure. */
+#define AQ_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::aquoman::panic("assertion failed: ", #cond, " ",               \
+                             ::aquoman::strCat(__VA_ARGS__), " at ",         \
+                             __FILE__, ":", __LINE__);                       \
+        }                                                                    \
+    } while (0)
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COMMON_LOGGING_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator. The TPC-H generator and
+ * all property tests use this so that every run of the repository is
+ * reproducible regardless of platform or standard-library version.
+ */
+
+#ifndef AQUOMAN_COMMON_RNG_HH
+#define AQUOMAN_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace aquoman {
+
+/** splitmix64-based deterministic generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniform(std::int64_t lo, std::int64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformReal()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COMMON_RNG_HH

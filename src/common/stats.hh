@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Lightweight named-statistics registry. The flash model, the host cost
+ * model and the AQUOMAN performance model all report through StatSet so
+ * benches can print uniform tables.
+ */
+
+#ifndef AQUOMAN_COMMON_STATS_HH
+#define AQUOMAN_COMMON_STATS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace aquoman {
+
+/** A named bag of additive double-valued counters. */
+class StatSet
+{
+  public:
+    /** Add @p delta to the counter @p name (creating it at zero). */
+    void
+    add(const std::string &name, double delta)
+    {
+        counters[name] += delta;
+    }
+
+    /** Overwrite counter @p name. */
+    void
+    set(const std::string &name, double value)
+    {
+        counters[name] = value;
+    }
+
+    /** Track the maximum seen for counter @p name. */
+    void
+    max(const std::string &name, double value)
+    {
+        auto it = counters.find(name);
+        if (it == counters.end() || it->second < value)
+            counters[name] = value;
+    }
+
+    /** Read counter @p name (0 if absent). */
+    double
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0.0 : it->second;
+    }
+
+    /** Reset all counters. */
+    void clear() { counters.clear(); }
+
+    /** Merge-add all counters from @p other. */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[k, v] : other.counters)
+            counters[k] += v;
+    }
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, double> &all() const { return counters; }
+
+    /** Print "name value" lines. */
+    void
+    print(std::ostream &os, const std::string &prefix = "") const
+    {
+        for (const auto &[k, v] : counters)
+            os << prefix << k << " " << v << "\n";
+    }
+
+  private:
+    std::map<std::string, double> counters;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COMMON_STATS_HH

@@ -1,0 +1,518 @@
+#include "engine/executor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relalg/eval.hh"
+
+namespace aquoman {
+
+namespace {
+
+/** Append the hashable encoding of one value to @p key. */
+void
+appendKeyValue(std::string &key, const RelColumn &c, std::int64_t row)
+{
+    if (c.type == ColumnType::Varchar) {
+        auto s = c.str(row);
+        key.append(s.data(), s.size());
+        key.push_back('\0');
+    } else {
+        std::int64_t v = c.get(row);
+        key.append(reinterpret_cast<const char *>(&v), sizeof(v));
+    }
+}
+
+/** Build the composite key string for @p row over @p cols. */
+std::string
+makeKey(const RelTable &t, const std::vector<int> &cols, std::int64_t row)
+{
+    std::string key;
+    for (int c : cols)
+        appendKeyValue(key, t.col(c), row);
+    return key;
+}
+
+std::vector<int>
+resolveColumns(const RelTable &t, const std::vector<std::string> &names)
+{
+    std::vector<int> out;
+    for (const auto &n : names)
+        out.push_back(t.indexOf(n));
+    return out;
+}
+
+/** Three-way compare of two rows on one column (NULL sorts first). */
+int
+compareValues(const RelColumn &c, std::int64_t a, std::int64_t b)
+{
+    if (c.type == ColumnType::Varchar) {
+        int r = c.str(a).compare(c.str(b));
+        return r < 0 ? -1 : (r > 0 ? 1 : 0);
+    }
+    std::int64_t x = c.get(a), y = c.get(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+} // namespace
+
+double
+exprCost(const ExprPtr &e)
+{
+    if (!e)
+        return 0.0;
+    double cost = 1.0;
+    if (e->kind == ExprKind::Like)
+        cost = 8.0; // string scan per row
+    for (const auto &c : e->children)
+        cost += exprCost(c);
+    return cost;
+}
+
+RelTable
+gatherRows(const RelTable &t, const std::vector<std::int64_t> &idx)
+{
+    RelTable out;
+    for (int c = 0; c < t.numColumns(); ++c) {
+        const RelColumn &src = t.col(c);
+        RelColumn dst(src.name, src.type);
+        dst.heap = src.heap;
+        dst.vals->reserve(idx.size());
+        for (std::int64_t i : idx)
+            dst.vals->push_back(i < 0 ? kNullValue : src.get(i));
+        out.addColumn(std::move(dst));
+    }
+    return out;
+}
+
+RelTable
+Executor::run(const Query &q)
+{
+    std::map<std::string, RelTable> stages;
+    RelTable last;
+    for (const auto &s : q.stages) {
+        last = runPlan(s.plan, stages);
+        stages[s.id] = last;
+    }
+    return last;
+}
+
+RelTable
+Executor::runPlan(const PlanPtr &plan,
+                  const std::map<std::string, RelTable> &stages)
+{
+    return execNode(plan, stages);
+}
+
+RelTable
+Executor::execNode(const PlanPtr &p,
+                   const std::map<std::string, RelTable> &stages)
+{
+    switch (p->kind) {
+      case PlanKind::Scan:
+        return execScan(*p, stages);
+      case PlanKind::Filter: {
+        // MonetDB filters produce candidate lists (8B per surviving
+        // row), not materialised copies.
+        RelTable in = execNode(p->children[0], stages);
+        RelTable out = execFilter(*p, in);
+        accountIntermediate(out.numRows() * 8, in.numRows() * 8);
+        return out;
+      }
+      case PlanKind::Project: {
+        // Only computed expressions materialise new BATs; column
+        // pass-throughs are views.
+        RelTable in = execNode(p->children[0], stages);
+        RelTable out = execProject(*p, in);
+        std::int64_t computed = 0;
+        for (const auto &ne : p->projections)
+            computed += ne.expr->kind != ExprKind::ColRef;
+        accountIntermediate(out.numRows() * 8 * computed,
+                            in.numRows() * 8);
+        return out;
+      }
+      case PlanKind::Join: {
+        // Joins materialise <leftRowId, rightRowId> pair lists.
+        RelTable l = execNode(p->children[0], stages);
+        RelTable r = execNode(p->children[1], stages);
+        RelTable out = execJoin(*p, l, r);
+        accountIntermediate(out.numRows() * 16,
+                            (l.numRows() + r.numRows()) * 8);
+        return out;
+      }
+      case PlanKind::GroupBy: {
+        RelTable in = execNode(p->children[0], stages);
+        RelTable out = execGroupBy(*p, in);
+        accountIntermediate(out.residentBytes(), in.numRows() * 8);
+        return out;
+      }
+      case PlanKind::OrderBy: {
+        // Sorting materialises an order-index permutation.
+        RelTable in = execNode(p->children[0], stages);
+        RelTable out = execOrderBy(*p, in);
+        accountIntermediate(in.numRows() * 8, in.numRows() * 8);
+        return out;
+      }
+    }
+    panic("unknown plan node");
+}
+
+RelTable
+Executor::execScan(const Plan &p,
+                   const std::map<std::string, RelTable> &stages)
+{
+    if (!p.scanStage.empty()) {
+        auto it = stages.find(p.scanStage);
+        if (it == stages.end())
+            fatal("unknown stage '", p.scanStage, "'");
+        return it->second;
+    }
+    const CatalogEntry &entry = catalog.get(p.scanTable);
+    const Table &t = *entry.table;
+    std::vector<std::string> wanted = p.scanColumns;
+    if (wanted.empty()) {
+        for (int i = 0; i < t.numColumns(); ++i)
+            wanted.push_back(t.col(i).name());
+    }
+    RelTable out;
+    for (const auto &name : wanted) {
+        int ci = t.indexOf(name);
+        const Column &c = t.col(ci);
+        std::string out_name = p.scanAlias.empty()
+            ? name : p.scanAlias + "." + name;
+        RelColumn rc(out_name, c.type());
+        if (flashSwitch && entry.resident) {
+            entry.resident->readColumnRange(*flashSwitch, FlashPort::Host,
+                                            ci, 0, c.size(), *rc.vals);
+            trace.flashBytesRead += c.storedBytes();
+        } else {
+            *rc.vals = c.data();
+        }
+        trace.touchedBaseBytes += c.storedBytes();
+        if (c.type() == ColumnType::Varchar) {
+            rc.heap = t.stringsPtr();
+            std::int64_t hb = columnHeapBytes(entry, name);
+            trace.flashBytesRead += flashSwitch ? hb : 0;
+            trace.touchedBaseBytes += hb;
+        }
+        trace.rowOps += c.size() * 0.25; // mmap-style decode
+        out.addColumn(std::move(rc));
+    }
+    return out;
+}
+
+RelTable
+Executor::execFilter(const Plan &p, const RelTable &in)
+{
+    BitVector mask = evalPredicate(p.predicate, in);
+    trace.rowOps += in.numRows() * (1.0 + exprCost(p.predicate));
+    std::vector<std::int64_t> idx;
+    idx.reserve(mask.popcount());
+    for (std::int64_t i = 0; i < in.numRows(); ++i)
+        if (mask.get(i))
+            idx.push_back(i);
+    return gatherRows(in, idx);
+}
+
+RelTable
+Executor::execProject(const Plan &p, const RelTable &in)
+{
+    RelTable out;
+    for (const auto &ne : p.projections) {
+        RelColumn c = evalExpr(ne.expr, in, ne.name);
+        c.name = ne.name;
+        trace.rowOps += in.numRows() * exprCost(ne.expr);
+        out.addColumn(std::move(c));
+    }
+    return out;
+}
+
+RelTable
+Executor::execJoin(const Plan &p, const RelTable &left,
+                   const RelTable &right)
+{
+    AQ_ASSERT(p.leftKeys.size() == p.rightKeys.size());
+    std::vector<int> lk = resolveColumns(left, p.leftKeys);
+    std::vector<int> rk = resolveColumns(right, p.rightKeys);
+
+    // Candidate pairs from the equi-keys (or the full cross product
+    // when keyless, used only for scalar broadcasts).
+    std::vector<std::int64_t> li, ri;
+    if (lk.empty()) {
+        for (std::int64_t i = 0; i < left.numRows(); ++i) {
+            for (std::int64_t j = 0; j < right.numRows(); ++j) {
+                li.push_back(i);
+                ri.push_back(j);
+            }
+        }
+        trace.rowOps += static_cast<double>(left.numRows())
+            * right.numRows();
+    } else {
+        std::unordered_multimap<std::string, std::int64_t> ht;
+        ht.reserve(right.numRows() * 2);
+        for (std::int64_t j = 0; j < right.numRows(); ++j)
+            ht.emplace(makeKey(right, rk, j), j);
+        trace.rowOps += right.numRows() * 4.0;
+        for (std::int64_t i = 0; i < left.numRows(); ++i) {
+            auto [lo, hi] = ht.equal_range(makeKey(left, lk, i));
+            for (auto it = lo; it != hi; ++it) {
+                li.push_back(i);
+                ri.push_back(it->second);
+            }
+        }
+        trace.rowOps += left.numRows() * 4.0 + li.size() * 2.0;
+    }
+
+    // Apply the residual predicate over the combined candidate rows.
+    std::vector<char> pass(li.size(), 1);
+    if (p.residual) {
+        RelTable lg = gatherRows(left, li);
+        RelTable rg = gatherRows(right, ri);
+        RelTable combined;
+        for (int c = 0; c < lg.numColumns(); ++c)
+            combined.addColumn(lg.col(c));
+        for (int c = 0; c < rg.numColumns(); ++c)
+            combined.addColumn(rg.col(c));
+        BitVector mask = evalPredicate(p.residual, combined);
+        trace.rowOps += li.size() * exprCost(p.residual);
+        for (std::size_t k = 0; k < li.size(); ++k)
+            pass[k] = mask.get(k);
+    }
+
+    std::vector<std::int64_t> out_l, out_r;
+    switch (p.joinType) {
+      case JoinType::Inner: {
+        for (std::size_t k = 0; k < li.size(); ++k) {
+            if (pass[k]) {
+                out_l.push_back(li[k]);
+                out_r.push_back(ri[k]);
+            }
+        }
+        break;
+      }
+      case JoinType::LeftSemi:
+      case JoinType::LeftAnti: {
+        std::vector<char> matched(left.numRows(), 0);
+        for (std::size_t k = 0; k < li.size(); ++k)
+            if (pass[k])
+                matched[li[k]] = 1;
+        bool want = p.joinType == JoinType::LeftSemi;
+        for (std::int64_t i = 0; i < left.numRows(); ++i)
+            if (static_cast<bool>(matched[i]) == want)
+                out_l.push_back(i);
+        break;
+      }
+      case JoinType::LeftOuter: {
+        std::vector<char> matched(left.numRows(), 0);
+        for (std::size_t k = 0; k < li.size(); ++k) {
+            if (pass[k]) {
+                matched[li[k]] = 1;
+                out_l.push_back(li[k]);
+                out_r.push_back(ri[k]);
+            }
+        }
+        for (std::int64_t i = 0; i < left.numRows(); ++i) {
+            if (!matched[i]) {
+                out_l.push_back(i);
+                out_r.push_back(-1); // NULL right side
+            }
+        }
+        break;
+      }
+    }
+
+    RelTable lg = gatherRows(left, out_l);
+    if (p.joinType == JoinType::LeftSemi || p.joinType == JoinType::LeftAnti)
+        return lg;
+    RelTable rg = gatherRows(right, out_r);
+    RelTable out;
+    for (int c = 0; c < lg.numColumns(); ++c)
+        out.addColumn(lg.col(c));
+    for (int c = 0; c < rg.numColumns(); ++c)
+        out.addColumn(rg.col(c));
+    return out;
+}
+
+RelTable
+Executor::execGroupBy(const Plan &p, const RelTable &in)
+{
+    std::vector<int> gcols = resolveColumns(in, p.groupColumns);
+
+    // Evaluate aggregate inputs once, vectorised.
+    std::vector<RelColumn> agg_in;
+    for (const auto &a : p.aggregates) {
+        agg_in.push_back(a.input ? evalExpr(a.input, in)
+                                 : RelColumn("one", ColumnType::Int64));
+        if (!a.input)
+            agg_in.back().vals->assign(in.numRows(), 1);
+        trace.rowOps += in.numRows() * (a.input ? exprCost(a.input) : 0.5);
+    }
+
+    struct GroupState
+    {
+        std::int64_t first_row;
+        std::vector<std::int64_t> accum;  // per-agg value
+        std::vector<std::int64_t> counts; // per-agg non-null count
+        std::vector<std::unordered_set<std::int64_t>> distinct;
+    };
+
+    std::unordered_map<std::string, int> index;
+    std::vector<GroupState> groups;
+    std::size_t nagg = p.aggregates.size();
+
+    if (p.groupColumns.empty() && in.numRows() == 0) {
+        // SQL: a global aggregate over an empty input yields one row
+        // (NULL for Sum/Min/Max/Avg, 0 for Count).
+        GroupState gs;
+        gs.first_row = -1;
+        gs.accum.assign(nagg, kNullValue);
+        gs.counts.assign(nagg, 0);
+        gs.distinct.resize(nagg);
+        groups.push_back(std::move(gs));
+    }
+
+    for (std::int64_t i = 0; i < in.numRows(); ++i) {
+        std::string key = makeKey(in, gcols, i);
+        auto [it, fresh] = index.emplace(key,
+                                         static_cast<int>(groups.size()));
+        if (fresh) {
+            GroupState gs;
+            gs.first_row = i;
+            gs.accum.assign(nagg, 0);
+            gs.counts.assign(nagg, 0);
+            gs.distinct.resize(nagg);
+            for (std::size_t a = 0; a < nagg; ++a) {
+                if (p.aggregates[a].kind == AggKind::Min)
+                    gs.accum[a] = std::numeric_limits<std::int64_t>::max();
+                if (p.aggregates[a].kind == AggKind::Max)
+                    gs.accum[a] = std::numeric_limits<std::int64_t>::min();
+            }
+            groups.push_back(std::move(gs));
+        }
+        GroupState &gs = groups[it->second];
+        for (std::size_t a = 0; a < nagg; ++a) {
+            std::int64_t v = agg_in[a].get(i);
+            if (v == kNullValue)
+                continue;
+            gs.counts[a]++;
+            switch (p.aggregates[a].kind) {
+              case AggKind::Sum:
+              case AggKind::Avg:
+                gs.accum[a] += v;
+                break;
+              case AggKind::Min:
+                gs.accum[a] = std::min(gs.accum[a], v);
+                break;
+              case AggKind::Max:
+                gs.accum[a] = std::max(gs.accum[a], v);
+                break;
+              case AggKind::Count:
+                break;
+              case AggKind::CountDistinct:
+                gs.distinct[a].insert(v);
+                break;
+            }
+        }
+    }
+    double group_cost = in.numRows() * (4.0 + nagg);
+    trace.rowOps += group_cost;
+    // Aggregations over huge group domains (orderkey, partkey, custkey
+    // granularity) run effectively single-threaded in MonetDB: the
+    // shared hash table defeats its per-column parallelism. This is
+    // the behaviour AQUOMAN exploits on q17/q18 (Sec. VIII-B: "the
+    // part that is off-loaded happens to execute sequentially on the
+    // host, effectively using only one hardware thread").
+    std::int64_t num_groups = static_cast<std::int64_t>(groups.size());
+    if (num_groups > 1024 && num_groups > in.numRows() / 50)
+        trace.seqRowOps += group_cost * 0.9;
+
+    RelTable out;
+    for (int gc : gcols) {
+        const RelColumn &src = in.col(gc);
+        RelColumn dst(src.name, src.type);
+        dst.heap = src.heap;
+        for (const auto &g : groups)
+            dst.vals->push_back(src.get(g.first_row));
+        out.addColumn(std::move(dst));
+    }
+    for (std::size_t a = 0; a < nagg; ++a) {
+        const AggSpec &spec = p.aggregates[a];
+        ColumnType in_type = spec.input ? agg_in[a].type : ColumnType::Int64;
+        ColumnType out_type = in_type;
+        if (spec.kind == AggKind::Count
+                || spec.kind == AggKind::CountDistinct) {
+            out_type = ColumnType::Int64;
+        } else if (spec.kind == AggKind::Avg) {
+            out_type = ColumnType::Decimal;
+        }
+        RelColumn dst(spec.name, out_type);
+        for (const auto &g : groups) {
+            std::int64_t v = 0;
+            switch (spec.kind) {
+              case AggKind::Sum:
+                v = g.accum[a];
+                break;
+              case AggKind::Min:
+              case AggKind::Max:
+                v = g.counts[a] ? g.accum[a] : kNullValue;
+                break;
+              case AggKind::Count:
+                v = g.counts[a];
+                break;
+              case AggKind::CountDistinct:
+                v = static_cast<std::int64_t>(g.distinct[a].size());
+                break;
+              case AggKind::Avg: {
+                std::int64_t sum = g.accum[a];
+                if (in_type != ColumnType::Decimal)
+                    sum *= kDecimalScale;
+                v = g.counts[a] ? sum / g.counts[a] : kNullValue;
+                break;
+              }
+            }
+            dst.vals->push_back(v);
+        }
+        out.addColumn(std::move(dst));
+    }
+    return out;
+}
+
+RelTable
+Executor::execOrderBy(const Plan &p, const RelTable &in)
+{
+    std::vector<int> keys;
+    for (const auto &k : p.sortKeys)
+        keys.push_back(in.indexOf(k.column));
+    std::vector<std::int64_t> idx(in.numRows());
+    for (std::int64_t i = 0; i < in.numRows(); ++i)
+        idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(),
+        [&](std::int64_t a, std::int64_t b) {
+            for (std::size_t k = 0; k < keys.size(); ++k) {
+                int c = compareValues(in.col(keys[k]), a, b);
+                if (c != 0)
+                    return p.sortKeys[k].descending ? c > 0 : c < 0;
+            }
+            return false;
+        });
+    double n = static_cast<double>(std::max<std::int64_t>(in.numRows(), 1));
+    double sort_ops = n * std::log2(n + 1) * 3.0;
+    trace.rowOps += sort_ops;
+    trace.seqRowOps += sort_ops * 0.3; // merge phases parallelise poorly
+    if (p.limit >= 0 && static_cast<std::int64_t>(idx.size()) > p.limit)
+        idx.resize(p.limit);
+    return gatherRows(in, idx);
+}
+
+void
+Executor::accountIntermediate(std::int64_t out_bytes,
+                              std::int64_t child_bytes)
+{
+    trace.totalIntermediateBytes += out_bytes;
+    trace.peakIntermediateBytes = std::max(trace.peakIntermediateBytes,
+                                           child_bytes + out_bytes);
+}
+
+} // namespace aquoman

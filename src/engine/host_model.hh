@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Analytic host performance model. Mirrors the paper's baseline
+ * methodology (Sec. VIII-A): MonetDB on an x86 host with T hardware
+ * threads and D bytes of DRAM, reading from SSDs capped at 2.4 GB/s.
+ * Runtime is max(IO time, CPU time) plus a disk-swap penalty when the
+ * working set exceeds DRAM (MonetDB's own disk-swap management).
+ */
+
+#ifndef AQUOMAN_ENGINE_HOST_MODEL_HH
+#define AQUOMAN_ENGINE_HOST_MODEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "engine/metrics.hh"
+
+namespace aquoman {
+
+/** An x86 host configuration (Table VI). */
+struct HostConfig
+{
+    std::string name;
+    int hardwareThreads = 32;
+    std::int64_t dramBytes = 128ll << 30;
+
+    /** Aggregate SSD read bandwidth (paper: capped at 2.4 GB/s). */
+    double storageReadBandwidth = 2.4e9;
+
+    /** SSD write bandwidth for swap spills. */
+    double storageWriteBandwidth = 2.4e9 * 5.0 / 8.0;
+
+    /** Row-ops per second per hardware thread. */
+    double perThreadRate = 125e6;
+
+    /** Parallel efficiency of multi-threaded execution. */
+    double parallelEfficiency = 0.8;
+
+    /** The paper's small host: 4 threads, 16GB. */
+    static HostConfig
+    small()
+    {
+        HostConfig c;
+        c.name = "S";
+        c.hardwareThreads = 4;
+        c.dramBytes = 16ll << 30;
+        return c;
+    }
+
+    /** The paper's large host: 32 threads, 128GB. */
+    static HostConfig
+    large()
+    {
+        HostConfig c;
+        c.name = "L";
+        c.hardwareThreads = 32;
+        c.dramBytes = 128ll << 30;
+        return c;
+    }
+};
+
+/** Derived timing/memory figures for one query on one host. */
+struct HostRunEstimate
+{
+    double ioTime = 0.0;   ///< storage-bound seconds (incl. swap)
+    double cpuTime = 0.0;  ///< compute-bound seconds
+    double runtime = 0.0;  ///< max(ioTime, cpuTime)
+    double cpuBusySeconds = 0.0; ///< thread-seconds of CPU consumed
+    std::int64_t maxRss = 0;
+    std::int64_t avgRss = 0;
+};
+
+/** Analytic model mapping EngineMetrics to host runtime. */
+class HostModel
+{
+  public:
+    explicit HostModel(HostConfig cfg) : config(std::move(cfg)) {}
+
+    const HostConfig &cfg() const { return config; }
+
+    /** Estimate runtime and memory for @p m on this host. */
+    HostRunEstimate
+    estimate(const EngineMetrics &m) const
+    {
+        HostRunEstimate e;
+        double par_threads = 1.0
+            + (config.hardwareThreads - 1) * config.parallelEfficiency;
+        double par_time = (m.rowOps - m.seqRowOps)
+            / (config.perThreadRate * par_threads);
+        double seq_time = m.seqRowOps / config.perThreadRate;
+        e.cpuTime = par_time + seq_time;
+
+        e.ioTime = m.flashBytesRead / config.storageReadBandwidth;
+        // Clean base pages are evicted for free; only intermediates
+        // beyond DRAM swap to SSD (write + read back), which is
+        // MonetDB's own disk-swap management (Sec. VIII-A).
+        if (m.peakIntermediateBytes > config.dramBytes) {
+            std::int64_t spill =
+                m.peakIntermediateBytes - config.dramBytes;
+            e.ioTime += spill / config.storageWriteBandwidth
+                + spill / config.storageReadBandwidth;
+        }
+        e.runtime = std::max(e.ioTime, e.cpuTime);
+        // Threads spin on useful work only for cpuTime's worth.
+        e.cpuBusySeconds = m.rowOps / config.perThreadRate;
+
+        e.maxRss = std::min<std::int64_t>(
+            config.dramBytes, m.touchedBaseBytes + m.peakIntermediateBytes);
+        e.avgRss = std::min<std::int64_t>(
+            config.dramBytes,
+            m.touchedBaseBytes / 2 + m.totalIntermediateBytes / 2);
+        e.avgRss = std::min(e.avgRss, e.maxRss);
+        return e;
+    }
+
+  private:
+    HostConfig config;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_ENGINE_HOST_MODEL_HH

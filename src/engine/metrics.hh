@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Work metrics collected while executing a query functionally. The
+ * metrics are machine-independent; HostModel and AquomanPerfModel turn
+ * them into runtimes for specific system configurations (Table VI).
+ */
+
+#ifndef AQUOMAN_ENGINE_METRICS_HH
+#define AQUOMAN_ENGINE_METRICS_HH
+
+#include <cstdint>
+
+namespace aquoman {
+
+/** Machine-independent execution trace of one query (or sub-plan). */
+struct EngineMetrics
+{
+    /** Abstract CPU work units (weighted per-row operator costs). */
+    double rowOps = 0.0;
+
+    /** Work that executes sequentially regardless of thread count. */
+    double seqRowOps = 0.0;
+
+    /** Base-table bytes read from flash. */
+    std::int64_t flashBytesRead = 0;
+
+    /** Distinct base-table bytes touched (page-cache working set). */
+    std::int64_t touchedBaseBytes = 0;
+
+    /** Peak bytes of live intermediate relations. */
+    std::int64_t peakIntermediateBytes = 0;
+
+    /** Sum of bytes of all intermediates ever produced (avg-RSS proxy). */
+    std::int64_t totalIntermediateBytes = 0;
+
+    /** Merge-add another trace (e.g. a handed-off sub-plan). */
+    void
+    merge(const EngineMetrics &o)
+    {
+        rowOps += o.rowOps;
+        seqRowOps += o.seqRowOps;
+        flashBytesRead += o.flashBytesRead;
+        touchedBaseBytes += o.touchedBaseBytes;
+        peakIntermediateBytes =
+            std::max(peakIntermediateBytes, o.peakIntermediateBytes);
+        totalIntermediateBytes += o.totalIntermediateBytes;
+    }
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_ENGINE_METRICS_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Flash controller switch (Fig. 3 of the paper). AQUOMAN and the x86
+ * host both access NAND flash through this switch, which fairly
+ * arbitrates page commands. In the simulator it accounts per-port
+ * traffic and models the effective bandwidth each port observes when
+ * both are active.
+ */
+
+#ifndef AQUOMAN_FLASH_CONTROLLER_SWITCH_HH
+#define AQUOMAN_FLASH_CONTROLLER_SWITCH_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "flash/flash_device.hh"
+
+namespace aquoman {
+
+/** Ports into the flash controller switch. */
+enum class FlashPort
+{
+    Host,    ///< legacy OS I/O path
+    Aquoman, ///< in-storage accelerator path
+};
+
+/**
+ * Fair round-robin arbiter between the host I/O queues and the AQUOMAN
+ * page-request stream. Functionally both ports read the same device;
+ * the switch records who moved how many bytes so the performance models
+ * can derive contention-adjusted bandwidth.
+ */
+class ControllerSwitch
+{
+  public:
+    explicit ControllerSwitch(FlashDevice &dev) : device(dev) {}
+
+    /** Read through the switch on behalf of @p port. */
+    void
+    read(FlashPort port, const FlashExtent &ext, std::int64_t offset,
+         void *out, std::int64_t bytes)
+    {
+        device.read(ext, offset, out, bytes);
+        portStats.add(portName(port) + ".bytesRead",
+                      static_cast<double>(bytes));
+    }
+
+    /** Write through the switch on behalf of @p port. */
+    void
+    write(FlashPort port, const FlashExtent &ext, std::int64_t offset,
+          const void *data, std::int64_t bytes)
+    {
+        device.write(ext, offset, data, bytes);
+        portStats.add(portName(port) + ".bytesWritten",
+                      static_cast<double>(bytes));
+    }
+
+    /**
+     * Bandwidth seen by one port. With both ports active the fair
+     * arbiter halves each port's share of the device's read bandwidth.
+     */
+    double
+    effectiveReadBandwidth(bool both_ports_active) const
+    {
+        double bw = device.cfg().readBandwidth;
+        return both_ports_active ? bw / 2.0 : bw;
+    }
+
+    /** Per-port traffic counters. */
+    const StatSet &stats() const { return portStats; }
+
+    /** Underlying device. */
+    FlashDevice &dev() { return device; }
+
+  private:
+    static std::string
+    portName(FlashPort port)
+    {
+        return port == FlashPort::Host ? "host" : "aquoman";
+    }
+
+    FlashDevice &device;
+    StatSet portStats;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_FLASH_CONTROLLER_SWITCH_HH

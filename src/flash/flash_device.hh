@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Functional + timing model of a NAND flash device. Pages are allocated
+ * in extents (contiguous page ranges) by the column-store layout layer.
+ * Reads and writes move real bytes so that everything downstream (the
+ * baseline engine and the AQUOMAN pipeline) computes on data that truly
+ * round-tripped through the device, while counters feed the timing model.
+ */
+
+#ifndef AQUOMAN_FLASH_FLASH_DEVICE_HH
+#define AQUOMAN_FLASH_FLASH_DEVICE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "flash/flash_config.hh"
+
+namespace aquoman {
+
+/** Identifier of one flash page. */
+using PageId = std::int64_t;
+
+/** A contiguous run of flash pages backing one column file. */
+struct FlashExtent
+{
+    PageId firstPage = 0;
+    std::int64_t numPages = 0;
+    std::int64_t byteLength = 0; ///< valid bytes (may end mid-page)
+};
+
+/**
+ * Simulated NAND flash array. Storage is allocated lazily per page; the
+ * device enforces its configured capacity and tracks read/write traffic
+ * for the performance models.
+ */
+class FlashDevice
+{
+  public:
+    explicit FlashDevice(const FlashConfig &cfg = FlashConfig{})
+        : config(cfg)
+    {
+    }
+
+    /** Device configuration. */
+    const FlashConfig &cfg() const { return config; }
+
+    /**
+     * Allocate a fresh extent able to hold @p bytes.
+     * @throws FatalError when the device is full.
+     */
+    FlashExtent
+    allocate(std::int64_t bytes)
+    {
+        std::int64_t pages = (bytes + config.pageBytes - 1)
+            / config.pageBytes;
+        if (pages == 0)
+            pages = 1;
+        if (nextFreePage + pages > config.numPages())
+            fatal("flash device full: need ", pages, " pages, have ",
+                  config.numPages() - nextFreePage);
+        FlashExtent ext{nextFreePage, pages, bytes};
+        nextFreePage += pages;
+        if (static_cast<std::int64_t>(pageStore.size()) < nextFreePage)
+            pageStore.resize(nextFreePage);
+        return ext;
+    }
+
+    /** Write @p bytes at byte offset @p offset inside @p ext. */
+    void
+    write(const FlashExtent &ext, std::int64_t offset, const void *data,
+          std::int64_t bytes)
+    {
+        AQ_ASSERT(offset >= 0 && offset + bytes <= ext.numPages
+                  * config.pageBytes);
+        const auto *src = static_cast<const std::uint8_t *>(data);
+        std::int64_t pos = offset;
+        std::int64_t remaining = bytes;
+        while (remaining > 0) {
+            PageId page = ext.firstPage + pos / config.pageBytes;
+            std::int64_t in_page = pos % config.pageBytes;
+            std::int64_t chunk =
+                std::min(remaining, config.pageBytes - in_page);
+            ensurePage(page);
+            std::memcpy(pageStore[page].data() + in_page, src, chunk);
+            src += chunk;
+            pos += chunk;
+            remaining -= chunk;
+        }
+        statSet.add("flash.bytesWritten", static_cast<double>(bytes));
+        statSet.add("flash.pagesWritten",
+                    static_cast<double>((bytes + config.pageBytes - 1)
+                                        / config.pageBytes));
+    }
+
+    /** Read @p bytes at byte offset @p offset inside @p ext. */
+    void
+    read(const FlashExtent &ext, std::int64_t offset, void *out,
+         std::int64_t bytes) const
+    {
+        AQ_ASSERT(offset >= 0 && offset + bytes <= ext.numPages
+                  * config.pageBytes);
+        auto *dst = static_cast<std::uint8_t *>(out);
+        std::int64_t pos = offset;
+        std::int64_t remaining = bytes;
+        while (remaining > 0) {
+            PageId page = ext.firstPage + pos / config.pageBytes;
+            std::int64_t in_page = pos % config.pageBytes;
+            std::int64_t chunk =
+                std::min(remaining, config.pageBytes - in_page);
+            if (page < static_cast<PageId>(pageStore.size())
+                    && !pageStore[page].empty()) {
+                std::memcpy(dst, pageStore[page].data() + in_page, chunk);
+            } else {
+                std::memset(dst, 0, chunk); // erased page reads as zero
+            }
+            dst += chunk;
+            pos += chunk;
+            remaining -= chunk;
+        }
+        statSet.add("flash.bytesRead", static_cast<double>(bytes));
+        statSet.add("flash.pagesRead",
+                    static_cast<double>((bytes + config.pageBytes - 1)
+                                        / config.pageBytes));
+    }
+
+    /** Traffic counters (bytesRead/bytesWritten/pagesRead/pagesWritten). */
+    StatSet &stats() const { return statSet; }
+
+    /** Pages currently allocated. */
+    std::int64_t allocatedPages() const { return nextFreePage; }
+
+  private:
+    void
+    ensurePage(PageId page)
+    {
+        AQ_ASSERT(page >= 0
+                  && page < static_cast<PageId>(pageStore.size()));
+        if (pageStore[page].empty())
+            pageStore[page].resize(config.pageBytes, 0);
+    }
+
+    FlashConfig config;
+    std::vector<std::vector<std::uint8_t>> pageStore;
+    PageId nextFreePage = 0;
+    mutable StatSet statSet;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_FLASH_FLASH_DEVICE_HH

@@ -1,0 +1,280 @@
+#include "relalg/eval.hh"
+
+#include <algorithm>
+
+#include "common/decimal.hh"
+#include "relalg/plan.hh"
+
+namespace aquoman {
+
+namespace {
+
+/** Is this a numeric type that participates in decimal promotion? */
+bool
+isIntegral(ColumnType t)
+{
+    return t == ColumnType::Int32 || t == ColumnType::Int64;
+}
+
+/** Scale integer values up to decimal when mixing with a decimal side. */
+void
+promoteToDecimal(RelColumn &c)
+{
+    if (c.type == ColumnType::Decimal)
+        return;
+    for (auto &v : *c.vals) {
+        if (v != kNullValue)
+            v *= kDecimalScale;
+    }
+    c.type = ColumnType::Decimal;
+}
+
+std::int64_t
+cmpResult(CmpOp op, int c)
+{
+    switch (op) {
+      case CmpOp::Eq: return c == 0;
+      case CmpOp::Ne: return c != 0;
+      case CmpOp::Lt: return c < 0;
+      case CmpOp::Le: return c <= 0;
+      case CmpOp::Gt: return c > 0;
+      case CmpOp::Ge: return c >= 0;
+    }
+    return 0;
+}
+
+} // namespace
+
+ColumnType
+bindType(const ExprPtr &e, const RelTable &input)
+{
+    switch (e->kind) {
+      case ExprKind::ColRef:
+        return input.col(input.indexOf(e->column)).type;
+      case ExprKind::Const:
+      case ExprKind::ConstStr:
+        return e->resultType;
+      case ExprKind::Arith: {
+        ColumnType a = bindType(e->children[0], input);
+        ColumnType b = bindType(e->children[1], input);
+        if (a == ColumnType::Date && isIntegral(b))
+            return ColumnType::Date;
+        if (a == ColumnType::Date && b == ColumnType::Date)
+            return ColumnType::Int64;
+        if (a == ColumnType::Decimal || b == ColumnType::Decimal)
+            return ColumnType::Decimal;
+        return ColumnType::Int64;
+      }
+      case ExprKind::Compare:
+      case ExprKind::Logic:
+      case ExprKind::Not:
+      case ExprKind::Like:
+      case ExprKind::InList:
+        return ColumnType::Int32;
+      case ExprKind::Case:
+        return bindType(e->children[1], input);
+      case ExprKind::Year:
+        return ColumnType::Int64;
+    }
+    return ColumnType::Int64;
+}
+
+RelColumn
+evalExpr(const ExprPtr &e, const RelTable &input, const std::string &name)
+{
+    std::int64_t n = input.numRows();
+    RelColumn out(name, bindType(e, input));
+    switch (e->kind) {
+      case ExprKind::ColRef: {
+        const RelColumn &src = input.col(input.indexOf(e->column));
+        out.vals = src.vals; // zero-copy column reference
+        out.heap = src.heap;
+        out.type = src.type;
+        break;
+      }
+      case ExprKind::Const: {
+        out.vals->assign(n, e->constVal);
+        break;
+      }
+      case ExprKind::ConstStr: {
+        // Materialise via a tiny private heap so str() works uniformly.
+        auto heap = std::make_shared<StringHeap>();
+        std::int64_t off = heap->intern(e->strVal);
+        out.heap = heap;
+        out.vals->assign(n, off);
+        break;
+      }
+      case ExprKind::Arith: {
+        RelColumn a = evalExpr(e->children[0], input);
+        RelColumn b = evalExpr(e->children[1], input);
+        bool dec = a.type == ColumnType::Decimal
+            || b.type == ColumnType::Decimal;
+        bool date_shift = a.type == ColumnType::Date && isIntegral(b.type);
+        if (dec && !date_shift) {
+            // Copy-on-promote: a/b may alias input columns.
+            if (a.type != ColumnType::Decimal) {
+                a.vals = std::make_shared<std::vector<std::int64_t>>(
+                    *a.vals);
+                promoteToDecimal(a);
+            }
+            if (b.type != ColumnType::Decimal) {
+                b.vals = std::make_shared<std::vector<std::int64_t>>(
+                    *b.vals);
+                promoteToDecimal(b);
+            }
+        }
+        out.vals->resize(n);
+        for (std::int64_t i = 0; i < n; ++i) {
+            std::int64_t x = a.get(i);
+            std::int64_t y = b.get(i);
+            if (x == kNullValue || y == kNullValue) {
+                (*out.vals)[i] = kNullValue;
+                continue;
+            }
+            std::int64_t r = 0;
+            switch (e->arithOp) {
+              case ArithOp::Add: r = x + y; break;
+              case ArithOp::Sub: r = x - y; break;
+              case ArithOp::Mul:
+                r = dec ? decimalMul(x, y) : x * y;
+                break;
+              case ArithOp::Div:
+                r = dec ? decimalDiv(x, y) : (y == 0 ? 0 : x / y);
+                break;
+            }
+            (*out.vals)[i] = r;
+        }
+        break;
+      }
+      case ExprKind::Compare: {
+        RelColumn a = evalExpr(e->children[0], input);
+        RelColumn b = evalExpr(e->children[1], input);
+        out.vals->resize(n);
+        if (isStringType(a.type) || isStringType(b.type)) {
+            AQ_ASSERT(isStringType(a.type) && isStringType(b.type),
+                      "string compared with non-string");
+            for (std::int64_t i = 0; i < n; ++i) {
+                int c = a.str(i).compare(b.str(i));
+                (*out.vals)[i] = cmpResult(e->cmpOp, c);
+            }
+        } else {
+            bool dec = a.type == ColumnType::Decimal
+                || b.type == ColumnType::Decimal;
+            std::int64_t sa = dec && a.type != ColumnType::Decimal
+                ? kDecimalScale : 1;
+            std::int64_t sb = dec && b.type != ColumnType::Decimal
+                ? kDecimalScale : 1;
+            for (std::int64_t i = 0; i < n; ++i) {
+                std::int64_t x = a.get(i);
+                std::int64_t y = b.get(i);
+                if (x == kNullValue || y == kNullValue) {
+                    (*out.vals)[i] = 0;
+                    continue;
+                }
+                x *= sa;
+                y *= sb;
+                int c = x < y ? -1 : (x > y ? 1 : 0);
+                (*out.vals)[i] = cmpResult(e->cmpOp, c);
+            }
+        }
+        break;
+      }
+      case ExprKind::Logic: {
+        RelColumn a = evalExpr(e->children[0], input);
+        RelColumn b = evalExpr(e->children[1], input);
+        out.vals->resize(n);
+        for (std::int64_t i = 0; i < n; ++i) {
+            bool x = a.get(i) != 0 && a.get(i) != kNullValue;
+            bool y = b.get(i) != 0 && b.get(i) != kNullValue;
+            (*out.vals)[i] = e->logicOp == LogicOp::And ? (x && y)
+                                                        : (x || y);
+        }
+        break;
+      }
+      case ExprKind::Not: {
+        RelColumn a = evalExpr(e->children[0], input);
+        out.vals->resize(n);
+        for (std::int64_t i = 0; i < n; ++i)
+            (*out.vals)[i] = a.get(i) == 0 ? 1 : 0;
+        break;
+      }
+      case ExprKind::Like: {
+        RelColumn a = evalExpr(e->children[0], input);
+        AQ_ASSERT(isStringType(a.type), "LIKE over non-string");
+        out.vals->resize(n);
+        for (std::int64_t i = 0; i < n; ++i)
+            (*out.vals)[i] = likeMatch(a.str(i), e->pattern);
+        break;
+      }
+      case ExprKind::InList: {
+        RelColumn a = evalExpr(e->children[0], input);
+        out.vals->resize(n);
+        if (!e->listStrs.empty()) {
+            AQ_ASSERT(isStringType(a.type));
+            for (std::int64_t i = 0; i < n; ++i) {
+                std::string_view s = a.str(i);
+                bool hit = std::any_of(
+                    e->listStrs.begin(), e->listStrs.end(),
+                    [&](const std::string &v) { return s == v; });
+                (*out.vals)[i] = hit;
+            }
+        } else {
+            for (std::int64_t i = 0; i < n; ++i) {
+                std::int64_t v = a.get(i);
+                bool hit = std::find(e->listVals.begin(), e->listVals.end(),
+                                     v) != e->listVals.end();
+                (*out.vals)[i] = hit;
+            }
+        }
+        break;
+      }
+      case ExprKind::Year: {
+        RelColumn a = evalExpr(e->children[0], input);
+        out.vals->resize(n);
+        for (std::int64_t i = 0; i < n; ++i) {
+            std::int64_t v = a.get(i);
+            (*out.vals)[i] = v == kNullValue
+                ? kNullValue
+                : civilFromDays(static_cast<std::int32_t>(v)).year;
+        }
+        break;
+      }
+      case ExprKind::Case: {
+        std::size_t arms = (e->children.size() - 1) / 2;
+        std::vector<RelColumn> whens, thens;
+        for (std::size_t a = 0; a < arms; ++a) {
+            whens.push_back(evalExpr(e->children[2 * a], input));
+            thens.push_back(evalExpr(e->children[2 * a + 1], input));
+        }
+        RelColumn else_c = evalExpr(e->children.back(), input);
+        out.type = thens.empty() ? else_c.type : thens[0].type;
+        out.heap = thens.empty() ? else_c.heap : thens[0].heap;
+        out.vals->resize(n);
+        for (std::int64_t i = 0; i < n; ++i) {
+            std::int64_t v = else_c.get(i);
+            for (std::size_t a = 0; a < arms; ++a) {
+                if (whens[a].get(i) != 0
+                        && whens[a].get(i) != kNullValue) {
+                    v = thens[a].get(i);
+                    break;
+                }
+            }
+            (*out.vals)[i] = v;
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+BitVector
+evalPredicate(const ExprPtr &e, const RelTable &input)
+{
+    RelColumn c = evalExpr(e, input, "pred");
+    BitVector bv(input.numRows());
+    for (std::int64_t i = 0; i < input.numRows(); ++i)
+        bv.set(i, c.get(i) != 0 && c.get(i) != kNullValue);
+    return bv;
+}
+
+} // namespace aquoman

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Vectorised expression evaluation over materialised relations. This is
+ * the semantic reference both execution paths share: the baseline engine
+ * evaluates expressions with it directly, and the AQUOMAN Row
+ * Transformer's PE programs are checked against it in tests.
+ */
+
+#ifndef AQUOMAN_RELALG_EVAL_HH
+#define AQUOMAN_RELALG_EVAL_HH
+
+#include <string>
+
+#include "common/bitvector.hh"
+#include "relalg/expr.hh"
+#include "relalg/reltable.hh"
+
+namespace aquoman {
+
+/**
+ * Resolve the result type of @p e against @p input's schema.
+ * Applies SQL-ish promotion: any Decimal operand makes arithmetic and
+ * comparison decimal-scaled.
+ */
+ColumnType bindType(const ExprPtr &e, const RelTable &input);
+
+/** Evaluate @p e over all rows of @p input into a column named @p name. */
+RelColumn evalExpr(const ExprPtr &e, const RelTable &input,
+                   const std::string &name = "expr");
+
+/** Evaluate a boolean expression into a row-selection bit vector. */
+BitVector evalPredicate(const ExprPtr &e, const RelTable &input);
+
+} // namespace aquoman
+
+#endif // AQUOMAN_RELALG_EVAL_HH

@@ -1,0 +1,46 @@
+#include "relalg/expr.hh"
+
+#include <algorithm>
+
+namespace aquoman {
+
+bool
+likeMatch(std::string_view text, std::string_view pattern)
+{
+    // Iterative wildcard match with backtracking over the last '%'.
+    std::size_t t = 0, p = 0;
+    std::size_t star_p = std::string_view::npos, star_t = 0;
+    while (t < text.size()) {
+        if (p < pattern.size()
+                && (pattern[p] == '_' || pattern[p] == text[t])) {
+            ++t;
+            ++p;
+        } else if (p < pattern.size() && pattern[p] == '%') {
+            star_p = p++;
+            star_t = t;
+        } else if (star_p != std::string_view::npos) {
+            p = star_p + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '%')
+        ++p;
+    return p == pattern.size();
+}
+
+void
+collectColumns(const ExprPtr &e, std::vector<std::string> &out)
+{
+    if (!e)
+        return;
+    if (e->kind == ExprKind::ColRef) {
+        if (std::find(out.begin(), out.end(), e->column) == out.end())
+            out.push_back(e->column);
+    }
+    for (const auto &c : e->children)
+        collectColumns(c, out);
+}
+
+} // namespace aquoman

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Expression trees for scalar computation inside query plans: column
+ * references, typed constants, arithmetic, comparisons, boolean logic,
+ * LIKE patterns, IN lists and CASE. Expressions carry their result
+ * type so fixed-point decimal scaling is applied identically by the
+ * software engine and by the PE programs AQUOMAN compiles from them.
+ */
+
+#ifndef AQUOMAN_RELALG_EXPR_HH
+#define AQUOMAN_RELALG_EXPR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/date.hh"
+#include "common/decimal.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace aquoman {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** Expression node kinds. */
+enum class ExprKind
+{
+    ColRef,  ///< reference to a named column of the input relation
+    Const,   ///< typed literal (numeric kinds encoded as int64)
+    ConstStr,///< string literal
+    Arith,   ///< binary arithmetic (+ - * /)
+    Compare, ///< binary comparison (= <> < <= > >=)
+    Logic,   ///< AND / OR
+    Not,     ///< boolean negation
+    Like,    ///< SQL LIKE with % and _ wildcards
+    InList,  ///< membership in a literal list
+    Case,    ///< CASE WHEN ... THEN ... ELSE ... END
+    Year,    ///< calendar year of a Date value
+};
+
+enum class ArithOp { Add, Sub, Mul, Div };
+enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge };
+enum class LogicOp { And, Or };
+
+/**
+ * Immutable expression node. Booleans are represented as Int32 0/1.
+ */
+struct Expr
+{
+    ExprKind kind;
+    ColumnType resultType = ColumnType::Int64;
+
+    // ColRef
+    std::string column;
+
+    // Const / ConstStr
+    std::int64_t constVal = 0;
+    std::string strVal;
+
+    // Arith / Compare / Logic
+    ArithOp arithOp = ArithOp::Add;
+    CmpOp cmpOp = CmpOp::Eq;
+    LogicOp logicOp = LogicOp::And;
+
+    // Like
+    std::string pattern;
+
+    // InList: literal int payloads or string payloads
+    std::vector<std::int64_t> listVals;
+    std::vector<std::string> listStrs;
+
+    /**
+     * Children: binary ops have 2; Not/Like have 1; InList has 1;
+     * Case has [when0, then0, when1, then1, ..., else].
+     */
+    std::vector<ExprPtr> children;
+};
+
+/** True when values of @p t are compared/combined as strings. */
+inline bool
+isStringType(ColumnType t)
+{
+    return t == ColumnType::Varchar;
+}
+
+// ---------------------------------------------------------------------
+// Builder helpers
+// ---------------------------------------------------------------------
+
+/** Reference column @p name; result type resolved at bind time. */
+inline ExprPtr
+col(const std::string &name)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::ColRef;
+    e->column = name;
+    return e;
+}
+
+/** Integer literal. */
+inline ExprPtr
+lit(std::int64_t v)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Const;
+    e->resultType = ColumnType::Int64;
+    e->constVal = v;
+    return e;
+}
+
+/** Decimal literal from a "123.45"-style string. */
+inline ExprPtr
+litDec(const std::string &s)
+{
+    auto dot = s.find('.');
+    std::int64_t whole = std::stoll(dot == std::string::npos
+                                    ? s : s.substr(0, dot));
+    std::int64_t frac = 0;
+    bool neg = !s.empty() && s[0] == '-';
+    if (dot != std::string::npos) {
+        std::string f = s.substr(dot + 1);
+        f.resize(2, '0');
+        frac = std::stoll(f);
+    }
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Const;
+    e->resultType = ColumnType::Decimal;
+    e->constVal = neg ? whole * kDecimalScale - frac
+                      : whole * kDecimalScale + frac;
+    return e;
+}
+
+/** Date literal from ISO "YYYY-MM-DD". */
+inline ExprPtr
+litDate(const std::string &iso)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Const;
+    e->resultType = ColumnType::Date;
+    e->constVal = parseDate(iso);
+    return e;
+}
+
+/** Date literal from a precomputed day count. */
+inline ExprPtr
+litDateDays(std::int32_t days)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Const;
+    e->resultType = ColumnType::Date;
+    e->constVal = days;
+    return e;
+}
+
+/** String literal. */
+inline ExprPtr
+litStr(const std::string &s)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::ConstStr;
+    e->resultType = ColumnType::Varchar;
+    e->strVal = s;
+    return e;
+}
+
+namespace detail {
+
+inline ExprPtr
+binary(ExprKind kind, ExprPtr a, ExprPtr b)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = kind;
+    e->children = {std::move(a), std::move(b)};
+    return e;
+}
+
+} // namespace detail
+
+inline ExprPtr
+arith(ArithOp op, ExprPtr a, ExprPtr b)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Arith;
+    e->arithOp = op;
+    e->children = {std::move(a), std::move(b)};
+    return e;
+}
+
+inline ExprPtr add(ExprPtr a, ExprPtr b)
+{ return arith(ArithOp::Add, std::move(a), std::move(b)); }
+inline ExprPtr sub(ExprPtr a, ExprPtr b)
+{ return arith(ArithOp::Sub, std::move(a), std::move(b)); }
+inline ExprPtr mul(ExprPtr a, ExprPtr b)
+{ return arith(ArithOp::Mul, std::move(a), std::move(b)); }
+inline ExprPtr div(ExprPtr a, ExprPtr b)
+{ return arith(ArithOp::Div, std::move(a), std::move(b)); }
+
+inline ExprPtr
+cmp(CmpOp op, ExprPtr a, ExprPtr b)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Compare;
+    e->cmpOp = op;
+    e->resultType = ColumnType::Int32;
+    e->children = {std::move(a), std::move(b)};
+    return e;
+}
+
+inline ExprPtr eq(ExprPtr a, ExprPtr b)
+{ return cmp(CmpOp::Eq, std::move(a), std::move(b)); }
+inline ExprPtr ne(ExprPtr a, ExprPtr b)
+{ return cmp(CmpOp::Ne, std::move(a), std::move(b)); }
+inline ExprPtr lt(ExprPtr a, ExprPtr b)
+{ return cmp(CmpOp::Lt, std::move(a), std::move(b)); }
+inline ExprPtr le(ExprPtr a, ExprPtr b)
+{ return cmp(CmpOp::Le, std::move(a), std::move(b)); }
+inline ExprPtr gt(ExprPtr a, ExprPtr b)
+{ return cmp(CmpOp::Gt, std::move(a), std::move(b)); }
+inline ExprPtr ge(ExprPtr a, ExprPtr b)
+{ return cmp(CmpOp::Ge, std::move(a), std::move(b)); }
+
+inline ExprPtr
+logic(LogicOp op, ExprPtr a, ExprPtr b)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Logic;
+    e->logicOp = op;
+    e->resultType = ColumnType::Int32;
+    e->children = {std::move(a), std::move(b)};
+    return e;
+}
+
+inline ExprPtr andE(ExprPtr a, ExprPtr b)
+{ return logic(LogicOp::And, std::move(a), std::move(b)); }
+inline ExprPtr orE(ExprPtr a, ExprPtr b)
+{ return logic(LogicOp::Or, std::move(a), std::move(b)); }
+
+inline ExprPtr
+notE(ExprPtr a)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Not;
+    e->resultType = ColumnType::Int32;
+    e->children = {std::move(a)};
+    return e;
+}
+
+/** SQL LIKE: @p a LIKE @p pat with % (any run) and _ (any char). */
+inline ExprPtr
+like(ExprPtr a, const std::string &pat)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Like;
+    e->resultType = ColumnType::Int32;
+    e->pattern = pat;
+    e->children = {std::move(a)};
+    return e;
+}
+
+/** Membership in an integer literal list. */
+inline ExprPtr
+inList(ExprPtr a, std::vector<std::int64_t> vals)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::InList;
+    e->resultType = ColumnType::Int32;
+    e->listVals = std::move(vals);
+    e->children = {std::move(a)};
+    return e;
+}
+
+/** Membership in a string literal list. */
+inline ExprPtr
+inStrList(ExprPtr a, std::vector<std::string> vals)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::InList;
+    e->resultType = ColumnType::Int32;
+    e->listStrs = std::move(vals);
+    e->children = {std::move(a)};
+    return e;
+}
+
+/** BETWEEN a AND b (inclusive). */
+inline ExprPtr
+between(ExprPtr v, ExprPtr lo, ExprPtr hi)
+{
+    ExprPtr lower = ge(v, std::move(lo));
+    ExprPtr upper = le(std::move(v), std::move(hi));
+    return andE(std::move(lower), std::move(upper));
+}
+
+/**
+ * CASE WHEN w0 THEN t0 [WHEN w1 THEN t1 ...] ELSE e END.
+ * @p arms alternates when/then expressions.
+ */
+inline ExprPtr
+caseWhen(std::vector<ExprPtr> arms, ExprPtr else_e)
+{
+    AQ_ASSERT(arms.size() % 2 == 0 && !arms.empty());
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Case;
+    e->children = std::move(arms);
+    e->children.push_back(std::move(else_e));
+    return e;
+}
+
+/** EXTRACT(YEAR FROM date). */
+inline ExprPtr
+year(ExprPtr a)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Year;
+    e->resultType = ColumnType::Int64;
+    e->children = {std::move(a)};
+    return e;
+}
+
+/** LIKE matcher used by the engine and the regex-accelerator model. */
+bool likeMatch(std::string_view text, std::string_view pattern);
+
+/** Collect the distinct column names an expression references. */
+void collectColumns(const ExprPtr &e, std::vector<std::string> &out);
+
+} // namespace aquoman
+
+#endif // AQUOMAN_RELALG_EXPR_HH

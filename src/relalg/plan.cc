@@ -1,0 +1,181 @@
+#include "relalg/plan.hh"
+
+#include <sstream>
+
+namespace aquoman {
+
+namespace {
+
+const char *
+joinTypeName(JoinType t)
+{
+    switch (t) {
+      case JoinType::Inner:     return "inner";
+      case JoinType::LeftSemi:  return "semi";
+      case JoinType::LeftAnti:  return "anti";
+      case JoinType::LeftOuter: return "outer";
+    }
+    return "?";
+}
+
+const char *
+aggKindName(AggKind k)
+{
+    switch (k) {
+      case AggKind::Sum:           return "sum";
+      case AggKind::Min:           return "min";
+      case AggKind::Max:           return "max";
+      case AggKind::Count:         return "count";
+      case AggKind::Avg:           return "avg";
+      case AggKind::CountDistinct: return "count_distinct";
+    }
+    return "?";
+}
+
+std::string
+exprToString(const ExprPtr &e)
+{
+    if (!e)
+        return "";
+    switch (e->kind) {
+      case ExprKind::ColRef:
+        return e->column;
+      case ExprKind::Const:
+        if (e->resultType == ColumnType::Date)
+            return "date'" + dateToString(
+                static_cast<std::int32_t>(e->constVal)) + "'";
+        if (e->resultType == ColumnType::Decimal)
+            return decimalToString(e->constVal);
+        return std::to_string(e->constVal);
+      case ExprKind::ConstStr:
+        return "'" + e->strVal + "'";
+      case ExprKind::Arith: {
+        static const char *ops[] = {"+", "-", "*", "/"};
+        return "(" + exprToString(e->children[0]) + " "
+            + ops[static_cast<int>(e->arithOp)] + " "
+            + exprToString(e->children[1]) + ")";
+      }
+      case ExprKind::Compare: {
+        static const char *ops[] = {"=", "<>", "<", "<=", ">", ">="};
+        return "(" + exprToString(e->children[0]) + " "
+            + ops[static_cast<int>(e->cmpOp)] + " "
+            + exprToString(e->children[1]) + ")";
+      }
+      case ExprKind::Logic:
+        return "(" + exprToString(e->children[0])
+            + (e->logicOp == LogicOp::And ? " and " : " or ")
+            + exprToString(e->children[1]) + ")";
+      case ExprKind::Not:
+        return "not " + exprToString(e->children[0]);
+      case ExprKind::Like:
+        return exprToString(e->children[0]) + " like '" + e->pattern + "'";
+      case ExprKind::InList: {
+        std::string s = exprToString(e->children[0]) + " in (";
+        bool first = true;
+        for (auto v : e->listVals) {
+            s += (first ? "" : ", ") + std::to_string(v);
+            first = false;
+        }
+        for (const auto &v : e->listStrs) {
+            s += std::string(first ? "" : ", ") + "'" + v + "'";
+            first = false;
+        }
+        return s + ")";
+      }
+      case ExprKind::Case:
+        return "case(...)";
+      case ExprKind::Year:
+        return "year(" + exprToString(e->children[0]) + ")";
+    }
+    return "?";
+}
+
+void
+planToStream(std::ostringstream &os, const PlanPtr &p, int indent)
+{
+    std::string pad(indent * 2, ' ');
+    os << pad;
+    switch (p->kind) {
+      case PlanKind::Scan:
+        if (!p->scanStage.empty())
+            os << "scan stage:" << p->scanStage;
+        else
+            os << "scan " << p->scanTable;
+        if (!p->scanAlias.empty())
+            os << " as " << p->scanAlias;
+        break;
+      case PlanKind::Filter:
+        os << "filter " << exprToString(p->predicate);
+        break;
+      case PlanKind::Project: {
+        os << "project ";
+        bool first = true;
+        for (const auto &ne : p->projections) {
+            os << (first ? "" : ", ") << ne.name << "="
+               << exprToString(ne.expr);
+            first = false;
+        }
+        break;
+      }
+      case PlanKind::Join: {
+        os << joinTypeName(p->joinType) << "-join on ";
+        for (std::size_t i = 0; i < p->leftKeys.size(); ++i) {
+            os << (i ? " and " : "") << p->leftKeys[i] << "="
+               << p->rightKeys[i];
+        }
+        if (p->residual)
+            os << " residual " << exprToString(p->residual);
+        break;
+      }
+      case PlanKind::GroupBy: {
+        os << "group-by [";
+        for (std::size_t i = 0; i < p->groupColumns.size(); ++i)
+            os << (i ? ", " : "") << p->groupColumns[i];
+        os << "] aggs [";
+        for (std::size_t i = 0; i < p->aggregates.size(); ++i) {
+            os << (i ? ", " : "") << p->aggregates[i].name << "="
+               << aggKindName(p->aggregates[i].kind) << "("
+               << exprToString(p->aggregates[i].input) << ")";
+        }
+        os << "]";
+        break;
+      }
+      case PlanKind::OrderBy: {
+        os << "order-by ";
+        for (std::size_t i = 0; i < p->sortKeys.size(); ++i) {
+            os << (i ? ", " : "") << p->sortKeys[i].column
+               << (p->sortKeys[i].descending ? " desc" : " asc");
+        }
+        if (p->limit >= 0)
+            os << " limit " << p->limit;
+        break;
+      }
+    }
+    os << "\n";
+    for (const auto &c : p->children)
+        planToStream(os, c, indent + 1);
+}
+
+} // namespace
+
+std::string
+planToString(const PlanPtr &plan, int indent)
+{
+    std::ostringstream os;
+    planToStream(os, plan, indent);
+    return os.str();
+}
+
+std::string
+queryToString(const Query &q)
+{
+    std::ostringstream os;
+    os << "query " << q.name << "\n";
+    for (const auto &s : q.stages) {
+        os << "stage " << s.id << ":\n";
+        os << planToString(s.plan, 1);
+    }
+    return os.str();
+}
+
+} // namespace aquoman

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Logical query plans. A Query is an ordered list of Stages; each
+ * stage's plan tree scans either base tables (by catalog name) or the
+ * result of an earlier stage (by stage id). All TPC-H subqueries are
+ * expressed by decorrelation into stages (group-by + join), so no
+ * scalar-subquery machinery is needed at runtime.
+ */
+
+#ifndef AQUOMAN_RELALG_PLAN_HH
+#define AQUOMAN_RELALG_PLAN_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relalg/expr.hh"
+
+namespace aquoman {
+
+struct Plan;
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/** Plan operator kinds. */
+enum class PlanKind
+{
+    Scan,    ///< read a base table or a prior stage result
+    Filter,  ///< keep rows where the predicate is true
+    Project, ///< compute named output expressions per row
+    Join,    ///< equi-join (with optional residual predicate)
+    GroupBy, ///< grouped / global aggregation
+    OrderBy, ///< sort (optionally top-k limited)
+};
+
+/** Join flavours used by the TPC-H plans. */
+enum class JoinType
+{
+    Inner,     ///< emit combined row per match
+    LeftSemi,  ///< emit left row when >=1 match passes
+    LeftAnti,  ///< emit left row when no match passes
+    LeftOuter, ///< emit combined row; unmatched right side is NULL
+};
+
+/** Aggregate function kinds. */
+enum class AggKind { Sum, Min, Max, Count, Avg, CountDistinct };
+
+/** Null sentinel produced by outer joins; Count/Sum skip it. */
+constexpr std::int64_t kNullValue =
+    std::numeric_limits<std::int64_t>::min();
+
+/** One named output expression of a Project. */
+struct NamedExpr
+{
+    std::string name;
+    ExprPtr expr;
+};
+
+/** One aggregate of a GroupBy. */
+struct AggSpec
+{
+    std::string name; ///< output column name
+    AggKind kind;
+    ExprPtr input;    ///< aggregated expression (ignored for Count(*))
+};
+
+/** One sort key of an OrderBy. */
+struct SortKey
+{
+    std::string column;
+    bool descending = false;
+};
+
+/** Immutable plan node. */
+struct Plan
+{
+    PlanKind kind;
+    std::vector<PlanPtr> children;
+
+    // --- Scan ---
+    std::string scanTable;   ///< base table name ("" for stage scans)
+    std::string scanStage;   ///< prior stage id ("" for base scans)
+    std::string scanAlias;   ///< optional prefix for output column names
+    /** Columns to read; empty = all. Pruning is done by the builder. */
+    std::vector<std::string> scanColumns;
+
+    // --- Filter ---
+    ExprPtr predicate;
+
+    // --- Project ---
+    std::vector<NamedExpr> projections;
+
+    // --- Join ---
+    JoinType joinType = JoinType::Inner;
+    std::vector<std::string> leftKeys;
+    std::vector<std::string> rightKeys;
+    /** Extra predicate over the combined row (non-equi conditions). */
+    ExprPtr residual;
+
+    // --- GroupBy ---
+    std::vector<std::string> groupColumns;
+    std::vector<AggSpec> aggregates;
+
+    // --- OrderBy ---
+    std::vector<SortKey> sortKeys;
+    std::int64_t limit = -1; ///< top-k cutoff; -1 = unlimited
+};
+
+/** One executable stage of a query. */
+struct Stage
+{
+    std::string id;
+    PlanPtr plan;
+};
+
+/** A complete query: stages execute in order, last one is the answer. */
+struct Query
+{
+    std::string name;
+    std::vector<Stage> stages;
+};
+
+// ---------------------------------------------------------------------
+// Plan builder helpers
+// ---------------------------------------------------------------------
+
+/** Scan a base table, optionally aliased and column-pruned. */
+inline PlanPtr
+scan(const std::string &table, const std::string &alias = "",
+     std::vector<std::string> columns = {})
+{
+    auto p = std::make_shared<Plan>();
+    p->kind = PlanKind::Scan;
+    p->scanTable = table;
+    p->scanAlias = alias;
+    p->scanColumns = std::move(columns);
+    return p;
+}
+
+/** Scan the result of an earlier stage. */
+inline PlanPtr
+scanStage(const std::string &stage_id)
+{
+    auto p = std::make_shared<Plan>();
+    p->kind = PlanKind::Scan;
+    p->scanStage = stage_id;
+    return p;
+}
+
+inline PlanPtr
+filter(PlanPtr child, ExprPtr pred)
+{
+    auto p = std::make_shared<Plan>();
+    p->kind = PlanKind::Filter;
+    p->children = {std::move(child)};
+    p->predicate = std::move(pred);
+    return p;
+}
+
+inline PlanPtr
+project(PlanPtr child, std::vector<NamedExpr> exprs)
+{
+    auto p = std::make_shared<Plan>();
+    p->kind = PlanKind::Project;
+    p->children = {std::move(child)};
+    p->projections = std::move(exprs);
+    return p;
+}
+
+inline PlanPtr
+join(JoinType type, PlanPtr left, PlanPtr right,
+     std::vector<std::string> left_keys, std::vector<std::string> right_keys,
+     ExprPtr residual = nullptr)
+{
+    auto p = std::make_shared<Plan>();
+    p->kind = PlanKind::Join;
+    p->joinType = type;
+    p->children = {std::move(left), std::move(right)};
+    p->leftKeys = std::move(left_keys);
+    p->rightKeys = std::move(right_keys);
+    p->residual = std::move(residual);
+    return p;
+}
+
+inline PlanPtr
+groupBy(PlanPtr child, std::vector<std::string> group_cols,
+        std::vector<AggSpec> aggs)
+{
+    auto p = std::make_shared<Plan>();
+    p->kind = PlanKind::GroupBy;
+    p->children = {std::move(child)};
+    p->groupColumns = std::move(group_cols);
+    p->aggregates = std::move(aggs);
+    return p;
+}
+
+inline PlanPtr
+orderBy(PlanPtr child, std::vector<SortKey> keys, std::int64_t limit = -1)
+{
+    auto p = std::make_shared<Plan>();
+    p->kind = PlanKind::OrderBy;
+    p->children = {std::move(child)};
+    p->sortKeys = std::move(keys);
+    p->limit = limit;
+    return p;
+}
+
+/** Render a plan tree as an indented string (for docs and debugging). */
+std::string planToString(const PlanPtr &plan, int indent = 0);
+
+/** Render a whole query. */
+std::string queryToString(const Query &q);
+
+} // namespace aquoman
+
+#endif // AQUOMAN_RELALG_PLAN_HH

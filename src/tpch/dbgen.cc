@@ -1,0 +1,412 @@
+#include "tpch/dbgen.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/date.hh"
+#include "common/decimal.hh"
+#include "common/rng.hh"
+#include "tpch/text_pool.hh"
+
+namespace aquoman::tpch {
+
+const std::int32_t kStartDate = daysFromCivil(1992, 1, 1);
+const std::int32_t kCurrentDate = daysFromCivil(1995, 6, 17);
+const std::int32_t kEndDate = daysFromCivil(1998, 12, 31);
+
+namespace {
+
+/** Latest o_orderdate: ENDDATE - 151 days (ship + receipt slack). */
+std::int32_t
+maxOrderDate()
+{
+    return kEndDate - 151;
+}
+
+std::string
+paddedKeyName(const char *prefix, std::int64_t key)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%09lld", prefix,
+                  static_cast<long long>(key));
+    return buf;
+}
+
+std::string
+randomAddress(Rng &rng)
+{
+    static const char *alphabet =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,";
+    int len = static_cast<int>(rng.uniform(10, 30));
+    std::string s;
+    s.reserve(len);
+    for (int i = 0; i < len; ++i)
+        s.push_back(alphabet[rng.uniform(0, 63)]);
+    return s;
+}
+
+std::string
+phoneFor(Rng &rng, std::int64_t nation_key)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                  static_cast<int>(10 + nation_key),
+                  static_cast<int>(rng.uniform(100, 999)),
+                  static_cast<int>(rng.uniform(100, 999)),
+                  static_cast<int>(rng.uniform(1000, 9999)));
+    return buf;
+}
+
+/** dbgen's supplier-of-part formula: the i-th of 4 suppliers for part. */
+std::int64_t
+partSupplier(std::int64_t part_key, int i, std::int64_t num_suppliers)
+{
+    return (part_key + i * (num_suppliers / 4
+                            + (part_key - 1) / num_suppliers))
+        % num_suppliers + 1;
+}
+
+} // namespace
+
+std::int64_t
+TpchDatabase::supplierRows(double sf)
+{
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(sf * 10000));
+}
+
+std::int64_t
+TpchDatabase::customerRows(double sf)
+{
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(sf * 150000));
+}
+
+std::int64_t
+TpchDatabase::partRows(double sf)
+{
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(sf * 200000));
+}
+
+std::int64_t
+TpchDatabase::ordersRows(double sf)
+{
+    return std::max<std::int64_t>(1,
+                                  static_cast<std::int64_t>(sf * 1500000));
+}
+
+TpchDatabase
+TpchDatabase::generate(const TpchConfig &cfg)
+{
+    TpchDatabase db;
+    Rng rng(cfg.seed);
+    const std::int64_t num_supp = supplierRows(cfg.scaleFactor);
+    const std::int64_t num_cust = customerRows(cfg.scaleFactor);
+    const std::int64_t num_part = partRows(cfg.scaleFactor);
+    const std::int64_t num_ord = ordersRows(cfg.scaleFactor);
+
+    // ------------------------------------------------------------ region
+    {
+        auto t = std::make_shared<Table>("region");
+        auto &rk = t->addColumn("r_regionkey", ColumnType::Int64);
+        auto &rn = t->addColumn("r_name", ColumnType::Varchar);
+        auto &rc = t->addColumn("r_comment", ColumnType::Varchar);
+        for (std::size_t i = 0; i < kRegions.size(); ++i) {
+            rk.push(static_cast<std::int64_t>(i));
+            t->pushString(rn, kRegions[i]);
+            t->pushString(rc, randomComment(rng, 8));
+        }
+        rk.setSorted(true);
+        db.region = t;
+    }
+
+    // ------------------------------------------------------------ nation
+    {
+        auto t = std::make_shared<Table>("nation");
+        auto &nk = t->addColumn("n_nationkey", ColumnType::Int64);
+        auto &nn = t->addColumn("n_name", ColumnType::Varchar);
+        auto &nr = t->addColumn("n_regionkey", ColumnType::Int64);
+        auto &nc = t->addColumn("n_comment", ColumnType::Varchar);
+        for (std::size_t i = 0; i < kNations.size(); ++i) {
+            nk.push(static_cast<std::int64_t>(i));
+            t->pushString(nn, kNations[i].name);
+            nr.push(kNations[i].regionKey);
+            t->pushString(nc, randomComment(rng, 8));
+        }
+        nk.setSorted(true);
+        db.nation = t;
+    }
+
+    // ---------------------------------------------------------- supplier
+    {
+        auto t = std::make_shared<Table>("supplier");
+        auto &sk = t->addColumn("s_suppkey", ColumnType::Int64);
+        auto &sn = t->addColumn("s_name", ColumnType::Varchar);
+        auto &sa = t->addColumn("s_address", ColumnType::Varchar);
+        auto &snk = t->addColumn("s_nationkey", ColumnType::Int64);
+        auto &sp = t->addColumn("s_phone", ColumnType::Varchar);
+        auto &sb = t->addColumn("s_acctbal", ColumnType::Decimal);
+        auto &sc = t->addColumn("s_comment", ColumnType::Varchar);
+        for (std::int64_t k = 1; k <= num_supp; ++k) {
+            sk.push(k);
+            t->pushString(sn, paddedKeyName("Supplier#", k));
+            t->pushString(sa, randomAddress(rng));
+            std::int64_t nation = rng.uniform(0, 24);
+            snk.push(nation);
+            t->pushString(sp, phoneFor(rng, nation));
+            sb.push(rng.uniform(-99999, 999999)); // -999.99 .. 9999.99
+            std::string comment = randomComment(rng, 10);
+            // Raised-density substitution for the spec's 5-per-10000
+            // "Customer Complaints" suppliers (documented in DESIGN.md).
+            if (k % 197 == 5)
+                comment += " Customer Complaints";
+            t->pushString(sc, comment);
+        }
+        sk.setSorted(true);
+        db.supplier = t;
+    }
+
+    // ---------------------------------------------------------- customer
+    {
+        auto t = std::make_shared<Table>("customer");
+        auto &ck = t->addColumn("c_custkey", ColumnType::Int64);
+        auto &cn = t->addColumn("c_name", ColumnType::Varchar);
+        auto &ca = t->addColumn("c_address", ColumnType::Varchar);
+        auto &cnk = t->addColumn("c_nationkey", ColumnType::Int64);
+        auto &cp = t->addColumn("c_phone", ColumnType::Varchar);
+        auto &cb = t->addColumn("c_acctbal", ColumnType::Decimal);
+        auto &cm = t->addColumn("c_mktsegment", ColumnType::Varchar);
+        auto &cc = t->addColumn("c_comment", ColumnType::Varchar);
+        for (std::int64_t k = 1; k <= num_cust; ++k) {
+            ck.push(k);
+            t->pushString(cn, paddedKeyName("Customer#", k));
+            t->pushString(ca, randomAddress(rng));
+            std::int64_t nation = rng.uniform(0, 24);
+            cnk.push(nation);
+            t->pushString(cp, phoneFor(rng, nation));
+            cb.push(rng.uniform(-99999, 999999));
+            t->pushString(cm, pickWord(rng, kSegments));
+            t->pushString(cc, randomComment(rng, 12));
+        }
+        ck.setSorted(true);
+        db.customer = t;
+    }
+
+    // -------------------------------------------------------------- part
+    {
+        auto t = std::make_shared<Table>("part");
+        auto &pk = t->addColumn("p_partkey", ColumnType::Int64);
+        auto &pn = t->addColumn("p_name", ColumnType::Varchar);
+        auto &pm = t->addColumn("p_mfgr", ColumnType::Varchar);
+        auto &pb = t->addColumn("p_brand", ColumnType::Varchar);
+        auto &pt = t->addColumn("p_type", ColumnType::Varchar);
+        auto &ps = t->addColumn("p_size", ColumnType::Int64);
+        auto &pc = t->addColumn("p_container", ColumnType::Varchar);
+        auto &pr = t->addColumn("p_retailprice", ColumnType::Decimal);
+        auto &pcm = t->addColumn("p_comment", ColumnType::Varchar);
+        for (std::int64_t k = 1; k <= num_part; ++k) {
+            pk.push(k);
+            // p_name: five distinct colours.
+            std::string name;
+            for (int w = 0; w < 5; ++w) {
+                if (w)
+                    name += " ";
+                name += pickWord(rng, kColors);
+            }
+            t->pushString(pn, name);
+            int mfgr = static_cast<int>(rng.uniform(1, 5));
+            int brand = mfgr * 10 + static_cast<int>(rng.uniform(1, 5));
+            t->pushString(pm, "Manufacturer#" + std::to_string(mfgr));
+            t->pushString(pb, "Brand#" + std::to_string(brand));
+            t->pushString(pt, pickWord(rng, kTypeSyl1) + " "
+                          + pickWord(rng, kTypeSyl2) + " "
+                          + pickWord(rng, kTypeSyl3));
+            ps.push(rng.uniform(1, 50));
+            t->pushString(pc, pickWord(rng, kContainerSyl1) + " "
+                          + pickWord(rng, kContainerSyl2));
+            // Spec formula, already in hundredths.
+            pr.push(90000 + ((k / 10) % 20001) + 100 * (k % 1000));
+            t->pushString(pcm, randomComment(rng, 5));
+        }
+        pk.setSorted(true);
+        db.part = t;
+    }
+
+    // ---------------------------------------------------------- partsupp
+    {
+        auto t = std::make_shared<Table>("partsupp");
+        auto &pk = t->addColumn("ps_partkey", ColumnType::Int64);
+        auto &sk = t->addColumn("ps_suppkey", ColumnType::Int64);
+        auto &aq = t->addColumn("ps_availqty", ColumnType::Int64);
+        auto &sc = t->addColumn("ps_supplycost", ColumnType::Decimal);
+        auto &cm = t->addColumn("ps_comment", ColumnType::Varchar);
+        for (std::int64_t k = 1; k <= num_part; ++k) {
+            for (int i = 0; i < 4; ++i) {
+                pk.push(k);
+                sk.push(partSupplier(k, i, num_supp));
+                aq.push(rng.uniform(1, 9999));
+                sc.push(rng.uniform(100, 100000)); // 1.00 .. 1000.00
+                t->pushString(cm, randomComment(rng, 10));
+            }
+        }
+        pk.setSorted(true);
+        db.partsupp = t;
+    }
+
+    // ------------------------------------------------- orders + lineitem
+    {
+        auto ot = std::make_shared<Table>("orders");
+        auto &ok = ot->addColumn("o_orderkey", ColumnType::Int64);
+        auto &oc = ot->addColumn("o_custkey", ColumnType::Int64);
+        auto &os = ot->addColumn("o_orderstatus", ColumnType::Varchar);
+        auto &otp = ot->addColumn("o_totalprice", ColumnType::Decimal);
+        auto &od = ot->addColumn("o_orderdate", ColumnType::Date);
+        auto &op = ot->addColumn("o_orderpriority", ColumnType::Varchar);
+        auto &ocl = ot->addColumn("o_clerk", ColumnType::Varchar);
+        auto &osp = ot->addColumn("o_shippriority", ColumnType::Int64);
+        auto &ocm = ot->addColumn("o_comment", ColumnType::Varchar);
+
+        auto lt = std::make_shared<Table>("lineitem");
+        auto &lok = lt->addColumn("l_orderkey", ColumnType::Int64);
+        auto &lpk = lt->addColumn("l_partkey", ColumnType::Int64);
+        auto &lsk = lt->addColumn("l_suppkey", ColumnType::Int64);
+        auto &lln = lt->addColumn("l_linenumber", ColumnType::Int64);
+        auto &lq = lt->addColumn("l_quantity", ColumnType::Decimal);
+        auto &lep = lt->addColumn("l_extendedprice", ColumnType::Decimal);
+        auto &ld = lt->addColumn("l_discount", ColumnType::Decimal);
+        auto &ltx = lt->addColumn("l_tax", ColumnType::Decimal);
+        auto &lrf = lt->addColumn("l_returnflag", ColumnType::Varchar);
+        auto &lls = lt->addColumn("l_linestatus", ColumnType::Varchar);
+        auto &lsd = lt->addColumn("l_shipdate", ColumnType::Date);
+        auto &lcd = lt->addColumn("l_commitdate", ColumnType::Date);
+        auto &lrd = lt->addColumn("l_receiptdate", ColumnType::Date);
+        auto &lsi = lt->addColumn("l_shipinstruct", ColumnType::Varchar);
+        auto &lsm = lt->addColumn("l_shipmode", ColumnType::Varchar);
+        auto &lcm = lt->addColumn("l_comment", ColumnType::Varchar);
+
+        const std::int64_t clerks =
+            std::max<std::int64_t>(1, num_ord / 1000);
+        for (std::int64_t k = 1; k <= num_ord; ++k) {
+            // Spec: orders reference only custkeys not divisible by 3,
+            // so one third of customers have no orders (drives q13/q22).
+            std::int64_t cust = rng.uniform(1, num_cust);
+            while (cust % 3 == 0)
+                cust = rng.uniform(1, num_cust);
+            std::int32_t odate = static_cast<std::int32_t>(
+                rng.uniform(kStartDate, maxOrderDate()));
+            int nlines = static_cast<int>(rng.uniform(1, 7));
+            std::int64_t total = 0;
+            int f_count = 0, o_count = 0;
+            for (int ln = 1; ln <= nlines; ++ln) {
+                std::int64_t part = rng.uniform(1, num_part);
+                std::int64_t supp =
+                    partSupplier(part, static_cast<int>(rng.uniform(0, 3)),
+                                 num_supp);
+                std::int64_t qty = rng.uniform(1, 50);
+                std::int64_t retail =
+                    90000 + ((part / 10) % 20001) + 100 * (part % 1000);
+                std::int64_t eprice = qty * retail;
+                std::int64_t disc = rng.uniform(0, 10);  // 0.00 .. 0.10
+                std::int64_t tax = rng.uniform(0, 8);    // 0.00 .. 0.08
+                std::int32_t sdate = odate
+                    + static_cast<std::int32_t>(rng.uniform(1, 121));
+                std::int32_t cdate = odate
+                    + static_cast<std::int32_t>(rng.uniform(30, 90));
+                std::int32_t rdate = sdate
+                    + static_cast<std::int32_t>(rng.uniform(1, 30));
+                lok.push(k);
+                lpk.push(part);
+                lsk.push(supp);
+                lln.push(ln);
+                lq.push(qty * kDecimalScale);
+                lep.push(eprice);
+                ld.push(disc);
+                ltx.push(tax);
+                if (rdate <= kCurrentDate) {
+                    lt->pushString(lrf, rng.uniform(0, 1) ? "R" : "A");
+                } else {
+                    lt->pushString(lrf, "N");
+                }
+                bool f_status = sdate <= kCurrentDate;
+                lt->pushString(lls, f_status ? "F" : "O");
+                f_count += f_status;
+                o_count += !f_status;
+                lsd.push(sdate);
+                lcd.push(cdate);
+                lrd.push(rdate);
+                lt->pushString(lsi, pickWord(rng, kInstructions));
+                lt->pushString(lsm, pickWord(rng, kModes));
+                lt->pushString(lcm, randomComment(rng, 4));
+                total += decimalMul(decimalMul(eprice, 100 + tax),
+                                    100 - disc);
+            }
+            ok.push(k);
+            oc.push(cust);
+            ot->pushString(os, o_count == 0 ? "O"
+                               : (f_count == nlines ? "F" : "P"));
+            otp.push(total);
+            od.push(odate);
+            ot->pushString(op, pickWord(rng, kPriorities));
+            ot->pushString(ocl, paddedKeyName("Clerk#",
+                                              rng.uniform(1, clerks)));
+            osp.push(0);
+            std::string comment = randomComment(rng, 8);
+            if (rng.uniform(0, 99) == 0) {
+                comment += " special " + pickWord(rng, kAdverbs)
+                    + " requests";
+            }
+            ot->pushString(ocm, comment);
+        }
+        db.orders = ot;
+        db.lineitem = lt;
+        ok.setSorted(true);
+    }
+
+    db.region->checkConsistent();
+    db.nation->checkConsistent();
+    db.supplier->checkConsistent();
+    db.customer->checkConsistent();
+    db.part->checkConsistent();
+    db.partsupp->checkConsistent();
+    db.orders->checkConsistent();
+    db.lineitem->checkConsistent();
+    return db;
+}
+
+void
+TpchDatabase::installInto(Catalog &catalog, TableStore &store) const
+{
+    auto install = [&](const std::shared_ptr<Table> &t,
+                       const std::string &pkey) {
+        auto resident = store.store(t);
+        CatalogEntry &e = catalog.put(t, std::move(resident));
+        e.densePrimaryKey = pkey;
+    };
+    install(region, "r_regionkey");
+    install(nation, "n_nationkey");
+    install(supplier, "s_suppkey");
+    install(customer, "c_custkey");
+    install(part, "p_partkey");
+    install(partsupp, "");
+    install(orders, "o_orderkey");
+    install(lineitem, "");
+
+    catalog.get("nation").fkRowIdTargets["n_regionkey"] = "region";
+    catalog.get("supplier").fkRowIdTargets["s_nationkey"] = "nation";
+    catalog.get("customer").fkRowIdTargets["c_nationkey"] = "nation";
+    catalog.get("partsupp").fkRowIdTargets["ps_partkey"] = "part";
+    catalog.get("partsupp").fkRowIdTargets["ps_suppkey"] = "supplier";
+    catalog.get("orders").fkRowIdTargets["o_custkey"] = "customer";
+    catalog.get("lineitem").fkRowIdTargets["l_orderkey"] = "orders";
+    catalog.get("lineitem").fkRowIdTargets["l_partkey"] = "part";
+    catalog.get("lineitem").fkRowIdTargets["l_suppkey"] = "supplier";
+}
+
+std::int64_t
+TpchDatabase::storedBytes() const
+{
+    return region->storedBytes() + nation->storedBytes()
+        + supplier->storedBytes() + customer->storedBytes()
+        + part->storedBytes() + partsupp->storedBytes()
+        + orders->storedBytes() + lineitem->storedBytes();
+}
+
+} // namespace aquoman::tpch

@@ -1,0 +1,849 @@
+#include "tpch/queries.hh"
+
+#include "common/date.hh"
+#include "tpch/dbgen.hh"
+
+namespace aquoman::tpch {
+
+namespace {
+
+/** sum(l_extendedprice * (1 - l_discount)) input expression. */
+ExprPtr
+revenueExpr()
+{
+    return mul(col("l_extendedprice"), sub(litDec("1.00"),
+                                           col("l_discount")));
+}
+
+Query
+q01(double)
+{
+    auto plan = orderBy(
+        groupBy(
+            project(
+                filter(scan("lineitem", "",
+                            {"l_returnflag", "l_linestatus", "l_quantity",
+                             "l_extendedprice", "l_discount", "l_tax",
+                             "l_shipdate"}),
+                       le(col("l_shipdate"), litDate("1998-09-02"))),
+                {{"l_returnflag", col("l_returnflag")},
+                 {"l_linestatus", col("l_linestatus")},
+                 {"l_quantity", col("l_quantity")},
+                 {"l_extendedprice", col("l_extendedprice")},
+                 {"disc_price", revenueExpr()},
+                 {"charge", mul(revenueExpr(),
+                                add(litDec("1.00"), col("l_tax")))},
+                 {"l_discount", col("l_discount")}}),
+            {"l_returnflag", "l_linestatus"},
+            {{"sum_qty", AggKind::Sum, col("l_quantity")},
+             {"sum_base_price", AggKind::Sum, col("l_extendedprice")},
+             {"sum_disc_price", AggKind::Sum, col("disc_price")},
+             {"sum_charge", AggKind::Sum, col("charge")},
+             {"avg_qty", AggKind::Avg, col("l_quantity")},
+             {"avg_price", AggKind::Avg, col("l_extendedprice")},
+             {"avg_disc", AggKind::Avg, col("l_discount")},
+             {"count_order", AggKind::Count, nullptr}}),
+        {{"l_returnflag", false}, {"l_linestatus", false}});
+    return Query{"q01", {{"out", plan}}};
+}
+
+Query
+q02(double)
+{
+    // Eligible (part, supplier) pairs in EUROPE for size-15 %BRASS parts.
+    auto eligible =
+        join(JoinType::Inner,
+             join(JoinType::Inner,
+                  join(JoinType::Inner,
+                       join(JoinType::Inner,
+                            filter(scan("part", "",
+                                        {"p_partkey", "p_mfgr", "p_size",
+                                         "p_type"}),
+                                   andE(eq(col("p_size"), lit(15)),
+                                        like(col("p_type"), "%BRASS"))),
+                            scan("partsupp", "",
+                                 {"ps_partkey", "ps_suppkey",
+                                  "ps_supplycost"}),
+                            {"p_partkey"}, {"ps_partkey"}),
+                       scan("supplier", "",
+                            {"s_suppkey", "s_acctbal", "s_name",
+                             "s_address", "s_phone", "s_comment",
+                             "s_nationkey"}),
+                       {"ps_suppkey"}, {"s_suppkey"}),
+                  scan("nation", "", {"n_nationkey", "n_name",
+                                      "n_regionkey"}),
+                  {"s_nationkey"}, {"n_nationkey"}),
+             filter(scan("region", "", {"r_regionkey", "r_name"}),
+                    eq(col("r_name"), litStr("EUROPE"))),
+             {"n_regionkey"}, {"r_regionkey"});
+
+    auto mincost =
+        project(groupBy(scanStage("eligible"), {"p_partkey"},
+                        {{"min_cost", AggKind::Min,
+                          col("ps_supplycost")}}),
+                {{"mc_partkey", col("p_partkey")},
+                 {"min_cost", col("min_cost")}});
+
+    auto out = orderBy(
+        project(
+            join(JoinType::Inner, scanStage("eligible"),
+                 scanStage("mincost"),
+                 {"p_partkey", "ps_supplycost"}, {"mc_partkey", "min_cost"}),
+            {{"s_acctbal", col("s_acctbal")},
+             {"s_name", col("s_name")},
+             {"n_name", col("n_name")},
+             {"out_partkey", col("p_partkey")},
+             {"p_mfgr", col("p_mfgr")},
+             {"s_address", col("s_address")},
+             {"s_phone", col("s_phone")},
+             {"s_comment", col("s_comment")}}),
+        {{"s_acctbal", true}, {"n_name", false}, {"s_name", false},
+         {"out_partkey", false}},
+        100);
+    return Query{"q02",
+                 {{"eligible", eligible}, {"mincost", mincost},
+                  {"out", out}}};
+}
+
+Query
+q03(double)
+{
+    auto plan = orderBy(
+        groupBy(
+            project(
+                join(JoinType::Inner,
+                     filter(scan("lineitem", "",
+                                 {"l_orderkey", "l_extendedprice",
+                                  "l_discount", "l_shipdate"}),
+                            gt(col("l_shipdate"), litDate("1995-03-15"))),
+                     join(JoinType::Inner,
+                          filter(scan("orders", "",
+                                      {"o_orderkey", "o_custkey",
+                                       "o_orderdate", "o_shippriority"}),
+                                 lt(col("o_orderdate"),
+                                    litDate("1995-03-15"))),
+                          filter(scan("customer", "",
+                                      {"c_custkey", "c_mktsegment"}),
+                                 eq(col("c_mktsegment"),
+                                    litStr("BUILDING"))),
+                          {"o_custkey"}, {"c_custkey"}),
+                     {"l_orderkey"}, {"o_orderkey"}),
+                {{"l_orderkey", col("l_orderkey")},
+                 {"o_orderdate", col("o_orderdate")},
+                 {"o_shippriority", col("o_shippriority")},
+                 {"rev_in", revenueExpr()}}),
+            {"l_orderkey", "o_orderdate", "o_shippriority"},
+            {{"revenue", AggKind::Sum, col("rev_in")}}),
+        {{"revenue", true}, {"o_orderdate", false}},
+        10);
+    return Query{"q03", {{"out", plan}}};
+}
+
+Query
+q04(double)
+{
+    auto plan = orderBy(
+        groupBy(
+            join(JoinType::LeftSemi,
+                 filter(scan("orders", "",
+                             {"o_orderkey", "o_orderdate",
+                              "o_orderpriority"}),
+                        andE(ge(col("o_orderdate"), litDate("1993-07-01")),
+                             lt(col("o_orderdate"),
+                                litDate("1993-10-01")))),
+                 filter(scan("lineitem", "",
+                             {"l_orderkey", "l_commitdate",
+                              "l_receiptdate"}),
+                        lt(col("l_commitdate"), col("l_receiptdate"))),
+                 {"o_orderkey"}, {"l_orderkey"}),
+            {"o_orderpriority"},
+            {{"order_count", AggKind::Count, nullptr}}),
+        {{"o_orderpriority", false}});
+    return Query{"q04", {{"out", plan}}};
+}
+
+Query
+q05(double)
+{
+    auto asia_nations =
+        join(JoinType::Inner,
+             scan("nation", "", {"n_nationkey", "n_name", "n_regionkey"}),
+             filter(scan("region", "", {"r_regionkey", "r_name"}),
+                    eq(col("r_name"), litStr("ASIA"))),
+             {"n_regionkey"}, {"r_regionkey"});
+    auto cust = join(JoinType::Inner,
+                     scan("customer", "", {"c_custkey", "c_nationkey"}),
+                     asia_nations, {"c_nationkey"}, {"n_nationkey"});
+    auto ord =
+        join(JoinType::Inner,
+             filter(scan("orders", "", {"o_orderkey", "o_custkey",
+                                        "o_orderdate"}),
+                    andE(ge(col("o_orderdate"), litDate("1994-01-01")),
+                         lt(col("o_orderdate"), litDate("1995-01-01")))),
+             cust, {"o_custkey"}, {"c_custkey"});
+    auto li = join(JoinType::Inner,
+                   scan("lineitem", "",
+                        {"l_orderkey", "l_suppkey", "l_extendedprice",
+                         "l_discount"}),
+                   ord, {"l_orderkey"}, {"o_orderkey"});
+    auto with_supp =
+        join(JoinType::Inner, li,
+             scan("supplier", "", {"s_suppkey", "s_nationkey"}),
+             {"l_suppkey", "c_nationkey"}, {"s_suppkey", "s_nationkey"});
+    auto plan = orderBy(
+        groupBy(project(with_supp,
+                        {{"n_name", col("n_name")},
+                         {"rev_in", revenueExpr()}}),
+                {"n_name"}, {{"revenue", AggKind::Sum, col("rev_in")}}),
+        {{"revenue", true}});
+    return Query{"q05", {{"out", plan}}};
+}
+
+Query
+q06(double)
+{
+    auto plan = groupBy(
+        project(
+            filter(scan("lineitem", "",
+                        {"l_shipdate", "l_discount", "l_quantity",
+                         "l_extendedprice"}),
+                   andE(andE(ge(col("l_shipdate"), litDate("1994-01-01")),
+                             lt(col("l_shipdate"), litDate("1995-01-01"))),
+                        andE(between(col("l_discount"), litDec("0.05"),
+                                     litDec("0.07")),
+                             lt(col("l_quantity"), lit(24))))),
+            {{"rev_in", mul(col("l_extendedprice"), col("l_discount"))}}),
+        {}, {{"revenue", AggKind::Sum, col("rev_in")}});
+    return Query{"q06", {{"out", plan}}};
+}
+
+Query
+q07(double)
+{
+    auto li =
+        filter(scan("lineitem", "",
+                    {"l_orderkey", "l_suppkey", "l_shipdate",
+                     "l_extendedprice", "l_discount"}),
+               between(col("l_shipdate"), litDate("1995-01-01"),
+                       litDate("1996-12-31")));
+    auto supp_n1 =
+        join(JoinType::Inner,
+             scan("supplier", "", {"s_suppkey", "s_nationkey"}),
+             scan("nation", "n1", {"n_nationkey", "n_name"}),
+             {"s_nationkey"}, {"n1.n_nationkey"});
+    auto cust_n2 =
+        join(JoinType::Inner,
+             scan("customer", "", {"c_custkey", "c_nationkey"}),
+             scan("nation", "n2", {"n_nationkey", "n_name"}),
+             {"c_nationkey"}, {"n2.n_nationkey"});
+    auto ord = join(JoinType::Inner,
+                    scan("orders", "", {"o_orderkey", "o_custkey"}),
+                    cust_n2, {"o_custkey"}, {"c_custkey"});
+    auto joined =
+        join(JoinType::Inner,
+             join(JoinType::Inner, li, ord, {"l_orderkey"}, {"o_orderkey"}),
+             supp_n1, {"l_suppkey"}, {"s_suppkey"});
+    auto nation_pair = orE(
+        andE(eq(col("n1.n_name"), litStr("FRANCE")),
+             eq(col("n2.n_name"), litStr("GERMANY"))),
+        andE(eq(col("n1.n_name"), litStr("GERMANY")),
+             eq(col("n2.n_name"), litStr("FRANCE"))));
+    auto plan = orderBy(
+        groupBy(project(filter(joined, nation_pair),
+                        {{"supp_nation", col("n1.n_name")},
+                         {"cust_nation", col("n2.n_name")},
+                         {"l_year", year(col("l_shipdate"))},
+                         {"volume", revenueExpr()}}),
+                {"supp_nation", "cust_nation", "l_year"},
+                {{"revenue", AggKind::Sum, col("volume")}}),
+        {{"supp_nation", false}, {"cust_nation", false},
+         {"l_year", false}});
+    return Query{"q07", {{"out", plan}}};
+}
+
+Query
+q08(double)
+{
+    auto america_nations =
+        join(JoinType::Inner,
+             scan("nation", "n1", {"n_nationkey", "n_regionkey"}),
+             filter(scan("region", "", {"r_regionkey", "r_name"}),
+                    eq(col("r_name"), litStr("AMERICA"))),
+             {"n1.n_regionkey"}, {"r_regionkey"});
+    auto cust = join(JoinType::Inner,
+                     scan("customer", "", {"c_custkey", "c_nationkey"}),
+                     america_nations, {"c_nationkey"}, {"n1.n_nationkey"});
+    auto ord =
+        join(JoinType::Inner,
+             filter(scan("orders", "",
+                         {"o_orderkey", "o_custkey", "o_orderdate"}),
+                    between(col("o_orderdate"), litDate("1995-01-01"),
+                            litDate("1996-12-31"))),
+             cust, {"o_custkey"}, {"c_custkey"});
+    auto li =
+        join(JoinType::Inner,
+             join(JoinType::Inner,
+                  scan("lineitem", "",
+                       {"l_orderkey", "l_partkey", "l_suppkey",
+                        "l_extendedprice", "l_discount"}),
+                  filter(scan("part", "", {"p_partkey", "p_type"}),
+                         eq(col("p_type"),
+                            litStr("ECONOMY ANODIZED STEEL"))),
+                  {"l_partkey"}, {"p_partkey"}),
+             ord, {"l_orderkey"}, {"o_orderkey"});
+    auto with_supp_nation =
+        join(JoinType::Inner,
+             join(JoinType::Inner, li,
+                  scan("supplier", "", {"s_suppkey", "s_nationkey"}),
+                  {"l_suppkey"}, {"s_suppkey"}),
+             scan("nation", "n2", {"n_nationkey", "n_name"}),
+             {"s_nationkey"}, {"n2.n_nationkey"});
+    auto grouped = groupBy(
+        project(with_supp_nation,
+                {{"o_year", year(col("o_orderdate"))},
+                 {"volume", revenueExpr()},
+                 {"brazil_volume",
+                  caseWhen({eq(col("n2.n_name"), litStr("BRAZIL")),
+                            revenueExpr()},
+                           litDec("0.00"))}}),
+        {"o_year"},
+        {{"sum_brazil", AggKind::Sum, col("brazil_volume")},
+         {"sum_all", AggKind::Sum, col("volume")}});
+    auto plan = orderBy(
+        project(grouped, {{"o_year", col("o_year")},
+                          {"mkt_share", div(col("sum_brazil"),
+                                            col("sum_all"))}}),
+        {{"o_year", false}});
+    return Query{"q08", {{"out", plan}}};
+}
+
+Query
+q09(double)
+{
+    auto li =
+        join(JoinType::Inner,
+             join(JoinType::Inner,
+                  scan("lineitem", "",
+                       {"l_orderkey", "l_partkey", "l_suppkey",
+                        "l_quantity", "l_extendedprice", "l_discount"}),
+                  filter(scan("part", "", {"p_partkey", "p_name"}),
+                         like(col("p_name"), "%green%")),
+                  {"l_partkey"}, {"p_partkey"}),
+             scan("partsupp", "",
+                  {"ps_partkey", "ps_suppkey", "ps_supplycost"}),
+             {"l_partkey", "l_suppkey"}, {"ps_partkey", "ps_suppkey"});
+    auto with_ord = join(JoinType::Inner, li,
+                         scan("orders", "", {"o_orderkey", "o_orderdate"}),
+                         {"l_orderkey"}, {"o_orderkey"});
+    auto with_nation =
+        join(JoinType::Inner,
+             join(JoinType::Inner, with_ord,
+                  scan("supplier", "", {"s_suppkey", "s_nationkey"}),
+                  {"l_suppkey"}, {"s_suppkey"}),
+             scan("nation", "", {"n_nationkey", "n_name"}),
+             {"s_nationkey"}, {"n_nationkey"});
+    auto plan = orderBy(
+        groupBy(project(with_nation,
+                        {{"nation", col("n_name")},
+                         {"o_year", year(col("o_orderdate"))},
+                         {"amount",
+                          sub(revenueExpr(),
+                              mul(col("ps_supplycost"),
+                                  col("l_quantity")))}}),
+                {"nation", "o_year"},
+                {{"sum_profit", AggKind::Sum, col("amount")}}),
+        {{"nation", false}, {"o_year", true}});
+    return Query{"q09", {{"out", plan}}};
+}
+
+Query
+q10(double)
+{
+    auto li =
+        join(JoinType::Inner,
+             filter(scan("lineitem", "",
+                         {"l_orderkey", "l_returnflag", "l_extendedprice",
+                          "l_discount"}),
+                    eq(col("l_returnflag"), litStr("R"))),
+             filter(scan("orders", "",
+                         {"o_orderkey", "o_custkey", "o_orderdate"}),
+                    andE(ge(col("o_orderdate"), litDate("1993-10-01")),
+                         lt(col("o_orderdate"), litDate("1994-01-01")))),
+             {"l_orderkey"}, {"o_orderkey"});
+    auto with_cust =
+        join(JoinType::Inner, li,
+             join(JoinType::Inner,
+                  scan("customer", "",
+                       {"c_custkey", "c_name", "c_acctbal", "c_phone",
+                        "c_nationkey", "c_address", "c_comment"}),
+                  scan("nation", "", {"n_nationkey", "n_name"}),
+                  {"c_nationkey"}, {"n_nationkey"}),
+             {"o_custkey"}, {"c_custkey"});
+    auto plan = orderBy(
+        groupBy(project(with_cust,
+                        {{"c_custkey", col("c_custkey")},
+                         {"c_name", col("c_name")},
+                         {"c_acctbal", col("c_acctbal")},
+                         {"c_phone", col("c_phone")},
+                         {"n_name", col("n_name")},
+                         {"c_address", col("c_address")},
+                         {"c_comment", col("c_comment")},
+                         {"rev_in", revenueExpr()}}),
+                {"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name",
+                 "c_address", "c_comment"},
+                {{"revenue", AggKind::Sum, col("rev_in")}}),
+        {{"revenue", true}},
+        20);
+    return Query{"q10", {{"out", plan}}};
+}
+
+Query
+q11(double sf)
+{
+    auto german_ps =
+        join(JoinType::Inner,
+             scan("partsupp", "",
+                  {"ps_partkey", "ps_suppkey", "ps_availqty",
+                   "ps_supplycost"}),
+             join(JoinType::Inner,
+                  scan("supplier", "", {"s_suppkey", "s_nationkey"}),
+                  filter(scan("nation", "", {"n_nationkey", "n_name"}),
+                         eq(col("n_name"), litStr("GERMANY"))),
+                  {"s_nationkey"}, {"n_nationkey"}),
+             {"ps_suppkey"}, {"s_suppkey"});
+    auto value_in =
+        project(german_ps,
+                {{"ps_partkey", col("ps_partkey")},
+                 {"value_in", mul(col("ps_supplycost"),
+                                  col("ps_availqty"))}});
+    auto per_part = groupBy(scanStage("german_value"), {"ps_partkey"},
+                            {{"value", AggKind::Sum, col("value_in")}});
+    auto total = groupBy(scanStage("german_value"), {},
+                         {{"total_value", AggKind::Sum, col("value_in")}});
+    // value > total * (0.0001 / SF), in integer form:
+    // value * round(10000 * SF) > total.
+    std::int64_t inv_fraction =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(10000.0 * sf));
+    auto out = orderBy(
+        project(join(JoinType::Inner, scanStage("per_part"),
+                     scanStage("total"), {}, {},
+                     gt(mul(col("value"), lit(inv_fraction)),
+                        col("total_value"))),
+                {{"ps_partkey", col("ps_partkey")},
+                 {"value", col("value")}}),
+        {{"value", true}});
+    return Query{"q11",
+                 {{"german_value", value_in}, {"per_part", per_part},
+                  {"total", total}, {"out", out}}};
+}
+
+Query
+q12(double)
+{
+    auto li = filter(
+        scan("lineitem", "",
+             {"l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate",
+              "l_shipdate"}),
+        andE(andE(inStrList(col("l_shipmode"), {"MAIL", "SHIP"}),
+                  andE(lt(col("l_commitdate"), col("l_receiptdate")),
+                       lt(col("l_shipdate"), col("l_commitdate")))),
+             andE(ge(col("l_receiptdate"), litDate("1994-01-01")),
+                  lt(col("l_receiptdate"), litDate("1995-01-01")))));
+    auto joined = join(JoinType::Inner, li,
+                       scan("orders", "", {"o_orderkey",
+                                           "o_orderpriority"}),
+                       {"l_orderkey"}, {"o_orderkey"});
+    auto high = caseWhen({inStrList(col("o_orderpriority"),
+                                    {"1-URGENT", "2-HIGH"}),
+                          lit(1)},
+                         lit(0));
+    auto low = caseWhen({inStrList(col("o_orderpriority"),
+                                   {"1-URGENT", "2-HIGH"}),
+                         lit(0)},
+                        lit(1));
+    auto plan = orderBy(
+        groupBy(project(joined, {{"l_shipmode", col("l_shipmode")},
+                                 {"high_in", high},
+                                 {"low_in", low}}),
+                {"l_shipmode"},
+                {{"high_line_count", AggKind::Sum, col("high_in")},
+                 {"low_line_count", AggKind::Sum, col("low_in")}}),
+        {{"l_shipmode", false}});
+    return Query{"q12", {{"out", plan}}};
+}
+
+Query
+q13(double)
+{
+    auto c_orders = groupBy(
+        join(JoinType::LeftOuter,
+             scan("customer", "", {"c_custkey"}),
+             filter(scan("orders", "", {"o_orderkey", "o_custkey",
+                                        "o_comment"}),
+                    notE(like(col("o_comment"), "%special%requests%"))),
+             {"c_custkey"}, {"o_custkey"}),
+        {"c_custkey"},
+        {{"c_count", AggKind::Count, col("o_orderkey")}});
+    auto plan = orderBy(
+        groupBy(scanStage("c_orders"), {"c_count"},
+                {{"custdist", AggKind::Count, nullptr}}),
+        {{"custdist", true}, {"c_count", true}});
+    return Query{"q13", {{"c_orders", c_orders}, {"out", plan}}};
+}
+
+Query
+q14(double)
+{
+    auto joined =
+        join(JoinType::Inner,
+             filter(scan("lineitem", "",
+                         {"l_partkey", "l_shipdate", "l_extendedprice",
+                          "l_discount"}),
+                    andE(ge(col("l_shipdate"), litDate("1995-09-01")),
+                         lt(col("l_shipdate"), litDate("1995-10-01")))),
+             scan("part", "", {"p_partkey", "p_type"}),
+             {"l_partkey"}, {"p_partkey"});
+    auto grouped = groupBy(
+        project(joined,
+                {{"promo_in", caseWhen({like(col("p_type"), "PROMO%"),
+                                        revenueExpr()},
+                                       litDec("0.00"))},
+                 {"all_in", revenueExpr()}}),
+        {},
+        {{"sum_promo", AggKind::Sum, col("promo_in")},
+         {"sum_all", AggKind::Sum, col("all_in")}});
+    auto plan = project(grouped,
+                        {{"promo_revenue",
+                          div(mul(litDec("100.00"), col("sum_promo")),
+                              col("sum_all"))}});
+    return Query{"q14", {{"out", plan}}};
+}
+
+Query
+q15(double)
+{
+    auto revenue = groupBy(
+        project(filter(scan("lineitem", "",
+                            {"l_suppkey", "l_shipdate", "l_extendedprice",
+                             "l_discount"}),
+                       andE(ge(col("l_shipdate"), litDate("1996-01-01")),
+                            lt(col("l_shipdate"), litDate("1996-04-01")))),
+                {{"supplier_no", col("l_suppkey")},
+                 {"rev_in", revenueExpr()}}),
+        {"supplier_no"},
+        {{"total_revenue", AggKind::Sum, col("rev_in")}});
+    auto maxrev = groupBy(scanStage("revenue"), {},
+                          {{"max_revenue", AggKind::Max,
+                            col("total_revenue")}});
+    auto out = orderBy(
+        project(
+            join(JoinType::Inner,
+                 join(JoinType::Inner, scanStage("revenue"),
+                      scanStage("maxrev"),
+                      {"total_revenue"}, {"max_revenue"}),
+                 scan("supplier", "",
+                      {"s_suppkey", "s_name", "s_address", "s_phone"}),
+                 {"supplier_no"}, {"s_suppkey"}),
+            {{"s_suppkey", col("s_suppkey")},
+             {"s_name", col("s_name")},
+             {"s_address", col("s_address")},
+             {"s_phone", col("s_phone")},
+             {"total_revenue", col("total_revenue")}}),
+        {{"s_suppkey", false}});
+    return Query{"q15",
+                 {{"revenue", revenue}, {"maxrev", maxrev}, {"out", out}}};
+}
+
+Query
+q16(double)
+{
+    auto eligible_parts =
+        filter(scan("part", "", {"p_partkey", "p_brand", "p_type",
+                                 "p_size"}),
+               andE(andE(ne(col("p_brand"), litStr("Brand#45")),
+                         notE(like(col("p_type"), "MEDIUM POLISHED%"))),
+                    inList(col("p_size"), {49, 14, 23, 45, 19, 3, 36, 9})));
+    auto complainers =
+        filter(scan("supplier", "", {"s_suppkey", "s_comment"}),
+               like(col("s_comment"), "%Customer%Complaints%"));
+    auto ps = join(JoinType::LeftAnti,
+                   join(JoinType::Inner,
+                        scan("partsupp", "", {"ps_partkey", "ps_suppkey"}),
+                        eligible_parts, {"ps_partkey"}, {"p_partkey"}),
+                   complainers, {"ps_suppkey"}, {"s_suppkey"});
+    auto plan = orderBy(
+        groupBy(ps, {"p_brand", "p_type", "p_size"},
+                {{"supplier_cnt", AggKind::CountDistinct,
+                  col("ps_suppkey")}}),
+        {{"supplier_cnt", true}, {"p_brand", false}, {"p_type", false},
+         {"p_size", false}});
+    return Query{"q16", {{"out", plan}}};
+}
+
+Query
+q17(double)
+{
+    auto avg_qty = groupBy(
+        scan("lineitem", "", {"l_partkey", "l_quantity"}),
+        {"l_partkey"},
+        {{"avg_qty", AggKind::Avg, col("l_quantity")}});
+    auto threshold =
+        project(scanStage("avg_qty"),
+                {{"t_partkey", col("l_partkey")},
+                 {"limit_qty", mul(litDec("0.20"), col("avg_qty"))}});
+    auto joined =
+        join(JoinType::Inner,
+             join(JoinType::Inner,
+                  scan("lineitem", "",
+                       {"l_partkey", "l_quantity", "l_extendedprice"}),
+                  filter(scan("part", "",
+                              {"p_partkey", "p_brand", "p_container"}),
+                         andE(eq(col("p_brand"), litStr("Brand#23")),
+                              eq(col("p_container"),
+                                 litStr("MED BOX")))),
+                  {"l_partkey"}, {"p_partkey"}),
+             scanStage("threshold"), {"l_partkey"}, {"t_partkey"});
+    auto grouped =
+        groupBy(filter(joined, lt(col("l_quantity"), col("limit_qty"))),
+                {},
+                {{"sum_price", AggKind::Sum, col("l_extendedprice")}});
+    auto plan = project(grouped,
+                        {{"avg_yearly", div(col("sum_price"),
+                                            litDec("7.00"))}});
+    return Query{"q17",
+                 {{"avg_qty", avg_qty}, {"threshold", threshold},
+                  {"out", plan}}};
+}
+
+Query
+q18(double)
+{
+    auto big_orders =
+        project(filter(groupBy(scan("lineitem", "",
+                                    {"l_orderkey", "l_quantity"}),
+                               {"l_orderkey"},
+                               {{"sum_qty", AggKind::Sum,
+                                 col("l_quantity")}}),
+                       gt(col("sum_qty"), lit(300))),
+                {{"bo_orderkey", col("l_orderkey")}});
+    auto joined =
+        join(JoinType::Inner,
+             join(JoinType::Inner,
+                  join(JoinType::Inner,
+                       scan("lineitem", "", {"l_orderkey", "l_quantity"}),
+                       scanStage("big_orders"),
+                       {"l_orderkey"}, {"bo_orderkey"}),
+                  scan("orders", "",
+                       {"o_orderkey", "o_custkey", "o_orderdate",
+                        "o_totalprice"}),
+                  {"l_orderkey"}, {"o_orderkey"}),
+             scan("customer", "", {"c_custkey", "c_name"}),
+             {"o_custkey"}, {"c_custkey"});
+    auto plan = orderBy(
+        groupBy(joined,
+                {"c_name", "c_custkey", "o_orderkey", "o_orderdate",
+                 "o_totalprice"},
+                {{"sum_quantity", AggKind::Sum, col("l_quantity")}}),
+        {{"o_totalprice", true}, {"o_orderdate", false}},
+        100);
+    return Query{"q18", {{"big_orders", big_orders}, {"out", plan}}};
+}
+
+Query
+q19(double)
+{
+    auto joined =
+        join(JoinType::Inner,
+             filter(scan("lineitem", "",
+                         {"l_partkey", "l_quantity", "l_extendedprice",
+                          "l_discount", "l_shipinstruct", "l_shipmode"}),
+                    andE(inStrList(col("l_shipmode"), {"AIR", "REG AIR"}),
+                         eq(col("l_shipinstruct"),
+                            litStr("DELIVER IN PERSON")))),
+             scan("part", "",
+                  {"p_partkey", "p_brand", "p_container", "p_size"}),
+             {"l_partkey"}, {"p_partkey"});
+    auto clause1 =
+        andE(andE(eq(col("p_brand"), litStr("Brand#12")),
+                  inStrList(col("p_container"),
+                            {"SM CASE", "SM BOX", "SM PACK", "SM PKG"})),
+             andE(between(col("l_quantity"), lit(1), lit(11)),
+                  between(col("p_size"), lit(1), lit(5))));
+    auto clause2 =
+        andE(andE(eq(col("p_brand"), litStr("Brand#23")),
+                  inStrList(col("p_container"),
+                            {"MED BAG", "MED BOX", "MED PKG", "MED PACK"})),
+             andE(between(col("l_quantity"), lit(10), lit(20)),
+                  between(col("p_size"), lit(1), lit(10))));
+    auto clause3 =
+        andE(andE(eq(col("p_brand"), litStr("Brand#34")),
+                  inStrList(col("p_container"),
+                            {"LG CASE", "LG BOX", "LG PACK", "LG PKG"})),
+             andE(between(col("l_quantity"), lit(20), lit(30)),
+                  between(col("p_size"), lit(1), lit(15))));
+    auto plan = groupBy(
+        project(filter(joined, orE(orE(clause1, clause2), clause3)),
+                {{"rev_in", revenueExpr()}}),
+        {}, {{"revenue", AggKind::Sum, col("rev_in")}});
+    return Query{"q19", {{"out", plan}}};
+}
+
+Query
+q20(double)
+{
+    auto forest_parts = filter(scan("part", "", {"p_partkey", "p_name"}),
+                               like(col("p_name"), "forest%"));
+    auto shipped = groupBy(
+        filter(scan("lineitem", "",
+                    {"l_partkey", "l_suppkey", "l_shipdate",
+                     "l_quantity"}),
+               andE(ge(col("l_shipdate"), litDate("1994-01-01")),
+                    lt(col("l_shipdate"), litDate("1995-01-01")))),
+        {"l_partkey", "l_suppkey"},
+        {{"sum_qty", AggKind::Sum, col("l_quantity")}});
+    auto eligible_ps =
+        filter(join(JoinType::Inner,
+                    join(JoinType::LeftSemi,
+                         scan("partsupp", "",
+                              {"ps_partkey", "ps_suppkey", "ps_availqty"}),
+                         forest_parts, {"ps_partkey"}, {"p_partkey"}),
+                    scanStage("shipped"),
+                    {"ps_partkey", "ps_suppkey"},
+                    {"l_partkey", "l_suppkey"}),
+               gt(mul(col("ps_availqty"), lit(2)), col("sum_qty")));
+    auto plan = orderBy(
+        project(
+            join(JoinType::LeftSemi,
+                 join(JoinType::Inner,
+                      scan("supplier", "",
+                           {"s_suppkey", "s_name", "s_address",
+                            "s_nationkey"}),
+                      filter(scan("nation", "",
+                                  {"n_nationkey", "n_name"}),
+                             eq(col("n_name"), litStr("CANADA"))),
+                      {"s_nationkey"}, {"n_nationkey"}),
+                 scanStage("eligible_ps"), {"s_suppkey"}, {"ps_suppkey"}),
+            {{"s_name", col("s_name")}, {"s_address", col("s_address")}}),
+        {{"s_name", false}});
+    return Query{"q20",
+                 {{"shipped", shipped}, {"eligible_ps", eligible_ps},
+                  {"out", plan}}};
+}
+
+Query
+q21(double)
+{
+    auto l1 =
+        join(JoinType::Inner,
+             join(JoinType::Inner,
+                  filter(scan("lineitem", "",
+                              {"l_orderkey", "l_suppkey", "l_receiptdate",
+                               "l_commitdate"}),
+                         gt(col("l_receiptdate"), col("l_commitdate"))),
+                  filter(scan("orders", "", {"o_orderkey",
+                                             "o_orderstatus"}),
+                         eq(col("o_orderstatus"), litStr("F"))),
+                  {"l_orderkey"}, {"o_orderkey"}),
+             join(JoinType::Inner,
+                  scan("supplier", "",
+                       {"s_suppkey", "s_name", "s_nationkey"}),
+                  filter(scan("nation", "", {"n_nationkey", "n_name"}),
+                         eq(col("n_name"), litStr("SAUDI ARABIA"))),
+                  {"s_nationkey"}, {"n_nationkey"}),
+             {"l_suppkey"}, {"s_suppkey"});
+    auto with_other =
+        join(JoinType::LeftSemi, l1,
+             scan("lineitem", "l2", {"l_orderkey", "l_suppkey"}),
+             {"l_orderkey"}, {"l2.l_orderkey"},
+             ne(col("l_suppkey"), col("l2.l_suppkey")));
+    auto no_other_late =
+        join(JoinType::LeftAnti, with_other,
+             filter(scan("lineitem", "l3",
+                         {"l_orderkey", "l_suppkey", "l_receiptdate",
+                          "l_commitdate"}),
+                    gt(col("l3.l_receiptdate"), col("l3.l_commitdate"))),
+             {"l_orderkey"}, {"l3.l_orderkey"},
+             ne(col("l_suppkey"), col("l3.l_suppkey")));
+    auto plan = orderBy(
+        groupBy(no_other_late, {"s_name"},
+                {{"numwait", AggKind::Count, nullptr}}),
+        {{"numwait", true}, {"s_name", false}},
+        100);
+    return Query{"q21", {{"out", plan}}};
+}
+
+Query
+q22(double)
+{
+    // cntrycode == substring(c_phone, 1, 2) == 10 + c_nationkey by the
+    // generator's construction; the numeric form keeps the group-by and
+    // IN-list in fixed-width columns (DESIGN.md).
+    std::vector<std::int64_t> codes = {13, 31, 23, 29, 30, 18, 17};
+    auto cust = project(
+        scan("customer", "", {"c_custkey", "c_acctbal", "c_nationkey"}),
+        {{"c_custkey", col("c_custkey")},
+         {"c_acctbal", col("c_acctbal")},
+         {"cntrycode", add(col("c_nationkey"), lit(10))}});
+    auto avg_bal =
+        groupBy(filter(cust,
+                       andE(gt(col("c_acctbal"), litDec("0.00")),
+                            inList(col("cntrycode"), codes))),
+                {}, {{"avg_acctbal", AggKind::Avg, col("c_acctbal")}});
+    auto eligible =
+        join(JoinType::LeftAnti,
+             join(JoinType::Inner,
+                  filter(cust, inList(col("cntrycode"), codes)),
+                  scanStage("avg_bal"), {}, {},
+                  gt(col("c_acctbal"), col("avg_acctbal"))),
+             scan("orders", "", {"o_custkey"}),
+             {"c_custkey"}, {"o_custkey"});
+    auto plan = orderBy(
+        groupBy(eligible, {"cntrycode"},
+                {{"numcust", AggKind::Count, nullptr},
+                 {"totacctbal", AggKind::Sum, col("c_acctbal")}}),
+        {{"cntrycode", false}});
+    return Query{"q22", {{"avg_bal", avg_bal}, {"out", plan}}};
+}
+
+} // namespace
+
+Query
+tpchQuery(int number, double sf)
+{
+    switch (number) {
+      case 1: return q01(sf);
+      case 2: return q02(sf);
+      case 3: return q03(sf);
+      case 4: return q04(sf);
+      case 5: return q05(sf);
+      case 6: return q06(sf);
+      case 7: return q07(sf);
+      case 8: return q08(sf);
+      case 9: return q09(sf);
+      case 10: return q10(sf);
+      case 11: return q11(sf);
+      case 12: return q12(sf);
+      case 13: return q13(sf);
+      case 14: return q14(sf);
+      case 15: return q15(sf);
+      case 16: return q16(sf);
+      case 17: return q17(sf);
+      case 18: return q18(sf);
+      case 19: return q19(sf);
+      case 20: return q20(sf);
+      case 21: return q21(sf);
+      case 22: return q22(sf);
+      default: fatal("no TPC-H query ", number);
+    }
+}
+
+std::vector<int>
+allQueryNumbers()
+{
+    std::vector<int> out;
+    for (int i = 1; i <= 22; ++i)
+        out.push_back(i);
+    return out;
+}
+
+} // namespace aquoman::tpch

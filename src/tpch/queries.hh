@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The 22 TPC-H queries as logical plans (spec validation parameters).
+ * Correlated subqueries are decorrelated into stages the standard way
+ * (per-key group-by + join); scalar subqueries become single-row stages
+ * broadcast through keyless joins. Two documented adaptations
+ * (DESIGN.md): q22 derives cntrycode from c_nationkey + 10 (identical
+ * by construction to substring(c_phone,1,2)), and q11's DRAM-fraction
+ * comparison is rearranged to integer form to stay in fixed point.
+ */
+
+#ifndef AQUOMAN_TPCH_QUERIES_HH
+#define AQUOMAN_TPCH_QUERIES_HH
+
+#include <vector>
+
+#include "relalg/plan.hh"
+
+namespace aquoman::tpch {
+
+/**
+ * Build TPC-H query @p number (1..22).
+ * @param number query number
+ * @param sf scale factor (q11's fraction parameter depends on it)
+ */
+Query tpchQuery(int number, double sf);
+
+/** All query numbers, in order. */
+std::vector<int> allQueryNumbers();
+
+} // namespace aquoman::tpch
+
+#endif // AQUOMAN_TPCH_QUERIES_HH

@@ -1,0 +1,131 @@
+#include "tpch/text_pool.hh"
+
+namespace aquoman::tpch {
+
+const std::vector<std::string> kColors = {
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+};
+
+const std::vector<std::string> kTypeSyl1 = {
+    "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO",
+};
+const std::vector<std::string> kTypeSyl2 = {
+    "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED",
+};
+const std::vector<std::string> kTypeSyl3 = {
+    "TIN", "NICKEL", "BRASS", "STEEL", "COPPER",
+};
+
+const std::vector<std::string> kContainerSyl1 = {
+    "SM", "LG", "MED", "JUMBO", "WRAP",
+};
+const std::vector<std::string> kContainerSyl2 = {
+    "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM",
+};
+
+const std::vector<std::string> kSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD",
+};
+
+const std::vector<std::string> kPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW",
+};
+
+const std::vector<std::string> kInstructions = {
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+};
+
+const std::vector<std::string> kModes = {
+    "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB",
+};
+
+const std::vector<NationSpec> kNations = {
+    {"ALGERIA", 0},       {"ARGENTINA", 1},  {"BRAZIL", 1},
+    {"CANADA", 1},        {"EGYPT", 4},      {"ETHIOPIA", 0},
+    {"FRANCE", 3},        {"GERMANY", 3},    {"INDIA", 2},
+    {"INDONESIA", 2},     {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},         {"JORDAN", 4},     {"KENYA", 0},
+    {"MOROCCO", 0},       {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},         {"ROMANIA", 3},    {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},       {"RUSSIA", 3},     {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},
+};
+
+const std::vector<std::string> kRegions = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST",
+};
+
+const std::vector<std::string> kNouns = {
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas",
+    "theodolites", "pinto beans", "instructions", "dependencies", "excuses",
+    "platelets", "asymptotes", "courts", "dolphins", "multipliers",
+    "sauternes", "warthogs", "frets", "dinos", "attainments", "somas",
+    "braids", "hockey players", "frays", "warhorses", "dugouts", "notornis",
+    "epitaphs", "pearls", "tithes", "waters", "orbits", "gifts", "sheaves",
+    "depths", "sentiments", "decoys", "realms", "pains", "grouches",
+    "escapades", "hindrances",
+};
+
+const std::vector<std::string> kVerbs = {
+    "sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost",
+    "affix", "detect", "integrate", "maintain", "nod", "was", "lose", "sublate",
+    "solve", "thrash", "promise", "engage", "hinder", "print", "x-ray",
+    "breach", "eat", "grow", "impress", "mold", "poach", "serve", "run",
+    "dazzle", "snooze", "doze", "unwind", "kindle", "play", "hang", "believe",
+    "doubt",
+};
+
+const std::vector<std::string> kAdjectives = {
+    "furious", "sly", "careful", "blithe", "quick", "fluffy", "slow",
+    "quiet", "ruthless", "thin", "close", "dogged", "daring", "brave",
+    "stealthy", "permanent", "enticing", "idle", "busy", "regular", "final",
+    "ironic", "even", "bold", "silent", "special", "pending", "express",
+    "unusual",
+};
+
+const std::vector<std::string> kAdverbs = {
+    "sometimes", "always", "never", "furiously", "slyly", "carefully",
+    "blithely", "quickly", "fluffily", "slowly", "quietly", "ruthlessly",
+    "thinly", "closely", "doggedly", "daringly", "bravely", "stealthily",
+    "permanently", "enticingly", "idly", "busily", "regularly", "finally",
+    "ironically", "evenly", "boldly", "silently",
+};
+
+const std::string &
+pickWord(Rng &rng, const std::vector<std::string> &pool)
+{
+    return pool[rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1)];
+}
+
+std::string
+randomComment(Rng &rng, int words)
+{
+    std::string out;
+    for (int i = 0; i < words; ++i) {
+        const std::vector<std::string> *pool = nullptr;
+        switch (rng.uniform(0, 3)) {
+          case 0: pool = &kNouns; break;
+          case 1: pool = &kVerbs; break;
+          case 2: pool = &kAdjectives; break;
+          default: pool = &kAdverbs; break;
+        }
+        if (!out.empty())
+            out += " ";
+        out += pickWord(rng, *pool);
+    }
+    return out;
+}
+
+} // namespace aquoman::tpch

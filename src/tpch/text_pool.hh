@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Word pools for the TPC-H data generator: the fixed value lists the
+ * TPC-H specification defines (types, containers, segments, priorities,
+ * nations, regions, name syllables) plus a vocabulary for pseudo-text
+ * comment grammar. Query predicates (q9 '%green%', q13
+ * '%special%requests%', q16 '%Customer%Complaints%', q20 'forest%')
+ * depend on these pools, so they follow the spec's lists.
+ */
+
+#ifndef AQUOMAN_TPCH_TEXT_POOL_HH
+#define AQUOMAN_TPCH_TEXT_POOL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace aquoman::tpch {
+
+/** Colour names used to build p_name (spec: P_NAME from 92 colours). */
+extern const std::vector<std::string> kColors;
+
+/** Type syllables: p_type = syl1 + ' ' + syl2 + ' ' + syl3. */
+extern const std::vector<std::string> kTypeSyl1;
+extern const std::vector<std::string> kTypeSyl2;
+extern const std::vector<std::string> kTypeSyl3;
+
+/** Container syllables: p_container = syl1 + ' ' + syl2. */
+extern const std::vector<std::string> kContainerSyl1;
+extern const std::vector<std::string> kContainerSyl2;
+
+/** Market segments (c_mktsegment). */
+extern const std::vector<std::string> kSegments;
+
+/** Order priorities (o_orderpriority). */
+extern const std::vector<std::string> kPriorities;
+
+/** Ship instructions (l_shipinstruct). */
+extern const std::vector<std::string> kInstructions;
+
+/** Ship modes (l_shipmode). */
+extern const std::vector<std::string> kModes;
+
+/** The 25 nations with their region assignment (nationkey order). */
+struct NationSpec
+{
+    const char *name;
+    int regionKey;
+};
+extern const std::vector<NationSpec> kNations;
+
+/** The 5 regions (regionkey order). */
+extern const std::vector<std::string> kRegions;
+
+/** Vocabulary for comment grammar. */
+extern const std::vector<std::string> kNouns;
+extern const std::vector<std::string> kVerbs;
+extern const std::vector<std::string> kAdjectives;
+extern const std::vector<std::string> kAdverbs;
+
+/** Random word from a pool. */
+const std::string &pickWord(Rng &rng, const std::vector<std::string> &pool);
+
+/**
+ * Random pseudo-text of roughly @p words words built from the grammar
+ * vocabulary (used for *_comment columns).
+ */
+std::string randomComment(Rng &rng, int words);
+
+} // namespace aquoman::tpch
+
+#endif // AQUOMAN_TPCH_TEXT_POOL_HH

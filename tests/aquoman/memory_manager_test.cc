@@ -1,0 +1,65 @@
+/** @file Unit tests for device DRAM management (Sec. VI-D). */
+
+#include <gtest/gtest.h>
+
+#include "aquoman/memory_manager.hh"
+
+namespace aquoman {
+namespace {
+
+TEST(DeviceMemoryManagerTest, AllocateFreeAndPeak)
+{
+    DeviceMemoryManager mm(1000);
+    EXPECT_TRUE(mm.allocate("a", 400));
+    EXPECT_TRUE(mm.allocate("b", 500));
+    EXPECT_EQ(mm.usedBytes(), 900);
+    EXPECT_EQ(mm.peakBytes(), 900);
+    mm.free("a");
+    EXPECT_EQ(mm.usedBytes(), 500);
+    EXPECT_EQ(mm.peakBytes(), 900); // peak is sticky
+    EXPECT_TRUE(mm.allocate("c", 450));
+    EXPECT_EQ(mm.peakBytes(), 950);
+}
+
+TEST(DeviceMemoryManagerTest, OverflowRefusesWithoutStateChange)
+{
+    DeviceMemoryManager mm(100);
+    EXPECT_TRUE(mm.allocate("a", 80));
+    EXPECT_FALSE(mm.allocate("b", 30)); // would exceed
+    EXPECT_EQ(mm.usedBytes(), 80);
+    EXPECT_FALSE(mm.has("b"));
+    EXPECT_TRUE(mm.allocate("b", 20)); // exact fit OK
+    EXPECT_EQ(mm.usedBytes(), 100);
+}
+
+TEST(DeviceMemoryManagerTest, GrowRespectsCapacity)
+{
+    DeviceMemoryManager mm(100);
+    ASSERT_TRUE(mm.allocate("stream", 10));
+    EXPECT_TRUE(mm.grow("stream", 50));
+    EXPECT_EQ(mm.slotBytes("stream"), 60);
+    EXPECT_FALSE(mm.grow("stream", 50)); // 110 > 100
+    EXPECT_EQ(mm.slotBytes("stream"), 60);
+}
+
+TEST(DeviceMemoryManagerTest, DuplicateSlotPanics)
+{
+    DeviceMemoryManager mm(100);
+    ASSERT_TRUE(mm.allocate("x", 10));
+    EXPECT_THROW(mm.allocate("x", 10), PanicError);
+    EXPECT_THROW(mm.free("missing"), PanicError);
+}
+
+TEST(DeviceMemoryManagerTest, ResetSemantics)
+{
+    DeviceMemoryManager mm(100);
+    ASSERT_TRUE(mm.allocate("x", 60));
+    mm.reset();
+    EXPECT_EQ(mm.usedBytes(), 0);
+    EXPECT_EQ(mm.peakBytes(), 60); // reset keeps the peak
+    mm.resetPeak();
+    EXPECT_EQ(mm.peakBytes(), 0);
+}
+
+} // namespace
+} // namespace aquoman

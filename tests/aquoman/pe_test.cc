@@ -1,0 +1,377 @@
+/** @file
+ * Unit tests for the Row Transformer PE (Table II) and the transform
+ * compiler, including the central property: every compiled program
+ * computes exactly what the reference expression evaluator computes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aquoman/transform_compiler.hh"
+#include "common/rng.hh"
+#include "relalg/eval.hh"
+
+namespace aquoman {
+namespace {
+
+TEST(PeTest, PassMovesInputToOutput)
+{
+    Pe pe;
+    pe.loadProgram({{PeOpcode::Pass, 0, 0, false, 0}});
+    std::deque<std::int64_t> in{42}, out;
+    pe.runRow(in, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 42);
+}
+
+TEST(PeTest, AluWithImmediate)
+{
+    // rf[1] <= in; out <= rf[1] * 3
+    Pe pe;
+    pe.loadProgram({{PeOpcode::Pass, 1, 0, false, 0},
+                    {PeOpcode::Mul, 0, 1, true, 3}});
+    std::deque<std::int64_t> in{7}, out;
+    pe.runRow(in, out);
+    EXPECT_EQ(out[0], 21);
+}
+
+TEST(PeTest, StoreAndOperandFifo)
+{
+    // out <= in0 - in1 via the operand FIFO.
+    Pe pe;
+    pe.loadProgram({{PeOpcode::Pass, 1, 0, false, 0},
+                    {PeOpcode::Pass, 2, 0, false, 0},
+                    {PeOpcode::Store, 0, 2, false, 0},
+                    {PeOpcode::Sub, 0, 1, false, 0}});
+    std::deque<std::int64_t> in{10, 4}, out;
+    pe.runRow(in, out);
+    EXPECT_EQ(out[0], 6);
+}
+
+TEST(PeTest, CopyWritesRegisterAndOperandFifo)
+{
+    // t = in; out0 <= t+t (Copy pushes t to opReg and keeps it in rf).
+    Pe pe;
+    pe.loadProgram({{PeOpcode::Copy, 1, 0, false, 0},
+                    {PeOpcode::Add, 0, 1, false, 0}});
+    std::deque<std::int64_t> in{21}, out;
+    pe.runRow(in, out);
+    EXPECT_EQ(out[0], 42);
+}
+
+TEST(PeTest, ComparisonsProduceBooleans)
+{
+    Pe pe;
+    pe.loadProgram({{PeOpcode::Pass, 1, 0, false, 0},
+                    {PeOpcode::Lt, 0, 1, true, 10},
+                    {PeOpcode::Gt, 0, 1, true, 10},
+                    {PeOpcode::Eq, 0, 1, true, 10}});
+    std::deque<std::int64_t> in{10}, out;
+    pe.runRow(in, out);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[1], 0);
+    EXPECT_EQ(out[2], 1);
+}
+
+TEST(PeTest, ScaledOpsMatchDecimalHelpers)
+{
+    Pe pe;
+    pe.loadProgram({{PeOpcode::Pass, 1, 0, false, 0},
+                    {PeOpcode::MulScaled, 0, 1, true, 95},
+                    {PeOpcode::DivScaled, 0, 1, true, 700}});
+    std::deque<std::int64_t> in{10000}, out;
+    pe.runRow(in, out);
+    EXPECT_EQ(out[0], decimalMul(10000, 95));
+    EXPECT_EQ(out[1], decimalDiv(10000, 700));
+}
+
+TEST(PeTest, DivByZeroGuarded)
+{
+    Pe pe;
+    pe.loadProgram({{PeOpcode::Pass, 1, 0, false, 0},
+                    {PeOpcode::Div, 0, 1, true, 0}});
+    std::deque<std::int64_t> in{5}, out;
+    pe.runRow(in, out);
+    EXPECT_EQ(out[0], 0);
+}
+
+TEST(PeTest, InputUnderflowPanics)
+{
+    Pe pe;
+    pe.loadProgram({{PeOpcode::Pass, 0, 0, false, 0}});
+    std::deque<std::int64_t> in, out;
+    EXPECT_THROW(pe.runRow(in, out), PanicError);
+}
+
+TEST(SystolicArrayTest, TwoStageChainForwardsThroughFifo)
+{
+    // PE0: t = in + 1, forward; PE1: out = t * 2.
+    SystolicArray array({{{PeOpcode::Pass, 1, 0, false, 0},
+                          {PeOpcode::Add, 2, 1, true, 1},
+                          {PeOpcode::Pass, 0, 2, false, 0}},
+                         {{PeOpcode::Pass, 1, 0, false, 0},
+                          {PeOpcode::Mul, 0, 1, true, 2}}});
+    std::vector<std::int64_t> out;
+    array.runRow({20}, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 42);
+    EXPECT_EQ(array.numPes(), 2);
+    EXPECT_EQ(array.maxProgramLength(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Transform compiler
+// ---------------------------------------------------------------------
+
+std::map<std::string, ColumnType>
+tpchLineitemSchema()
+{
+    return {{"l_quantity", ColumnType::Decimal},
+            {"l_extendedprice", ColumnType::Decimal},
+            {"l_discount", ColumnType::Decimal},
+            {"l_tax", ColumnType::Decimal},
+            {"l_shipdate", ColumnType::Date},
+            {"l_orderkey", ColumnType::Int64},
+            {"l_flag", ColumnType::Int32}};
+}
+
+/** Random input relation over the schema. */
+RelTable
+randomInput(const std::map<std::string, ColumnType> &schema,
+            std::int64_t rows, std::uint64_t seed)
+{
+    Rng rng(seed);
+    RelTable t;
+    for (const auto &[name, type] : schema) {
+        RelColumn c(name, type);
+        for (std::int64_t i = 0; i < rows; ++i) {
+            switch (type) {
+              case ColumnType::Decimal:
+                c.push(rng.uniform(0, 20000));
+                break;
+              case ColumnType::Date:
+                c.push(rng.uniform(8035, 10592)); // 1992..1998
+                break;
+              case ColumnType::Int32:
+                c.push(rng.uniform(0, 1));
+                break;
+              default:
+                c.push(rng.uniform(1, 100000));
+                break;
+            }
+        }
+        t.addColumn(std::move(c));
+    }
+    return t;
+}
+
+/** Compile @p outputs, run them through the PE chain, compare to eval. */
+void
+checkAgainstReference(const std::vector<NamedExpr> &outputs,
+                      bool expect_fpga_fit = false)
+{
+    auto schema = tpchLineitemSchema();
+    AquomanConfig cfg;
+    TransformResult tr = compileTransform(outputs, schema, cfg);
+    ASSERT_TRUE(tr.ok()) << tr.error;
+    const CompiledTransform &ct = *tr.program;
+    if (expect_fpga_fit) {
+        EXPECT_TRUE(ct.fitsFpgaProfile);
+    }
+
+    RelTable input = randomInput(schema, 257, 0xabcdef);
+    SystolicArray array = ct.buildArray();
+
+    // Reference results.
+    std::vector<RelColumn> want;
+    for (const auto &ne : outputs)
+        want.push_back(evalExpr(ne.expr, input, ne.name));
+
+    std::vector<std::int64_t> row_in, row_out;
+    for (std::int64_t r = 0; r < input.numRows(); ++r) {
+        row_in.clear();
+        for (const auto &cname : ct.inputColumns)
+            row_in.push_back(input.col(cname).get(r));
+        array.runRow(row_in, row_out);
+        ASSERT_EQ(row_out.size(), outputs.size());
+        for (std::size_t o = 0; o < outputs.size(); ++o) {
+            ASSERT_EQ(row_out[o], want[o].get(r))
+                << "row " << r << " output " << outputs[o].name;
+        }
+    }
+    // Output types match the evaluator's binding.
+    for (std::size_t o = 0; o < outputs.size(); ++o)
+        EXPECT_EQ(ct.outputTypes[o], want[o].type) << outputs[o].name;
+}
+
+TEST(TransformCompilerTest, SimplePassThrough)
+{
+    checkAgainstReference({{"k", col("l_orderkey")}}, true);
+}
+
+TEST(TransformCompilerTest, Fig9RevenueTransform)
+{
+    // The paper's Fig. 9/10 example transform.
+    auto rev = mul(col("l_extendedprice"),
+                   sub(litDec("1.00"), col("l_discount")));
+    checkAgainstReference(
+        {{"qty", col("l_quantity")},
+         {"base_price", col("l_extendedprice")},
+         {"disc_price", rev},
+         {"charge", mul(rev, add(litDec("1.00"), col("l_tax")))}});
+}
+
+TEST(TransformCompilerTest, SharedSubexpressionCompiledOnce)
+{
+    auto rev = mul(col("l_extendedprice"),
+                   sub(litDec("1.00"), col("l_discount")));
+    auto schema = tpchLineitemSchema();
+    TransformResult one = compileTransform({{"a", rev}}, schema,
+                                           AquomanConfig{});
+    TransformResult two = compileTransform(
+        {{"a", rev}, {"b", mul(rev, litDec("2.00"))}}, schema,
+        AquomanConfig{});
+    ASSERT_TRUE(one.ok() && two.ok());
+    // The shared revenue subtree adds only the extra multiply + emit
+    // (plus forwarding passes), not a recomputation of the subtree.
+    EXPECT_LE(two.program->totalInstructions,
+              one.program->totalInstructions + 6);
+}
+
+TEST(TransformCompilerTest, ComparisonLoweringAllOps)
+{
+    checkAgainstReference(
+        {{"eq", eq(col("l_orderkey"), lit(500))},
+         {"ne", ne(col("l_orderkey"), lit(500))},
+         {"lt", lt(col("l_orderkey"), lit(500))},
+         {"le", le(col("l_orderkey"), lit(500))},
+         {"gt", gt(col("l_orderkey"), lit(500))},
+         {"ge", ge(col("l_orderkey"), lit(500))}});
+}
+
+TEST(TransformCompilerTest, BooleanLogicAndInList)
+{
+    checkAgainstReference(
+        {{"p", andE(gt(col("l_quantity"), lit(24)),
+                    orE(lt(col("l_discount"), litDec("0.05")),
+                        eq(col("l_flag"), lit(1))))},
+         {"in", inList(col("l_orderkey"), {10, 20, 30, 40})}});
+}
+
+TEST(TransformCompilerTest, CaseWhenArithmetic)
+{
+    checkAgainstReference(
+        {{"v", caseWhen({gt(col("l_quantity"), lit(25)),
+                         col("l_extendedprice")},
+                        litDec("0.00"))}});
+}
+
+TEST(TransformCompilerTest, YearAndDateComparisons)
+{
+    checkAgainstReference(
+        {{"y", year(col("l_shipdate"))},
+         {"recent", ge(col("l_shipdate"), litDateDays(9497))}});
+}
+
+TEST(TransformCompilerTest, ConstMinusColumnRewrite)
+{
+    checkAgainstReference({{"inv", sub(lit(100), col("l_orderkey"))}});
+}
+
+TEST(TransformCompilerTest, DecimalPromotionMatchesEngine)
+{
+    checkAgainstReference(
+        {{"cmp", lt(col("l_quantity"), lit(24))},
+         {"sum", add(lit(1), col("l_discount"))},
+         {"ratio", div(col("l_extendedprice"), col("l_quantity"))}});
+}
+
+TEST(TransformCompilerTest, LikeIsRejected)
+{
+    std::map<std::string, ColumnType> schema =
+        {{"name", ColumnType::Varchar}};
+    TransformResult tr = compileTransform(
+        {{"m", like(col("name"), "x%")}}, schema, AquomanConfig{});
+    EXPECT_FALSE(tr.ok());
+    EXPECT_NE(tr.error.find("regex"), std::string::npos);
+}
+
+TEST(TransformCompilerTest, OrderedStringComparisonRejected)
+{
+    std::map<std::string, ColumnType> schema =
+        {{"a", ColumnType::Varchar}, {"b", ColumnType::Varchar}};
+    TransformResult tr = compileTransform(
+        {{"m", lt(col("a"), col("b"))}}, schema, AquomanConfig{});
+    EXPECT_FALSE(tr.ok());
+}
+
+TEST(TransformCompilerTest, FpgaProfileRejectsHugeTransformInStrictMode)
+{
+    // A very wide transform cannot fit 4 PEs x 8 slots.
+    std::vector<NamedExpr> outs;
+    for (int i = 0; i < 12; ++i) {
+        outs.push_back({"o" + std::to_string(i),
+                        mul(col("l_extendedprice"),
+                            add(col("l_quantity"), lit(i)))});
+    }
+    auto schema = tpchLineitemSchema();
+    TransformResult strict = compileTransform(outs, schema,
+                                              AquomanConfig{}, false);
+    EXPECT_FALSE(strict.ok());
+    TransformResult elastic = compileTransform(outs, schema,
+                                               AquomanConfig{}, true);
+    EXPECT_TRUE(elastic.ok()) << elastic.error;
+}
+
+/** Property sweep: random expression trees match the evaluator. */
+class RandomExprProperty : public ::testing::TestWithParam<int>
+{
+};
+
+ExprPtr
+randomExpr(Rng &rng, int depth)
+{
+    if (depth == 0 || rng.uniform(0, 3) == 0) {
+        switch (rng.uniform(0, 3)) {
+          case 0: return col("l_quantity");
+          case 1: return col("l_extendedprice");
+          case 2: return col("l_orderkey");
+          default: return lit(rng.uniform(1, 50));
+        }
+    }
+    switch (rng.uniform(0, 6)) {
+      case 0:
+        return add(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1));
+      case 1:
+        return sub(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1));
+      case 2:
+        return mul(randomExpr(rng, depth - 1),
+                   lit(rng.uniform(1, 9)));
+      case 3:
+        return lt(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1));
+      case 4:
+        return caseWhen({gt(col("l_quantity"), lit(25)),
+                         randomExpr(rng, depth - 1)},
+                        randomExpr(rng, depth - 1));
+      default:
+        return ge(randomExpr(rng, depth - 1),
+                  randomExpr(rng, depth - 1));
+    }
+}
+
+TEST_P(RandomExprProperty, CompiledEqualsEvaluated)
+{
+    Rng rng(GetParam() * 7919 + 13);
+    ExprPtr e = randomExpr(rng, 3);
+    // Constant-only trees are the planner's job, skip them.
+    std::vector<std::string> cols;
+    collectColumns(e, cols);
+    if (cols.empty())
+        GTEST_SKIP();
+    checkAgainstReference({{"v", e}});
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomExprProperty,
+                         ::testing::Range(0, 24));
+
+} // namespace
+} // namespace aquoman

@@ -1,0 +1,423 @@
+/** @file
+ * Unit and property tests for the SQL Swissknife accelerators: bitonic
+ * sorter, VCAS, TopK chain, Merger/Intersection and the Aggregate
+ * Group-By (including its spill-over behaviour), plus the streaming
+ * sorter's functional and Table V timing behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "aquoman/swissknife/bitonic.hh"
+#include "aquoman/swissknife/groupby.hh"
+#include "aquoman/swissknife/merger.hh"
+#include "aquoman/swissknife/streaming_sorter.hh"
+#include "aquoman/swissknife/topk.hh"
+#include "aquoman/swissknife/vcas.hh"
+#include "common/rng.hh"
+
+namespace aquoman {
+namespace {
+
+KvStream
+randomStream(std::int64_t n, std::uint64_t seed, std::int64_t key_range)
+{
+    Rng rng(seed);
+    KvStream s(n);
+    for (std::int64_t i = 0; i < n; ++i)
+        s[i] = {rng.uniform(0, key_range), i};
+    return s;
+}
+
+// ----------------------------------------------------------- Bitonic
+
+class BitonicProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitonicProperty, SortsRandomVectors)
+{
+    int size = GetParam();
+    BitonicSorter sorter(size);
+    Rng rng(size * 31 + 7);
+    for (int trial = 0; trial < 20; ++trial) {
+        KvStream v(size);
+        for (int i = 0; i < size; ++i)
+            v[i] = {rng.uniform(-1000, 1000), i};
+        KvStream want = v;
+        std::sort(want.begin(), want.end());
+        sorter.sortVector(v.data());
+        EXPECT_EQ(v, want);
+    }
+    EXPECT_GT(sorter.casOps(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicProperty,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(BitonicTest, StageCountMatchesTheory)
+{
+    EXPECT_EQ(BitonicSorter(32).numStages(), 15); // 5*6/2
+    EXPECT_EQ(BitonicSorter(8).numStages(), 6);   // 3*4/2
+    EXPECT_EQ(BitonicSorter(2).numStages(), 1);
+}
+
+TEST(BitonicTest, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(BitonicSorter(12), PanicError);
+}
+
+// -------------------------------------------------------------- VCAS
+
+TEST(VcasTest, KeepsBiggestHalf)
+{
+    Vcas block(4);
+    KvStream v1 = {{1, 0}, {3, 0}, {5, 0}, {7, 0}};
+    block.compareAndSwap(v1);
+    // First vector displaces the -inf initial contents entirely.
+    EXPECT_EQ(block.contents()[0].key, 1);
+    EXPECT_EQ(block.contents()[3].key, 7);
+
+    KvStream v2 = {{2, 0}, {4, 0}, {6, 0}, {8, 0}};
+    block.compareAndSwap(v2);
+    // Top-4 of {1..8} is {5,6,7,8}; streamed-out half is {1,2,3,4}.
+    EXPECT_EQ(block.contents()[0].key, 5);
+    EXPECT_EQ(block.contents()[3].key, 8);
+    EXPECT_EQ(v2[0].key, 1);
+    EXPECT_EQ(v2[3].key, 4);
+    EXPECT_EQ(block.steps(), 8);
+}
+
+TEST(VcasTest, PropertyTopHalfOfUnion)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        int n = 8;
+        Vcas block(n);
+        KvStream all;
+        for (int round = 0; round < 6; ++round) {
+            KvStream v(n);
+            for (int i = 0; i < n; ++i)
+                v[i] = {rng.uniform(0, 100), rng.uniform(0, 1 << 20)};
+            std::sort(v.begin(), v.end());
+            for (const Kv &r : v)
+                all.push_back(r);
+            block.compareAndSwap(v);
+        }
+        std::sort(all.begin(), all.end());
+        KvStream want(all.end() - n, all.end());
+        EXPECT_EQ(block.contents(), want);
+    }
+}
+
+// -------------------------------------------------------------- TopK
+
+class TopKProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(TopKProperty, MatchesPartialSort)
+{
+    auto [k, n] = GetParam();
+    KvStream input = randomStream(n, k * 1000003 + n, 1 << 20);
+    TopKAccelerator topk(k, 8);
+    topk.pushAll(input);
+    KvStream got = topk.finish();
+
+    KvStream want = input;
+    std::sort(want.begin(), want.end());
+    std::reverse(want.begin(), want.end());
+    want.resize(std::min<std::int64_t>(k, n));
+    EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopKProperty,
+    ::testing::Values(std::make_tuple(1, 100), std::make_tuple(8, 64),
+                      std::make_tuple(10, 1000), std::make_tuple(16, 7),
+                      std::make_tuple(100, 100),
+                      std::make_tuple(32, 5000)));
+
+TEST(TopKTest, ChainLengthIsKOverN)
+{
+    EXPECT_EQ(TopKAccelerator(100, 32).chainLength(), 4);
+    EXPECT_EQ(TopKAccelerator(32, 32).chainLength(), 1);
+    EXPECT_EQ(TopKAccelerator(1, 32).chainLength(), 1);
+}
+
+TEST(TopKTest, CountersAdvance)
+{
+    TopKAccelerator topk(16, 8);
+    topk.pushAll(randomStream(100, 5, 1000));
+    topk.finish();
+    EXPECT_GE(topk.vectorsSorted(), 100 / 8);
+    EXPECT_GT(topk.casSteps(), 0);
+}
+
+// ------------------------------------------------------------ Merger
+
+TEST(MergerTest, MergesTwoSortedStreams)
+{
+    KvStream a = randomStream(500, 1, 1000);
+    KvStream b = randomStream(300, 2, 1000);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    MergeStats stats;
+    KvStream m = merge2to1(a, b, &stats);
+    ASSERT_EQ(m.size(), 800u);
+    EXPECT_TRUE(std::is_sorted(m.begin(), m.end(),
+                               [](const Kv &x, const Kv &y) {
+                                   return x.key < y.key;
+                               }));
+    EXPECT_GT(stats.sourceSwitches, 0);
+    EXPECT_EQ(stats.recordsOut, 800);
+}
+
+TEST(MergerTest, IntersectInnerJoinsAgainstUniqueSide)
+{
+    // Right: unique keys 0..99 (rowids 1000+key). Left: fan-out 0..2.
+    KvStream right;
+    for (int k = 0; k < 100; ++k)
+        right.push_back({k * 2, 1000 + k});
+    KvStream left;
+    for (int k = 0; k < 150; ++k)
+        left.push_back({k, k});
+    auto pairs = intersectInner(left, right);
+    // Even keys 0..148 match: 75 pairs.
+    ASSERT_EQ(pairs.size(), 75u);
+    for (const auto &p : pairs) {
+        EXPECT_EQ(p.key % 2, 0);
+        EXPECT_EQ(p.leftValue, p.key);
+        EXPECT_EQ(p.rightValue, 1000 + p.key / 2);
+    }
+}
+
+TEST(MergerTest, InnerPreservesLeftDuplicates)
+{
+    KvStream left = {{5, 1}, {5, 2}, {5, 3}, {7, 4}};
+    KvStream right = {{5, 100}, {6, 101}, {7, 102}};
+    auto pairs = intersectInner(left, right);
+    ASSERT_EQ(pairs.size(), 4u);
+    EXPECT_EQ(pairs[0].leftValue, 1);
+    EXPECT_EQ(pairs[2].leftValue, 3);
+    EXPECT_EQ(pairs[3].rightValue, 102);
+}
+
+TEST(MergerTest, SemiAntiPartitionLeft)
+{
+    KvStream left = randomStream(400, 3, 200);
+    KvStream right = randomStream(50, 4, 200);
+    std::sort(left.begin(), left.end());
+    std::sort(right.begin(), right.end());
+    KvStream semi = intersectSemi(left, right);
+    KvStream anti = intersectAnti(left, right);
+    EXPECT_EQ(semi.size() + anti.size(), left.size());
+    std::set<std::int64_t> right_keys;
+    for (const Kv &r : right)
+        right_keys.insert(r.key);
+    for (const Kv &r : semi)
+        EXPECT_TRUE(right_keys.count(r.key));
+    for (const Kv &r : anti)
+        EXPECT_FALSE(right_keys.count(r.key));
+}
+
+TEST(MergerTest, SortedInputsCauseFewSwitches)
+{
+    // Disjoint ranges: scheduler drains one source then the other.
+    KvStream a, b;
+    for (int i = 0; i < 1000; ++i)
+        a.push_back({i, 0});
+    for (int i = 0; i < 1000; ++i)
+        b.push_back({10000 + i, 0});
+    MergeStats stats;
+    merge2to1(a, b, &stats);
+    EXPECT_LE(stats.sourceSwitches, 2);
+}
+
+// ----------------------------------------------------------- GroupBy
+
+TEST(GroupByTest, SmallGroupSetStaysInSram)
+{
+    AquomanConfig cfg;
+    GroupByAccelerator gb(cfg, 1, {HwAgg::Sum, HwAgg::Cnt});
+    for (int i = 0; i < 1000; ++i)
+        gb.update({i % 4}, {i, 0});
+    EXPECT_EQ(gb.stats().groupsSpilled, 0);
+    EXPECT_EQ(gb.stats().rowsSpilled, 0);
+    auto groups = gb.finish();
+    ASSERT_EQ(groups.size(), 4u);
+    std::map<std::int64_t, std::int64_t> sums;
+    for (const auto &g : groups)
+        sums[g.groupId[0]] = g.aggregates[0];
+    // sum of i in 0..999 with i%4==0: 0+4+...+996.
+    EXPECT_EQ(sums[0], 124500);
+    for (const auto &g : groups)
+        EXPECT_EQ(g.aggregates[1], 250);
+}
+
+TEST(GroupByTest, CollisionsSpillToHostAndMergeBack)
+{
+    AquomanConfig cfg;
+    cfg.groupByBuckets = 16; // force collisions
+    GroupByAccelerator gb(cfg, 1, {HwAgg::Sum});
+    std::map<std::int64_t, std::int64_t> want;
+    Rng rng(42);
+    for (int i = 0; i < 5000; ++i) {
+        std::int64_t g = rng.uniform(0, 99);
+        std::int64_t v = rng.uniform(0, 1000);
+        gb.update({g}, {v});
+        want[g] += v;
+    }
+    EXPECT_GT(gb.stats().groupsSpilled, 0);
+    EXPECT_GT(gb.stats().rowsSpilled, 0);
+    auto groups = gb.finish();
+    ASSERT_EQ(groups.size(), want.size());
+    std::int64_t spilled = 0;
+    for (const auto &g : groups) {
+        EXPECT_EQ(g.aggregates[0], want[g.groupId[0]]);
+        spilled += g.fromSpill;
+    }
+    EXPECT_EQ(spilled, gb.stats().groupsSpilled);
+}
+
+TEST(GroupByTest, MinMaxCntSemantics)
+{
+    AquomanConfig cfg;
+    GroupByAccelerator gb(cfg, 1,
+                          {HwAgg::Min, HwAgg::Max, HwAgg::Cnt});
+    gb.update({7}, {5, 5, 5});
+    gb.update({7}, {-3, -3, -3});
+    gb.update({7}, {12, 12, 12});
+    auto groups = gb.finish();
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].aggregates[0], -3);
+    EXPECT_EQ(groups[0].aggregates[1], 12);
+    EXPECT_EQ(groups[0].aggregates[2], 3);
+}
+
+TEST(GroupByTest, WideIdentifierFlagged)
+{
+    AquomanConfig cfg; // 16B limit == two 64-bit lanes
+    GroupByAccelerator two(cfg, 2, {HwAgg::Sum});
+    EXPECT_FALSE(two.idWidthExceedsHardware());
+    GroupByAccelerator three(cfg, 3, {HwAgg::Sum});
+    EXPECT_TRUE(three.idWidthExceedsHardware());
+}
+
+TEST(GroupByTest, TooManyAggSlotsRejected)
+{
+    AquomanConfig cfg;
+    std::vector<HwAgg> nine(9, HwAgg::Sum);
+    EXPECT_THROW(GroupByAccelerator(cfg, 1, nine), PanicError);
+}
+
+TEST(GroupByTest, Q18StyleMassiveSpill)
+{
+    // Group count vastly exceeding 1024 buckets: most rows spill, the
+    // device keeps only 1024 groups in SRAM (Sec. VI-E, Q18).
+    AquomanConfig cfg;
+    GroupByAccelerator gb(cfg, 1, {HwAgg::Sum});
+    for (int i = 0; i < 100000; ++i)
+        gb.update({i}, {1});
+    EXPECT_EQ(gb.stats().groupsInSram, 1024);
+    EXPECT_EQ(gb.stats().groupsSpilled, 100000 - 1024);
+    auto groups = gb.finish();
+    EXPECT_EQ(groups.size(), 100000u);
+}
+
+// --------------------------------------------------- StreamingSorter
+
+AquomanConfig
+smallSorterConfig()
+{
+    AquomanConfig cfg;
+    cfg.sorterBlockBytes = 4096; // 256 records per block
+    return cfg;
+}
+
+TEST(StreamingSorterTest, SortsWithinOneBlock)
+{
+    AquomanConfig cfg = smallSorterConfig();
+    StreamingSorter sorter(cfg);
+    KvStream s = randomStream(200, 11, 1 << 30);
+    KvStream want = s;
+    std::sort(want.begin(), want.end());
+    SorterStats st = sorter.sort(s);
+    EXPECT_EQ(s, want);
+    EXPECT_EQ(st.numBlocks, 1);
+    EXPECT_FALSE(st.folded);
+    EXPECT_GT(st.throughput, 0.0);
+}
+
+TEST(StreamingSorterTest, FoldsManyBlocksToTotalOrder)
+{
+    AquomanConfig cfg = smallSorterConfig();
+    StreamingSorter sorter(cfg);
+    KvStream s = randomStream(10000, 13, 1 << 30);
+    KvStream want = s;
+    std::sort(want.begin(), want.end());
+    SorterStats st = sorter.sort(s, true);
+    EXPECT_EQ(s, want);
+    EXPECT_GT(st.numBlocks, 1);
+    EXPECT_TRUE(st.folded);
+    EXPECT_EQ(st.dramBytes, st.bytesIn);
+}
+
+TEST(StreamingSorterTest, BlockModeLeavesSortedRuns)
+{
+    AquomanConfig cfg = smallSorterConfig();
+    StreamingSorter sorter(cfg);
+    KvStream s = randomStream(1024, 17, 1 << 30);
+    SorterStats st = sorter.sort(s, false);
+    EXPECT_FALSE(st.folded);
+    std::int64_t block_records = cfg.sorterBlockBytes / kKvBytes;
+    for (std::int64_t b = 0; b * block_records
+             < static_cast<std::int64_t>(s.size()); ++b) {
+        auto begin = s.begin() + b * block_records;
+        auto end = std::min(begin + block_records, s.end());
+        EXPECT_TRUE(std::is_sorted(begin, end));
+    }
+}
+
+TEST(StreamingSorterTest, RandomInputFasterThanSorted)
+{
+    // Table V: random inputs sustain higher throughput than presorted
+    // ones because the merge scheduler alternates sources.
+    AquomanConfig cfg = smallSorterConfig();
+    StreamingSorter sorter(cfg);
+
+    KvStream sorted_in(8192), random_in;
+    for (std::int64_t i = 0; i < 8192; ++i)
+        sorted_in[i] = {i, i};
+    random_in = randomStream(8192, 23, 1 << 30);
+
+    SorterStats sorted_st = sorter.sort(sorted_in, false);
+    SorterStats random_st = sorter.sort(random_in, false);
+    EXPECT_LT(sorted_st.alternationRate, 0.1);
+    EXPECT_GT(random_st.alternationRate, 0.8);
+    EXPECT_GT(random_st.throughput, sorted_st.throughput * 1.2);
+}
+
+TEST(StreamingSorterTest, ThroughputGrowsWithLength)
+{
+    // Table V: longer inputs amortise the pipeline fill (4.4 -> 8.6
+    // GB/s for sorted data between 1GB and 1000GB).
+    AquomanConfig cfg;
+    StreamingSorter sorter(cfg);
+    double t1 = 1e9 / sorter.modelSeconds(1e9, 0.0, false);
+    double t10 = 1e10 / sorter.modelSeconds(1e10, 0.0, false);
+    double t1000 = 1e12 / sorter.modelSeconds(1e12, 0.0, false);
+    EXPECT_LT(t1, t10);
+    EXPECT_LT(t10, t1000);
+    EXPECT_NEAR(t1 / 1e9, 4.4, 0.4);
+    EXPECT_NEAR(t1000 / 1e9, 8.6, 0.4);
+    double r1000 = 1e12 / sorter.modelSeconds(1e12, 1.0, false);
+    EXPECT_NEAR(r1000 / 1e9, 12.0, 0.4);
+}
+
+} // namespace
+} // namespace aquoman

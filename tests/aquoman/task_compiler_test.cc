@@ -1,0 +1,206 @@
+/** @file
+ * Unit tests for the Table-Task compiler: stage-shape normalisation,
+ * the regex-cacheability rule, and the per-stage offload decisions
+ * (Sec. V / VI-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aquoman/task_compiler.hh"
+#include "common/rng.hh"
+
+namespace aquoman {
+namespace {
+
+class TaskCompilerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // A fact table with a dictionary column and a unique-text
+        // column, plus a dimension with a dense primary key.
+        auto fact = std::make_shared<Table>("fact");
+        auto &fid = fact->addColumn("f_id", ColumnType::Int64);
+        auto &fdim = fact->addColumn("f_dim", ColumnType::Int64);
+        auto &fval = fact->addColumn("f_val", ColumnType::Decimal);
+        auto &fcat = fact->addColumn("f_category", ColumnType::Varchar);
+        auto &fnote = fact->addColumn("f_note", ColumnType::Varchar);
+        Rng rng(5);
+        for (int i = 1; i <= 2000; ++i) {
+            fid.push(i);
+            fdim.push(rng.uniform(1, 100));
+            fval.push(rng.uniform(0, 10000));
+            fact->pushString(fcat, rng.uniform(0, 1) ? "red" : "blue");
+            fact->pushString(fnote,
+                             "unique note " + std::to_string(i));
+        }
+        auto dim = std::make_shared<Table>("dim");
+        auto &did = dim->addColumn("d_id", ColumnType::Int64);
+        auto &dname = dim->addColumn("d_name", ColumnType::Varchar);
+        for (int i = 1; i <= 100; ++i) {
+            did.push(i);
+            dim->pushString(dname, "dim-" + std::to_string(i % 10));
+        }
+        catalog.put(fact, nullptr);
+        catalog.put(dim, nullptr).densePrimaryKey = "d_id";
+    }
+
+    QueryCompilation
+    compile(const Query &q)
+    {
+        TaskCompiler tc(catalog, config);
+        return tc.compile(q);
+    }
+
+    Catalog catalog;
+    AquomanConfig config;
+};
+
+TEST_F(TaskCompilerTest, RecognisesFilterProjectGroupByShape)
+{
+    auto plan = orderBy(
+        groupBy(project(filter(scan("fact"),
+                               gt(col("f_val"), lit(10))),
+                        {{"dim", col("f_dim")},
+                         {"v2", mul(col("f_val"), lit(2))}}),
+                {"dim"}, {{"total", AggKind::Sum, col("v2")}}),
+        {{"total", true}}, 5);
+    TaskCompiler tc(catalog, config);
+    std::string why;
+    auto shape = tc.analyze(plan, why);
+    ASSERT_TRUE(shape.has_value()) << why;
+    EXPECT_EQ(shape->leaves.size(), 1u);
+    EXPECT_EQ(shape->leaves[0].table, "fact");
+    ASSERT_TRUE(shape->groupBy.has_value());
+    EXPECT_EQ(shape->groupBy->groupColumns[0], "dim");
+    // Filter and project both landed in rootOps/leaf ops.
+    std::size_t ops = shape->rootOps.size() + shape->leaves[0].ops.size();
+    EXPECT_EQ(ops, 2u);
+    EXPECT_EQ(shape->limit, 5);
+    ASSERT_EQ(shape->sortKeys.size(), 1u);
+    EXPECT_TRUE(shape->sortKeys[0].descending);
+}
+
+TEST_F(TaskCompilerTest, RecognisesJoinTrees)
+{
+    auto plan = groupBy(
+        join(JoinType::Inner, scan("fact"), scan("dim"),
+             {"f_dim"}, {"d_id"}),
+        {"d_name"}, {{"total", AggKind::Sum, col("f_val")}});
+    TaskCompiler tc(catalog, config);
+    std::string why;
+    auto shape = tc.analyze(plan, why);
+    ASSERT_TRUE(shape.has_value()) << why;
+    EXPECT_EQ(shape->leaves.size(), 2u);
+    const ShapeNode &root = shape->nodes[shape->root];
+    EXPECT_FALSE(root.isLeaf);
+    EXPECT_EQ(root.leftKeys[0], "f_dim");
+    EXPECT_EQ(root.rightKeys[0], "d_id");
+}
+
+TEST_F(TaskCompilerTest, RejectsGroupByUnderJoin)
+{
+    auto grouped = groupBy(scan("fact"), {"f_dim"},
+                           {{"t", AggKind::Sum, col("f_val")}});
+    auto plan = join(JoinType::Inner, grouped, scan("dim"),
+                     {"f_dim"}, {"d_id"});
+    TaskCompiler tc(catalog, config);
+    std::string why;
+    EXPECT_FALSE(tc.analyze(plan, why).has_value());
+    EXPECT_FALSE(why.empty());
+}
+
+TEST_F(TaskCompilerTest, DictionaryLikeRegexIsOffloadable)
+{
+    // f_category has 2 distinct values over 2000 rows: cacheable.
+    Query q{"q", {{"out", filter(scan("fact"),
+                                 like(col("f_category"), "re%"))}}};
+    QueryCompilation c = compile(q);
+    EXPECT_FALSE(c.regexForcedHost);
+    EXPECT_TRUE(c.stages[0].onDevice);
+}
+
+TEST_F(TaskCompilerTest, UniqueTextRegexForcesWholeQueryToHost)
+{
+    // f_note is unique per row: not dictionary-like at any scale.
+    Query q{"q",
+            {{"s1", filter(scan("fact"), gt(col("f_val"), lit(5)))},
+             {"s2", filter(scan("fact"),
+                           like(col("f_note"), "%note 7%"))}}};
+    QueryCompilation c = compile(q);
+    EXPECT_TRUE(c.regexForcedHost);
+    // Even the regex-free stage is kept on the host (paper: offload
+    // is unprofitable for q9/q13/q16/q20 as a whole).
+    EXPECT_FALSE(c.stages[0].onDevice);
+    EXPECT_FALSE(c.stages[1].onDevice);
+    EXPECT_FALSE(c.anyDeviceStage);
+}
+
+TEST_F(TaskCompilerTest, GroupByOutputsAreHostResident)
+{
+    auto s1 = groupBy(scan("fact"), {"f_dim"},
+                      {{"total", AggKind::Sum, col("f_val")}});
+    auto s2 = filter(scanStage("s1"), gt(col("total"), lit(100)));
+    Query q{"q", {{"s1", s1}, {"s2", s2}}};
+    QueryCompilation c = compile(q);
+    EXPECT_TRUE(c.stages[0].onDevice);
+    EXPECT_FALSE(c.stages[1].onDevice);
+    EXPECT_NE(c.stages[1].reason.find("not buffered"),
+              std::string::npos);
+}
+
+TEST_F(TaskCompilerTest, PlainStageOutputsStayDeviceResident)
+{
+    auto s1 = filter(scan("fact"), gt(col("f_val"), lit(100)));
+    auto s2 = groupBy(scanStage("s1"), {"f_dim"},
+                      {{"total", AggKind::Sum, col("f_val")}});
+    Query q{"q", {{"s1", s1}, {"s2", s2}}};
+    QueryCompilation c = compile(q);
+    EXPECT_TRUE(c.stages[0].onDevice);
+    EXPECT_TRUE(c.stages[1].onDevice);
+}
+
+TEST_F(TaskCompilerTest, CountDistinctFallsToHost)
+{
+    Query q{"q", {{"out", groupBy(scan("fact"), {"f_dim"},
+                                  {{"d", AggKind::CountDistinct,
+                                    col("f_val")}})}}};
+    QueryCompilation c = compile(q);
+    EXPECT_FALSE(c.stages[0].onDevice);
+    EXPECT_NE(c.stages[0].reason.find("count(distinct)"),
+              std::string::npos);
+}
+
+TEST_F(TaskCompilerTest, UnknownTableIsReported)
+{
+    Query q{"q", {{"out", scan("nope")}}};
+    QueryCompilation c = compile(q);
+    EXPECT_FALSE(c.stages[0].onDevice);
+    EXPECT_NE(c.stages[0].reason.find("unknown table"),
+              std::string::npos);
+}
+
+TEST_F(TaskCompilerTest, LeafOpsCapturedBelowJoins)
+{
+    auto plan = join(JoinType::LeftSemi,
+                     filter(scan("fact"), gt(col("f_val"), lit(3))),
+                     project(filter(scan("dim"),
+                                    eq(col("d_name"),
+                                       litStr("dim-3"))),
+                             {{"d_id", col("d_id")}}),
+                     {"f_dim"}, {"d_id"});
+    TaskCompiler tc(catalog, config);
+    std::string why;
+    auto shape = tc.analyze(plan, why);
+    ASSERT_TRUE(shape.has_value()) << why;
+    ASSERT_EQ(shape->leaves.size(), 2u);
+    EXPECT_EQ(shape->leaves[0].ops.size(), 1u); // fact filter
+    EXPECT_EQ(shape->leaves[1].ops.size(), 2u); // dim filter+project
+    EXPECT_EQ(shape->nodes[shape->root].joinType, JoinType::LeftSemi);
+}
+
+} // namespace
+} // namespace aquoman

@@ -1,0 +1,132 @@
+/** @file Unit tests for the column store and its flash persistence. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "columnstore/catalog.hh"
+#include "columnstore/flash_layout.hh"
+#include "columnstore/table.hh"
+
+namespace aquoman {
+namespace {
+
+std::shared_ptr<Table>
+makeSales()
+{
+    auto t = std::make_shared<Table>("sales");
+    auto &id = t->addColumn("id", ColumnType::Int64);
+    auto &price = t->addColumn("price", ColumnType::Decimal);
+    auto &day = t->addColumn("day", ColumnType::Date);
+    auto &dept = t->addColumn("dept", ColumnType::Varchar);
+    for (int i = 0; i < 1000; ++i) {
+        id.push(i);
+        price.push(100 + i);
+        day.push(8000 + (i % 50));
+        t->pushString(dept, i % 2 ? "toys" : "shoes");
+    }
+    return t;
+}
+
+TEST(StringHeapTest, InterningSharesStorage)
+{
+    StringHeap heap;
+    auto a = heap.intern("hello");
+    auto b = heap.intern("world");
+    auto c = heap.intern("hello");
+    EXPECT_EQ(a, c);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(heap.get(a), "hello");
+    EXPECT_EQ(heap.get(b), "world");
+    EXPECT_EQ(heap.numStrings(), 2);
+    EXPECT_EQ(heap.sizeBytes(), 12); // "hello\0world\0"
+}
+
+TEST(TableTest, ColumnLookupAndTypes)
+{
+    auto t = makeSales();
+    EXPECT_EQ(t->numColumns(), 4);
+    EXPECT_EQ(t->numRows(), 1000);
+    EXPECT_EQ(t->col("price").type(), ColumnType::Decimal);
+    EXPECT_EQ(t->indexOf("day"), 2);
+    EXPECT_TRUE(t->hasColumn("dept"));
+    EXPECT_FALSE(t->hasColumn("nope"));
+    EXPECT_THROW(t->col("nope"), FatalError);
+    EXPECT_EQ(t->getString(t->col("dept"), 0), "shoes");
+    EXPECT_EQ(t->getString(t->col("dept"), 1), "toys");
+}
+
+TEST(TableTest, StoredBytesUsesOnFlashWidths)
+{
+    auto t = makeSales();
+    // id: 8B, price: 8B, day: 4B, dept offsets: 8B, heap: 11B.
+    std::int64_t expect = 1000 * (8 + 8 + 4 + 8) + t->strings().sizeBytes();
+    EXPECT_EQ(t->storedBytes(), expect);
+}
+
+class FlashLayoutTest : public ::testing::Test
+{
+  protected:
+    FlashLayoutTest() : dev(cfg()), sw(dev), store(sw) {}
+
+    static FlashConfig
+    cfg()
+    {
+        FlashConfig c;
+        c.capacityBytes = 64 << 20;
+        return c;
+    }
+
+    FlashDevice dev;
+    ControllerSwitch sw;
+    TableStore store;
+};
+
+TEST_F(FlashLayoutTest, RoundTripAllTypes)
+{
+    auto t = makeSales();
+    auto resident = store.store(t);
+    std::vector<std::int64_t> vals;
+    for (int c = 0; c < t->numColumns(); ++c) {
+        resident->readColumnRange(sw, FlashPort::Host, c, 0, t->numRows(),
+                                  vals);
+        for (std::int64_t r = 0; r < t->numRows(); ++r)
+            EXPECT_EQ(vals[r], t->col(c).get(r)) << "col " << c;
+    }
+}
+
+TEST_F(FlashLayoutTest, PartialRangeRead)
+{
+    auto t = makeSales();
+    auto resident = store.store(t);
+    std::vector<std::int64_t> vals;
+    resident->readColumnRange(sw, FlashPort::Aquoman, 0, 500, 600, vals);
+    ASSERT_EQ(vals.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(vals[i], 500 + i);
+    // AQUOMAN port traffic was accounted.
+    EXPECT_GT(sw.stats().get("aquoman.bytesRead"), 0);
+}
+
+TEST_F(FlashLayoutTest, DateColumnUsesFourBytes)
+{
+    auto t = makeSales();
+    auto resident = store.store(t);
+    const FlashExtent &ext = resident->extents().columnExtents[2];
+    EXPECT_EQ(ext.byteLength, 1000 * 4);
+}
+
+TEST_F(FlashLayoutTest, CatalogMetadata)
+{
+    Catalog cat;
+    auto t = makeSales();
+    auto resident = store.store(t);
+    CatalogEntry &e = cat.put(t, resident);
+    e.densePrimaryKey = "id";
+    EXPECT_TRUE(cat.has("sales"));
+    EXPECT_EQ(cat.get("sales").densePrimaryKey, "id");
+    EXPECT_THROW(cat.get("missing"), FatalError);
+}
+
+} // namespace
+} // namespace aquoman

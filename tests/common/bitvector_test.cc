@@ -1,0 +1,80 @@
+/** @file Unit tests for the packed row-mask bit vector. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.hh"
+
+namespace aquoman {
+namespace {
+
+TEST(BitVectorTest, SetGet)
+{
+    BitVector bv(100);
+    EXPECT_EQ(bv.size(), 100);
+    EXPECT_TRUE(bv.allZero());
+    bv.set(0, true);
+    bv.set(31, true);
+    bv.set(32, true);
+    bv.set(99, true);
+    EXPECT_TRUE(bv.get(0));
+    EXPECT_TRUE(bv.get(31));
+    EXPECT_TRUE(bv.get(32));
+    EXPECT_TRUE(bv.get(99));
+    EXPECT_FALSE(bv.get(1));
+    EXPECT_EQ(bv.popcount(), 4);
+}
+
+TEST(BitVectorTest, WordAccess)
+{
+    BitVector bv(64);
+    bv.setWord(0, 0xdeadbeef);
+    EXPECT_EQ(bv.word(0), 0xdeadbeefu);
+    EXPECT_EQ(bv.popcount(), __builtin_popcount(0xdeadbeef));
+    EXPECT_TRUE(bv.get(0));  // LSB of word 0 is row 0
+    EXPECT_TRUE(bv.get(1));
+    EXPECT_TRUE(bv.get(2));
+    EXPECT_TRUE(bv.get(3));
+    EXPECT_FALSE(bv.get(4));
+}
+
+TEST(BitVectorTest, TailSlackDoesNotLeakIntoPopcount)
+{
+    BitVector bv(33);
+    bv.setWord(1, ~0u); // only bit 32 is real
+    EXPECT_EQ(bv.popcount(), 1);
+    EXPECT_TRUE(bv.get(32));
+}
+
+TEST(BitVectorTest, AndOr)
+{
+    BitVector a(40, true);
+    BitVector b(40);
+    b.set(7, true);
+    b.set(39, true);
+    a.andWith(b);
+    EXPECT_EQ(a.popcount(), 2);
+    BitVector c(40);
+    c.set(8, true);
+    a.orWith(c);
+    EXPECT_EQ(a.popcount(), 3);
+}
+
+TEST(BitVectorTest, InitialValueTrue)
+{
+    BitVector bv(70, true);
+    EXPECT_EQ(bv.popcount(), 70);
+    bv.set(3, false);
+    EXPECT_EQ(bv.popcount(), 69);
+}
+
+TEST(BitVectorTest, AllZeroAfterClearing)
+{
+    BitVector bv(10);
+    bv.set(5, true);
+    EXPECT_FALSE(bv.allZero());
+    bv.set(5, false);
+    EXPECT_TRUE(bv.allZero());
+}
+
+} // namespace
+} // namespace aquoman

@@ -1,0 +1,72 @@
+/** @file Unit tests for the date codec. */
+
+#include <gtest/gtest.h>
+
+#include "common/date.hh"
+
+namespace aquoman {
+namespace {
+
+TEST(DateTest, EpochIsZero)
+{
+    EXPECT_EQ(daysFromCivil(1970, 1, 1), 0);
+}
+
+TEST(DateTest, KnownDates)
+{
+    EXPECT_EQ(daysFromCivil(1970, 1, 2), 1);
+    EXPECT_EQ(daysFromCivil(1969, 12, 31), -1);
+    EXPECT_EQ(daysFromCivil(2000, 3, 1), 11017);
+}
+
+TEST(DateTest, ParseAndFormatRoundTrip)
+{
+    for (const char *iso : {"1992-01-01", "1995-06-17", "1998-12-31",
+                            "1996-02-29", "2000-02-29"}) {
+        EXPECT_EQ(dateToString(parseDate(iso)), iso);
+    }
+}
+
+TEST(DateTest, RoundTripSweep)
+{
+    // Every day across the TPC-H date range survives the round trip and
+    // day counts are consecutive.
+    std::int32_t start = parseDate("1992-01-01");
+    std::int32_t end = parseDate("1998-12-31");
+    for (std::int32_t d = start; d <= end; ++d) {
+        CivilDate cd = civilFromDays(d);
+        EXPECT_EQ(daysFromCivil(cd.year, cd.month, cd.day), d);
+    }
+    EXPECT_EQ(end - start, 2556);
+}
+
+TEST(DateTest, ParseRejectsMalformed)
+{
+    EXPECT_THROW(parseDate("1992/01/01"), FatalError);
+    EXPECT_THROW(parseDate("19920101"), FatalError);
+    EXPECT_THROW(parseDate("1992-13-01"), FatalError);
+    EXPECT_THROW(parseDate("1992-00-10"), FatalError);
+    EXPECT_THROW(parseDate("1992-01-32"), FatalError);
+}
+
+TEST(DateTest, AddMonths)
+{
+    EXPECT_EQ(addMonths(parseDate("1993-07-01"), 3),
+              parseDate("1993-10-01"));
+    EXPECT_EQ(addMonths(parseDate("1994-01-01"), 12),
+              parseDate("1995-01-01"));
+    EXPECT_EQ(addMonths(parseDate("1996-10-31"), 1),
+              parseDate("1996-11-30")); // clamped day
+    EXPECT_EQ(addMonths(parseDate("1996-03-31"), -1),
+              parseDate("1996-02-29")); // leap clamp
+}
+
+TEST(DateTest, YearExtraction)
+{
+    EXPECT_EQ(civilFromDays(parseDate("1995-06-17")).year, 1995);
+    EXPECT_EQ(civilFromDays(parseDate("1992-01-01")).month, 1);
+    EXPECT_EQ(civilFromDays(parseDate("1998-12-31")).day, 31);
+}
+
+} // namespace
+} // namespace aquoman

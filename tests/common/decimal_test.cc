@@ -1,0 +1,61 @@
+/** @file Unit tests for fixed-point decimal arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "common/decimal.hh"
+
+namespace aquoman {
+namespace {
+
+TEST(DecimalTest, MakeDecimal)
+{
+    EXPECT_EQ(makeDecimal(1), 100);
+    EXPECT_EQ(makeDecimal(12, 34), 1234);
+    EXPECT_EQ(makeDecimal(0, 5), 5);
+}
+
+TEST(DecimalTest, Multiply)
+{
+    // 2.00 * 3.00 == 6.00
+    EXPECT_EQ(decimalMul(200, 300), 600);
+    // 1.50 * 0.10 == 0.15
+    EXPECT_EQ(decimalMul(150, 10), 15);
+    // price * (1 - discount): 100.00 * 0.94 == 94.00
+    EXPECT_EQ(decimalMul(10000, 94), 9400);
+}
+
+TEST(DecimalTest, Divide)
+{
+    EXPECT_EQ(decimalDiv(600, 300), 200);  // 6.00 / 3.00 == 2.00
+    EXPECT_EQ(decimalDiv(100, 300), 33);   // 1/3 == 0.33 (truncated)
+    EXPECT_EQ(decimalDiv(100, 0), 0);      // guarded div-by-zero
+}
+
+TEST(DecimalTest, Format)
+{
+    EXPECT_EQ(decimalToString(1234), "12.34");
+    EXPECT_EQ(decimalToString(5), "0.05");
+    EXPECT_EQ(decimalToString(-1234), "-12.34");
+    EXPECT_EQ(decimalToString(0), "0.00");
+    EXPECT_EQ(decimalToString(100), "1.00");
+}
+
+TEST(DecimalTest, RevenueFormulaMatchesDoubleMath)
+{
+    // l_extendedprice * (1 - l_discount) * (1 + l_tax) stays within one
+    // hundredth of floating point for representative values.
+    for (std::int64_t ep : {100ll * 100, 95000ll, 12345678ll}) {
+        for (std::int64_t disc : {0ll, 5ll, 10ll}) {
+            for (std::int64_t tax : {0ll, 4ll, 8ll}) {
+                std::int64_t got = decimalMul(decimalMul(ep, 100 - disc),
+                                              100 + tax);
+                double want = (ep / 100.0) * (1.0 - disc / 100.0)
+                    * (1.0 + tax / 100.0);
+                EXPECT_NEAR(got / 100.0, want, 0.02);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace aquoman

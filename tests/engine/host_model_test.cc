@@ -1,0 +1,107 @@
+/** @file Unit tests for the analytic host performance model. */
+
+#include <gtest/gtest.h>
+
+#include "engine/host_model.hh"
+
+namespace aquoman {
+namespace {
+
+EngineMetrics
+ioBoundTrace()
+{
+    EngineMetrics m;
+    m.flashBytesRead = 240ll << 30;   // 240GB scan
+    m.touchedBaseBytes = 240ll << 30;
+    m.rowOps = 1e9;                   // trivial compute
+    return m;
+}
+
+EngineMetrics
+cpuBoundTrace()
+{
+    EngineMetrics m;
+    m.flashBytesRead = 1 << 20;
+    m.rowOps = 1e12;
+    return m;
+}
+
+TEST(HostModelTest, IoBoundQueriesIgnoreThreadCount)
+{
+    HostModel s(HostConfig::small());
+    HostModel l(HostConfig::large());
+    EngineMetrics m = ioBoundTrace();
+    double rs = s.estimate(m).runtime;
+    double rl = l.estimate(m).runtime;
+    // Both saturate the same 2.4GB/s SSDs.
+    EXPECT_NEAR(rs, rl, rs * 0.01);
+    EXPECT_NEAR(rl, (240.0 * (1ll << 30)) / 2.4e9, 2.0);
+}
+
+TEST(HostModelTest, CpuBoundQueriesScaleWithThreads)
+{
+    HostModel s(HostConfig::small());
+    HostModel l(HostConfig::large());
+    EngineMetrics m = cpuBoundTrace();
+    double rs = s.estimate(m).runtime;
+    double rl = l.estimate(m).runtime;
+    // 32 threads vs 4 threads with parallel efficiency 0.8.
+    EXPECT_GT(rs / rl, 5.0);
+    EXPECT_LT(rs / rl, 8.5);
+}
+
+TEST(HostModelTest, SequentialWorkDefeatsParallelism)
+{
+    EngineMetrics m = cpuBoundTrace();
+    m.seqRowOps = m.rowOps; // all sequential
+    HostModel s(HostConfig::small());
+    HostModel l(HostConfig::large());
+    EXPECT_NEAR(s.estimate(m).runtime, l.estimate(m).runtime, 1e-6);
+}
+
+TEST(HostModelTest, IntermediateSpillAddsSwapIo)
+{
+    EngineMetrics m;
+    m.peakIntermediateBytes = 20ll << 30; // exceeds small host's 16GB
+    HostModel s(HostConfig::small());
+    HostModel l(HostConfig::large());
+    EXPECT_GT(s.estimate(m).ioTime, 0.0);
+    EXPECT_EQ(l.estimate(m).ioTime, 0.0); // fits 128GB, no swap
+}
+
+TEST(HostModelTest, CleanBasePagesDoNotSwap)
+{
+    EngineMetrics m;
+    m.touchedBaseBytes = 300ll << 30; // streaming scan way over DRAM
+    m.flashBytesRead = 300ll << 30;
+    HostModel s(HostConfig::small());
+    double pure_scan = (300.0 * (1ll << 30)) / 2.4e9;
+    EXPECT_NEAR(s.estimate(m).ioTime, pure_scan, 1.0);
+}
+
+TEST(HostModelTest, RssCappedByDram)
+{
+    EngineMetrics m;
+    m.touchedBaseBytes = 300ll << 30;
+    m.peakIntermediateBytes = 50ll << 30;
+    HostModel s(HostConfig::small());
+    HostModel l(HostConfig::large());
+    EXPECT_EQ(s.estimate(m).maxRss, HostConfig::small().dramBytes);
+    EXPECT_EQ(l.estimate(m).maxRss, HostConfig::large().dramBytes);
+    EngineMetrics tiny;
+    tiny.touchedBaseBytes = 1 << 20;
+    EXPECT_EQ(l.estimate(tiny).maxRss, 1 << 20);
+}
+
+TEST(HostModelTest, TableVIConfigs)
+{
+    HostConfig s = HostConfig::small();
+    EXPECT_EQ(s.hardwareThreads, 4);
+    EXPECT_EQ(s.dramBytes, 16ll << 30);
+    HostConfig l = HostConfig::large();
+    EXPECT_EQ(l.hardwareThreads, 32);
+    EXPECT_EQ(l.dramBytes, 128ll << 30);
+}
+
+} // namespace
+} // namespace aquoman

@@ -1,0 +1,196 @@
+/** @file Unit tests for expression evaluation semantics. */
+
+#include <gtest/gtest.h>
+
+#include "relalg/eval.hh"
+#include "relalg/plan.hh"
+
+namespace aquoman {
+namespace {
+
+RelTable
+fixture()
+{
+    RelTable t;
+    RelColumn qty("qty", ColumnType::Int64);
+    RelColumn price("price", ColumnType::Decimal);
+    RelColumn disc("disc", ColumnType::Decimal);
+    RelColumn day("day", ColumnType::Date);
+    RelColumn name("name", ColumnType::Varchar);
+    auto heap = std::make_shared<StringHeap>();
+    struct Row { std::int64_t q, p, d; const char *iso; const char *n; };
+    const Row rows[] = {
+        {10, 10000, 5, "1994-03-01", "forest green"},
+        {24, 20000, 0, "1995-07-15", "navy blue"},
+        {3, 5000, 10, "1993-01-01", "forest floor"},
+        {50, 99999, 7, "1998-11-30", "green tea"},
+    };
+    for (const auto &r : rows) {
+        qty.push(r.q);
+        price.push(r.p);
+        disc.push(r.d);
+        day.push(parseDate(r.iso));
+        name.push(heap->intern(r.n));
+    }
+    name.heap = heap;
+    t.addColumn(qty);
+    t.addColumn(price);
+    t.addColumn(disc);
+    t.addColumn(day);
+    t.addColumn(name);
+    return t;
+}
+
+TEST(ExprTest, DecimalRevenueFormula)
+{
+    RelTable t = fixture();
+    auto e = mul(col("price"), sub(litDec("1.00"), col("disc")));
+    RelColumn r = evalExpr(e, t);
+    EXPECT_EQ(r.type, ColumnType::Decimal);
+    EXPECT_EQ(r.get(0), decimalMul(10000, 95));
+    EXPECT_EQ(r.get(1), 20000);
+    EXPECT_EQ(r.get(2), decimalMul(5000, 90));
+}
+
+TEST(ExprTest, IntDecimalPromotionInComparison)
+{
+    RelTable t = fixture();
+    // qty is Int64; price < 150 (int literal) must mean 150.00.
+    BitVector bv = evalPredicate(lt(col("price"), lit(150)), t);
+    EXPECT_TRUE(bv.get(0));   // 100.00 < 150
+    EXPECT_FALSE(bv.get(1));  // 200.00
+    EXPECT_TRUE(bv.get(2));   // 50.00
+    EXPECT_FALSE(bv.get(3));  // 999.99
+}
+
+TEST(ExprTest, IntDecimalPromotionInArith)
+{
+    RelTable t = fixture();
+    // 1 - disc where disc is decimal: integer 1 becomes 1.00.
+    RelColumn r = evalExpr(sub(lit(1), col("disc")), t);
+    EXPECT_EQ(r.type, ColumnType::Decimal);
+    EXPECT_EQ(r.get(0), 95);
+    EXPECT_EQ(r.get(1), 100);
+}
+
+TEST(ExprTest, DateComparison)
+{
+    RelTable t = fixture();
+    BitVector bv = evalPredicate(
+        andE(ge(col("day"), litDate("1994-01-01")),
+             lt(col("day"), litDate("1996-01-01"))), t);
+    EXPECT_TRUE(bv.get(0));
+    EXPECT_TRUE(bv.get(1));
+    EXPECT_FALSE(bv.get(2));
+    EXPECT_FALSE(bv.get(3));
+}
+
+TEST(ExprTest, YearExtraction)
+{
+    RelTable t = fixture();
+    RelColumn r = evalExpr(year(col("day")), t);
+    EXPECT_EQ(r.get(0), 1994);
+    EXPECT_EQ(r.get(1), 1995);
+    EXPECT_EQ(r.get(2), 1993);
+    EXPECT_EQ(r.get(3), 1998);
+}
+
+TEST(ExprTest, StringEqualityAndLike)
+{
+    RelTable t = fixture();
+    BitVector eq_bv = evalPredicate(eq(col("name"),
+                                       litStr("navy blue")), t);
+    EXPECT_EQ(eq_bv.popcount(), 1);
+    EXPECT_TRUE(eq_bv.get(1));
+
+    BitVector like_bv = evalPredicate(like(col("name"), "forest%"), t);
+    EXPECT_TRUE(like_bv.get(0));
+    EXPECT_FALSE(like_bv.get(1));
+    EXPECT_TRUE(like_bv.get(2));
+    EXPECT_FALSE(like_bv.get(3));
+
+    BitVector mid = evalPredicate(like(col("name"), "%green%"), t);
+    EXPECT_TRUE(mid.get(0));
+    EXPECT_TRUE(mid.get(3));
+    EXPECT_EQ(mid.popcount(), 2);
+}
+
+TEST(ExprTest, InListIntAndString)
+{
+    RelTable t = fixture();
+    BitVector iv = evalPredicate(inList(col("qty"), {3, 50}), t);
+    EXPECT_TRUE(iv.get(2));
+    EXPECT_TRUE(iv.get(3));
+    EXPECT_EQ(iv.popcount(), 2);
+    BitVector sv = evalPredicate(
+        inStrList(col("name"), {"green tea", "navy blue"}), t);
+    EXPECT_EQ(sv.popcount(), 2);
+}
+
+TEST(ExprTest, CaseWhen)
+{
+    RelTable t = fixture();
+    auto e = caseWhen({gt(col("qty"), lit(20)), lit(1)}, lit(0));
+    RelColumn r = evalExpr(e, t);
+    EXPECT_EQ(r.get(0), 0);
+    EXPECT_EQ(r.get(1), 1);
+    EXPECT_EQ(r.get(2), 0);
+    EXPECT_EQ(r.get(3), 1);
+}
+
+TEST(ExprTest, NotAndLogic)
+{
+    RelTable t = fixture();
+    BitVector bv = evalPredicate(
+        notE(orE(eq(col("qty"), lit(10)), eq(col("qty"), lit(3)))), t);
+    EXPECT_FALSE(bv.get(0));
+    EXPECT_TRUE(bv.get(1));
+    EXPECT_FALSE(bv.get(2));
+    EXPECT_TRUE(bv.get(3));
+}
+
+TEST(ExprTest, NullPropagation)
+{
+    RelTable t;
+    RelColumn a("a", ColumnType::Int64);
+    a.push(5);
+    a.push(kNullValue);
+    t.addColumn(a);
+    RelColumn r = evalExpr(add(col("a"), lit(1)), t);
+    EXPECT_EQ(r.get(0), 6);
+    EXPECT_EQ(r.get(1), kNullValue);
+    BitVector bv = evalPredicate(gt(col("a"), lit(0)), t);
+    EXPECT_TRUE(bv.get(0));
+    EXPECT_FALSE(bv.get(1)); // NULL comparisons are false
+}
+
+TEST(LikeMatchTest, Wildcards)
+{
+    EXPECT_TRUE(likeMatch("hello", "hello"));
+    EXPECT_TRUE(likeMatch("hello", "h%"));
+    EXPECT_TRUE(likeMatch("hello", "%o"));
+    EXPECT_TRUE(likeMatch("hello", "%ell%"));
+    EXPECT_TRUE(likeMatch("hello", "h_llo"));
+    EXPECT_FALSE(likeMatch("hello", "h_lo"));
+    EXPECT_TRUE(likeMatch("", "%"));
+    EXPECT_FALSE(likeMatch("", "_"));
+    EXPECT_TRUE(likeMatch("special monthly requests",
+                          "%special%requests%"));
+    EXPECT_FALSE(likeMatch("specialrequest", "%special%requests%"));
+    EXPECT_TRUE(likeMatch("abcabc", "%abc"));
+    EXPECT_TRUE(likeMatch("aXbXc", "a%b%c"));
+    EXPECT_FALSE(likeMatch("ab", "a%b%c"));
+}
+
+TEST(ExprTest, CollectColumnsDeduplicates)
+{
+    auto e = andE(gt(col("a"), col("b")), lt(col("a"), lit(10)));
+    std::vector<std::string> cols;
+    collectColumns(e, cols);
+    ASSERT_EQ(cols.size(), 2u);
+    EXPECT_EQ(cols[0], "a");
+    EXPECT_EQ(cols[1], "b");
+}
+
+} // namespace
+} // namespace aquoman

@@ -1,0 +1,76 @@
+/** @file Unit tests for plan construction and printing. */
+
+#include <gtest/gtest.h>
+
+#include "relalg/plan.hh"
+
+namespace aquoman {
+namespace {
+
+TEST(PlanTest, BuildersWireChildren)
+{
+    auto p = orderBy(
+        groupBy(join(JoinType::LeftAnti,
+                     filter(scan("a", "x"), gt(col("v"), lit(1))),
+                     scan("b"), {"k"}, {"k2"},
+                     ne(col("u"), col("w"))),
+                {"g"}, {{"n", AggKind::Count, nullptr}}),
+        {{"n", true}}, 7);
+    ASSERT_EQ(p->kind, PlanKind::OrderBy);
+    EXPECT_EQ(p->limit, 7);
+    const Plan &gb = *p->children[0];
+    ASSERT_EQ(gb.kind, PlanKind::GroupBy);
+    const Plan &j = *gb.children[0];
+    ASSERT_EQ(j.kind, PlanKind::Join);
+    EXPECT_EQ(j.joinType, JoinType::LeftAnti);
+    EXPECT_TRUE(j.residual != nullptr);
+    EXPECT_EQ(j.children[0]->kind, PlanKind::Filter);
+    EXPECT_EQ(j.children[0]->children[0]->scanAlias, "x");
+}
+
+TEST(PlanTest, PrinterShowsEveryOperator)
+{
+    auto p = orderBy(
+        groupBy(
+            project(filter(scan("t"),
+                           andE(like(col("s"), "x%"),
+                                inList(col("k"), {1, 2}))),
+                    {{"v", caseWhen({gt(col("a"), lit(0)),
+                                     litDec("1.50")},
+                                    litDate("1995-06-17"))}}),
+            {"g"},
+            {{"m", AggKind::Max, col("v")},
+             {"c", AggKind::CountDistinct, col("k")}}),
+        {{"m", false}});
+    std::string s = planToString(p);
+    for (const char *token :
+         {"order-by", "group-by", "max(", "count_distinct(", "project",
+          "filter", "scan t", "like 'x%'", "in (1, 2)", "case(...)"}) {
+        EXPECT_NE(s.find(token), std::string::npos) << token << "\n"
+                                                    << s;
+    }
+}
+
+TEST(PlanTest, QueryPrinterListsStages)
+{
+    Query q{"demo",
+            {{"s1", scan("t")},
+             {"out", filter(scanStage("s1"), gt(col("x"), lit(0)))}}};
+    std::string s = queryToString(q);
+    EXPECT_NE(s.find("query demo"), std::string::npos);
+    EXPECT_NE(s.find("stage s1"), std::string::npos);
+    EXPECT_NE(s.find("scan stage:s1"), std::string::npos);
+}
+
+TEST(PlanTest, ExprPrinterFormatsTypedLiterals)
+{
+    auto p = filter(scan("t"),
+                    andE(le(col("d"), litDate("1998-09-02")),
+                         lt(col("m"), litDec("0.07"))));
+    std::string s = planToString(p);
+    EXPECT_NE(s.find("date'1998-09-02'"), std::string::npos);
+    EXPECT_NE(s.find("0.07"), std::string::npos);
+}
+
+} // namespace
+} // namespace aquoman

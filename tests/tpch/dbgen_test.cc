@@ -1,0 +1,220 @@
+/** @file Unit tests for the TPC-H data generator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/decimal.hh"
+#include "tpch/dbgen.hh"
+#include "tpch/text_pool.hh"
+
+namespace aquoman::tpch {
+namespace {
+
+class DbgenTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        TpchConfig cfg;
+        cfg.scaleFactor = 0.01;
+        db = new TpchDatabase(TpchDatabase::generate(cfg));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete db;
+        db = nullptr;
+    }
+
+    static TpchDatabase *db;
+};
+
+TpchDatabase *DbgenTest::db = nullptr;
+
+TEST_F(DbgenTest, Cardinalities)
+{
+    EXPECT_EQ(db->region->numRows(), 5);
+    EXPECT_EQ(db->nation->numRows(), 25);
+    EXPECT_EQ(db->supplier->numRows(), 100);
+    EXPECT_EQ(db->customer->numRows(), 1500);
+    EXPECT_EQ(db->part->numRows(), 2000);
+    EXPECT_EQ(db->partsupp->numRows(), 8000);
+    EXPECT_EQ(db->orders->numRows(), 15000);
+    // ~4 lineitems per order.
+    EXPECT_GT(db->lineitem->numRows(), 15000 * 3);
+    EXPECT_LT(db->lineitem->numRows(), 15000 * 5);
+}
+
+TEST_F(DbgenTest, PrimaryKeysAreDenseAndSorted)
+{
+    const Column &ck = db->customer->col("c_custkey");
+    for (std::int64_t i = 0; i < ck.size(); ++i)
+        EXPECT_EQ(ck.get(i), i + 1);
+    EXPECT_TRUE(ck.sorted());
+    const Column &ok = db->orders->col("o_orderkey");
+    for (std::int64_t i = 0; i < ok.size(); ++i)
+        EXPECT_EQ(ok.get(i), i + 1);
+}
+
+TEST_F(DbgenTest, ForeignKeysInRange)
+{
+    const Column &oc = db->orders->col("o_custkey");
+    for (std::int64_t i = 0; i < oc.size(); ++i) {
+        EXPECT_GE(oc.get(i), 1);
+        EXPECT_LE(oc.get(i), db->customer->numRows());
+    }
+    const Column &lp = db->lineitem->col("l_partkey");
+    const Column &ls = db->lineitem->col("l_suppkey");
+    for (std::int64_t i = 0; i < lp.size(); ++i) {
+        EXPECT_GE(lp.get(i), 1);
+        EXPECT_LE(lp.get(i), db->part->numRows());
+        EXPECT_GE(ls.get(i), 1);
+        EXPECT_LE(ls.get(i), db->supplier->numRows());
+    }
+}
+
+TEST_F(DbgenTest, LineitemSuppliersComeFromPartsupp)
+{
+    // Every (l_partkey, l_suppkey) combination must exist in partsupp.
+    std::set<std::pair<std::int64_t, std::int64_t>> ps;
+    const Column &pk = db->partsupp->col("ps_partkey");
+    const Column &sk = db->partsupp->col("ps_suppkey");
+    for (std::int64_t i = 0; i < pk.size(); ++i)
+        ps.emplace(pk.get(i), sk.get(i));
+    const Column &lp = db->lineitem->col("l_partkey");
+    const Column &ls = db->lineitem->col("l_suppkey");
+    for (std::int64_t i = 0; i < lp.size(); ++i)
+        ASSERT_TRUE(ps.count({lp.get(i), ls.get(i)}));
+}
+
+TEST_F(DbgenTest, DatesRespectSpecOrdering)
+{
+    const Column &od = db->orders->col("o_orderdate");
+    const Column &lo = db->lineitem->col("l_orderkey");
+    const Column &sd = db->lineitem->col("l_shipdate");
+    const Column &rd = db->lineitem->col("l_receiptdate");
+    for (std::int64_t i = 0; i < lo.size(); ++i) {
+        std::int64_t order_date = od.get(lo.get(i) - 1);
+        EXPECT_GT(sd.get(i), order_date);
+        EXPECT_GT(rd.get(i), sd.get(i));
+        EXPECT_LE(rd.get(i), kEndDate);
+    }
+    for (std::int64_t i = 0; i < od.size(); ++i) {
+        EXPECT_GE(od.get(i), kStartDate);
+        EXPECT_LE(od.get(i), kEndDate);
+    }
+}
+
+TEST_F(DbgenTest, ReturnFlagAndLineStatusFollowDates)
+{
+    const Column &rf = db->lineitem->col("l_returnflag");
+    const Column &ls = db->lineitem->col("l_linestatus");
+    const Column &sd = db->lineitem->col("l_shipdate");
+    const Column &rd = db->lineitem->col("l_receiptdate");
+    for (std::int64_t i = 0; i < rf.size(); ++i) {
+        auto flag = db->lineitem->getString(rf, i);
+        auto status = db->lineitem->getString(ls, i);
+        if (rd.get(i) <= kCurrentDate)
+            EXPECT_TRUE(flag == "R" || flag == "A");
+        else
+            EXPECT_EQ(flag, "N");
+        EXPECT_EQ(status, sd.get(i) <= kCurrentDate ? "F" : "O");
+    }
+}
+
+TEST_F(DbgenTest, ExtendedPriceFormula)
+{
+    const Column &lq = db->lineitem->col("l_quantity");
+    const Column &lp = db->lineitem->col("l_partkey");
+    const Column &le = db->lineitem->col("l_extendedprice");
+    const Column &pr = db->part->col("p_retailprice");
+    for (std::int64_t i = 0; i < lq.size(); ++i) {
+        std::int64_t qty_units = lq.get(i) / kDecimalScale;
+        EXPECT_EQ(le.get(i), qty_units * pr.get(lp.get(i) - 1));
+    }
+}
+
+TEST_F(DbgenTest, TotalPriceMatchesLineitems)
+{
+    // o_totalprice == sum(extprice * (1+tax) * (1-disc)) per order.
+    std::vector<std::int64_t> sums(db->orders->numRows(), 0);
+    const auto &li = *db->lineitem;
+    for (std::int64_t i = 0; i < li.numRows(); ++i) {
+        std::int64_t v = decimalMul(
+            decimalMul(li.col("l_extendedprice").get(i),
+                       100 + li.col("l_tax").get(i)),
+            100 - li.col("l_discount").get(i));
+        sums[li.col("l_orderkey").get(i) - 1] += v;
+    }
+    const Column &tp = db->orders->col("o_totalprice");
+    for (std::int64_t i = 0; i < tp.size(); ++i)
+        EXPECT_EQ(tp.get(i), sums[i]);
+}
+
+TEST_F(DbgenTest, StringDomainsMatchSpecPools)
+{
+    const Column &seg = db->customer->col("c_mktsegment");
+    for (std::int64_t i = 0; i < seg.size(); ++i) {
+        auto s = db->customer->getString(seg, i);
+        EXPECT_TRUE(std::find(kSegments.begin(), kSegments.end(), s)
+                    != kSegments.end());
+    }
+    // p_type has at most 6*5*5 distinct values, so its heap is small
+    // (regex-accelerator friendly); p_name's heap is large.
+    EXPECT_LE(db->part->strings().numStrings(), 200000);
+    const Column &brand = db->part->col("p_brand");
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(brand.size(), 100);
+         ++i) {
+        auto b = db->part->getString(brand, i);
+        EXPECT_EQ(b.substr(0, 6), "Brand#");
+    }
+}
+
+TEST_F(DbgenTest, PhoneCountryCodeEncodesNation)
+{
+    const Column &ph = db->customer->col("c_phone");
+    const Column &nk = db->customer->col("c_nationkey");
+    for (std::int64_t i = 0; i < ph.size(); ++i) {
+        auto p = db->customer->getString(ph, i);
+        EXPECT_EQ(std::stoi(std::string(p.substr(0, 2))),
+                  10 + nk.get(i));
+    }
+}
+
+TEST_F(DbgenTest, DeterministicForSameSeed)
+{
+    TpchConfig cfg;
+    cfg.scaleFactor = 0.001;
+    auto a = TpchDatabase::generate(cfg);
+    auto b = TpchDatabase::generate(cfg);
+    ASSERT_EQ(a.lineitem->numRows(), b.lineitem->numRows());
+    for (std::int64_t i = 0; i < a.lineitem->numRows(); ++i) {
+        EXPECT_EQ(a.lineitem->col("l_extendedprice").get(i),
+                  b.lineitem->col("l_extendedprice").get(i));
+    }
+}
+
+TEST_F(DbgenTest, InstallIntoPersistsAllTables)
+{
+    FlashConfig fc;
+    fc.capacityBytes = 1ll << 30;
+    FlashDevice dev(fc);
+    ControllerSwitch sw(dev);
+    TableStore store(sw);
+    Catalog cat;
+    db->installInto(cat, store);
+    EXPECT_TRUE(cat.has("lineitem"));
+    EXPECT_TRUE(cat.has("region"));
+    EXPECT_EQ(cat.get("orders").densePrimaryKey, "o_orderkey");
+    EXPECT_EQ(cat.get("lineitem").densePrimaryKey, "");
+    EXPECT_EQ(cat.get("lineitem").fkRowIdTargets.at("l_orderkey"),
+              "orders");
+    // Flash now holds the whole database.
+    EXPECT_GT(dev.allocatedPages() * fc.pageBytes, db->storedBytes());
+}
+
+} // namespace
+} // namespace aquoman::tpch

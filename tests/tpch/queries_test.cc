@@ -1,0 +1,286 @@
+/** @file
+ * Runs all 22 TPC-H queries through the baseline engine at SF 0.01 and
+ * cross-checks several of them against independent brute-force
+ * reference computations over the generated tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/executor.hh"
+#include "tpch/dbgen.hh"
+#include "tpch/queries.hh"
+
+namespace aquoman::tpch {
+namespace {
+
+constexpr double kSf = 0.01;
+
+class QueriesTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        TpchConfig cfg;
+        cfg.scaleFactor = kSf;
+        db = new TpchDatabase(TpchDatabase::generate(cfg));
+        catalog = new Catalog();
+        for (auto t : {db->region, db->nation, db->supplier, db->customer,
+                       db->part, db->partsupp, db->orders, db->lineitem})
+            catalog->put(t, nullptr);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete catalog;
+        delete db;
+        catalog = nullptr;
+        db = nullptr;
+    }
+
+    RelTable
+    run(int q)
+    {
+        Executor ex(*catalog);
+        return ex.run(tpchQuery(q, kSf));
+    }
+
+    static TpchDatabase *db;
+    static Catalog *catalog;
+};
+
+TpchDatabase *QueriesTest::db = nullptr;
+Catalog *QueriesTest::catalog = nullptr;
+
+class AllQueriesRun : public QueriesTest,
+                      public ::testing::WithParamInterface<int>
+{
+};
+
+/** Every query must execute and produce a plausibly-shaped answer. */
+TEST_P(AllQueriesRun, ExecutesAndProducesRows)
+{
+    RelTable out = run(GetParam());
+    EXPECT_GT(out.numColumns(), 0);
+    switch (GetParam()) {
+      case 1:
+        EXPECT_EQ(out.numRows(), 4); // A/F, N/F, N/O, R/F
+        break;
+      case 4:
+        EXPECT_EQ(out.numRows(), 5); // the five priorities
+        break;
+      case 5:
+        EXPECT_EQ(out.numRows(), 5); // the five ASIA nations
+        break;
+      case 6:
+      case 14:
+      case 17:
+      case 19:
+        EXPECT_EQ(out.numRows(), 1); // scalar answers
+        break;
+      case 12:
+        EXPECT_EQ(out.numRows(), 2); // MAIL, SHIP
+        break;
+      default:
+        EXPECT_GE(out.numRows(), 0);
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tpch, AllQueriesRun,
+                         ::testing::ValuesIn(allQueryNumbers()));
+
+TEST_F(QueriesTest, Q1MatchesReference)
+{
+    RelTable out = run(1);
+    // Brute-force reference.
+    std::int32_t cutoff = parseDate("1998-09-02");
+    struct Acc { std::int64_t qty = 0, price = 0, cnt = 0; };
+    std::map<std::string, Acc> ref;
+    const auto &li = *db->lineitem;
+    for (std::int64_t i = 0; i < li.numRows(); ++i) {
+        if (li.col("l_shipdate").get(i) > cutoff)
+            continue;
+        std::string key(li.getString(li.col("l_returnflag"), i));
+        key += "|";
+        key += li.getString(li.col("l_linestatus"), i);
+        Acc &a = ref[key];
+        a.qty += li.col("l_quantity").get(i);
+        a.price += li.col("l_extendedprice").get(i);
+        a.cnt += 1;
+    }
+    ASSERT_EQ(out.numRows(), static_cast<std::int64_t>(ref.size()));
+    for (std::int64_t r = 0; r < out.numRows(); ++r) {
+        std::string key(out.col("l_returnflag").str(r));
+        key += "|";
+        key += out.col("l_linestatus").str(r);
+        ASSERT_TRUE(ref.count(key)) << key;
+        EXPECT_EQ(out.col("sum_qty").get(r), ref[key].qty);
+        EXPECT_EQ(out.col("sum_base_price").get(r), ref[key].price);
+        EXPECT_EQ(out.col("count_order").get(r), ref[key].cnt);
+        EXPECT_EQ(out.col("avg_qty").get(r), ref[key].qty / ref[key].cnt);
+    }
+}
+
+TEST_F(QueriesTest, Q6MatchesReference)
+{
+    RelTable out = run(6);
+    std::int64_t want = 0;
+    const auto &li = *db->lineitem;
+    std::int32_t lo = parseDate("1994-01-01"), hi = parseDate("1995-01-01");
+    for (std::int64_t i = 0; i < li.numRows(); ++i) {
+        std::int64_t sd = li.col("l_shipdate").get(i);
+        std::int64_t disc = li.col("l_discount").get(i);
+        if (sd >= lo && sd < hi && disc >= 5 && disc <= 7
+                && li.col("l_quantity").get(i) < 24 * kDecimalScale) {
+            want += decimalMul(li.col("l_extendedprice").get(i), disc);
+        }
+    }
+    ASSERT_EQ(out.numRows(), 1);
+    EXPECT_GT(want, 0);
+    EXPECT_EQ(out.col("revenue").get(0), want);
+}
+
+TEST_F(QueriesTest, Q3TopOrdersMatchReference)
+{
+    RelTable out = run(3);
+    ASSERT_LE(out.numRows(), 10);
+    // Reference: revenue per qualifying order.
+    std::int32_t date = parseDate("1995-03-15");
+    const auto &cust = *db->customer;
+    const auto &ord = *db->orders;
+    const auto &li = *db->lineitem;
+    std::vector<bool> building(cust.numRows());
+    for (std::int64_t i = 0; i < cust.numRows(); ++i) {
+        building[i] =
+            cust.getString(cust.col("c_mktsegment"), i) == "BUILDING";
+    }
+    std::map<std::int64_t, std::int64_t> rev;
+    for (std::int64_t i = 0; i < li.numRows(); ++i) {
+        if (li.col("l_shipdate").get(i) <= date)
+            continue;
+        std::int64_t o = li.col("l_orderkey").get(i);
+        if (ord.col("o_orderdate").get(o - 1) >= date)
+            continue;
+        if (!building[ord.col("o_custkey").get(o - 1) - 1])
+            continue;
+        rev[o] += decimalMul(li.col("l_extendedprice").get(i),
+                             100 - li.col("l_discount").get(i));
+    }
+    std::int64_t best = 0;
+    for (const auto &[o, v] : rev)
+        best = std::max(best, v);
+    ASSERT_GT(out.numRows(), 0);
+    EXPECT_EQ(out.col("revenue").get(0), best);
+}
+
+TEST_F(QueriesTest, Q14PromoShareIsAPercentage)
+{
+    RelTable out = run(14);
+    ASSERT_EQ(out.numRows(), 1);
+    std::int64_t share = out.col("promo_revenue").get(0);
+    EXPECT_GT(share, 0);
+    EXPECT_LT(share, makeDecimal(100));
+    // PROMO is 1 of 6 type prefixes; share should be near 16.7%.
+    EXPECT_GT(share, makeDecimal(5));
+    EXPECT_LT(share, makeDecimal(35));
+}
+
+TEST_F(QueriesTest, Q13IncludesCustomersWithNoOrders)
+{
+    RelTable out = run(13);
+    // Some customers have no orders at SF 0.01 (1500 customers,
+    // 15000 orders over random custkeys -> a few gaps are expected);
+    // the c_count = 0 bucket must be present.
+    bool has_zero = false;
+    std::int64_t total = 0;
+    for (std::int64_t i = 0; i < out.numRows(); ++i) {
+        total += out.col("custdist").get(i);
+        if (out.col("c_count").get(i) == 0)
+            has_zero = true;
+    }
+    EXPECT_EQ(total, db->customer->numRows());
+    EXPECT_TRUE(has_zero);
+}
+
+TEST_F(QueriesTest, Q15AgreesWithQ15Reference)
+{
+    RelTable out = run(15);
+    ASSERT_GE(out.numRows(), 1);
+    // All returned suppliers share the maximum revenue.
+    std::int64_t maxrev = out.col("total_revenue").get(0);
+    for (std::int64_t i = 1; i < out.numRows(); ++i)
+        EXPECT_EQ(out.col("total_revenue").get(i), maxrev);
+
+    std::map<std::int64_t, std::int64_t> rev;
+    const auto &li = *db->lineitem;
+    std::int32_t lo = parseDate("1996-01-01"), hi = parseDate("1996-04-01");
+    for (std::int64_t i = 0; i < li.numRows(); ++i) {
+        std::int64_t sd = li.col("l_shipdate").get(i);
+        if (sd >= lo && sd < hi) {
+            rev[li.col("l_suppkey").get(i)] +=
+                decimalMul(li.col("l_extendedprice").get(i),
+                           100 - li.col("l_discount").get(i));
+        }
+    }
+    std::int64_t want = 0;
+    for (const auto &[s, v] : rev)
+        want = std::max(want, v);
+    EXPECT_EQ(maxrev, want);
+}
+
+TEST_F(QueriesTest, Q21OnlySaudiSuppliers)
+{
+    RelTable out = run(21);
+    const auto &sup = *db->supplier;
+    std::int64_t saudi = -1;
+    const auto &nn = *db->nation;
+    for (std::int64_t i = 0; i < nn.numRows(); ++i)
+        if (nn.getString(nn.col("n_name"), i) == "SAUDI ARABIA")
+            saudi = nn.col("n_nationkey").get(i);
+    ASSERT_GE(saudi, 0);
+    for (std::int64_t r = 0; r < out.numRows(); ++r) {
+        auto name = out.col("s_name").str(r);
+        bool found = false;
+        for (std::int64_t i = 0; i < sup.numRows(); ++i) {
+            if (sup.getString(sup.col("s_name"), i) == name) {
+                EXPECT_EQ(sup.col("s_nationkey").get(i), saudi);
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST_F(QueriesTest, Q22OnlyEligibleCountryCodes)
+{
+    RelTable out = run(22);
+    std::vector<std::int64_t> codes = {13, 31, 23, 29, 30, 18, 17};
+    for (std::int64_t r = 0; r < out.numRows(); ++r) {
+        std::int64_t c = out.col("cntrycode").get(r);
+        EXPECT_TRUE(std::find(codes.begin(), codes.end(), c)
+                    != codes.end());
+        EXPECT_GT(out.col("numcust").get(r), 0);
+    }
+}
+
+TEST_F(QueriesTest, Q18OrdersReallyExceedThreshold)
+{
+    RelTable out = run(18);
+    // Recompute sum(l_quantity) for each reported order.
+    const auto &li = *db->lineitem;
+    std::map<std::int64_t, std::int64_t> qty;
+    for (std::int64_t i = 0; i < li.numRows(); ++i)
+        qty[li.col("l_orderkey").get(i)] += li.col("l_quantity").get(i);
+    for (std::int64_t r = 0; r < out.numRows(); ++r) {
+        std::int64_t o = out.col("o_orderkey").get(r);
+        EXPECT_GT(qty[o], 300 * kDecimalScale);
+        EXPECT_EQ(out.col("sum_quantity").get(r), qty[o]);
+    }
+}
+
+} // namespace
+} // namespace aquoman::tpch
