@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcaccel_rows.dir/fcaccel_rows.cc.o"
+  "CMakeFiles/fcaccel_rows.dir/fcaccel_rows.cc.o.d"
+  "fcaccel_rows"
+  "fcaccel_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcaccel_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_tpch.dir/fig16_tpch.cc.o"
+  "CMakeFiles/fig16_tpch.dir/fig16_tpch.cc.o.d"
+  "fig16_tpch"
+  "fig16_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_validation.dir/fig17_validation.cc.o"
+  "CMakeFiles/fig17_validation.dir/fig17_validation.cc.o.d"
+  "fig17_validation"
+  "fig17_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_classes.dir/offload_classes.cc.o"
+  "CMakeFiles/offload_classes.dir/offload_classes.cc.o.d"
+  "offload_classes"
+  "offload_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tablev_sorter.dir/tablev_sorter.cc.o"
+  "CMakeFiles/tablev_sorter.dir/tablev_sorter.cc.o.d"
+  "tablev_sorter"
+  "tablev_sorter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tablev_sorter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

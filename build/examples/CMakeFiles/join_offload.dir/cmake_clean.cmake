@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_offload.dir/join_offload.cpp.o"
+  "CMakeFiles/join_offload.dir/join_offload.cpp.o.d"
+  "join_offload"
+  "join_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_offload.dir/tpch_offload.cpp.o"
+  "CMakeFiles/tpch_offload.dir/tpch_offload.cpp.o.d"
+  "tpch_offload"
+  "tpch_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

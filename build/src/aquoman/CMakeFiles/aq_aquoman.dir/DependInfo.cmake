@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aquoman/device.cc" "src/aquoman/CMakeFiles/aq_aquoman.dir/device.cc.o" "gcc" "src/aquoman/CMakeFiles/aq_aquoman.dir/device.cc.o.d"
+  "/root/repo/src/aquoman/pe.cc" "src/aquoman/CMakeFiles/aq_aquoman.dir/pe.cc.o" "gcc" "src/aquoman/CMakeFiles/aq_aquoman.dir/pe.cc.o.d"
+  "/root/repo/src/aquoman/swissknife/bitonic.cc" "src/aquoman/CMakeFiles/aq_aquoman.dir/swissknife/bitonic.cc.o" "gcc" "src/aquoman/CMakeFiles/aq_aquoman.dir/swissknife/bitonic.cc.o.d"
+  "/root/repo/src/aquoman/swissknife/groupby.cc" "src/aquoman/CMakeFiles/aq_aquoman.dir/swissknife/groupby.cc.o" "gcc" "src/aquoman/CMakeFiles/aq_aquoman.dir/swissknife/groupby.cc.o.d"
+  "/root/repo/src/aquoman/swissknife/merger.cc" "src/aquoman/CMakeFiles/aq_aquoman.dir/swissknife/merger.cc.o" "gcc" "src/aquoman/CMakeFiles/aq_aquoman.dir/swissknife/merger.cc.o.d"
+  "/root/repo/src/aquoman/swissknife/streaming_sorter.cc" "src/aquoman/CMakeFiles/aq_aquoman.dir/swissknife/streaming_sorter.cc.o" "gcc" "src/aquoman/CMakeFiles/aq_aquoman.dir/swissknife/streaming_sorter.cc.o.d"
+  "/root/repo/src/aquoman/swissknife/topk.cc" "src/aquoman/CMakeFiles/aq_aquoman.dir/swissknife/topk.cc.o" "gcc" "src/aquoman/CMakeFiles/aq_aquoman.dir/swissknife/topk.cc.o.d"
+  "/root/repo/src/aquoman/task_compiler.cc" "src/aquoman/CMakeFiles/aq_aquoman.dir/task_compiler.cc.o" "gcc" "src/aquoman/CMakeFiles/aq_aquoman.dir/task_compiler.cc.o.d"
+  "/root/repo/src/aquoman/transform_compiler.cc" "src/aquoman/CMakeFiles/aq_aquoman.dir/transform_compiler.cc.o" "gcc" "src/aquoman/CMakeFiles/aq_aquoman.dir/transform_compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relalg/CMakeFiles/aq_relalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/aq_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_aquoman.dir/device.cc.o"
+  "CMakeFiles/aq_aquoman.dir/device.cc.o.d"
+  "CMakeFiles/aq_aquoman.dir/pe.cc.o"
+  "CMakeFiles/aq_aquoman.dir/pe.cc.o.d"
+  "CMakeFiles/aq_aquoman.dir/swissknife/bitonic.cc.o"
+  "CMakeFiles/aq_aquoman.dir/swissknife/bitonic.cc.o.d"
+  "CMakeFiles/aq_aquoman.dir/swissknife/groupby.cc.o"
+  "CMakeFiles/aq_aquoman.dir/swissknife/groupby.cc.o.d"
+  "CMakeFiles/aq_aquoman.dir/swissknife/merger.cc.o"
+  "CMakeFiles/aq_aquoman.dir/swissknife/merger.cc.o.d"
+  "CMakeFiles/aq_aquoman.dir/swissknife/streaming_sorter.cc.o"
+  "CMakeFiles/aq_aquoman.dir/swissknife/streaming_sorter.cc.o.d"
+  "CMakeFiles/aq_aquoman.dir/swissknife/topk.cc.o"
+  "CMakeFiles/aq_aquoman.dir/swissknife/topk.cc.o.d"
+  "CMakeFiles/aq_aquoman.dir/task_compiler.cc.o"
+  "CMakeFiles/aq_aquoman.dir/task_compiler.cc.o.d"
+  "CMakeFiles/aq_aquoman.dir/transform_compiler.cc.o"
+  "CMakeFiles/aq_aquoman.dir/transform_compiler.cc.o.d"
+  "libaq_aquoman.a"
+  "libaq_aquoman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_aquoman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_engine.dir/executor.cc.o"
+  "CMakeFiles/aq_engine.dir/executor.cc.o.d"
+  "libaq_engine.a"
+  "libaq_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

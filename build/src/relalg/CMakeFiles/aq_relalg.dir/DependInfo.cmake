@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relalg/eval.cc" "src/relalg/CMakeFiles/aq_relalg.dir/eval.cc.o" "gcc" "src/relalg/CMakeFiles/aq_relalg.dir/eval.cc.o.d"
+  "/root/repo/src/relalg/expr.cc" "src/relalg/CMakeFiles/aq_relalg.dir/expr.cc.o" "gcc" "src/relalg/CMakeFiles/aq_relalg.dir/expr.cc.o.d"
+  "/root/repo/src/relalg/plan.cc" "src/relalg/CMakeFiles/aq_relalg.dir/plan.cc.o" "gcc" "src/relalg/CMakeFiles/aq_relalg.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

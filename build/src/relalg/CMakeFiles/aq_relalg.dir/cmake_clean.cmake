@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_relalg.dir/eval.cc.o"
+  "CMakeFiles/aq_relalg.dir/eval.cc.o.d"
+  "CMakeFiles/aq_relalg.dir/expr.cc.o"
+  "CMakeFiles/aq_relalg.dir/expr.cc.o.d"
+  "CMakeFiles/aq_relalg.dir/plan.cc.o"
+  "CMakeFiles/aq_relalg.dir/plan.cc.o.d"
+  "libaq_relalg.a"
+  "libaq_relalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_relalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

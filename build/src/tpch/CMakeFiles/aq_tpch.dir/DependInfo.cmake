@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/dbgen.cc" "src/tpch/CMakeFiles/aq_tpch.dir/dbgen.cc.o" "gcc" "src/tpch/CMakeFiles/aq_tpch.dir/dbgen.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/tpch/CMakeFiles/aq_tpch.dir/queries.cc.o" "gcc" "src/tpch/CMakeFiles/aq_tpch.dir/queries.cc.o.d"
+  "/root/repo/src/tpch/text_pool.cc" "src/tpch/CMakeFiles/aq_tpch.dir/text_pool.cc.o" "gcc" "src/tpch/CMakeFiles/aq_tpch.dir/text_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relalg/CMakeFiles/aq_relalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/aq_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/aq_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/aq_tpch.dir/queries.cc.o"
+  "CMakeFiles/aq_tpch.dir/queries.cc.o.d"
+  "CMakeFiles/aq_tpch.dir/text_pool.cc.o"
+  "CMakeFiles/aq_tpch.dir/text_pool.cc.o.d"
+  "libaq_tpch.a"
+  "libaq_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_paths_test.dir/aquoman/device_paths_test.cc.o"
+  "CMakeFiles/device_paths_test.dir/aquoman/device_paths_test.cc.o.d"
+  "device_paths_test"
+  "device_paths_test.pdb"
+  "device_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

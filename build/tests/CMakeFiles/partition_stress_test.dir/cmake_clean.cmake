@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_stress_test.dir/aquoman/partition_stress_test.cc.o"
+  "CMakeFiles/partition_stress_test.dir/aquoman/partition_stress_test.cc.o.d"
+  "partition_stress_test"
+  "partition_stress_test.pdb"
+  "partition_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

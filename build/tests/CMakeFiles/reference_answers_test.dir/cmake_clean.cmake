@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_answers_test.dir/tpch/reference_answers_test.cc.o"
+  "CMakeFiles/reference_answers_test.dir/tpch/reference_answers_test.cc.o.d"
+  "reference_answers_test"
+  "reference_answers_test.pdb"
+  "reference_answers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_answers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

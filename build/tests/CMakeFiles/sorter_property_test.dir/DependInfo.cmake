@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aquoman/sorter_property_test.cc" "tests/CMakeFiles/sorter_property_test.dir/aquoman/sorter_property_test.cc.o" "gcc" "tests/CMakeFiles/sorter_property_test.dir/aquoman/sorter_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relalg/CMakeFiles/aq_relalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/aq_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/aq_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/aquoman/CMakeFiles/aq_aquoman.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

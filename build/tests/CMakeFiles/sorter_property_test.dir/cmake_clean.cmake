@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorter_property_test.dir/aquoman/sorter_property_test.cc.o"
+  "CMakeFiles/sorter_property_test.dir/aquoman/sorter_property_test.cc.o.d"
+  "sorter_property_test"
+  "sorter_property_test.pdb"
+  "sorter_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorter_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

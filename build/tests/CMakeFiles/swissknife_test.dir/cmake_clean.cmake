@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swissknife_test.dir/aquoman/swissknife_test.cc.o"
+  "CMakeFiles/swissknife_test.dir/aquoman/swissknife_test.cc.o.d"
+  "swissknife_test"
+  "swissknife_test.pdb"
+  "swissknife_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swissknife_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_compiler_test.dir/aquoman/task_compiler_test.cc.o"
+  "CMakeFiles/task_compiler_test.dir/aquoman/task_compiler_test.cc.o.d"
+  "task_compiler_test"
+  "task_compiler_test.pdb"
+  "task_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/date_test[1]_include.cmake")
+include("/root/repo/build/tests/decimal_test[1]_include.cmake")
+include("/root/repo/build/tests/bitvector_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_test[1]_include.cmake")
+include("/root/repo/build/tests/columnstore_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/dbgen_test[1]_include.cmake")
+include("/root/repo/build/tests/queries_test[1]_include.cmake")
+include("/root/repo/build/tests/pe_test[1]_include.cmake")
+include("/root/repo/build/tests/swissknife_test[1]_include.cmake")
+include("/root/repo/build/tests/offload_test[1]_include.cmake")
+include("/root/repo/build/tests/task_compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/host_model_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_model_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/device_paths_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/reference_answers_test[1]_include.cmake")
+include("/root/repo/build/tests/sorter_property_test[1]_include.cmake")
