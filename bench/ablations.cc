@@ -17,6 +17,7 @@
 #include "aquoman/swissknife/streaming_sorter.hh"
 #include "bench_util.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 
 using namespace aquoman;
 using namespace aquoman::bench;
@@ -105,11 +106,20 @@ main()
            "(generalised AQUOMAN16 experiment)");
     for (std::int64_t gbytes : {4, 16, 40, 128}) {
         AquomanConfig cfg = fx.scaledDevice(gbytes << 30);
+        // Queries are independent; fan them across the pool and sum
+        // their per-query counts in query order.
+        std::vector<int> queries = tpch::allQueryNumbers();
+        std::vector<int> counts(queries.size(), 0);
+        parallelFor(0, static_cast<std::int64_t>(queries.size()), 1,
+                    [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i) {
+                OffloadedQueryResult r = fx.offload(queries[i], cfg);
+                counts[i] = r.stats.suspendedDram;
+            }
+        });
         int suspended = 0;
-        for (int q : tpch::allQueryNumbers()) {
-            OffloadedQueryResult r = fx.offload(q, cfg);
-            suspended += r.stats.suspendedDram;
-        }
+        for (int c : counts)
+            suspended += c;
         std::printf("  %4lldGB device DRAM: %d quer%s hit the DRAM "
                     "suspension (paper: 4 at 16GB, 0 at 40GB)\n",
                     static_cast<long long>(gbytes), suspended,

@@ -10,10 +10,13 @@
 #ifndef AQUOMAN_BENCH_BENCH_UTIL_HH
 #define AQUOMAN_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "aquoman/device.hh"
 #include "aquoman/perf_model.hh"
@@ -136,6 +139,82 @@ header(const std::string &title)
                 "================================================"
                 "====================\n",
                 title.c_str());
+}
+
+/** Wall-clock seconds since construction (real time, not modelled). */
+class WallTimer
+{
+  public:
+    WallTimer() : start(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/** Path given with "--json <path>", or empty when the flag is absent. */
+inline std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json requires a path\n");
+                std::exit(2);
+            }
+            return argv[i + 1];
+        }
+    }
+    return std::string();
+}
+
+/** One flat record of numeric fields for the --json output. */
+struct JsonRecord
+{
+    std::vector<std::pair<std::string, double>> fields;
+
+    void
+    add(const std::string &name, double value)
+    {
+        fields.emplace_back(name, value);
+    }
+};
+
+/**
+ * Write @p records as a JSON array of flat objects. Doubles use %.17g
+ * so modelled seconds round-trip exactly; integral values print with
+ * no fraction. Returns false (with a message) when the file can't be
+ * opened.
+ */
+inline bool
+writeJsonRecords(const std::string &path,
+                 const std::vector<JsonRecord> &records)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        std::fprintf(f, "  {");
+        for (std::size_t j = 0; j < records[i].fields.size(); ++j) {
+            const auto &[name, value] = records[i].fields[j];
+            std::fprintf(f, "%s\"%s\": %.17g", j ? ", " : "",
+                         name.c_str(), value);
+        }
+        std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
 }
 
 } // namespace aquoman::bench

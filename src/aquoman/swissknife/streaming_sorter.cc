@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace aquoman {
 
@@ -59,27 +60,56 @@ StreamingSorter::sort(KvStream &stream, bool require_total_order) const
     std::int64_t run_records = std::max<std::int64_t>(
         16, block_records / config.sorterMergeFanIn);
     std::vector<std::pair<Kv, std::int64_t>> tagged(stream.size());
-    for (std::size_t i = 0; i < stream.size(); ++i)
-        tagged[i] = {stream[i], static_cast<std::int64_t>(i)
-                                    / run_records};
+    parallelFor(0, st.recordsIn, 1 << 16,
+                [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i)
+            tagged[i] = {stream[i], i / run_records};
+    });
 
-    // Sort each block (bitonic network + SRAM merge layers in HW).
-    for (std::int64_t b = 0; b < st.numBlocks; ++b) {
-        auto begin = tagged.begin() + b * block_records;
-        auto end = b * block_records + block_records
-            <= st.recordsIn ? begin + block_records : tagged.end();
-        std::sort(begin, end, [](const auto &x, const auto &y) {
-            return x.first < y.first;
-        });
-    }
+    // Sort each block (bitonic network + SRAM merge layers in HW; each
+    // flash channel feeds its own block, so blocks sort concurrently).
+    auto cmp = [](const auto &x, const auto &y) {
+        return x.first < y.first;
+    };
+    parallelFor(0, st.numBlocks, 1, [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b) {
+            auto begin = tagged.begin() + b * block_records;
+            auto end = b * block_records + block_records
+                <= st.recordsIn ? begin + block_records : tagged.end();
+            std::sort(begin, end, cmp);
+        }
+    });
 
     bool fold = require_total_order && st.numBlocks > 1;
     if (fold) {
-        // Fold: merge all sorted blocks (all runs DRAM-resident).
-        std::sort(tagged.begin(), tagged.end(),
-                  [](const auto &x, const auto &y) {
-                      return x.first < y.first;
-                  });
+        // Fold: merge all sorted blocks (all runs DRAM-resident) with a
+        // pairwise merge tree. std::merge prefers the left run on equal
+        // keys, so the output — run tags included — is identical for
+        // every thread count; rounds of disjoint merges run in parallel.
+        std::vector<std::pair<Kv, std::int64_t>> scratch(tagged.size());
+        auto *src = &tagged;
+        auto *dst = &scratch;
+        for (std::int64_t width = block_records;
+             width < st.recordsIn; width *= 2) {
+            std::int64_t pairs = (st.recordsIn + 2 * width - 1)
+                / (2 * width);
+            parallelFor(0, pairs, 1,
+                        [&](std::int64_t p0, std::int64_t p1) {
+                for (std::int64_t p = p0; p < p1; ++p) {
+                    std::int64_t lo = p * 2 * width;
+                    std::int64_t mid =
+                        std::min(lo + width, st.recordsIn);
+                    std::int64_t hi =
+                        std::min(lo + 2 * width, st.recordsIn);
+                    std::merge(src->begin() + lo, src->begin() + mid,
+                               src->begin() + mid, src->begin() + hi,
+                               dst->begin() + lo, cmp);
+                }
+            });
+            std::swap(src, dst);
+        }
+        if (src != &tagged)
+            tagged = std::move(*src);
         st.folded = true;
         st.dramBytes = st.bytesIn; // every block resident during fold
     } else {
@@ -96,8 +126,11 @@ StreamingSorter::sort(KvStream &stream, bool require_total_order) const
               / static_cast<double>(tagged.size() - 1)
         : 0.0;
 
-    for (std::size_t i = 0; i < tagged.size(); ++i)
-        stream[i] = tagged[i].first;
+    parallelFor(0, st.recordsIn, 1 << 16,
+                [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i)
+            stream[i] = tagged[i].first;
+    });
 
     st.seconds = modelSeconds(st.bytesIn, st.alternationRate, st.folded);
     st.throughput = st.seconds > 0 ? st.bytesIn / st.seconds : 0.0;

@@ -12,6 +12,12 @@
  * run slower than random ones), and one block of pipeline fill/drain
  * latency (so throughput rises with input length). Constants are
  * calibrated so the four Table V rows land on the published numbers.
+ *
+ * Execution is morsel-parallel (blocks sort concurrently and the fold
+ * is a pairwise merge tree over the shared ThreadPool), mirroring the
+ * per-channel parallelism of the hardware; output, alternation
+ * statistics and modelled seconds are bit-identical for every
+ * AQUOMAN_THREADS setting — only wall-clock changes.
  */
 
 #ifndef AQUOMAN_AQUOMAN_SWISSKNIFE_STREAMING_SORTER_HH

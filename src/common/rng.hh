@@ -3,6 +3,11 @@
  * Deterministic pseudo-random number generator. The TPC-H generator and
  * all property tests use this so that every run of the repository is
  * reproducible regardless of platform or standard-library version.
+ *
+ * All randomness in the repository flows through this header — never
+ * through std::random_device or rand() — and parallel producers derive
+ * independent per-partition streams with Rng::stream(), so generated
+ * data is bit-identical no matter how many threads produced it.
  */
 
 #ifndef AQUOMAN_COMMON_RNG_HH
@@ -17,6 +22,31 @@ class Rng
 {
   public:
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /**
+     * Derive the seed of an independent sub-stream of @p base. Used by
+     * parallel generators: stream(seed, table, partition) gives every
+     * partition its own generator whose output does not depend on how
+     * partitions are scheduled across threads. The double splitmix
+     * finalisation decorrelates streams whose ids differ in one bit.
+     */
+    static std::uint64_t
+    streamSeed(std::uint64_t base, std::uint64_t stream_a,
+               std::uint64_t stream_b = 0)
+    {
+        std::uint64_t z = base;
+        z = mix64(z + 0x9e3779b97f4a7c15ull * (stream_a + 1));
+        z = mix64(z ^ (0xbf58476d1ce4e5b9ull * (stream_b + 1)));
+        return z;
+    }
+
+    /** An Rng positioned at sub-stream (@p stream_a, @p stream_b). */
+    static Rng
+    stream(std::uint64_t base, std::uint64_t stream_a,
+           std::uint64_t stream_b = 0)
+    {
+        return Rng(streamSeed(base, stream_a, stream_b));
+    }
 
     /** Next raw 64-bit value. */
     std::uint64_t
@@ -46,6 +76,15 @@ class Rng
     }
 
   private:
+    /** splitmix64 finaliser (also used for stream derivation). */
+    static std::uint64_t
+    mix64(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
     std::uint64_t state;
 };
 

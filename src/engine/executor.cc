@@ -5,11 +5,19 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.hh"
 #include "relalg/eval.hh"
 
 namespace aquoman {
 
 namespace {
+
+/**
+ * Rows per morsel for the parallel operator paths. Inputs at or below
+ * one morsel run inline on the calling thread (parallelFor's serial
+ * fast path), so small relations pay no scheduling overhead.
+ */
+constexpr std::int64_t kMorselRows = 16384;
 
 /** Append the hashable encoding of one value to @p key. */
 void
@@ -74,14 +82,23 @@ exprCost(const ExprPtr &e)
 RelTable
 gatherRows(const RelTable &t, const std::vector<std::int64_t> &idx)
 {
+    std::int64_t n = static_cast<std::int64_t>(idx.size());
     RelTable out;
     for (int c = 0; c < t.numColumns(); ++c) {
         const RelColumn &src = t.col(c);
         RelColumn dst(src.name, src.type);
         dst.heap = src.heap;
-        dst.vals->reserve(idx.size());
-        for (std::int64_t i : idx)
-            dst.vals->push_back(i < 0 ? kNullValue : src.get(i));
+        dst.vals->resize(n);
+        std::vector<std::int64_t> &vals = *dst.vals;
+        // Morsels write disjoint ranges of the preallocated vector, so
+        // the gather is bit-identical for any thread count.
+        parallelFor(0, n, kMorselRows,
+                    [&](std::int64_t k0, std::int64_t k1) {
+            for (std::int64_t k = k0; k < k1; ++k) {
+                std::int64_t i = idx[k];
+                vals[k] = i < 0 ? kNullValue : src.get(i);
+            }
+        });
         out.addColumn(std::move(dst));
     }
     return out;
@@ -176,29 +193,46 @@ Executor::execScan(const Plan &p,
         for (int i = 0; i < t.numColumns(); ++i)
             wanted.push_back(t.col(i).name());
     }
+    // Materialise columns concurrently (per-column flash reads and
+    // decode), then account metrics serially in column order so the
+    // trace matches the serial engine bit for bit.
+    std::vector<RelColumn> cols(wanted.size());
+    TaskGroup group;
+    for (std::size_t w = 0; w < wanted.size(); ++w) {
+        group.run([&, w] {
+            const std::string &name = wanted[w];
+            int ci = t.indexOf(name);
+            const Column &c = t.col(ci);
+            std::string out_name = p.scanAlias.empty()
+                ? name : p.scanAlias + "." + name;
+            RelColumn rc(out_name, c.type());
+            if (flashSwitch && entry.resident) {
+                entry.resident->readColumnRange(*flashSwitch,
+                                                FlashPort::Host, ci, 0,
+                                                c.size(), *rc.vals);
+            } else {
+                *rc.vals = c.data();
+            }
+            if (c.type() == ColumnType::Varchar)
+                rc.heap = t.stringsPtr();
+            cols[w] = std::move(rc);
+        });
+    }
+    group.wait();
     RelTable out;
-    for (const auto &name : wanted) {
-        int ci = t.indexOf(name);
-        const Column &c = t.col(ci);
-        std::string out_name = p.scanAlias.empty()
-            ? name : p.scanAlias + "." + name;
-        RelColumn rc(out_name, c.type());
-        if (flashSwitch && entry.resident) {
-            entry.resident->readColumnRange(*flashSwitch, FlashPort::Host,
-                                            ci, 0, c.size(), *rc.vals);
+    for (std::size_t w = 0; w < wanted.size(); ++w) {
+        const std::string &name = wanted[w];
+        const Column &c = t.col(t.indexOf(name));
+        if (flashSwitch && entry.resident)
             trace.flashBytesRead += c.storedBytes();
-        } else {
-            *rc.vals = c.data();
-        }
         trace.touchedBaseBytes += c.storedBytes();
         if (c.type() == ColumnType::Varchar) {
-            rc.heap = t.stringsPtr();
             std::int64_t hb = columnHeapBytes(entry, name);
             trace.flashBytesRead += flashSwitch ? hb : 0;
             trace.touchedBaseBytes += hb;
         }
         trace.rowOps += c.size() * 0.25; // mmap-style decode
-        out.addColumn(std::move(rc));
+        out.addColumn(std::move(cols[w]));
     }
     return out;
 }
@@ -208,23 +242,48 @@ Executor::execFilter(const Plan &p, const RelTable &in)
 {
     BitVector mask = evalPredicate(p.predicate, in);
     trace.rowOps += in.numRows() * (1.0 + exprCost(p.predicate));
+    // Candidate-list construction: each morsel collects its surviving
+    // rows locally; concatenating the locals in morsel order yields
+    // exactly the serial ascending row order.
+    auto morsels = ThreadPool::splitRange(0, in.numRows(), kMorselRows);
+    std::vector<std::vector<std::int64_t>> locals(morsels.size());
+    parallelFor(0, static_cast<std::int64_t>(morsels.size()), 1,
+                [&](std::int64_t m0, std::int64_t m1) {
+        for (std::int64_t m = m0; m < m1; ++m) {
+            auto [b, e] = morsels[m];
+            std::vector<std::int64_t> &l = locals[m];
+            for (std::int64_t i = b; i < e; ++i)
+                if (mask.get(i))
+                    l.push_back(i);
+        }
+    });
     std::vector<std::int64_t> idx;
     idx.reserve(mask.popcount());
-    for (std::int64_t i = 0; i < in.numRows(); ++i)
-        if (mask.get(i))
-            idx.push_back(i);
+    for (const auto &l : locals)
+        idx.insert(idx.end(), l.begin(), l.end());
     return gatherRows(in, idx);
 }
 
 RelTable
 Executor::execProject(const Plan &p, const RelTable &in)
 {
+    // Projections are independent: evaluate them as a task group, then
+    // assemble columns and merge per-task metrics in projection order
+    // (the same order the serial loop accumulated them).
+    std::vector<RelColumn> cols(p.projections.size());
+    TaskGroup group;
+    for (std::size_t i = 0; i < p.projections.size(); ++i) {
+        group.run([&, i] {
+            cols[i] = evalExpr(p.projections[i].expr, in,
+                               p.projections[i].name);
+            cols[i].name = p.projections[i].name;
+        });
+    }
+    group.wait();
     RelTable out;
-    for (const auto &ne : p.projections) {
-        RelColumn c = evalExpr(ne.expr, in, ne.name);
-        c.name = ne.name;
-        trace.rowOps += in.numRows() * exprCost(ne.expr);
-        out.addColumn(std::move(c));
+    for (std::size_t i = 0; i < p.projections.size(); ++i) {
+        trace.rowOps += in.numRows() * exprCost(p.projections[i].expr);
+        out.addColumn(std::move(cols[i]));
     }
     return out;
 }
@@ -255,12 +314,30 @@ Executor::execJoin(const Plan &p, const RelTable &left,
         for (std::int64_t j = 0; j < right.numRows(); ++j)
             ht.emplace(makeKey(right, rk, j), j);
         trace.rowOps += right.numRows() * 4.0;
-        for (std::int64_t i = 0; i < left.numRows(); ++i) {
-            auto [lo, hi] = ht.equal_range(makeKey(left, lk, i));
-            for (auto it = lo; it != hi; ++it) {
-                li.push_back(i);
-                ri.push_back(it->second);
+        // Probe in morsels over the read-only hash table. Each morsel's
+        // matches land in a local pair list; concatenation in morsel
+        // order reproduces the serial probe order exactly (equal_range
+        // iteration order is a property of the table, not the prober).
+        auto morsels =
+            ThreadPool::splitRange(0, left.numRows(), kMorselRows);
+        std::vector<std::vector<std::int64_t>> lloc(morsels.size());
+        std::vector<std::vector<std::int64_t>> rloc(morsels.size());
+        parallelFor(0, static_cast<std::int64_t>(morsels.size()), 1,
+                    [&](std::int64_t m0, std::int64_t m1) {
+            for (std::int64_t m = m0; m < m1; ++m) {
+                auto [b, e] = morsels[m];
+                for (std::int64_t i = b; i < e; ++i) {
+                    auto [lo, hi] = ht.equal_range(makeKey(left, lk, i));
+                    for (auto it = lo; it != hi; ++it) {
+                        lloc[m].push_back(i);
+                        rloc[m].push_back(it->second);
+                    }
+                }
             }
+        });
+        for (std::size_t m = 0; m < morsels.size(); ++m) {
+            li.insert(li.end(), lloc[m].begin(), lloc[m].end());
+            ri.insert(ri.end(), rloc[m].begin(), rloc[m].end());
         }
         trace.rowOps += left.numRows() * 4.0 + li.size() * 2.0;
     }

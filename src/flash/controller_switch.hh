@@ -11,6 +11,7 @@
 #define AQUOMAN_FLASH_CONTROLLER_SWITCH_HH
 
 #include <cstdint>
+#include <mutex>
 
 #include "common/stats.hh"
 #include "flash/flash_device.hh"
@@ -41,6 +42,7 @@ class ControllerSwitch
          void *out, std::int64_t bytes)
     {
         device.read(ext, offset, out, bytes);
+        std::lock_guard<std::mutex> lock(statsMu);
         portStats.add(portName(port) + ".bytesRead",
                       static_cast<double>(bytes));
     }
@@ -51,6 +53,7 @@ class ControllerSwitch
           const void *data, std::int64_t bytes)
     {
         device.write(ext, offset, data, bytes);
+        std::lock_guard<std::mutex> lock(statsMu);
         portStats.add(portName(port) + ".bytesWritten",
                       static_cast<double>(bytes));
     }
@@ -80,6 +83,8 @@ class ControllerSwitch
     }
 
     FlashDevice &device;
+    /// Queries run concurrently through one switch; counters serialise.
+    std::mutex statsMu;
     StatSet portStats;
 };
 

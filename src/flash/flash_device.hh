@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 #include "common/logging.hh"
@@ -54,6 +55,7 @@ class FlashDevice
     FlashExtent
     allocate(std::int64_t bytes)
     {
+        std::lock_guard<std::mutex> lock(mu);
         std::int64_t pages = (bytes + config.pageBytes - 1)
             / config.pageBytes;
         if (pages == 0)
@@ -75,6 +77,7 @@ class FlashDevice
     {
         AQ_ASSERT(offset >= 0 && offset + bytes <= ext.numPages
                   * config.pageBytes);
+        std::lock_guard<std::mutex> lock(mu);
         const auto *src = static_cast<const std::uint8_t *>(data);
         std::int64_t pos = offset;
         std::int64_t remaining = bytes;
@@ -102,6 +105,7 @@ class FlashDevice
     {
         AQ_ASSERT(offset >= 0 && offset + bytes <= ext.numPages
                   * config.pageBytes);
+        std::lock_guard<std::mutex> lock(mu);
         auto *dst = static_cast<std::uint8_t *>(out);
         std::int64_t pos = offset;
         std::int64_t remaining = bytes;
@@ -143,6 +147,9 @@ class FlashDevice
     }
 
     FlashConfig config;
+    /// One device serves concurrent host/AQUOMAN streams; the command
+    /// queue serialises page operations (and the traffic counters).
+    mutable std::mutex mu;
     std::vector<std::vector<std::uint8_t>> pageStore;
     PageId nextFreePage = 0;
     mutable StatSet statSet;

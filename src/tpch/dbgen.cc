@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "common/date.hh"
 #include "common/decimal.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "tpch/text_pool.hh"
 
 namespace aquoman::tpch {
@@ -15,6 +18,33 @@ const std::int32_t kCurrentDate = daysFromCivil(1995, 6, 17);
 const std::int32_t kEndDate = daysFromCivil(1998, 12, 31);
 
 namespace {
+
+/**
+ * Stream ids for per-table RNG derivation: every table draws from its
+ * own Rng::stream(seed, table, partition), so tables and partitions
+ * generate independently — and therefore in parallel — while the
+ * output stays bit-identical for every AQUOMAN_THREADS setting.
+ */
+enum TableStream : std::uint64_t
+{
+    kStreamRegion = 0,
+    kStreamNation = 1,
+    kStreamSupplier = 2,
+    kStreamCustomer = 3,
+    kStreamPart = 4,
+    kStreamPartsupp = 5,
+    kStreamOrders = 6,
+};
+
+/**
+ * Fixed partition widths (rows of the driving key per partition).
+ * These are part of the data definition — they size the RNG streams —
+ * so they must never depend on thread count or scale factor.
+ */
+constexpr std::int64_t kSupplierChunk = 2048;
+constexpr std::int64_t kCustomerChunk = 8192;
+constexpr std::int64_t kPartChunk = 8192;
+constexpr std::int64_t kOrdersChunk = 4096;
 
 /** Latest o_orderdate: ENDDATE - 151 days (ship + receipt slack). */
 std::int32_t
@@ -66,6 +96,54 @@ partSupplier(std::int64_t part_key, int i, std::int64_t num_suppliers)
         % num_suppliers + 1;
 }
 
+/** Append all rows of @p src onto @p dst (same schema; re-interns). */
+void
+appendRows(Table &dst, const Table &src)
+{
+    for (int c = 0; c < src.numColumns(); ++c) {
+        const Column &sc = src.col(c);
+        Column &dc = dst.col(c);
+        if (sc.type() == ColumnType::Varchar) {
+            for (std::int64_t i = 0; i < sc.size(); ++i)
+                dst.pushString(dc, src.getString(sc, i));
+        } else {
+            for (std::int64_t i = 0; i < sc.size(); ++i)
+                dc.push(sc.get(i));
+        }
+    }
+}
+
+/**
+ * Generate a table over the key range [1, rows] in fixed-width
+ * partitions, each from its own RNG stream. @p make must build the
+ * table schema and fill rows for keys [lo, hi) from the given Rng; it
+ * is called with an empty range once to create the output schema.
+ * Partitions run on the shared pool; concatenation is serial and in
+ * key order, so the result is independent of thread count.
+ */
+template <typename MakeFn>
+std::shared_ptr<Table>
+generatePartitioned(std::int64_t rows, std::int64_t chunk,
+                    std::uint64_t seed, std::uint64_t table_stream,
+                    MakeFn make)
+{
+    auto ranges = ThreadPool::splitRange(1, rows + 1, chunk);
+    std::vector<Table> parts(ranges.size());
+    parallelFor(0, static_cast<std::int64_t>(ranges.size()), 1,
+                [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+            Rng rng = Rng::stream(seed, table_stream,
+                                  static_cast<std::uint64_t>(p));
+            parts[p] = make(ranges[p].first, ranges[p].second, rng);
+        }
+    });
+    Rng unused(0);
+    auto out = std::make_shared<Table>(make(1, 1, unused));
+    for (const Table &part : parts)
+        appendRows(*out, part);
+    return out;
+}
+
 } // namespace
 
 std::int64_t
@@ -97,112 +175,112 @@ TpchDatabase
 TpchDatabase::generate(const TpchConfig &cfg)
 {
     TpchDatabase db;
-    Rng rng(cfg.seed);
     const std::int64_t num_supp = supplierRows(cfg.scaleFactor);
     const std::int64_t num_cust = customerRows(cfg.scaleFactor);
     const std::int64_t num_part = partRows(cfg.scaleFactor);
     const std::int64_t num_ord = ordersRows(cfg.scaleFactor);
 
+    // Per-partition generators below fill key ranges [lo, hi); the
+    // whole-table drivers run them across the shared thread pool.
+
     // ------------------------------------------------------------ region
-    {
-        auto t = std::make_shared<Table>("region");
-        auto &rk = t->addColumn("r_regionkey", ColumnType::Int64);
-        auto &rn = t->addColumn("r_name", ColumnType::Varchar);
-        auto &rc = t->addColumn("r_comment", ColumnType::Varchar);
-        for (std::size_t i = 0; i < kRegions.size(); ++i) {
+    // (Single fixed partition; keys are the kRegions/kNations indices,
+    // so the [lo, hi) range only distinguishes "schema" from "fill".)
+    auto make_region = [&](std::int64_t lo, std::int64_t hi, Rng &rng) {
+        Table t("region");
+        auto &rk = t.addColumn("r_regionkey", ColumnType::Int64);
+        auto &rn = t.addColumn("r_name", ColumnType::Varchar);
+        auto &rc = t.addColumn("r_comment", ColumnType::Varchar);
+        for (std::size_t i = 0; lo < hi && i < kRegions.size(); ++i) {
             rk.push(static_cast<std::int64_t>(i));
-            t->pushString(rn, kRegions[i]);
-            t->pushString(rc, randomComment(rng, 8));
+            t.pushString(rn, kRegions[i]);
+            t.pushString(rc, randomComment(rng, 8));
         }
-        rk.setSorted(true);
-        db.region = t;
-    }
+        return t;
+    };
 
     // ------------------------------------------------------------ nation
-    {
-        auto t = std::make_shared<Table>("nation");
-        auto &nk = t->addColumn("n_nationkey", ColumnType::Int64);
-        auto &nn = t->addColumn("n_name", ColumnType::Varchar);
-        auto &nr = t->addColumn("n_regionkey", ColumnType::Int64);
-        auto &nc = t->addColumn("n_comment", ColumnType::Varchar);
-        for (std::size_t i = 0; i < kNations.size(); ++i) {
+    auto make_nation = [&](std::int64_t lo, std::int64_t hi, Rng &rng) {
+        Table t("nation");
+        auto &nk = t.addColumn("n_nationkey", ColumnType::Int64);
+        auto &nn = t.addColumn("n_name", ColumnType::Varchar);
+        auto &nr = t.addColumn("n_regionkey", ColumnType::Int64);
+        auto &nc = t.addColumn("n_comment", ColumnType::Varchar);
+        for (std::size_t i = 0; lo < hi && i < kNations.size(); ++i) {
             nk.push(static_cast<std::int64_t>(i));
-            t->pushString(nn, kNations[i].name);
+            t.pushString(nn, kNations[i].name);
             nr.push(kNations[i].regionKey);
-            t->pushString(nc, randomComment(rng, 8));
+            t.pushString(nc, randomComment(rng, 8));
         }
-        nk.setSorted(true);
-        db.nation = t;
-    }
+        return t;
+    };
 
     // ---------------------------------------------------------- supplier
-    {
-        auto t = std::make_shared<Table>("supplier");
-        auto &sk = t->addColumn("s_suppkey", ColumnType::Int64);
-        auto &sn = t->addColumn("s_name", ColumnType::Varchar);
-        auto &sa = t->addColumn("s_address", ColumnType::Varchar);
-        auto &snk = t->addColumn("s_nationkey", ColumnType::Int64);
-        auto &sp = t->addColumn("s_phone", ColumnType::Varchar);
-        auto &sb = t->addColumn("s_acctbal", ColumnType::Decimal);
-        auto &sc = t->addColumn("s_comment", ColumnType::Varchar);
-        for (std::int64_t k = 1; k <= num_supp; ++k) {
+    auto make_supplier = [&](std::int64_t lo, std::int64_t hi, Rng &rng) {
+        Table t("supplier");
+        auto &sk = t.addColumn("s_suppkey", ColumnType::Int64);
+        auto &sn = t.addColumn("s_name", ColumnType::Varchar);
+        auto &sa = t.addColumn("s_address", ColumnType::Varchar);
+        auto &snk = t.addColumn("s_nationkey", ColumnType::Int64);
+        auto &sp = t.addColumn("s_phone", ColumnType::Varchar);
+        auto &sb = t.addColumn("s_acctbal", ColumnType::Decimal);
+        auto &sc = t.addColumn("s_comment", ColumnType::Varchar);
+        for (std::int64_t k = lo; k < hi; ++k) {
             sk.push(k);
-            t->pushString(sn, paddedKeyName("Supplier#", k));
-            t->pushString(sa, randomAddress(rng));
+            t.pushString(sn, paddedKeyName("Supplier#", k));
+            t.pushString(sa, randomAddress(rng));
             std::int64_t nation = rng.uniform(0, 24);
             snk.push(nation);
-            t->pushString(sp, phoneFor(rng, nation));
+            t.pushString(sp, phoneFor(rng, nation));
             sb.push(rng.uniform(-99999, 999999)); // -999.99 .. 9999.99
             std::string comment = randomComment(rng, 10);
             // Raised-density substitution for the spec's 5-per-10000
             // "Customer Complaints" suppliers (documented in DESIGN.md).
             if (k % 197 == 5)
                 comment += " Customer Complaints";
-            t->pushString(sc, comment);
+            t.pushString(sc, comment);
         }
-        sk.setSorted(true);
-        db.supplier = t;
-    }
+        return t;
+    };
 
     // ---------------------------------------------------------- customer
-    {
-        auto t = std::make_shared<Table>("customer");
-        auto &ck = t->addColumn("c_custkey", ColumnType::Int64);
-        auto &cn = t->addColumn("c_name", ColumnType::Varchar);
-        auto &ca = t->addColumn("c_address", ColumnType::Varchar);
-        auto &cnk = t->addColumn("c_nationkey", ColumnType::Int64);
-        auto &cp = t->addColumn("c_phone", ColumnType::Varchar);
-        auto &cb = t->addColumn("c_acctbal", ColumnType::Decimal);
-        auto &cm = t->addColumn("c_mktsegment", ColumnType::Varchar);
-        auto &cc = t->addColumn("c_comment", ColumnType::Varchar);
-        for (std::int64_t k = 1; k <= num_cust; ++k) {
+    auto make_customer = [&](std::int64_t lo, std::int64_t hi, Rng &rng) {
+        Table t("customer");
+        auto &ck = t.addColumn("c_custkey", ColumnType::Int64);
+        auto &cn = t.addColumn("c_name", ColumnType::Varchar);
+        auto &ca = t.addColumn("c_address", ColumnType::Varchar);
+        auto &cnk = t.addColumn("c_nationkey", ColumnType::Int64);
+        auto &cp = t.addColumn("c_phone", ColumnType::Varchar);
+        auto &cb = t.addColumn("c_acctbal", ColumnType::Decimal);
+        auto &cm = t.addColumn("c_mktsegment", ColumnType::Varchar);
+        auto &cc = t.addColumn("c_comment", ColumnType::Varchar);
+        for (std::int64_t k = lo; k < hi; ++k) {
             ck.push(k);
-            t->pushString(cn, paddedKeyName("Customer#", k));
-            t->pushString(ca, randomAddress(rng));
+            t.pushString(cn, paddedKeyName("Customer#", k));
+            t.pushString(ca, randomAddress(rng));
             std::int64_t nation = rng.uniform(0, 24);
             cnk.push(nation);
-            t->pushString(cp, phoneFor(rng, nation));
+            t.pushString(cp, phoneFor(rng, nation));
             cb.push(rng.uniform(-99999, 999999));
-            t->pushString(cm, pickWord(rng, kSegments));
-            t->pushString(cc, randomComment(rng, 12));
+            t.pushString(cm, pickWord(rng, kSegments));
+            t.pushString(cc, randomComment(rng, 12));
         }
-        ck.setSorted(true);
-        db.customer = t;
-    }
+        return t;
+    };
 
     // -------------------------------------------------------------- part
-    {
-        auto t = std::make_shared<Table>("part");
-        auto &pk = t->addColumn("p_partkey", ColumnType::Int64);
-        auto &pn = t->addColumn("p_name", ColumnType::Varchar);
-        auto &pm = t->addColumn("p_mfgr", ColumnType::Varchar);
-        auto &pb = t->addColumn("p_brand", ColumnType::Varchar);
-        auto &pt = t->addColumn("p_type", ColumnType::Varchar);
-        auto &ps = t->addColumn("p_size", ColumnType::Int64);
-        auto &pc = t->addColumn("p_container", ColumnType::Varchar);
-        auto &pr = t->addColumn("p_retailprice", ColumnType::Decimal);
-        auto &pcm = t->addColumn("p_comment", ColumnType::Varchar);
-        for (std::int64_t k = 1; k <= num_part; ++k) {
+    auto make_part = [&](std::int64_t lo, std::int64_t hi, Rng &rng) {
+        Table t("part");
+        auto &pk = t.addColumn("p_partkey", ColumnType::Int64);
+        auto &pn = t.addColumn("p_name", ColumnType::Varchar);
+        auto &pm = t.addColumn("p_mfgr", ColumnType::Varchar);
+        auto &pb = t.addColumn("p_brand", ColumnType::Varchar);
+        auto &pt = t.addColumn("p_type", ColumnType::Varchar);
+        auto &ps = t.addColumn("p_size", ColumnType::Int64);
+        auto &pc = t.addColumn("p_container", ColumnType::Varchar);
+        auto &pr = t.addColumn("p_retailprice", ColumnType::Decimal);
+        auto &pcm = t.addColumn("p_comment", ColumnType::Varchar);
+        for (std::int64_t k = lo; k < hi; ++k) {
             pk.push(k);
             // p_name: five distinct colours.
             std::string name;
@@ -211,80 +289,80 @@ TpchDatabase::generate(const TpchConfig &cfg)
                     name += " ";
                 name += pickWord(rng, kColors);
             }
-            t->pushString(pn, name);
+            t.pushString(pn, name);
             int mfgr = static_cast<int>(rng.uniform(1, 5));
             int brand = mfgr * 10 + static_cast<int>(rng.uniform(1, 5));
-            t->pushString(pm, "Manufacturer#" + std::to_string(mfgr));
-            t->pushString(pb, "Brand#" + std::to_string(brand));
-            t->pushString(pt, pickWord(rng, kTypeSyl1) + " "
+            t.pushString(pm, "Manufacturer#" + std::to_string(mfgr));
+            t.pushString(pb, "Brand#" + std::to_string(brand));
+            t.pushString(pt, pickWord(rng, kTypeSyl1) + " "
                           + pickWord(rng, kTypeSyl2) + " "
                           + pickWord(rng, kTypeSyl3));
             ps.push(rng.uniform(1, 50));
-            t->pushString(pc, pickWord(rng, kContainerSyl1) + " "
+            t.pushString(pc, pickWord(rng, kContainerSyl1) + " "
                           + pickWord(rng, kContainerSyl2));
             // Spec formula, already in hundredths.
             pr.push(90000 + ((k / 10) % 20001) + 100 * (k % 1000));
-            t->pushString(pcm, randomComment(rng, 5));
+            t.pushString(pcm, randomComment(rng, 5));
         }
-        pk.setSorted(true);
-        db.part = t;
-    }
+        return t;
+    };
 
     // ---------------------------------------------------------- partsupp
-    {
-        auto t = std::make_shared<Table>("partsupp");
-        auto &pk = t->addColumn("ps_partkey", ColumnType::Int64);
-        auto &sk = t->addColumn("ps_suppkey", ColumnType::Int64);
-        auto &aq = t->addColumn("ps_availqty", ColumnType::Int64);
-        auto &sc = t->addColumn("ps_supplycost", ColumnType::Decimal);
-        auto &cm = t->addColumn("ps_comment", ColumnType::Varchar);
-        for (std::int64_t k = 1; k <= num_part; ++k) {
+    auto make_partsupp = [&](std::int64_t lo, std::int64_t hi, Rng &rng) {
+        Table t("partsupp");
+        auto &pk = t.addColumn("ps_partkey", ColumnType::Int64);
+        auto &sk = t.addColumn("ps_suppkey", ColumnType::Int64);
+        auto &aq = t.addColumn("ps_availqty", ColumnType::Int64);
+        auto &sc = t.addColumn("ps_supplycost", ColumnType::Decimal);
+        auto &cm = t.addColumn("ps_comment", ColumnType::Varchar);
+        for (std::int64_t k = lo; k < hi; ++k) {
             for (int i = 0; i < 4; ++i) {
                 pk.push(k);
                 sk.push(partSupplier(k, i, num_supp));
                 aq.push(rng.uniform(1, 9999));
                 sc.push(rng.uniform(100, 100000)); // 1.00 .. 1000.00
-                t->pushString(cm, randomComment(rng, 10));
+                t.pushString(cm, randomComment(rng, 10));
             }
         }
-        pk.setSorted(true);
-        db.partsupp = t;
-    }
+        return t;
+    };
 
     // ------------------------------------------------- orders + lineitem
-    {
-        auto ot = std::make_shared<Table>("orders");
-        auto &ok = ot->addColumn("o_orderkey", ColumnType::Int64);
-        auto &oc = ot->addColumn("o_custkey", ColumnType::Int64);
-        auto &os = ot->addColumn("o_orderstatus", ColumnType::Varchar);
-        auto &otp = ot->addColumn("o_totalprice", ColumnType::Decimal);
-        auto &od = ot->addColumn("o_orderdate", ColumnType::Date);
-        auto &op = ot->addColumn("o_orderpriority", ColumnType::Varchar);
-        auto &ocl = ot->addColumn("o_clerk", ColumnType::Varchar);
-        auto &osp = ot->addColumn("o_shippriority", ColumnType::Int64);
-        auto &ocm = ot->addColumn("o_comment", ColumnType::Varchar);
+    // One partition generates both its orders rows and their lineitems,
+    // so lineitem partitions are contiguous o_orderkey ranges too.
+    auto make_orders = [&](std::int64_t lo, std::int64_t hi, Rng &rng) {
+        Table ot("orders");
+        auto &ok = ot.addColumn("o_orderkey", ColumnType::Int64);
+        auto &oc = ot.addColumn("o_custkey", ColumnType::Int64);
+        auto &os = ot.addColumn("o_orderstatus", ColumnType::Varchar);
+        auto &otp = ot.addColumn("o_totalprice", ColumnType::Decimal);
+        auto &od = ot.addColumn("o_orderdate", ColumnType::Date);
+        auto &op = ot.addColumn("o_orderpriority", ColumnType::Varchar);
+        auto &ocl = ot.addColumn("o_clerk", ColumnType::Varchar);
+        auto &osp = ot.addColumn("o_shippriority", ColumnType::Int64);
+        auto &ocm = ot.addColumn("o_comment", ColumnType::Varchar);
 
-        auto lt = std::make_shared<Table>("lineitem");
-        auto &lok = lt->addColumn("l_orderkey", ColumnType::Int64);
-        auto &lpk = lt->addColumn("l_partkey", ColumnType::Int64);
-        auto &lsk = lt->addColumn("l_suppkey", ColumnType::Int64);
-        auto &lln = lt->addColumn("l_linenumber", ColumnType::Int64);
-        auto &lq = lt->addColumn("l_quantity", ColumnType::Decimal);
-        auto &lep = lt->addColumn("l_extendedprice", ColumnType::Decimal);
-        auto &ld = lt->addColumn("l_discount", ColumnType::Decimal);
-        auto &ltx = lt->addColumn("l_tax", ColumnType::Decimal);
-        auto &lrf = lt->addColumn("l_returnflag", ColumnType::Varchar);
-        auto &lls = lt->addColumn("l_linestatus", ColumnType::Varchar);
-        auto &lsd = lt->addColumn("l_shipdate", ColumnType::Date);
-        auto &lcd = lt->addColumn("l_commitdate", ColumnType::Date);
-        auto &lrd = lt->addColumn("l_receiptdate", ColumnType::Date);
-        auto &lsi = lt->addColumn("l_shipinstruct", ColumnType::Varchar);
-        auto &lsm = lt->addColumn("l_shipmode", ColumnType::Varchar);
-        auto &lcm = lt->addColumn("l_comment", ColumnType::Varchar);
+        Table lt("lineitem");
+        auto &lok = lt.addColumn("l_orderkey", ColumnType::Int64);
+        auto &lpk = lt.addColumn("l_partkey", ColumnType::Int64);
+        auto &lsk = lt.addColumn("l_suppkey", ColumnType::Int64);
+        auto &lln = lt.addColumn("l_linenumber", ColumnType::Int64);
+        auto &lq = lt.addColumn("l_quantity", ColumnType::Decimal);
+        auto &lep = lt.addColumn("l_extendedprice", ColumnType::Decimal);
+        auto &ld = lt.addColumn("l_discount", ColumnType::Decimal);
+        auto &ltx = lt.addColumn("l_tax", ColumnType::Decimal);
+        auto &lrf = lt.addColumn("l_returnflag", ColumnType::Varchar);
+        auto &lls = lt.addColumn("l_linestatus", ColumnType::Varchar);
+        auto &lsd = lt.addColumn("l_shipdate", ColumnType::Date);
+        auto &lcd = lt.addColumn("l_commitdate", ColumnType::Date);
+        auto &lrd = lt.addColumn("l_receiptdate", ColumnType::Date);
+        auto &lsi = lt.addColumn("l_shipinstruct", ColumnType::Varchar);
+        auto &lsm = lt.addColumn("l_shipmode", ColumnType::Varchar);
+        auto &lcm = lt.addColumn("l_comment", ColumnType::Varchar);
 
         const std::int64_t clerks =
             std::max<std::int64_t>(1, num_ord / 1000);
-        for (std::int64_t k = 1; k <= num_ord; ++k) {
+        for (std::int64_t k = lo; k < hi; ++k) {
             // Spec: orders reference only custkeys not divisible by 3,
             // so one third of customers have no orders (drives q13/q22).
             std::int64_t cust = rng.uniform(1, num_cust);
@@ -321,44 +399,103 @@ TpchDatabase::generate(const TpchConfig &cfg)
                 ld.push(disc);
                 ltx.push(tax);
                 if (rdate <= kCurrentDate) {
-                    lt->pushString(lrf, rng.uniform(0, 1) ? "R" : "A");
+                    lt.pushString(lrf, rng.uniform(0, 1) ? "R" : "A");
                 } else {
-                    lt->pushString(lrf, "N");
+                    lt.pushString(lrf, "N");
                 }
                 bool f_status = sdate <= kCurrentDate;
-                lt->pushString(lls, f_status ? "F" : "O");
+                lt.pushString(lls, f_status ? "F" : "O");
                 f_count += f_status;
                 o_count += !f_status;
                 lsd.push(sdate);
                 lcd.push(cdate);
                 lrd.push(rdate);
-                lt->pushString(lsi, pickWord(rng, kInstructions));
-                lt->pushString(lsm, pickWord(rng, kModes));
-                lt->pushString(lcm, randomComment(rng, 4));
+                lt.pushString(lsi, pickWord(rng, kInstructions));
+                lt.pushString(lsm, pickWord(rng, kModes));
+                lt.pushString(lcm, randomComment(rng, 4));
                 total += decimalMul(decimalMul(eprice, 100 + tax),
                                     100 - disc);
             }
             ok.push(k);
             oc.push(cust);
-            ot->pushString(os, o_count == 0 ? "O"
-                               : (f_count == nlines ? "F" : "P"));
+            ot.pushString(os, o_count == 0 ? "O"
+                              : (f_count == nlines ? "F" : "P"));
             otp.push(total);
             od.push(odate);
-            ot->pushString(op, pickWord(rng, kPriorities));
-            ot->pushString(ocl, paddedKeyName("Clerk#",
-                                              rng.uniform(1, clerks)));
+            ot.pushString(op, pickWord(rng, kPriorities));
+            ot.pushString(ocl, paddedKeyName("Clerk#",
+                                             rng.uniform(1, clerks)));
             osp.push(0);
             std::string comment = randomComment(rng, 8);
             if (rng.uniform(0, 99) == 0) {
                 comment += " special " + pickWord(rng, kAdverbs)
                     + " requests";
             }
-            ot->pushString(ocm, comment);
+            ot.pushString(ocm, comment);
         }
+        return std::pair<Table, Table>(std::move(ot), std::move(lt));
+    };
+
+    // The eight tables are independent generation jobs; large tables
+    // further split into fixed partitions inside generatePartitioned.
+    TaskGroup tables;
+    tables.run([&] {
+        db.region = generatePartitioned(1, 1, cfg.seed, kStreamRegion,
+                                        make_region);
+        db.region->col("r_regionkey").setSorted(true);
+    });
+    tables.run([&] {
+        db.nation = generatePartitioned(1, 1, cfg.seed, kStreamNation,
+                                        make_nation);
+        db.nation->col("n_nationkey").setSorted(true);
+    });
+    tables.run([&] {
+        db.supplier = generatePartitioned(num_supp, kSupplierChunk,
+                                          cfg.seed, kStreamSupplier,
+                                          make_supplier);
+        db.supplier->col("s_suppkey").setSorted(true);
+    });
+    tables.run([&] {
+        db.customer = generatePartitioned(num_cust, kCustomerChunk,
+                                          cfg.seed, kStreamCustomer,
+                                          make_customer);
+        db.customer->col("c_custkey").setSorted(true);
+    });
+    tables.run([&] {
+        db.part = generatePartitioned(num_part, kPartChunk, cfg.seed,
+                                      kStreamPart, make_part);
+        db.part->col("p_partkey").setSorted(true);
+    });
+    tables.run([&] {
+        db.partsupp = generatePartitioned(num_part, kPartChunk, cfg.seed,
+                                          kStreamPartsupp, make_partsupp);
+        db.partsupp->col("ps_partkey").setSorted(true);
+    });
+    tables.run([&] {
+        auto ranges = ThreadPool::splitRange(1, num_ord + 1, kOrdersChunk);
+        std::vector<std::pair<Table, Table>> parts(ranges.size());
+        parallelFor(0, static_cast<std::int64_t>(ranges.size()), 1,
+                    [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                Rng rng = Rng::stream(cfg.seed, kStreamOrders,
+                                      static_cast<std::uint64_t>(p));
+                parts[p] = make_orders(ranges[p].first,
+                                       ranges[p].second, rng);
+            }
+        });
+        Rng unused(0);
+        auto schema = make_orders(1, 1, unused);
+        auto ot = std::make_shared<Table>(std::move(schema.first));
+        auto lt = std::make_shared<Table>(std::move(schema.second));
+        for (const auto &[opart, lpart] : parts) {
+            appendRows(*ot, opart);
+            appendRows(*lt, lpart);
+        }
+        ot->col("o_orderkey").setSorted(true);
         db.orders = ot;
         db.lineitem = lt;
-        ok.setSorted(true);
-    }
+    });
+    tables.wait();
 
     db.region->checkConsistent();
     db.nation->checkConsistent();

@@ -7,6 +7,12 @@
  * (DESIGN.md §2): o_orderkey is dense rather than sparse, and the
  * "Customer Complaints" supplier-comment density is raised so the q16
  * path is exercised at small scale factors.
+ *
+ * Generation is morsel-parallel: tables generate concurrently, and
+ * large tables are cut into fixed-width key partitions that each draw
+ * from their own Rng::stream(seed, table, partition). Partition widths
+ * are part of the data definition and never depend on thread count, so
+ * the output is byte-identical for every AQUOMAN_THREADS setting.
  */
 
 #ifndef AQUOMAN_TPCH_DBGEN_HH
