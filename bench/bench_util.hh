@@ -110,6 +110,8 @@ scaleMetrics(const EngineMetrics &m, double sf)
         static_cast<std::int64_t>(m.peakIntermediateBytes * k);
     out.totalIntermediateBytes =
         static_cast<std::int64_t>(m.totalIntermediateBytes * k);
+    out.hostFinishBytes =
+        static_cast<std::int64_t>(m.hostFinishBytes * k);
     return out;
 }
 

@@ -30,6 +30,7 @@ struct QueryRow
     double maxMemL, maxMemLAq, devMemLAq;
     double avgMemL, avgMemLAq;
     double fracOnDevice, cpuSaving;
+    double queueWait, suspendCount, hostFinishBytes;
     OffloadClass cls;
     double wallSeconds; ///< real time of this query's functional runs
 };
@@ -84,6 +85,11 @@ main(int argc, char **argv)
         r.avgMemLAq = evL40.hostAvgRss / gb;
         r.fracOnDevice = evL40.offloadFraction;
         r.cpuSaving = evL40.cpuSaving;
+        r.queueWait = aq40.hostResidual.queueWaitSec;
+        r.suspendCount =
+            static_cast<double>(aq40.hostResidual.suspendCount);
+        r.hostFinishBytes =
+            static_cast<double>(aq40.hostResidual.hostFinishBytes);
         r.cls = evL40.offloadClass;
         r.wallSeconds = query_timer.seconds();
     }
@@ -159,6 +165,9 @@ main(int argc, char **argv)
             rec.add("modelled_s_aquoman16_seconds", r.runSAq16);
             rec.add("frac_runtime_on_device", r.fracOnDevice);
             rec.add("cpu_saving", r.cpuSaving);
+            rec.add("queue_wait_seconds", r.queueWait);
+            rec.add("suspend_count", r.suspendCount);
+            rec.add("host_finish_bytes", r.hostFinishBytes);
             records.push_back(std::move(rec));
         }
         if (writeJsonRecords(json_path, records))

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Closed-loop throughput bench for the query service layer: N synthetic
+ * TPC-H clients each keep one query in flight against a QueryService,
+ * cycling through a query rotation for a fixed number of rounds, at
+ * device counts 1 / 2 / 4. Reports per-query latency percentiles,
+ * queue wait, suspend rate, and modelled throughput (which must rise
+ * monotonically with the device count — the array splits every scan
+ * Table Task across its stripes).
+ *
+ * All times are modelled seconds from the service's discrete-event
+ * simulation; results are bit-identical for every AQUOMAN_THREADS.
+ *
+ * JSON schema (--json <path>): one record per device count with
+ *   devices, clients, rounds, queries_completed, makespan_seconds,
+ *   throughput_qps, p50_latency_seconds, p95_latency_seconds,
+ *   p99_latency_seconds, mean_queue_wait_seconds, suspend_rate.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "service/query_service.hh"
+
+using namespace aquoman;
+using namespace aquoman::bench;
+using namespace aquoman::service;
+
+namespace {
+
+constexpr int kClients = 6;
+constexpr int kRounds = 2;
+/// Tighter than the client count so admission queueing is visible.
+constexpr int kAdmissionLimit = 4;
+const std::vector<int> kRotation{6, 14, 12, 1, 3, 13};
+
+struct RunResult
+{
+    int devices;
+    ServiceStats stats;
+    double wallSeconds;
+};
+
+RunResult
+runWorkload(const tpch::TpchDatabase &db, double sf, int num_devices)
+{
+    WallTimer timer;
+    ServiceConfig cfg;
+    cfg.numDevices = num_devices;
+    cfg.admissionLimit = kAdmissionLimit;
+    QueryService svc(cfg);
+    for (const auto &t : {db.region, db.nation, db.supplier, db.customer,
+                          db.part, db.partsupp, db.orders, db.lineitem})
+        svc.addTable(t);
+    db.registerMetadata(svc.catalog());
+
+    // Closed loop: each client resubmits as soon as its query is done.
+    std::map<QueryId, int> owner;
+    std::vector<int> done(kClients, 0);
+    auto clientQuery = [&](int client, int round) {
+        int q = kRotation[(client + round)
+                          % static_cast<int>(kRotation.size())];
+        return tpch::tpchQuery(q, sf);
+    };
+    svc.setOnComplete([&](const QueryRecord &rec) {
+        int client = owner.at(rec.id);
+        if (++done[client] < kRounds)
+            owner[svc.submit(clientQuery(client, done[client]))] = client;
+    });
+    for (int c = 0; c < kClients; ++c)
+        owner[svc.submit(clientQuery(c, 0))] = c;
+    svc.drain();
+
+    RunResult r;
+    r.devices = num_devices;
+    r.stats = svc.aggregate();
+    r.wallSeconds = timer.seconds();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = jsonPathFromArgs(argc, argv);
+    double sf = scaleFactor();
+    header("Service throughput: " + std::to_string(kClients)
+           + " closed-loop TPC-H clients x " + std::to_string(kRounds)
+           + " rounds (functional runs at SF " + std::to_string(sf)
+           + ")");
+
+    tpch::TpchDatabase db =
+        tpch::TpchDatabase::generate(tpch::TpchConfig{sf, 19920101});
+
+    std::vector<RunResult> runs;
+    for (int m : {1, 2, 4})
+        runs.push_back(runWorkload(db, sf, m));
+
+    std::printf("%-8s %9s %12s %10s %10s %10s %12s %9s\n", "devices",
+                "queries", "makespan s", "p50 s", "p95 s", "p99 s",
+                "queue-wait s", "qps");
+    for (const RunResult &r : runs) {
+        std::printf("%-8d %9lld %12.4f %10.4f %10.4f %10.4f %12.4f "
+                    "%9.2f\n",
+                    r.devices, static_cast<long long>(r.stats.completed),
+                    r.stats.makespanSec, r.stats.p50LatencySec,
+                    r.stats.p95LatencySec, r.stats.p99LatencySec,
+                    r.stats.meanQueueWaitSec, r.stats.throughputQps);
+    }
+
+    bool monotonic = true;
+    for (std::size_t i = 1; i < runs.size(); ++i)
+        monotonic &= runs[i].stats.throughputQps
+            > runs[i - 1].stats.throughputQps;
+    std::printf("\nthroughput scaling 1 -> %d devices: %.2fx "
+                "(monotonic: %s)\n",
+                runs.back().devices,
+                runs.back().stats.throughputQps
+                    / runs.front().stats.throughputQps,
+                monotonic ? "yes" : "NO");
+    std::printf("suspend rate: %.2f (all runs share one admission "
+                "policy)\n", runs.front().stats.suspendRate);
+
+    if (!json_path.empty()) {
+        std::vector<JsonRecord> records;
+        for (const RunResult &r : runs) {
+            JsonRecord rec;
+            rec.add("devices", r.devices);
+            rec.add("clients", kClients);
+            rec.add("rounds", kRounds);
+            rec.add("queries_completed",
+                    static_cast<double>(r.stats.completed));
+            rec.add("makespan_seconds", r.stats.makespanSec);
+            rec.add("throughput_qps", r.stats.throughputQps);
+            rec.add("p50_latency_seconds", r.stats.p50LatencySec);
+            rec.add("p95_latency_seconds", r.stats.p95LatencySec);
+            rec.add("p99_latency_seconds", r.stats.p99LatencySec);
+            rec.add("mean_queue_wait_seconds",
+                    r.stats.meanQueueWaitSec);
+            rec.add("suspend_rate", r.stats.suspendRate);
+            rec.add("wall_seconds", r.wallSeconds);
+            records.push_back(std::move(rec));
+        }
+        if (writeJsonRecords(json_path, records))
+            std::printf("wrote %s\n", json_path.c_str());
+        else
+            return 1;
+    }
+    return monotonic ? 0 : 1;
+}

@@ -86,6 +86,10 @@ struct AquomanDevice::Impl
     std::map<std::string, DeviceRelation> deviceRels;
     std::map<std::string, RelTable> stageTables;
 
+    /** deviceSeconds / deviceFlashBytes at the last task boundary. */
+    double taskMarkSeconds = 0.0;
+    std::int64_t taskMarkBytes = 0;
+
     Impl(const Catalog &cat, ControllerSwitch &sw_,
          const AquomanConfig &cfg)
         : catalog(cat), sw(sw_), config(cfg), dram(cfg.dramBytes),
@@ -94,6 +98,28 @@ struct AquomanDevice::Impl
     }
 
     // ---------------------------------------------------------- util
+
+    /**
+     * Close the current Table Task: everything accrued since the last
+     * boundary (pipeline time, flash traffic) is attributed to it, so
+     * the records exactly partition the query's device totals. @p rel,
+     * when rooted in a single base table, makes the task shardable
+     * across the devices holding that table's stripes.
+     */
+    void
+    recordTask(const std::string &what,
+               const DeviceRelation *rel = nullptr)
+    {
+        TableTaskRecord rec;
+        rec.what = what;
+        if (rel && rel->leafRefs.size() == 1)
+            rec.table = rel->leafRefs[0].table;
+        rec.seconds = stats.deviceSeconds - taskMarkSeconds;
+        rec.flashBytes = stats.deviceFlashBytes - taskMarkBytes;
+        taskMarkSeconds = stats.deviceSeconds;
+        taskMarkBytes = stats.deviceFlashBytes;
+        stats.tasks.push_back(std::move(rec));
+    }
 
     std::string
     freshSlot(const std::string &what)
@@ -385,6 +411,7 @@ struct AquomanDevice::Impl
             + " regex, transformer rest; " + std::to_string(before)
             + " -> " + std::to_string(rel.rows) + " rows");
         ++stats.tasksExecuted;
+        recordTask("rowScan " + what, &rel);
     }
 
     /** String heap backing a visible varchar column. */
@@ -571,6 +598,7 @@ struct AquomanDevice::Impl
                 + std::to_string(ct.programs.size()) + " PE(s), "
                 + std::to_string(ct.totalInstructions) + " instr");
             ++stats.tasksExecuted;
+            recordTask("rowTransf", &rel);
         }
         // Transform outputs stream directly into the next pipeline
         // stage (Sec. IV: "without materialising it in DRAM"), so no
@@ -721,6 +749,7 @@ struct AquomanDevice::Impl
             what + ": SORT " + std::to_string(st.recordsIn)
             + " records, " + std::to_string(st.numBlocks) + " block(s)");
         ++stats.tasksExecuted;
+        recordTask("sort " + what);
         release(slot);
         // The sorted run stays resident until the merge completes.
         charge(freshSlot("sorted"),
@@ -982,6 +1011,7 @@ struct AquomanDevice::Impl
             "join " + node.leftKeys[0] + "=" + node.rightKeys[0] + " ["
             + path + "] -> " + std::to_string(out.rows) + " tuples");
         ++stats.tasksExecuted;
+        recordTask("join " + node.leftKeys[0] + "=" + node.rightKeys[0]);
         return out;
     }
 
@@ -1174,6 +1204,7 @@ struct AquomanDevice::Impl
             + std::to_string(gb.stats().groupsSpilled)
             + " spill-over group(s)");
         ++stats.tasksExecuted;
+        recordTask("aggregate", &rel);
         return out;
     }
 
@@ -1312,6 +1343,7 @@ struct AquomanDevice::Impl
                 + std::to_string(topk.chainLength())
                 + " VCAS block(s))");
             ++stats.tasksExecuted;
+            recordTask("topk", &root);
             RelTable t = materialize(root, true);
             stats.dmaBytes += t.residentBytes();
             stageTables[stage.id] = std::move(t);
@@ -1405,6 +1437,7 @@ AquomanDevice::runQuery(const Query &q)
                 impl.stats.taskLog.push_back(
                     "SUSPEND stage '" + stage.id + "': " + e.reason);
                 impl.stats.hostStages.emplace_back(stage.id, e.reason);
+                ++impl.stats.hostResidual.suspendCount;
                 if (e.dram)
                     degraded = true;
                 // Roll back partial allocations of this stage.
@@ -1431,7 +1464,17 @@ AquomanDevice::runQuery(const Query &q)
         impl.stageTables[last] = std::move(t);
     }
     out.result = impl.stageTables[last];
+    // Work accrued after the last explicit Table Task (final gathers,
+    // result DMA) becomes one closing record so the structured trace
+    // partitions the totals exactly.
+    if (impl.stats.deviceSeconds > impl.taskMarkSeconds
+            || impl.stats.deviceFlashBytes > impl.taskMarkBytes)
+        impl.recordTask("epilogue: gathers + result DMA");
     impl.stats.hostResidual.merge(impl.residual.metrics());
+    // Everything the host touched to finish the query: DMA'd device
+    // output plus the base-table bytes of suspended stages.
+    impl.stats.hostResidual.hostFinishBytes =
+        impl.stats.dmaBytes + impl.stats.hostResidual.touchedBaseBytes;
     out.stats = std::move(impl.stats);
     out.stats.deviceDramPeak = std::max(out.stats.deviceDramPeak,
                                         impl.dram.peakBytes());

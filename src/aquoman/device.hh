@@ -35,6 +35,32 @@
 
 namespace aquoman {
 
+/**
+ * One Table Task of an offloaded query, as the scheduler sees it: a
+ * schedulable unit with a modelled duration and flash footprint. Tasks
+ * partition the query's device timeline (their seconds and flashBytes
+ * sum to the query totals), so a service can replay them against an
+ * SSD array without re-deriving the pipeline model.
+ */
+struct TableTaskRecord
+{
+    /** Short description (mirrors the taskLog entry). */
+    std::string what;
+
+    /**
+     * Base table this task streams from flash, when the task's input
+     * relation is rooted in exactly one base table ("" otherwise —
+     * multi-table joins and DRAM-resident sorts are not shardable).
+     */
+    std::string table;
+
+    /** Modelled device seconds attributed to this task. */
+    double seconds = 0.0;
+
+    /** Device flash bytes attributed to this task. */
+    std::int64_t flashBytes = 0;
+};
+
 /** Performance trace of one offloaded query. */
 struct AquomanRunStats
 {
@@ -68,6 +94,13 @@ struct AquomanRunStats
 
     /** Human-readable Table Task log (paper Fig. 5 style). */
     std::vector<std::string> taskLog;
+
+    /**
+     * Structured Table-Task trace: one record per scheduled task, in
+     * issue order, partitioning deviceSeconds / deviceFlashBytes
+     * exactly. The query service schedules these across its SSD array.
+     */
+    std::vector<TableTaskRecord> tasks;
 
     /** Stages that executed on the device. */
     std::vector<std::string> deviceStages;

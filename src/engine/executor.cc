@@ -223,12 +223,24 @@ Executor::execScan(const Plan &p,
     for (std::size_t w = 0; w < wanted.size(); ++w) {
         const std::string &name = wanted[w];
         const Column &c = t.col(t.indexOf(name));
-        if (flashSwitch && entry.resident)
+        if (flashSwitch) {
             trace.flashBytesRead += c.storedBytes();
+            // Without a resident handle the bytes do not physically
+            // round-trip (the service's sharded catalogs compute on
+            // in-memory columns), but the host-port ledger still
+            // records the modelled stream so contention is observable.
+            if (!entry.resident)
+                flashSwitch->accountRead(FlashPort::Host,
+                                         c.storedBytes());
+        }
         trace.touchedBaseBytes += c.storedBytes();
         if (c.type() == ColumnType::Varchar) {
             std::int64_t hb = columnHeapBytes(entry, name);
-            trace.flashBytesRead += flashSwitch ? hb : 0;
+            if (flashSwitch) {
+                trace.flashBytesRead += hb;
+                if (!entry.resident)
+                    flashSwitch->accountRead(FlashPort::Host, hb);
+            }
             trace.touchedBaseBytes += hb;
         }
         trace.rowOps += c.size() * 0.25; // mmap-style decode

@@ -83,6 +83,18 @@ class HostModel
     HostRunEstimate
     estimate(const EngineMetrics &m) const
     {
+        return estimate(m, config.storageReadBandwidth);
+    }
+
+    /**
+     * Estimate with an explicit effective storage read bandwidth.
+     * The service layer passes the contention-adjusted bandwidth of a
+     * ControllerSwitch host port when AQUOMAN traffic shares the
+     * device (both_ports_active halves each port's share).
+     */
+    HostRunEstimate
+    estimate(const EngineMetrics &m, double storage_read_bandwidth) const
+    {
         HostRunEstimate e;
         double par_threads = 1.0
             + (config.hardwareThreads - 1) * config.parallelEfficiency;
@@ -91,7 +103,7 @@ class HostModel
         double seq_time = m.seqRowOps / config.perThreadRate;
         e.cpuTime = par_time + seq_time;
 
-        e.ioTime = m.flashBytesRead / config.storageReadBandwidth;
+        e.ioTime = m.flashBytesRead / storage_read_bandwidth;
         // Clean base pages are evicted for free; only intermediates
         // beyond DRAM swap to SSD (write + read back), which is
         // MonetDB's own disk-swap management (Sec. VIII-A).
@@ -99,7 +111,7 @@ class HostModel
             std::int64_t spill =
                 m.peakIntermediateBytes - config.dramBytes;
             e.ioTime += spill / config.storageWriteBandwidth
-                + spill / config.storageReadBandwidth;
+                + spill / storage_read_bandwidth;
         }
         e.runtime = std::max(e.ioTime, e.cpuTime);
         // Threads spin on useful work only for cpuTime's worth.

@@ -33,6 +33,25 @@ struct EngineMetrics
     /** Sum of bytes of all intermediates ever produced (avg-RSS proxy). */
     std::int64_t totalIntermediateBytes = 0;
 
+    /**
+     * Modelled seconds the query waited in the service admission queue
+     * before running (0 outside the query-service layer).
+     */
+    double queueWaitSec = 0.0;
+
+    /**
+     * Times the query was suspended to the host: admission-time DRAM
+     * reservation failures plus runtime suspensions (Sec. VI-E).
+     */
+    std::int64_t suspendCount = 0;
+
+    /**
+     * Bytes shipped to the host to finish the query: device-to-host
+     * DMA of results/intermediates plus base-table bytes the host
+     * residual re-read through the controller switch's host port.
+     */
+    std::int64_t hostFinishBytes = 0;
+
     /** Merge-add another trace (e.g. a handed-off sub-plan). */
     void
     merge(const EngineMetrics &o)
@@ -44,6 +63,9 @@ struct EngineMetrics
         peakIntermediateBytes =
             std::max(peakIntermediateBytes, o.peakIntermediateBytes);
         totalIntermediateBytes += o.totalIntermediateBytes;
+        queueWaitSec += o.queueWaitSec;
+        suspendCount += o.suspendCount;
+        hostFinishBytes += o.hostFinishBytes;
     }
 };
 

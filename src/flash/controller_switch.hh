@@ -59,6 +59,47 @@ class ControllerSwitch
     }
 
     /**
+     * Account @p bytes of modelled read traffic on @p port without
+     * moving data. The AQUOMAN pipeline and the service layer's host
+     * fallback compute on in-memory columns but stream page reads in
+     * the model; this keeps the per-port ledgers complete.
+     */
+    void
+    accountRead(FlashPort port, std::int64_t bytes)
+    {
+        std::lock_guard<std::mutex> lock(statsMu);
+        portStats.add(portName(port) + ".bytesRead",
+                      static_cast<double>(bytes));
+    }
+
+    /** Account modelled write traffic on @p port (no data movement). */
+    void
+    accountWrite(FlashPort port, std::int64_t bytes)
+    {
+        std::lock_guard<std::mutex> lock(statsMu);
+        portStats.add(portName(port) + ".bytesWritten",
+                      static_cast<double>(bytes));
+    }
+
+    /** Total bytes read on @p port (real + modelled). */
+    std::int64_t
+    bytesRead(FlashPort port) const
+    {
+        std::lock_guard<std::mutex> lock(statsMu);
+        return static_cast<std::int64_t>(
+            portStats.get(portName(port) + ".bytesRead"));
+    }
+
+    /** Total bytes written on @p port (real + modelled). */
+    std::int64_t
+    bytesWritten(FlashPort port) const
+    {
+        std::lock_guard<std::mutex> lock(statsMu);
+        return static_cast<std::int64_t>(
+            portStats.get(portName(port) + ".bytesWritten"));
+    }
+
+    /**
      * Bandwidth seen by one port. With both ports active the fair
      * arbiter halves each port's share of the device's read bandwidth.
      */
@@ -84,7 +125,7 @@ class ControllerSwitch
 
     FlashDevice &device;
     /// Queries run concurrently through one switch; counters serialise.
-    std::mutex statsMu;
+    mutable std::mutex statsMu;
     StatSet portStats;
 };
 

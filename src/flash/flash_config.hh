@@ -9,12 +9,17 @@
 #define AQUOMAN_FLASH_FLASH_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 namespace aquoman {
 
 /** Static parameters of a simulated flash device. */
 struct FlashConfig
 {
+    /** Device name, used in diagnostics (e.g. "ssd0" in a multi-SSD
+     *  service array). */
+    std::string name = "flash";
+
     /** Page access granularity in bytes (paper: 8KB). */
     std::int64_t pageBytes = 8 * 1024;
 

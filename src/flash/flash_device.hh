@@ -60,9 +60,13 @@ class FlashDevice
             / config.pageBytes;
         if (pages == 0)
             pages = 1;
-        if (nextFreePage + pages > config.numPages())
-            fatal("flash device full: need ", pages, " pages, have ",
-                  config.numPages() - nextFreePage);
+        if (nextFreePage + pages > config.numPages()) {
+            std::int64_t free_pages = config.numPages() - nextFreePage;
+            fatal("flash device '", config.name, "' full: requested ",
+                  bytes, " bytes (", pages, " pages), remaining "
+                  "capacity ", free_pages * config.pageBytes, " bytes (",
+                  free_pages, " of ", config.numPages(), " pages)");
+        }
         FlashExtent ext{nextFreePage, pages, bytes};
         nextFreePage += pages;
         if (static_cast<std::int64_t>(pageStore.size()) < nextFreePage)

@@ -1,0 +1,561 @@
+#include "service/query_service.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <queue>
+
+#include "engine/executor.hh"
+#include "service/sharded_store.hh"
+
+namespace aquoman::service {
+
+const char *
+queryStateName(QueryState s)
+{
+    switch (s) {
+      case QueryState::Queued:
+        return "Queued";
+      case QueryState::Running:
+        return "Running";
+      case QueryState::Suspended:
+        return "Suspended";
+      case QueryState::HostFinish:
+        return "HostFinish";
+      case QueryState::Done:
+        return "Done";
+    }
+    return "?";
+}
+
+namespace {
+
+/** One per-device slice of a Table Task. */
+struct SubTask
+{
+    double seconds = 0.0;
+    std::int64_t bytes = 0;
+};
+
+/**
+ * One Table Task as scheduled: its per-device subtasks. Scan-type
+ * tasks rooted in one sharded base table split across the devices
+ * holding stripe rows; everything else runs whole on the anchor.
+ */
+struct TaskStep
+{
+    std::string what;
+    std::map<int, SubTask> subs; ///< device -> slice
+    int remaining = 0;
+};
+
+} // namespace
+
+struct QueryService::Impl
+{
+    /** One SSD of the array plus its scheduler state. */
+    struct DeviceNode
+    {
+        std::unique_ptr<FlashDevice> flash;
+        std::unique_ptr<ControllerSwitch> sw;
+        std::unique_ptr<DeviceMemoryManager> dram;
+
+        bool busy = false;
+        QueryId inFlight = -1;
+        /// Ready subtasks keyed by admission index: the round-robin
+        /// cursor walks this order so interleaving is fair and
+        /// deterministic.
+        std::map<std::int64_t, QueryId> pending;
+        std::int64_t lastServed = -1;
+
+        double busySec = 0.0;
+        std::int64_t tasksRun = 0;
+    };
+
+    struct QueryExec
+    {
+        QueryRecord rec;
+        Query query;
+        std::int64_t admissionIdx = -1;
+        std::vector<TaskStep> steps;
+        std::size_t nextStep = 0;
+        std::int64_t reservedBytes = 0;
+    };
+
+    enum class EventKind
+    {
+        Arrival,
+        SubtaskDone,
+        HostDone,
+    };
+
+    struct Event
+    {
+        double time = 0.0;
+        std::int64_t seq = 0; ///< tie-break: schedule order
+        EventKind kind = EventKind::Arrival;
+        QueryId qid = -1;
+        int device = -1;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (time != o.time)
+                return time > o.time;
+            return seq > o.seq;
+        }
+    };
+
+    explicit Impl(ServiceConfig cfg_) : cfg(std::move(cfg_)), host(cfg.host)
+    {
+        AQ_ASSERT(cfg.numDevices > 0, "service needs >= 1 device");
+        AQ_ASSERT(cfg.admissionLimit > 0, "admission limit must be >= 1");
+        std::vector<ControllerSwitch *> switches;
+        for (int d = 0; d < cfg.numDevices; ++d) {
+            auto node = std::make_unique<DeviceNode>();
+            FlashConfig fc = cfg.flash;
+            fc.name = cfg.flash.name + std::to_string(d);
+            node->flash = std::make_unique<FlashDevice>(fc);
+            node->sw = std::make_unique<ControllerSwitch>(*node->flash);
+            node->dram = std::make_unique<DeviceMemoryManager>(
+                cfg.device.dramBytes);
+            switches.push_back(node->sw.get());
+            devices.push_back(std::move(node));
+        }
+        store = std::make_unique<ShardedTableStore>(std::move(switches));
+    }
+
+    // -- event plumbing ------------------------------------------------
+
+    void
+    schedule(double time, EventKind kind, QueryId qid, int device = -1)
+    {
+        events.push(Event{time, nextSeq++, kind, qid, device});
+    }
+
+    void
+    logState(QueryExec &e, QueryState to)
+    {
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "t=%.6fs %s: %s -> %s", clock,
+                      e.rec.name.c_str(), queryStateName(e.rec.state),
+                      queryStateName(to));
+        e.rec.lifecycle.emplace_back(buf);
+        e.rec.state = to;
+    }
+
+    // -- admission -----------------------------------------------------
+
+    void
+    tryAdmit()
+    {
+        while (running < cfg.admissionLimit && !admissionQueue.empty()) {
+            QueryId qid = admissionQueue.front();
+            admissionQueue.pop_front();
+            admit(qid);
+        }
+    }
+
+    void
+    admit(QueryId qid)
+    {
+        QueryExec &e = execs[qid];
+        e.admissionIdx = admissionCounter++;
+        e.rec.admitSec = clock;
+        e.rec.queueWaitSec = clock - e.rec.submitSec;
+        e.rec.anchorDevice = static_cast<int>(
+            (e.admissionIdx + cfg.scheduleSeed) % devices.size());
+        ++running;
+
+        DeviceNode &anchor = *devices[e.rec.anchorDevice];
+        std::int64_t want = cfg.resolvedQueryDramBytes();
+        std::string slot = "service.q" + std::to_string(qid);
+        if (!anchor.dram->allocate(slot, want)) {
+            // Admission-time suspension: no device DRAM for this
+            // query's intermediates — the host runs it whole.
+            runOnHost(e);
+            return;
+        }
+        e.reservedBytes = want;
+        runOnDevice(e, want);
+    }
+
+    /** Paper suspension path: the host executes the entire query. */
+    void
+    runOnHost(QueryExec &e)
+    {
+        ++e.rec.suspendCount;
+        logState(e, QueryState::Suspended);
+
+        DeviceNode &anchor = *devices[e.rec.anchorDevice];
+        Executor ex(catalog_, anchor.sw.get());
+        e.rec.result = ex.run(e.query);
+        e.rec.metrics = ex.metrics();
+        e.rec.metrics.suspendCount = e.rec.suspendCount;
+        // Everything it touched came over the switch's host port.
+        e.rec.metrics.hostFinishBytes = e.rec.metrics.flashBytesRead;
+        e.rec.hostFinishBytes = e.rec.metrics.hostFinishBytes;
+
+        beginHostFinish(e, e.rec.metrics, /*dma_bytes=*/0);
+    }
+
+    /** Normal path: run functionally now, then schedule the trace. */
+    void
+    runOnDevice(QueryExec &e, std::int64_t dram_reservation)
+    {
+        logState(e, QueryState::Running);
+
+        DeviceNode &anchor = *devices[e.rec.anchorDevice];
+        AquomanConfig dev_cfg = cfg.device;
+        dev_cfg.dramBytes = dram_reservation;
+        AquomanDevice dev(catalog_, *anchor.sw, dev_cfg);
+        OffloadedQueryResult r = dev.runQuery(e.query);
+        e.rec.result = std::move(r.result);
+        e.rec.stats = std::move(r.stats);
+        e.rec.metrics = e.rec.stats.hostResidual;
+        e.rec.suspendCount = e.rec.metrics.suspendCount;
+        e.rec.hostFinishBytes = e.rec.metrics.hostFinishBytes;
+
+        buildSteps(e);
+        if (e.steps.empty()) {
+            afterDeviceWork(e);
+            return;
+        }
+        enqueueStep(e);
+    }
+
+    /**
+     * Turn the device executor's Table-Task trace into scheduler
+     * steps. A task streaming exactly one sharded base table splits
+     * into per-device subtasks proportional to stripe rows (devices
+     * with empty stripes are skipped); other tasks run on the anchor.
+     */
+    void
+    buildSteps(QueryExec &e)
+    {
+        for (const TableTaskRecord &t : e.rec.stats.tasks) {
+            TaskStep step;
+            step.what = t.what;
+            const TableSharding *sh =
+                !t.table.empty() && store->has(t.table)
+                ? &store->sharding(t.table) : nullptr;
+            if (sh && sh->totalRows > 0) {
+                std::int64_t bytes_left = t.flashBytes;
+                for (int d = 0; d < static_cast<int>(devices.size());
+                     ++d) {
+                    if (sh->rowsOnDevice[d] == 0)
+                        continue;
+                    SubTask sub;
+                    sub.seconds = t.seconds * sh->fraction(d);
+                    // Integer byte split: remainder rides the last
+                    // non-empty stripe so slices sum exactly.
+                    sub.bytes = t.flashBytes * sh->rowsOnDevice[d]
+                        / sh->totalRows;
+                    step.subs[d] = sub;
+                    bytes_left -= sub.bytes;
+                }
+                if (!step.subs.empty())
+                    step.subs.rbegin()->second.bytes += bytes_left;
+            } else {
+                step.subs[e.rec.anchorDevice] =
+                    SubTask{t.seconds, t.flashBytes};
+            }
+            if (!step.subs.empty())
+                e.steps.push_back(std::move(step));
+        }
+    }
+
+    void
+    enqueueStep(QueryExec &e)
+    {
+        TaskStep &step = e.steps[e.nextStep];
+        step.remaining = static_cast<int>(step.subs.size());
+        for (const auto &[d, sub] : step.subs)
+            devices[d]->pending[e.admissionIdx] = e.rec.id;
+        for (const auto &[d, sub] : step.subs)
+            dispatch(d);
+    }
+
+    /**
+     * Issue the next subtask on device @p d: round-robin over ready
+     * queries by admission index (first index above the cursor, else
+     * wrap to the smallest).
+     */
+    void
+    dispatch(int d)
+    {
+        DeviceNode &dn = *devices[d];
+        if (dn.busy || dn.pending.empty())
+            return;
+        auto it = dn.pending.upper_bound(dn.lastServed);
+        if (it == dn.pending.end())
+            it = dn.pending.begin();
+        dn.lastServed = it->first;
+        QueryId qid = it->second;
+        dn.pending.erase(it);
+
+        QueryExec &e = execs[qid];
+        const SubTask &sub = e.steps[e.nextStep].subs.at(d);
+        dn.busy = true;
+        dn.inFlight = qid;
+        schedule(clock + sub.seconds, EventKind::SubtaskDone, qid, d);
+    }
+
+    void
+    onSubtaskDone(const Event &ev)
+    {
+        DeviceNode &dn = *devices[ev.device];
+        AQ_ASSERT(dn.busy && dn.inFlight == ev.qid, "scheduler state");
+        dn.busy = false;
+        dn.inFlight = -1;
+
+        QueryExec &e = execs[ev.qid];
+        TaskStep &step = e.steps[e.nextStep];
+        const SubTask &sub = step.subs.at(ev.device);
+        dn.busySec += sub.seconds;
+        ++dn.tasksRun;
+        dn.sw->accountRead(FlashPort::Aquoman, sub.bytes);
+        e.rec.deviceBusySec += sub.seconds;
+
+        if (--step.remaining == 0) {
+            ++e.nextStep;
+            if (e.nextStep < e.steps.size())
+                enqueueStep(e);
+            else
+                afterDeviceWork(e);
+        }
+        dispatch(ev.device);
+    }
+
+    /** All Table Tasks done: hand the query to its host phase. */
+    void
+    afterDeviceWork(QueryExec &e)
+    {
+        if (e.rec.suspendCount > 0) {
+            // The device executor raised Sec. VI-E suspensions while
+            // running; surface them in the lifecycle.
+            logState(e, QueryState::Suspended);
+        }
+        beginHostFinish(e, e.rec.metrics, e.rec.stats.dmaBytes);
+    }
+
+    /**
+     * Price the host phase (residual stages + result DMA) at the
+     * anchor switch's contention-adjusted host-port bandwidth: AQUOMAN
+     * subtasks active on the anchor halve the host's share.
+     */
+    void
+    beginHostFinish(QueryExec &e, const EngineMetrics &m,
+                    std::int64_t dma_bytes)
+    {
+        logState(e, QueryState::HostFinish);
+        DeviceNode &anchor = *devices[e.rec.anchorDevice];
+        bool contended = anchor.busy || !anchor.pending.empty();
+        double bw = anchor.sw->effectiveReadBandwidth(contended);
+        HostRunEstimate est = host.estimate(m, bw);
+        e.rec.hostFinishSec = est.runtime + dma_bytes / bw;
+        schedule(clock + e.rec.hostFinishSec, EventKind::HostDone,
+                 e.rec.id);
+    }
+
+    void
+    finish(QueryExec &e)
+    {
+        logState(e, QueryState::Done);
+        e.rec.doneSec = clock;
+        e.rec.metrics.queueWaitSec = e.rec.queueWaitSec;
+        if (e.reservedBytes > 0) {
+            devices[e.rec.anchorDevice]->dram->free(
+                "service.q" + std::to_string(e.rec.id));
+            e.reservedBytes = 0;
+        }
+        --running;
+        completed.push_back(e.rec.id);
+        tryAdmit();
+        if (onComplete)
+            onComplete(e.rec);
+    }
+
+    // -- event loop ----------------------------------------------------
+
+    void
+    drain()
+    {
+        while (!events.empty()) {
+            Event ev = events.top();
+            events.pop();
+            AQ_ASSERT(ev.time >= clock, "time went backwards");
+            clock = ev.time;
+            switch (ev.kind) {
+              case EventKind::Arrival:
+                admissionQueue.push_back(ev.qid);
+                tryAdmit();
+                break;
+              case EventKind::SubtaskDone:
+                onSubtaskDone(ev);
+                break;
+              case EventKind::HostDone:
+                finish(execs[ev.qid]);
+                break;
+            }
+        }
+    }
+
+    ServiceConfig cfg;
+    HostModel host;
+    Catalog catalog_;
+    std::vector<std::unique_ptr<DeviceNode>> devices;
+    std::unique_ptr<ShardedTableStore> store;
+
+    std::map<QueryId, QueryExec> execs;
+    std::deque<QueryId> admissionQueue;
+    std::vector<QueryId> completed;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events;
+    std::function<void(const QueryRecord &)> onComplete;
+
+    double clock = 0.0;
+    std::int64_t nextSeq = 0;
+    std::int64_t nextQueryId = 0;
+    std::int64_t admissionCounter = 0;
+    int running = 0;
+};
+
+// =====================================================================
+// QueryService
+// =====================================================================
+
+QueryService::QueryService(ServiceConfig cfg)
+    : impl(std::make_unique<Impl>(std::move(cfg)))
+{
+}
+
+QueryService::~QueryService() = default;
+
+void
+QueryService::addTable(std::shared_ptr<const Table> table)
+{
+    impl->store->store(*table);
+    // Execution reads the in-memory columns (resident == nullptr);
+    // the stripes on flash carry capacity pressure and load traffic,
+    // and drive the per-device split of scan Table Tasks.
+    impl->catalog_.put(std::move(table), nullptr);
+}
+
+Catalog &
+QueryService::catalog()
+{
+    return impl->catalog_;
+}
+
+int
+QueryService::numDevices() const
+{
+    return static_cast<int>(impl->devices.size());
+}
+
+const ControllerSwitch &
+QueryService::deviceSwitch(int d) const
+{
+    return *impl->devices.at(d)->sw;
+}
+
+double
+QueryService::now() const
+{
+    return impl->clock;
+}
+
+QueryId
+QueryService::submit(const Query &q, double arrival_sec)
+{
+    QueryId id = impl->nextQueryId++;
+    Impl::QueryExec &e = impl->execs[id];
+    e.query = q;
+    e.rec.id = id;
+    e.rec.name = q.name.empty() ? "q" + std::to_string(id) : q.name;
+    e.rec.submitSec = std::max(arrival_sec, impl->clock);
+    e.rec.state = QueryState::Queued;
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "t=%.6fs %s: submitted -> Queued",
+                  e.rec.submitSec, e.rec.name.c_str());
+    e.rec.lifecycle.emplace_back(buf);
+    impl->schedule(e.rec.submitSec, Impl::EventKind::Arrival, id);
+    return id;
+}
+
+void
+QueryService::setOnComplete(std::function<void(const QueryRecord &)> fn)
+{
+    impl->onComplete = std::move(fn);
+}
+
+void
+QueryService::drain()
+{
+    impl->drain();
+}
+
+std::size_t
+QueryService::numQueries() const
+{
+    return impl->execs.size();
+}
+
+const QueryRecord &
+QueryService::record(QueryId id) const
+{
+    auto it = impl->execs.find(id);
+    AQ_ASSERT(it != impl->execs.end(), "no query ", id);
+    return it->second.rec;
+}
+
+ServiceStats
+QueryService::aggregate() const
+{
+    ServiceStats s;
+    s.completed = static_cast<std::int64_t>(impl->completed.size());
+    for (const auto &dn : impl->devices) {
+        s.deviceBusySec.push_back(dn->busySec);
+        s.deviceTasksRun.push_back(dn->tasksRun);
+    }
+    if (impl->completed.empty())
+        return s;
+
+    std::vector<double> lat;
+    double first_submit = 0.0, last_done = 0.0;
+    std::int64_t suspended = 0;
+    bool first = true;
+    for (QueryId id : impl->completed) {
+        const QueryRecord &r = impl->execs.at(id).rec;
+        lat.push_back(r.latencySec());
+        s.meanQueueWaitSec += r.queueWaitSec;
+        if (r.suspendCount > 0)
+            ++suspended;
+        if (first || r.submitSec < first_submit)
+            first_submit = r.submitSec;
+        last_done = std::max(last_done, r.doneSec);
+        first = false;
+    }
+    s.meanQueueWaitSec /= static_cast<double>(lat.size());
+    s.suspendRate =
+        static_cast<double>(suspended) / static_cast<double>(lat.size());
+    s.makespanSec = last_done - first_submit;
+    s.throughputQps = s.makespanSec > 0.0
+        ? static_cast<double>(s.completed) / s.makespanSec : 0.0;
+
+    std::sort(lat.begin(), lat.end());
+    auto pct = [&](double p) {
+        auto idx = static_cast<std::size_t>(
+            std::ceil(p * static_cast<double>(lat.size()))) - 1;
+        return lat[std::min(idx, lat.size() - 1)];
+    };
+    s.p50LatencySec = pct(0.50);
+    s.p95LatencySec = pct(0.95);
+    s.p99LatencySec = pct(0.99);
+    return s;
+}
+
+} // namespace aquoman::service

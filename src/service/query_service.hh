@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Multi-query AQUOMAN service layer. A QueryService owns an array of M
+ * simulated SSDs (each a FlashDevice behind its own ControllerSwitch)
+ * with tables row-striped across them by the sharded store, and runs
+ * K-at-a-time admission control plus a Table-Task scheduler that
+ * interleaves the tasks of in-flight queries across the array — one
+ * task in flight per device, round-robin across queries, exactly the
+ * one-Table-Task-at-a-time regime the paper's device executes.
+ *
+ * Query lifecycle: Queued -> Running -> [Suspended ->] HostFinish ->
+ * Done. Admission reserves the query's intermediate-DRAM budget on its
+ * anchor device through DeviceMemoryManager; a failed reservation (or a
+ * mid-plan suspension raised by the device executor, Sec. VI-E) ships
+ * the remaining work to the host model, whose storage reads are priced
+ * at the controller switch's contention-adjusted host-port bandwidth.
+ *
+ * Determinism contract (DESIGN.md §9): scheduling runs as a serial
+ * discrete-event simulation in modelled time with (time, sequence)
+ * event ordering, and every per-query decision depends only on
+ * admission order — never on wall-clock or thread count. For a fixed
+ * schedule seed, all results, metrics, and modelled times are
+ * bit-identical for every AQUOMAN_THREADS value.
+ */
+
+#ifndef AQUOMAN_SERVICE_QUERY_SERVICE_HH
+#define AQUOMAN_SERVICE_QUERY_SERVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aquoman/config.hh"
+#include "aquoman/device.hh"
+#include "columnstore/catalog.hh"
+#include "engine/host_model.hh"
+#include "engine/metrics.hh"
+#include "flash/controller_switch.hh"
+#include "relalg/plan.hh"
+
+namespace aquoman::service {
+
+using QueryId = std::int64_t;
+
+/** Lifecycle states of a service query. */
+enum class QueryState
+{
+    Queued,     ///< submitted, waiting for an admission slot
+    Running,    ///< Table Tasks scheduled across the SSD array
+    Suspended,  ///< shipped to the host (DRAM pressure / unsupported op)
+    HostFinish, ///< host executing residual stages / receiving results
+    Done,       ///< result delivered
+};
+
+const char *queryStateName(QueryState s);
+
+/** Static configuration of a QueryService instance. */
+struct ServiceConfig
+{
+    /** SSDs in the array (tables are row-striped across all of them). */
+    int numDevices = 4;
+
+    /** Maximum concurrently admitted queries (K). */
+    int admissionLimit = 8;
+
+    /**
+     * Schedule seed: rotates the anchor-device assignment. Any fixed
+     * seed yields a fully deterministic schedule.
+     */
+    std::uint64_t scheduleSeed = 0;
+
+    /** Per-device AQUOMAN pipeline configuration. */
+    AquomanConfig device;
+
+    /** Per-SSD flash configuration (name becomes "<name><i>"). */
+    FlashConfig flash;
+
+    /** Host completing suspended queries and residual stages. */
+    HostConfig host = HostConfig::large();
+
+    /**
+     * Device-DRAM bytes reserved per admitted query for intermediates.
+     * 0 means device.dramBytes / admissionLimit, so a full admission
+     * window always fits. Reservation failure on the anchor device
+     * suspends the query to the host at admission.
+     */
+    std::int64_t queryDramBytes = 0;
+
+    std::int64_t
+    resolvedQueryDramBytes() const
+    {
+        if (queryDramBytes > 0)
+            return queryDramBytes;
+        return device.dramBytes / std::max(1, admissionLimit);
+    }
+
+    ServiceConfig() { flash.name = "ssd"; }
+};
+
+/** Full record of one query's trip through the service. */
+struct QueryRecord
+{
+    QueryId id = -1;
+    std::string name;
+    QueryState state = QueryState::Queued;
+
+    /** Device whose switch carries this query's host/DMA traffic and
+     *  whose DRAM holds its reservation. */
+    int anchorDevice = -1;
+
+    double submitSec = 0.0;
+    double admitSec = 0.0;
+    double doneSec = 0.0;
+
+    /** Modelled seconds spent waiting for admission. */
+    double queueWaitSec = 0.0;
+
+    /** Summed seconds of this query's scheduled device subtasks. */
+    double deviceBusySec = 0.0;
+
+    /** Modelled seconds of the HostFinish phase. */
+    double hostFinishSec = 0.0;
+
+    /** Suspensions (admission reservation failures + Sec. VI-E). */
+    std::int64_t suspendCount = 0;
+
+    /** Bytes shipped to the host to finish the query. */
+    std::int64_t hostFinishBytes = 0;
+
+    /** Bit-exact query answer. */
+    RelTable result;
+
+    /** Device trace (empty stats when suspended at admission). */
+    AquomanRunStats stats;
+
+    /** Host-side work metrics (residual stages, or the whole query). */
+    EngineMetrics metrics;
+
+    /** Timestamped lifecycle transitions. */
+    std::vector<std::string> lifecycle;
+
+    double latencySec() const { return doneSec - submitSec; }
+};
+
+/** Aggregate service statistics over all completed queries. */
+struct ServiceStats
+{
+    std::int64_t completed = 0;
+    double makespanSec = 0.0;
+    double throughputQps = 0.0;
+    double p50LatencySec = 0.0;
+    double p95LatencySec = 0.0;
+    double p99LatencySec = 0.0;
+    double meanQueueWaitSec = 0.0;
+
+    /** Fraction of completed queries suspended at least once. */
+    double suspendRate = 0.0;
+
+    /** Per-device busy seconds (scheduled subtask time). */
+    std::vector<double> deviceBusySec;
+
+    /** Per-device Table-Task subtasks executed. */
+    std::vector<std::int64_t> deviceTasksRun;
+};
+
+/**
+ * The query service: M sharded SSDs, admission control, Table-Task
+ * scheduling, suspend/resume to the host.
+ */
+class QueryService
+{
+  public:
+    explicit QueryService(ServiceConfig cfg);
+    ~QueryService();
+
+    QueryService(const QueryService &) = delete;
+    QueryService &operator=(const QueryService &) = delete;
+
+    /** Row-stripe @p table across the SSD array and register it. */
+    void addTable(std::shared_ptr<const Table> table);
+
+    /** Catalog of registered tables (for key metadata setup). */
+    Catalog &catalog();
+
+    int numDevices() const;
+    const ControllerSwitch &deviceSwitch(int d) const;
+
+    /** Current modelled time (advances during drain()). */
+    double now() const;
+
+    /**
+     * Submit @p q arriving at modelled time @p arrival_sec (clamped to
+     * now()). Execution happens inside drain().
+     */
+    QueryId submit(const Query &q, double arrival_sec = 0.0);
+
+    /**
+     * Completion hook, fired as each query reaches Done. The callback
+     * may submit() follow-up queries (closed-loop clients).
+     */
+    void setOnComplete(std::function<void(const QueryRecord &)> fn);
+
+    /** Run the event loop until no events remain. */
+    void drain();
+
+    std::size_t numQueries() const;
+    const QueryRecord &record(QueryId id) const;
+
+    /** Aggregate statistics over queries completed so far. */
+    ServiceStats aggregate() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace aquoman::service
+
+#endif // AQUOMAN_SERVICE_QUERY_SERVICE_HH

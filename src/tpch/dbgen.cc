@@ -511,20 +511,21 @@ TpchDatabase::generate(const TpchConfig &cfg)
 void
 TpchDatabase::installInto(Catalog &catalog, TableStore &store) const
 {
-    auto install = [&](const std::shared_ptr<Table> &t,
-                       const std::string &pkey) {
-        auto resident = store.store(t);
-        CatalogEntry &e = catalog.put(t, std::move(resident));
-        e.densePrimaryKey = pkey;
-    };
-    install(region, "r_regionkey");
-    install(nation, "n_nationkey");
-    install(supplier, "s_suppkey");
-    install(customer, "c_custkey");
-    install(part, "p_partkey");
-    install(partsupp, "");
-    install(orders, "o_orderkey");
-    install(lineitem, "");
+    for (const auto &t : {region, nation, supplier, customer, part,
+                          partsupp, orders, lineitem})
+        catalog.put(t, store.store(t));
+    registerMetadata(catalog);
+}
+
+void
+TpchDatabase::registerMetadata(Catalog &catalog) const
+{
+    catalog.get("region").densePrimaryKey = "r_regionkey";
+    catalog.get("nation").densePrimaryKey = "n_nationkey";
+    catalog.get("supplier").densePrimaryKey = "s_suppkey";
+    catalog.get("customer").densePrimaryKey = "c_custkey";
+    catalog.get("part").densePrimaryKey = "p_partkey";
+    catalog.get("orders").densePrimaryKey = "o_orderkey";
 
     catalog.get("nation").fkRowIdTargets["n_regionkey"] = "region";
     catalog.get("supplier").fkRowIdTargets["s_nationkey"] = "nation";

@@ -70,6 +70,14 @@ struct TpchDatabase
      */
     void installInto(Catalog &catalog, TableStore &store) const;
 
+    /**
+     * Set the key metadata (dense primary keys, FK RowID targets) on
+     * tables already registered in @p catalog. Callers that persist
+     * the tables themselves — e.g. the query service's sharded store —
+     * register the Table objects first and then call this.
+     */
+    void registerMetadata(Catalog &catalog) const;
+
     /** Total on-flash bytes of all eight tables. */
     std::int64_t storedBytes() const;
 };

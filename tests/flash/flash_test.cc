@@ -69,6 +69,27 @@ TEST(FlashDeviceTest, CapacityEnforced)
     EXPECT_THROW(dev.allocate(cfg.capacityBytes), FatalError);
 }
 
+TEST(FlashDeviceTest, FullDeviceErrorNamesDeviceAndCapacity)
+{
+    FlashConfig cfg = smallConfig();
+    cfg.name = "ssd3";
+    FlashDevice dev(cfg);
+    dev.allocate(cfg.capacityBytes - 4 * cfg.pageBytes);
+    try {
+        dev.allocate(cfg.capacityBytes);
+        FAIL() << "allocate past capacity must throw";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        // The diagnostic names the device and quantifies the failure:
+        // requested bytes and remaining capacity.
+        EXPECT_NE(msg.find("'ssd3'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(std::to_string(cfg.capacityBytes)),
+                  std::string::npos) << msg;
+        EXPECT_NE(msg.find(std::to_string(4 * cfg.pageBytes)),
+                  std::string::npos) << msg;
+    }
+}
+
 TEST(FlashDeviceTest, ExtentsDoNotOverlap)
 {
     FlashDevice dev(smallConfig());

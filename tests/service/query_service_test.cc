@@ -1,0 +1,300 @@
+/** @file
+ * Service-layer contract tests: K concurrent queries interleaved over
+ * an M-device array produce bit-identical answers and exactly-equal
+ * work metrics to the same queries run one-at-a-time on a fresh
+ * service (and to the baseline engine), for every AQUOMAN_THREADS
+ * value; forced suspensions complete correctly through the host path;
+ * admission control produces queue wait; and modelled throughput
+ * scales monotonically with the device count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "engine/executor.hh"
+#include "service/query_service.hh"
+#include "tpch/dbgen.hh"
+#include "tpch/queries.hh"
+
+namespace aquoman::service {
+namespace {
+
+using tpch::TpchConfig;
+using tpch::TpchDatabase;
+using tpch::tpchQuery;
+
+constexpr double kSf = 0.01;
+const std::vector<int> kQueries{1, 3, 6, 12, 13, 14, 19, 4};
+
+const TpchDatabase &
+database()
+{
+    static TpchDatabase db = [] {
+        TpchConfig cfg;
+        cfg.scaleFactor = kSf;
+        return TpchDatabase::generate(cfg);
+    }();
+    return db;
+}
+
+void
+installTables(QueryService &svc)
+{
+    const TpchDatabase &db = database();
+    for (const auto &t : {db.region, db.nation, db.supplier, db.customer,
+                          db.part, db.partsupp, db.orders, db.lineitem})
+        svc.addTable(t);
+    db.registerMetadata(svc.catalog());
+}
+
+std::unique_ptr<QueryService>
+makeService(int num_devices, int admission_limit,
+            std::int64_t query_dram_bytes = 0)
+{
+    ServiceConfig cfg;
+    cfg.numDevices = num_devices;
+    cfg.admissionLimit = admission_limit;
+    cfg.queryDramBytes = query_dram_bytes;
+    auto svc = std::make_unique<QueryService>(cfg);
+    installTables(*svc);
+    return svc;
+}
+
+/** Baseline answers from the plain engine (no service, no devices). */
+const RelTable &
+baselineAnswer(int q)
+{
+    static std::map<int, RelTable> answers = [] {
+        const TpchDatabase &db = database();
+        Catalog catalog;
+        for (const auto &t : {db.region, db.nation, db.supplier,
+                              db.customer, db.part, db.partsupp,
+                              db.orders, db.lineitem})
+            catalog.put(t, nullptr);
+        db.registerMetadata(catalog);
+        std::map<int, RelTable> out;
+        for (int q : kQueries) {
+            Executor ex(catalog);
+            out[q] = ex.run(tpchQuery(q, kSf));
+        }
+        return out;
+    }();
+    return answers.at(q);
+}
+
+void
+expectRelTablesIdentical(const RelTable &a, const RelTable &b,
+                         const std::string &what)
+{
+    ASSERT_EQ(a.numColumns(), b.numColumns()) << what;
+    ASSERT_EQ(a.numRows(), b.numRows()) << what;
+    for (int c = 0; c < a.numColumns(); ++c) {
+        const RelColumn &ca = a.col(c);
+        const RelColumn &cb = b.col(c);
+        ASSERT_EQ(ca.name, cb.name) << what;
+        ASSERT_EQ(ca.type, cb.type) << what << " " << ca.name;
+        if (ca.type == ColumnType::Varchar) {
+            for (std::int64_t i = 0; i < ca.size(); ++i) {
+                ASSERT_EQ(ca.str(i), cb.str(i))
+                    << what << " " << ca.name << " row " << i;
+            }
+        } else {
+            ASSERT_EQ(*ca.vals, *cb.vals) << what << " " << ca.name;
+        }
+    }
+}
+
+/** Exact equality: identical work happened, in the same FP order. */
+void
+expectSameWork(const QueryRecord &a, const QueryRecord &b,
+               const std::string &what)
+{
+    EXPECT_EQ(a.stats.deviceSeconds, b.stats.deviceSeconds) << what;
+    EXPECT_EQ(a.stats.deviceFlashBytes, b.stats.deviceFlashBytes) << what;
+    EXPECT_EQ(a.stats.tasksExecuted, b.stats.tasksExecuted) << what;
+    EXPECT_EQ(a.stats.dmaBytes, b.stats.dmaBytes) << what;
+    EXPECT_EQ(a.suspendCount, b.suspendCount) << what;
+    EXPECT_EQ(a.hostFinishBytes, b.hostFinishBytes) << what;
+    EXPECT_EQ(a.metrics.rowOps, b.metrics.rowOps) << what;
+    EXPECT_EQ(a.metrics.flashBytesRead, b.metrics.flashBytesRead) << what;
+    EXPECT_EQ(a.deviceBusySec, b.deviceBusySec) << what;
+}
+
+struct ConcurrentRun
+{
+    std::vector<QueryId> ids;
+    std::vector<double> doneSec;
+    double makespan = 0.0;
+    std::unique_ptr<QueryService> svc;
+};
+
+/** Submit all probe queries at t=0 and drain (K-way concurrency). */
+ConcurrentRun
+runConcurrent(int num_devices, int admission_limit)
+{
+    ConcurrentRun run;
+    run.svc = makeService(num_devices, admission_limit);
+    for (int q : kQueries)
+        run.ids.push_back(run.svc->submit(tpchQuery(q, kSf)));
+    run.svc->drain();
+    for (QueryId id : run.ids)
+        run.doneSec.push_back(run.svc->record(id).doneSec);
+    run.makespan = run.svc->aggregate().makespanSec;
+    return run;
+}
+
+class QueryServiceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        ThreadPool::setGlobalParallelism(
+            ThreadPool::configuredParallelism());
+    }
+};
+
+TEST_F(QueryServiceTest, ConcurrentMatchesSerialForEveryThreadCount)
+{
+    // Reference: same queries, same service shape, one at a time.
+    ThreadPool::setGlobalParallelism(1);
+    auto serial = makeService(4, 8);
+    std::vector<QueryId> serial_ids;
+    for (int q : kQueries) {
+        QueryId id = serial->submit(tpchQuery(q, kSf));
+        serial->drain();
+        serial_ids.push_back(id);
+    }
+
+    std::vector<ConcurrentRun> runs;
+    for (int threads : {1, 4}) {
+        ThreadPool::setGlobalParallelism(threads);
+        runs.push_back(runConcurrent(4, 8));
+        const ConcurrentRun &run = runs.back();
+        for (std::size_t i = 0; i < kQueries.size(); ++i) {
+            std::string what = "q" + std::to_string(kQueries[i])
+                + " threads=" + std::to_string(threads);
+            const QueryRecord &rec = run.svc->record(run.ids[i]);
+            EXPECT_EQ(rec.state, QueryState::Done) << what;
+            // Bit-identical to the plain engine...
+            expectRelTablesIdentical(rec.result,
+                                     baselineAnswer(kQueries[i]), what);
+            // ...and exactly the same work as the serial service run.
+            const QueryRecord &ser = serial->record(serial_ids[i]);
+            expectRelTablesIdentical(rec.result, ser.result, what);
+            expectSameWork(rec, ser, what);
+        }
+    }
+
+    // Modelled times are bit-identical across thread counts.
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[0].makespan, runs[1].makespan);
+    for (std::size_t i = 0; i < kQueries.size(); ++i) {
+        EXPECT_EQ(runs[0].doneSec[i], runs[1].doneSec[i])
+            << "q" << kQueries[i];
+    }
+}
+
+TEST_F(QueryServiceTest, RuntimeSuspensionCompletesViaHost)
+{
+    // A 4KB intermediate budget forces Sec. VI-E suspensions in any
+    // query whose joins or sorts need device DRAM (q3 does).
+    auto svc = makeService(4, 8, /*query_dram_bytes=*/4096);
+    QueryId id = svc->submit(tpchQuery(3, kSf));
+    svc->drain();
+
+    const QueryRecord &rec = svc->record(id);
+    EXPECT_EQ(rec.state, QueryState::Done);
+    expectRelTablesIdentical(rec.result, baselineAnswer(3), "q3");
+    EXPECT_GE(rec.suspendCount, 1);
+    EXPECT_GT(rec.hostFinishBytes, 0);
+    EXPECT_GT(rec.hostFinishSec, 0.0);
+    bool saw_suspended = false, saw_host_finish = false;
+    for (const std::string &line : rec.lifecycle) {
+        saw_suspended |= line.find("Suspended") != std::string::npos;
+        saw_host_finish |= line.find("HostFinish") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_suspended);
+    EXPECT_TRUE(saw_host_finish);
+}
+
+TEST_F(QueryServiceTest, AdmissionReservationFailureRunsOnHost)
+{
+    // A reservation larger than device DRAM can never be granted: the
+    // query suspends at admission and the host runs it whole.
+    ServiceConfig cfg;
+    cfg.numDevices = 2;
+    cfg.queryDramBytes = cfg.device.dramBytes + 1;
+    QueryService svc(cfg);
+    installTables(svc);
+
+    QueryId id = svc.submit(tpchQuery(6, kSf));
+    svc.drain();
+
+    const QueryRecord &rec = svc.record(id);
+    EXPECT_EQ(rec.state, QueryState::Done);
+    expectRelTablesIdentical(rec.result, baselineAnswer(6), "q6");
+    EXPECT_EQ(rec.suspendCount, 1);
+    EXPECT_EQ(rec.stats.tasksExecuted, 0); // no device work at all
+    EXPECT_GT(rec.hostFinishBytes, 0);
+    // The host's base-table reads went over the anchor's host port.
+    EXPECT_GT(svc.deviceSwitch(rec.anchorDevice)
+                  .bytesRead(FlashPort::Host), 0);
+}
+
+TEST_F(QueryServiceTest, TightAdmissionProducesQueueWait)
+{
+    auto svc = makeService(2, /*admission_limit=*/1);
+    std::vector<QueryId> ids;
+    for (int q : {6, 6, 6})
+        ids.push_back(svc->submit(tpchQuery(q, kSf)));
+    svc->drain();
+
+    EXPECT_EQ(svc->record(ids[0]).queueWaitSec, 0.0);
+    double prev = 0.0;
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+        const QueryRecord &rec = svc->record(ids[i]);
+        EXPECT_GT(rec.queueWaitSec, prev) << "query " << i;
+        EXPECT_EQ(rec.metrics.queueWaitSec, rec.queueWaitSec);
+        prev = rec.queueWaitSec;
+    }
+}
+
+TEST_F(QueryServiceTest, ThroughputScalesWithDeviceCount)
+{
+    double prev_makespan = 0.0;
+    double prev_throughput = 0.0;
+    for (int m : {1, 2, 4}) {
+        ConcurrentRun run = runConcurrent(m, 8);
+        ServiceStats agg = run.svc->aggregate();
+        EXPECT_EQ(agg.completed,
+                  static_cast<std::int64_t>(kQueries.size()));
+        if (prev_makespan > 0.0) {
+            EXPECT_LT(run.makespan, prev_makespan) << m << " devices";
+            EXPECT_GT(agg.throughputQps, prev_throughput)
+                << m << " devices";
+        }
+        prev_makespan = run.makespan;
+        prev_throughput = agg.throughputQps;
+    }
+}
+
+TEST_F(QueryServiceTest, TableTasksSpreadAcrossTheArray)
+{
+    ConcurrentRun run = runConcurrent(4, 8);
+    ServiceStats agg = run.svc->aggregate();
+    ASSERT_EQ(agg.deviceTasksRun.size(), 4u);
+    for (int d = 0; d < 4; ++d) {
+        EXPECT_GT(agg.deviceTasksRun[d], 0) << "device " << d;
+        EXPECT_GT(agg.deviceBusySec[d], 0.0) << "device " << d;
+        // Every device served AQUOMAN traffic for its stripes.
+        EXPECT_GT(run.svc->deviceSwitch(d).bytesRead(FlashPort::Aquoman),
+                  0) << "device " << d;
+    }
+}
+
+} // namespace
+} // namespace aquoman::service
