@@ -13,13 +13,17 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "aquoman/device.hh"
 #include "aquoman/perf_model.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "tpch/dbgen.hh"
 #include "tpch/queries.hh"
 
@@ -177,47 +181,157 @@ jsonPathFromArgs(int argc, char **argv)
     return std::string();
 }
 
-/** One flat record of numeric fields for the --json output. */
+/**
+ * One flat record for the --json output: numeric fields (printed with
+ * %.17g so modelled seconds round-trip exactly) plus optional raw
+ * fields whose values are pre-rendered JSON (histograms, StatSets).
+ */
 struct JsonRecord
 {
     std::vector<std::pair<std::string, double>> fields;
+    std::vector<std::pair<std::string, std::string>> raws;
 
     void
     add(const std::string &name, double value)
     {
         fields.emplace_back(name, value);
     }
+
+    /** Attach @p json (an already-rendered JSON value) as @p name. */
+    void
+    addRaw(const std::string &name, std::string json)
+    {
+        raws.emplace_back(name, std::move(json));
+    }
 };
 
+/** Render @p h as a JSON object string. */
+inline std::string
+histogramJson(const obs::Histogram &h)
+{
+    std::ostringstream os;
+    h.toJson(os);
+    return os.str();
+}
+
+/** Render @p s as a JSON object string. */
+inline std::string
+statSetJson(const StatSet &s)
+{
+    std::ostringstream os;
+    s.toJson(os);
+    return os.str();
+}
+
+inline void
+writeRecordsArray(std::ostream &os, const std::vector<JsonRecord> &records)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        os << "    {";
+        bool first = true;
+        for (const auto &[name, value] : records[i].fields) {
+            os << (first ? "" : ", ") << '"' << name
+               << "\": " << obs::jsonNumber(value);
+            first = false;
+        }
+        for (const auto &[name, json] : records[i].raws) {
+            os << (first ? "" : ", ") << '"' << name << "\": " << json;
+            first = false;
+        }
+        os << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+}
+
 /**
- * Write @p records as a JSON array of flat objects. Doubles use %.17g
- * so modelled seconds round-trip exactly; integral values print with
- * no fraction. Returns false (with a message) when the file can't be
- * opened.
+ * Write the bench's --json report:
+ *   {"records": [...], "histograms": {...}, "trace": {...}}
+ * The trace section reflects the global SimTracer (enabled flag, the
+ * AQUOMAN_TRACE path if any, and the event count). Returns false (with
+ * a message) when the file can't be opened.
  */
 inline bool
-writeJsonRecords(const std::string &path,
-                 const std::vector<JsonRecord> &records)
+writeJsonReport(
+    const std::string &path, const std::vector<JsonRecord> &records,
+    const std::vector<std::pair<std::string, obs::Histogram>> &histograms
+        = {})
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::ofstream f(path);
     if (!f) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return false;
     }
-    std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < records.size(); ++i) {
-        std::fprintf(f, "  {");
-        for (std::size_t j = 0; j < records[i].fields.size(); ++j) {
-            const auto &[name, value] = records[i].fields[j];
-            std::fprintf(f, "%s\"%s\": %.17g", j ? ", " : "",
-                         name.c_str(), value);
-        }
-        std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+    f << "{\n  \"records\": ";
+    writeRecordsArray(f, records);
+    f << ",\n  \"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        f << (i ? ", " : "") << "\n    \"" << histograms[i].first
+          << "\": ";
+        histograms[i].second.toJson(f);
     }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
+    f << (histograms.empty() ? "" : "\n  ") << "},\n";
+    const obs::SimTracer &tracer = obs::SimTracer::global();
+    f << "  \"trace\": {\"enabled\": "
+      << (tracer.enabled() ? "true" : "false") << ", \"path\": \""
+      << obs::jsonEscape(tracer.envPath()) << "\", \"events\": "
+      << tracer.eventCount() << "}\n}\n";
     return true;
 }
+
+/** One numeric column of a bench results table. */
+struct TableColumn
+{
+    std::string header;
+    int width = 10;
+    int precision = 1;
+};
+
+/**
+ * Fixed-width results-table printer shared by the figure benches: a
+ * left-justified label column, numeric columns with per-column width
+ * and precision, and an optional trailing text column.
+ */
+class StatTable
+{
+  public:
+    StatTable(int label_width, std::vector<TableColumn> columns,
+              int trailer_width = 0)
+        : labelWidth(label_width), cols(std::move(columns)),
+          trailerWidth(trailer_width)
+    {
+    }
+
+    void
+    printHeader(const std::string &label_header,
+                const std::string &trailer_header = "") const
+    {
+        std::printf("%-*s", labelWidth, label_header.c_str());
+        for (const TableColumn &c : cols)
+            std::printf(" %*s", c.width, c.header.c_str());
+        if (trailerWidth > 0)
+            std::printf(" %*s", trailerWidth, trailer_header.c_str());
+        std::printf("\n");
+    }
+
+    void
+    printRow(const std::string &label, const std::vector<double> &vals,
+             const std::string &trailer = "") const
+    {
+        std::printf("%-*s", labelWidth, label.c_str());
+        for (std::size_t i = 0; i < vals.size() && i < cols.size(); ++i)
+            std::printf(" %*.*f", cols[i].width, cols[i].precision,
+                        vals[i]);
+        if (trailerWidth > 0)
+            std::printf(" %*s", trailerWidth, trailer.c_str());
+        std::printf("\n");
+    }
+
+  private:
+    int labelWidth;
+    std::vector<TableColumn> cols;
+    int trailerWidth;
+};
 
 } // namespace aquoman::bench
 

@@ -62,10 +62,14 @@ main(int argc, char **argv)
         int q = queries[i];
         WallTimer query_timer;
         EngineMetrics base = scaleMetrics(fx.baselineMetrics(q), sf);
-        AquomanRunStats aq40 = scaleStats(
-            fx.offload(q, fx.scaledDevice(40ll << 30)).stats, sf);
-        AquomanRunStats aq16 = scaleStats(
-            fx.offload(q, fx.scaledDevice(16ll << 30)).stats, sf);
+        // Per-configuration trace labels keep every run on its own
+        // simulation-trace track when AQUOMAN_TRACE is set.
+        AquomanConfig cfg40 = fx.scaledDevice(40ll << 30);
+        cfg40.traceLabel = "q" + std::to_string(q) + " dram40";
+        AquomanConfig cfg16 = fx.scaledDevice(16ll << 30);
+        cfg16.traceLabel = "q" + std::to_string(q) + " dram16";
+        AquomanRunStats aq40 = scaleStats(fx.offload(q, cfg40).stats, sf);
+        AquomanRunStats aq16 = scaleStats(fx.offload(q, cfg16).stats, sf);
 
         SystemEvaluation evS40 = evaluateOffload(base, aq40, hostS);
         SystemEvaluation evL40 = evaluateOffload(base, aq40, hostL);
@@ -97,33 +101,39 @@ main(int argc, char **argv)
     double bench_wall = bench_timer.seconds();
 
     header("Fig 16(a): run time (seconds, modelled at SF-1000)");
-    std::printf("%-5s %9s %9s %11s %11s %11s\n", "query", "S", "L",
-                "S-AQUOMAN", "L-AQUOMAN", "S-AQUOMAN16");
+    StatTable tbl_a(5, {{"S", 9, 1},
+                        {"L", 9, 1},
+                        {"S-AQUOMAN", 11, 1},
+                        {"L-AQUOMAN", 11, 1},
+                        {"S-AQUOMAN16", 11, 1}});
+    tbl_a.printHeader("query");
     double sum_s = 0, sum_l = 0, sum_saq = 0, sum_laq = 0, sum_saq16 = 0;
     for (const auto &r : rows) {
-        std::printf("q%-4d %9.1f %9.1f %11.1f %11.1f %11.1f\n", r.q,
-                    r.runS, r.runL, r.runSAq, r.runLAq, r.runSAq16);
+        tbl_a.printRow("q" + std::to_string(r.q),
+                       {r.runS, r.runL, r.runSAq, r.runLAq, r.runSAq16});
         sum_s += r.runS;
         sum_l += r.runL;
         sum_saq += r.runSAq;
         sum_laq += r.runLAq;
         sum_saq16 += r.runSAq16;
     }
-    std::printf("%-5s %9.1f %9.1f %11.1f %11.1f %11.1f\n", "Total",
-                sum_s, sum_l, sum_saq, sum_laq, sum_saq16);
+    tbl_a.printRow("Total", {sum_s, sum_l, sum_saq, sum_laq, sum_saq16});
     std::printf("\npaper shape checks: L/S speedup = %.2fx "
                 "(paper ~1.6x); S-AQUOMAN16/L = %.2fx (paper ~1.0x)\n",
                 sum_s / sum_l, sum_saq16 / sum_l);
 
     header("Fig 16(b): memory footprint (GB, system L)");
-    std::printf("%-5s %10s %12s %13s %10s %12s\n", "query",
-                "L maxRSS", "L-AQ maxRSS", "L-AQ devDRAM", "L avgRSS",
-                "L-AQ avgRSS");
+    StatTable tbl_b(5, {{"L maxRSS", 10, 1},
+                        {"L-AQ maxRSS", 12, 1},
+                        {"L-AQ devDRAM", 13, 1},
+                        {"L avgRSS", 10, 1},
+                        {"L-AQ avgRSS", 12, 1}});
+    tbl_b.printHeader("query");
     double max_dev = 0, sum_avg_l = 0, sum_avg_laq = 0;
     for (const auto &r : rows) {
-        std::printf("q%-4d %10.1f %12.1f %13.1f %10.1f %12.1f\n", r.q,
-                    r.maxMemL, r.maxMemLAq, r.devMemLAq, r.avgMemL,
-                    r.avgMemLAq);
+        tbl_b.printRow("q" + std::to_string(r.q),
+                       {r.maxMemL, r.maxMemLAq, r.devMemLAq, r.avgMemL,
+                        r.avgMemLAq});
         max_dev = std::max(max_dev, r.devMemLAq);
         sum_avg_l += r.avgMemL;
         sum_avg_laq += r.avgMemLAq;
@@ -135,13 +145,14 @@ main(int argc, char **argv)
 
     header("Fig 16(c): %% runtime on AQUOMAN and x86 CPU-cycle saving "
            "(system L)");
-    std::printf("%-5s %14s %14s %9s\n", "query", "run time %",
-                "cpu saving %", "class");
+    StatTable tbl_c(5, {{"run time %", 14, 1}, {"cpu saving %", 14, 1}},
+                    9);
+    tbl_c.printHeader("query", "class");
     double sum_saving = 0;
     for (const auto &r : rows) {
-        std::printf("q%-4d %14.1f %14.1f %9s\n", r.q,
-                    100.0 * r.fracOnDevice, 100.0 * r.cpuSaving,
-                    offloadClassName(r.cls));
+        tbl_c.printRow("q" + std::to_string(r.q),
+                       {100.0 * r.fracOnDevice, 100.0 * r.cpuSaving},
+                       offloadClassName(r.cls));
         sum_saving += r.cpuSaving;
     }
     std::printf("\npaper shape check: average CPU saving = %.0f%% "
@@ -170,7 +181,18 @@ main(int argc, char **argv)
             rec.add("host_finish_bytes", r.hostFinishBytes);
             records.push_back(std::move(rec));
         }
-        if (writeJsonRecords(json_path, records))
+        // Latency distributions over the 22 queries (modelled seconds;
+        // deterministic, so p50/p90/p99 are stable across runs).
+        obs::Histogram lat_hist, queue_hist, wall_hist;
+        for (const auto &r : rows) {
+            lat_hist.record(r.runLAq);
+            queue_hist.record(r.queueWait);
+            wall_hist.record(r.wallSeconds);
+        }
+        if (writeJsonReport(json_path, records,
+                            {{"query_latency_seconds", lat_hist},
+                             {"queue_wait_seconds", queue_hist},
+                             {"wall_seconds", wall_hist}}))
             std::printf("wrote %s\n", json_path.c_str());
         else
             return 1;

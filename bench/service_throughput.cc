@@ -11,10 +11,15 @@
  * All times are modelled seconds from the service's discrete-event
  * simulation; results are bit-identical for every AQUOMAN_THREADS.
  *
- * JSON schema (--json <path>): one record per device count with
+ * JSON report (--json <path>): {"records": [...], "histograms": {...},
+ * "trace": {...}} — one record per device count with
  *   devices, clients, rounds, queries_completed, makespan_seconds,
  *   throughput_qps, p50_latency_seconds, p95_latency_seconds,
- *   p99_latency_seconds, mean_queue_wait_seconds, suspend_rate.
+ *   p99_latency_seconds, mean_queue_wait_seconds, suspend_rate,
+ * plus embedded query_latency / queue_wait histograms and per-device
+ * switch-port counters; the top-level histograms section carries the
+ * largest run's distributions. With AQUOMAN_TRACE=<path> set, each run
+ * traces onto "m<devices>."-prefixed tracks of one Perfetto file.
  */
 
 #include <cstdio>
@@ -41,6 +46,7 @@ struct RunResult
     int devices;
     ServiceStats stats;
     double wallSeconds;
+    std::vector<StatSet> switchStats; ///< per-device port counters
 };
 
 RunResult
@@ -50,6 +56,9 @@ runWorkload(const tpch::TpchDatabase &db, double sf, int num_devices)
     ServiceConfig cfg;
     cfg.numDevices = num_devices;
     cfg.admissionLimit = kAdmissionLimit;
+    // Distinct trace tracks per device count, so all three runs can
+    // share one AQUOMAN_TRACE file without overlapping timelines.
+    cfg.traceLabel = "m" + std::to_string(num_devices);
     QueryService svc(cfg);
     for (const auto &t : {db.region, db.nation, db.supplier, db.customer,
                           db.part, db.partsupp, db.orders, db.lineitem})
@@ -77,6 +86,8 @@ runWorkload(const tpch::TpchDatabase &db, double sf, int num_devices)
     r.devices = num_devices;
     r.stats = svc.aggregate();
     r.wallSeconds = timer.seconds();
+    for (int d = 0; d < num_devices; ++d)
+        r.switchStats.push_back(svc.deviceSwitch(d).stats());
     return r;
 }
 
@@ -142,9 +153,22 @@ main(int argc, char **argv)
                     r.stats.meanQueueWaitSec);
             rec.add("suspend_rate", r.stats.suspendRate);
             rec.add("wall_seconds", r.wallSeconds);
+            rec.addRaw("query_latency_histogram",
+                       histogramJson(r.stats.latencyHistogram));
+            rec.addRaw("queue_wait_histogram",
+                       histogramJson(r.stats.queueWaitHistogram));
+            std::string ports = "[";
+            for (std::size_t d = 0; d < r.switchStats.size(); ++d)
+                ports += (d ? ", " : "")
+                    + statSetJson(r.switchStats[d]);
+            rec.addRaw("switch_ports", ports + "]");
             records.push_back(std::move(rec));
         }
-        if (writeJsonRecords(json_path, records))
+        const ServiceStats &widest = runs.back().stats;
+        if (writeJsonReport(
+                json_path, records,
+                {{"query_latency_seconds", widest.latencyHistogram},
+                 {"queue_wait_seconds", widest.queueWaitHistogram}}))
             std::printf("wrote %s\n", json_path.c_str());
         else
             return 1;

@@ -56,7 +56,7 @@ main()
                     rec.latencySec(), rec.queueWaitSec,
                     rec.deviceBusySec, rec.hostFinishSec,
                     static_cast<long long>(rec.suspendCount));
-        for (const std::string &line : rec.lifecycle)
+        for (const std::string &line : rec.formatLifecycle())
             std::printf("    %s\n", line.c_str());
     }
 

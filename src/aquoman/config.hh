@@ -12,6 +12,7 @@
 #define AQUOMAN_AQUOMAN_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 namespace aquoman {
 
@@ -67,6 +68,13 @@ struct AquomanConfig
      * running functionally on a smaller dataset.
      */
     double paperScaleRatio = 1.0;
+
+    /**
+     * Label naming this device run's simulation-trace tracks (e.g.
+     * "q6#3" in the service, "q6 dram40" in the benches). Empty falls
+     * back to the query name.
+     */
+    std::string traceLabel;
 
     /** The paper's AQUOMAN setup: 40GB device DRAM. */
     static AquomanConfig

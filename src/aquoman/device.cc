@@ -11,6 +11,7 @@
 #include "aquoman/swissknife/streaming_sorter.hh"
 #include "aquoman/swissknife/topk.hh"
 #include "aquoman/transform_compiler.hh"
+#include "obs/trace.hh"
 #include "relalg/eval.hh"
 
 namespace aquoman {
@@ -90,6 +91,10 @@ struct AquomanDevice::Impl
     double taskMarkSeconds = 0.0;
     std::int64_t taskMarkBytes = 0;
 
+    /** Simulation-trace tracks (< 0 when tracing is disabled). */
+    int taskTrack = -1;
+    int stageTrack = -1;
+
     Impl(const Catalog &cat, ControllerSwitch &sw_,
          const AquomanConfig &cfg)
         : catalog(cat), sw(sw_), config(cfg), dram(cfg.dramBytes),
@@ -116,6 +121,15 @@ struct AquomanDevice::Impl
             rec.table = rel->leafRefs[0].table;
         rec.seconds = stats.deviceSeconds - taskMarkSeconds;
         rec.flashBytes = stats.deviceFlashBytes - taskMarkBytes;
+        if (taskTrack >= 0) {
+            // The marks give this span exact start/end: adjacent task
+            // spans tile [0, deviceSeconds] with no gaps or overlaps.
+            obs::SimTracer::global().span(
+                taskTrack, rec.what, "table-task", taskMarkSeconds,
+                stats.deviceSeconds,
+                {obs::arg("table", rec.table),
+                 obs::arg("flash_bytes", rec.flashBytes)});
+        }
         taskMarkSeconds = stats.deviceSeconds;
         taskMarkBytes = stats.deviceFlashBytes;
         stats.tasks.push_back(std::move(rec));
@@ -1411,6 +1425,17 @@ AquomanDevice::runQuery(const Query &q)
     OffloadedQueryResult out;
     out.compilation = compiler.compile(q);
 
+    obs::SimTracer &tracer = obs::SimTracer::global();
+    if (tracer.enabled()) {
+        std::string label =
+            config.traceLabel.empty() ? q.name : config.traceLabel;
+        if (label.empty())
+            label = "query";
+        impl.taskTrack =
+            tracer.track("aquoman:" + label, "table-tasks");
+        impl.stageTrack = tracer.track("aquoman:" + label, "stages");
+    }
+
     bool degraded = false; // a runtime suspension poisons later stages
     for (std::size_t s = 0; s < q.stages.size(); ++s) {
         const Stage &stage = q.stages[s];
@@ -1429,9 +1454,15 @@ AquomanDevice::runQuery(const Query &q)
         }
         if (try_device) {
             std::int64_t dram_before = impl.dram.usedBytes();
+            double stage_t0 = impl.stats.deviceSeconds;
             try {
                 impl.runDeviceStage(stage, d.shape);
                 impl.stats.deviceStages.push_back(stage.id);
+                if (impl.stageTrack >= 0) {
+                    tracer.span(impl.stageTrack, "stage " + stage.id,
+                                "device-stage", stage_t0,
+                                impl.stats.deviceSeconds);
+                }
                 continue;
             } catch (const SuspendError &e) {
                 impl.stats.taskLog.push_back(
@@ -1440,6 +1471,12 @@ AquomanDevice::runQuery(const Query &q)
                 ++impl.stats.hostResidual.suspendCount;
                 if (e.dram)
                     degraded = true;
+                if (impl.stageTrack >= 0) {
+                    tracer.instant(
+                        impl.stageTrack, "suspend " + stage.id,
+                        "device-stage", impl.stats.deviceSeconds,
+                        {obs::arg("reason", e.reason)});
+                }
                 // Roll back partial allocations of this stage.
                 (void)dram_before;
                 impl.dram.reset();
@@ -1450,6 +1487,13 @@ AquomanDevice::runQuery(const Query &q)
         }
         impl.stats.hostStages.emplace_back(
             stage.id, d.onDevice ? "degraded dependency" : d.reason);
+        if (impl.stageTrack >= 0) {
+            tracer.instant(impl.stageTrack, "host stage " + stage.id,
+                           "host-stage", impl.stats.deviceSeconds,
+                           {obs::arg("reason", d.onDevice
+                                     ? "degraded dependency"
+                                     : d.reason)});
+        }
         impl.runHostStage(stage);
     }
 

@@ -8,6 +8,7 @@
 #ifndef AQUOMAN_COMMON_STATS_HH
 #define AQUOMAN_COMMON_STATS_HH
 
+#include <cstdio>
 #include <map>
 #include <ostream>
 #include <string>
@@ -60,7 +61,11 @@ class StatSet
             counters[k] += v;
     }
 
-    /** All counters, sorted by name. */
+    /**
+     * All counters, sorted by name. std::map keeps iteration order
+     * deterministic (ascending by name), so every exposition of a
+     * StatSet — print, toJson, bench tables — is reproducible.
+     */
     const std::map<std::string, double> &all() const { return counters; }
 
     /** Print "name value" lines. */
@@ -69,6 +74,24 @@ class StatSet
     {
         for (const auto &[k, v] : counters)
             os << prefix << k << " " << v << "\n";
+    }
+
+    /**
+     * Render as one JSON object, counters in name order. Doubles use
+     * %.17g so modelled values round-trip exactly.
+     */
+    void
+    toJson(std::ostream &os) const
+    {
+        os << "{";
+        bool first = true;
+        for (const auto &[k, v] : counters) {
+            char num[40];
+            std::snprintf(num, sizeof num, "%.17g", v);
+            os << (first ? "" : ", ") << '"' << k << "\": " << num;
+            first = false;
+        }
+        os << "}";
     }
 
   private:

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/thread_pool.hh"
+#include "obs/trace.hh"
 #include "relalg/eval.hh"
 
 namespace aquoman {
@@ -123,9 +124,63 @@ Executor::runPlan(const PlanPtr &plan,
     return execNode(plan, stages);
 }
 
+namespace {
+
+/** Human-readable label for one plan node's trace span. */
+std::string
+planNodeName(const Plan &p)
+{
+    switch (p.kind) {
+      case PlanKind::Scan:
+        return p.scanStage.empty() ? "scan " + p.scanTable
+                                   : "scan stage " + p.scanStage;
+      case PlanKind::Filter:
+        return "filter";
+      case PlanKind::Project:
+        return "project";
+      case PlanKind::Join:
+        return "join";
+      case PlanKind::GroupBy:
+        return "groupby";
+      case PlanKind::OrderBy:
+        return "orderby";
+    }
+    return "?";
+}
+
+/**
+ * Rate converting the executor's abstract row-ops into the modelled
+ * operator timeline (HostConfig's nominal per-thread rate). The trace
+ * axis is modelled work, never wall clock.
+ */
+constexpr double kTraceOpsPerSec = 125e6;
+
+} // namespace
+
 RelTable
 Executor::execNode(const PlanPtr &p,
                    const std::map<std::string, RelTable> &stages)
+{
+    obs::SimTracer &tracer = obs::SimTracer::global();
+    if (traceLabel.empty() || !tracer.enabled())
+        return execNodeDispatch(p, stages);
+    if (traceTrack < 0)
+        traceTrack = tracer.track("host:" + traceLabel, "operators");
+    double ops_before = trace.rowOps;
+    RelTable out = execNodeDispatch(p, stages);
+    // Children ran inside the dispatch, so their spans nest within
+    // this one on the shared cumulative row-ops axis.
+    tracer.span(traceTrack, planNodeName(*p), "operator",
+                ops_before / kTraceOpsPerSec,
+                trace.rowOps / kTraceOpsPerSec,
+                {obs::arg("rows", out.numRows()),
+                 obs::arg("row_ops", trace.rowOps - ops_before)});
+    return out;
+}
+
+RelTable
+Executor::execNodeDispatch(const PlanPtr &p,
+                           const std::map<std::string, RelTable> &stages)
 {
     switch (p->kind) {
       case PlanKind::Scan:

@@ -56,9 +56,26 @@ class Executor
     const EngineMetrics &metrics() const { return trace; }
     void clearMetrics() { trace = EngineMetrics{}; }
 
+    /**
+     * Name this executor's simulation-trace track ("host:<label>").
+     * While the tracer is enabled, every plan node then emits one span
+     * on the modelled operator timeline (cumulative abstract row-ops at
+     * the host's nominal per-thread rate — never wall clock, so spans
+     * are identical for every AQUOMAN_THREADS). Empty label (the
+     * default) keeps the executor un-traced.
+     */
+    void
+    setTraceLabel(const std::string &label)
+    {
+        traceLabel = label;
+        traceTrack = -1;
+    }
+
   private:
     RelTable execNode(const PlanPtr &p,
                       const std::map<std::string, RelTable> &stages);
+    RelTable execNodeDispatch(const PlanPtr &p,
+                              const std::map<std::string, RelTable> &stages);
 
     RelTable execScan(const Plan &p,
                       const std::map<std::string, RelTable> &stages);
@@ -81,6 +98,9 @@ class Executor
     const Catalog &catalog;
     ControllerSwitch *flashSwitch;
     EngineMetrics trace;
+
+    std::string traceLabel;
+    int traceTrack = -1;
 };
 
 } // namespace aquoman

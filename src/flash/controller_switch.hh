@@ -15,6 +15,7 @@
 
 #include "common/stats.hh"
 #include "flash/flash_device.hh"
+#include "obs/metrics.hh"
 
 namespace aquoman {
 
@@ -42,9 +43,12 @@ class ControllerSwitch
          void *out, std::int64_t bytes)
     {
         device.read(ext, offset, out, bytes);
-        std::lock_guard<std::mutex> lock(statsMu);
-        portStats.add(portName(port) + ".bytesRead",
-                      static_cast<double>(bytes));
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            portStats.add(portName(port) + ".bytesRead",
+                          static_cast<double>(bytes));
+        }
+        observePort("bytes_read", port, bytes);
     }
 
     /** Write through the switch on behalf of @p port. */
@@ -53,9 +57,12 @@ class ControllerSwitch
           const void *data, std::int64_t bytes)
     {
         device.write(ext, offset, data, bytes);
-        std::lock_guard<std::mutex> lock(statsMu);
-        portStats.add(portName(port) + ".bytesWritten",
-                      static_cast<double>(bytes));
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            portStats.add(portName(port) + ".bytesWritten",
+                          static_cast<double>(bytes));
+        }
+        observePort("bytes_written", port, bytes);
     }
 
     /**
@@ -67,18 +74,24 @@ class ControllerSwitch
     void
     accountRead(FlashPort port, std::int64_t bytes)
     {
-        std::lock_guard<std::mutex> lock(statsMu);
-        portStats.add(portName(port) + ".bytesRead",
-                      static_cast<double>(bytes));
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            portStats.add(portName(port) + ".bytesRead",
+                          static_cast<double>(bytes));
+        }
+        observePort("bytes_read", port, bytes);
     }
 
     /** Account modelled write traffic on @p port (no data movement). */
     void
     accountWrite(FlashPort port, std::int64_t bytes)
     {
-        std::lock_guard<std::mutex> lock(statsMu);
-        portStats.add(portName(port) + ".bytesWritten",
-                      static_cast<double>(bytes));
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            portStats.add(portName(port) + ".bytesWritten",
+                          static_cast<double>(bytes));
+        }
+        observePort("bytes_written", port, bytes);
     }
 
     /** Total bytes read on @p port (real + modelled). */
@@ -121,6 +134,18 @@ class ControllerSwitch
     portName(FlashPort port)
     {
         return port == FlashPort::Host ? "host" : "aquoman";
+    }
+
+    /** Mirror port traffic into the global metrics registry. */
+    void
+    observePort(const char *what, FlashPort port, std::int64_t bytes)
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        if (reg.enabled()) {
+            reg.add("switch." + device.cfg().name + "."
+                        + portName(port) + "." + what,
+                    static_cast<double>(bytes));
+        }
     }
 
     FlashDevice &device;

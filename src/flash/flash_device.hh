@@ -18,6 +18,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "flash/flash_config.hh"
+#include "obs/metrics.hh"
 
 namespace aquoman {
 
@@ -71,6 +72,14 @@ class FlashDevice
         nextFreePage += pages;
         if (static_cast<std::int64_t>(pageStore.size()) < nextFreePage)
             pageStore.resize(nextFreePage);
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        if (reg.enabled()) {
+            reg.set("flash." + config.name + ".allocated_pages",
+                    static_cast<double>(nextFreePage));
+            reg.set("flash." + config.name + ".capacity_used",
+                    static_cast<double>(nextFreePage)
+                        / static_cast<double>(config.numPages()));
+        }
         return ext;
     }
 
@@ -96,10 +105,21 @@ class FlashDevice
             pos += chunk;
             remaining -= chunk;
         }
+        std::int64_t pages_touched =
+            (bytes + config.pageBytes - 1) / config.pageBytes;
         statSet.add("flash.bytesWritten", static_cast<double>(bytes));
         statSet.add("flash.pagesWritten",
-                    static_cast<double>((bytes + config.pageBytes - 1)
-                                        / config.pageBytes));
+                    static_cast<double>(pages_touched));
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        if (reg.enabled()) {
+            reg.add("flash." + config.name + ".bytes_written",
+                    static_cast<double>(bytes));
+            // Command-queue occupancy: one page command per touched
+            // page, clipped to the queue depth the controller exposes.
+            reg.observe("flash." + config.name + ".cmdq_occupancy",
+                        static_cast<double>(std::min<std::int64_t>(
+                            pages_touched, config.commandQueueDepth)));
+        }
     }
 
     /** Read @p bytes at byte offset @p offset inside @p ext. */
@@ -128,10 +148,19 @@ class FlashDevice
             pos += chunk;
             remaining -= chunk;
         }
+        std::int64_t pages_touched =
+            (bytes + config.pageBytes - 1) / config.pageBytes;
         statSet.add("flash.bytesRead", static_cast<double>(bytes));
         statSet.add("flash.pagesRead",
-                    static_cast<double>((bytes + config.pageBytes - 1)
-                                        / config.pageBytes));
+                    static_cast<double>(pages_touched));
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        if (reg.enabled()) {
+            reg.add("flash." + config.name + ".bytes_read",
+                    static_cast<double>(bytes));
+            reg.observe("flash." + config.name + ".cmdq_occupancy",
+                        static_cast<double>(std::min<std::int64_t>(
+                            pages_touched, config.commandQueueDepth)));
+        }
     }
 
     /** Traffic counters (bytesRead/bytesWritten/pagesRead/pagesWritten). */

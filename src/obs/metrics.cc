@@ -1,0 +1,291 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace aquoman::obs {
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+// =====================================================================
+// Histogram
+// =====================================================================
+
+/// Non-positive samples share one bucket below every positive one.
+static constexpr int kZeroBucket = INT32_MIN / 2;
+
+int
+Histogram::bucketOf(double v)
+{
+    if (!(v > 0.0))
+        return kZeroBucket;
+    int e = 0;
+    double f = std::frexp(v, &e); // f in [0.5, 1)
+    int sub = static_cast<int>((f - 0.5) * 2.0 * kSubBuckets);
+    sub = std::min(sub, kSubBuckets - 1);
+    return e * kSubBuckets + sub;
+}
+
+double
+Histogram::bucketUpperBound(int idx)
+{
+    if (idx == kZeroBucket)
+        return 0.0;
+    int e = idx >= 0 ? idx / kSubBuckets
+                     : -((-idx + kSubBuckets - 1) / kSubBuckets);
+    int sub = idx - e * kSubBuckets;
+    return std::ldexp(0.5 + (sub + 1) / (2.0 * kSubBuckets), e);
+}
+
+void
+Histogram::record(double v)
+{
+    if (n == 0) {
+        lo = hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    ++n;
+    total += v;
+    ++buckets[bucketOf(v)];
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        lo = other.lo;
+        hi = other.hi;
+    } else {
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+    }
+    n += other.n;
+    total += other.total;
+    for (const auto &[idx, cnt] : other.buckets)
+        buckets[idx] += cnt;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (n == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    target = std::max<std::int64_t>(target, 1);
+    std::int64_t cum = 0;
+    for (const auto &[idx, cnt] : buckets) {
+        cum += cnt;
+        if (cum >= target)
+            return std::clamp(bucketUpperBound(idx), lo, hi);
+    }
+    return hi;
+}
+
+void
+Histogram::toJson(std::ostream &os) const
+{
+    os << "{\"count\": " << n
+       << ", \"sum\": " << jsonNumber(total)
+       << ", \"min\": " << jsonNumber(min())
+       << ", \"max\": " << jsonNumber(max())
+       << ", \"mean\": " << jsonNumber(mean())
+       << ", \"p50\": " << jsonNumber(quantile(0.50))
+       << ", \"p90\": " << jsonNumber(quantile(0.90))
+       << ", \"p99\": " << jsonNumber(quantile(0.99)) << "}";
+}
+
+// =====================================================================
+// MetricsRegistry
+// =====================================================================
+
+MetricsRegistry::MetricsRegistry()
+{
+    const char *env = std::getenv("AQUOMAN_METRICS");
+    if (env && env[0] && env[0] != '0')
+        on.store(true, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+void
+MetricsRegistry::add(const std::string &name, double delta)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    counters[name] += delta;
+}
+
+void
+MetricsRegistry::set(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    gauges[name] = value;
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    histograms[name].record(value);
+}
+
+double
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = counters.find(name);
+    return it == counters.end() ? 0.0 : it->second;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0.0 : it->second;
+}
+
+Histogram
+MetricsRegistry::histogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = histograms.find(name);
+    return it == histograms.end() ? Histogram{} : it->second;
+}
+
+void
+MetricsRegistry::toJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    os << "{\"counters\": {";
+    bool first = true;
+    for (const auto &[k, v] : counters) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(k)
+           << "\": " << jsonNumber(v);
+        first = false;
+    }
+    os << "}, \"gauges\": {";
+    first = true;
+    for (const auto &[k, v] : gauges) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(k)
+           << "\": " << jsonNumber(v);
+        first = false;
+    }
+    os << "}, \"histograms\": {";
+    first = true;
+    for (const auto &[k, h] : histograms) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(k) << "\": ";
+        h.toJson(os);
+        first = false;
+    }
+    os << "}}";
+}
+
+namespace {
+
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+void
+MetricsRegistry::toPrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &[k, v] : counters) {
+        std::string n = promName(k);
+        os << "# TYPE " << n << " counter\n"
+           << n << " " << jsonNumber(v) << "\n";
+    }
+    for (const auto &[k, v] : gauges) {
+        std::string n = promName(k);
+        os << "# TYPE " << n << " gauge\n"
+           << n << " " << jsonNumber(v) << "\n";
+    }
+    for (const auto &[k, h] : histograms) {
+        std::string n = promName(k);
+        os << "# TYPE " << n << " summary\n";
+        constexpr std::pair<const char *, double> kQuantiles[] = {
+            {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
+        for (const auto &[label, q] : kQuantiles) {
+            os << n << "{quantile=\"" << label << "\"} "
+               << jsonNumber(h.quantile(q)) << "\n";
+        }
+        os << n << "_sum " << jsonNumber(h.sum()) << "\n"
+           << n << "_count " << h.count() << "\n";
+    }
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    counters.clear();
+    gauges.clear();
+    histograms.clear();
+}
+
+} // namespace aquoman::obs

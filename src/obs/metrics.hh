@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Process-wide metrics: named counters, gauges and log-bucketed latency
+ * histograms with JSON and Prometheus-text exposition. All values live
+ * in modelled simulation time / modelled bytes, so for a deterministic
+ * run the registry contents are bit-identical for every AQUOMAN_THREADS.
+ *
+ * The registry is disabled by default; every instrumentation site must
+ * guard with enabled() (a relaxed atomic load) so the disabled cost is
+ * one predictable branch. Enable programmatically or by setting
+ * AQUOMAN_METRICS=1 in the environment.
+ */
+
+#ifndef AQUOMAN_OBS_METRICS_HH
+#define AQUOMAN_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace aquoman::obs {
+
+/** Render @p v as a JSON number that round-trips exactly (%.17g). */
+std::string jsonNumber(double v);
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * A log-bucketed histogram of non-negative samples. Buckets subdivide
+ * each power-of-two octave into kSubBuckets equal slices, so relative
+ * quantile error is bounded by 1/kSubBuckets regardless of magnitude.
+ * Counts are order-independent: merging or reordering record() calls
+ * yields the identical histogram, which keeps quantiles deterministic.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kSubBuckets = 16;
+
+    void record(double v);
+    void merge(const Histogram &other);
+
+    std::int64_t count() const { return n; }
+    double sum() const { return total; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+
+    /**
+     * Quantile @p q in [0, 1]: the upper bound of the bucket holding
+     * the ceil(q*n)-th sample, clamped to the observed [min, max].
+     */
+    double quantile(double q) const;
+
+    /** {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,
+     *  "p90":..,"p99":..} */
+    void toJson(std::ostream &os) const;
+
+  private:
+    static int bucketOf(double v);
+    static double bucketUpperBound(int idx);
+
+    /// Sparse bucket index -> sample count; std::map iteration order is
+    /// ascending bucket (hence ascending value), giving deterministic
+    /// quantile walks.
+    std::map<int, std::int64_t> buckets;
+    std::int64_t n = 0;
+    double total = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Process-wide registry of named counters, gauges and histograms.
+ * Thread-safe; names are sorted on exposition so output order never
+ * depends on registration order.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide instance (reads AQUOMAN_METRICS on first use). */
+    static MetricsRegistry &global();
+
+    /** Cheap hot-path guard: call sites must check before building
+     *  metric names or values. */
+    bool
+    enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    void setEnabled(bool e) { on.store(e, std::memory_order_relaxed); }
+
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string &name, double delta);
+
+    /** Set gauge @p name to @p value. */
+    void set(const std::string &name, double value);
+
+    /** Record @p value into histogram @p name. */
+    void observe(const std::string &name, double value);
+
+    double counter(const std::string &name) const;
+    double gauge(const std::string &name) const;
+
+    /** Copy of histogram @p name (empty histogram if absent). */
+    Histogram histogram(const std::string &name) const;
+
+    /** {"counters":{..},"gauges":{..},"histograms":{..}} */
+    void toJson(std::ostream &os) const;
+
+    /**
+     * Prometheus text exposition: counters and gauges as single
+     * samples, histograms as summaries (quantile labels + _sum/_count).
+     * Metric names are sanitised to [a-zA-Z0-9_:].
+     */
+    void toPrometheus(std::ostream &os) const;
+
+    /** Drop all metrics (tests; does not change enabled()). */
+    void clear();
+
+  private:
+    MetricsRegistry();
+
+    mutable std::mutex mu;
+    std::atomic<bool> on{false};
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram> histograms;
+};
+
+} // namespace aquoman::obs
+
+#endif // AQUOMAN_OBS_METRICS_HH

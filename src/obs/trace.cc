@@ -1,0 +1,243 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/metrics.hh"
+
+namespace aquoman::obs {
+
+TraceArg
+arg(const std::string &key, double v)
+{
+    return {key, jsonNumber(v)};
+}
+
+TraceArg
+arg(const std::string &key, std::int64_t v)
+{
+    return {key, std::to_string(v)};
+}
+
+TraceArg
+arg(const std::string &key, const std::string &v)
+{
+    return {key, "\"" + jsonEscape(v) + "\""};
+}
+
+TraceArg
+arg(const std::string &key, const char *v)
+{
+    return arg(key, std::string(v));
+}
+
+SimTracer::SimTracer()
+{
+    const char *env = std::getenv("AQUOMAN_TRACE");
+    if (env && env[0]) {
+        envPath_ = env;
+        on.store(true, std::memory_order_relaxed);
+        std::atexit([] {
+            SimTracer &t = SimTracer::global();
+            if (!t.envPath().empty() && t.eventCount() > 0)
+                t.writeJson(t.envPath());
+        });
+    }
+}
+
+SimTracer &
+SimTracer::global()
+{
+    // Intentionally leaked: the constructor registers an atexit hook
+    // (AQUOMAN_TRACE) that must outlive static destruction, which would
+    // otherwise run before the hook and leave it a destroyed tracer.
+    static SimTracer *tracer = new SimTracer;
+    return *tracer;
+}
+
+int
+SimTracer::track(const std::string &process, const std::string &thread)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        if (tracks[i].process == process && tracks[i].thread == thread)
+            return static_cast<int>(i);
+    }
+    tracks.push_back({process, thread});
+    return static_cast<int>(tracks.size() - 1);
+}
+
+void
+SimTracer::span(int track, const std::string &name,
+                const std::string &category, double start_sec,
+                double end_sec, std::vector<TraceArg> args)
+{
+    TraceEvent ev;
+    ev.phase = 'X';
+    ev.track = track;
+    ev.name = name;
+    ev.category = category;
+    ev.tsSec = start_sec;
+    ev.endSec = end_sec;
+    ev.args = std::move(args);
+    std::lock_guard<std::mutex> lock(mu);
+    log.push_back(std::move(ev));
+}
+
+void
+SimTracer::instant(int track, const std::string &name,
+                   const std::string &category, double at_sec,
+                   std::vector<TraceArg> args)
+{
+    TraceEvent ev;
+    ev.phase = 'i';
+    ev.track = track;
+    ev.name = name;
+    ev.category = category;
+    ev.tsSec = at_sec;
+    ev.endSec = at_sec;
+    ev.args = std::move(args);
+    std::lock_guard<std::mutex> lock(mu);
+    log.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent>
+SimTracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return log;
+}
+
+std::size_t
+SimTracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return log.size();
+}
+
+SimTracer::TrackInfo
+SimTracer::trackInfo(int track) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return tracks.at(static_cast<std::size_t>(track));
+}
+
+std::string
+SimTracer::toJson() const
+{
+    std::vector<TrackInfo> tr;
+    std::vector<TraceEvent> evs;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        tr = tracks;
+        evs = log;
+    }
+
+    // Renumber pids/tids by sorted (process, thread) names so the
+    // output never depends on registration order. Each track is fed by
+    // one logical (serial) sequence, so preserving per-track recording
+    // order with a stable sort keeps the whole file deterministic.
+    std::map<std::string, int> pids;
+    for (const TrackInfo &t : tr)
+        pids.emplace(t.process, 0);
+    int next_pid = 1;
+    for (auto &[name, pid] : pids)
+        pid = next_pid++;
+
+    std::map<std::pair<std::string, std::string>, int> tids;
+    for (const TrackInfo &t : tr)
+        tids.emplace(std::make_pair(t.process, t.thread), 0);
+    int next_tid = 1;
+    for (auto &[name, tid] : tids)
+        tid = next_tid++;
+
+    std::vector<std::size_t> order(evs.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    auto sort_key = [&](std::size_t i) {
+        const TrackInfo &t = tr[static_cast<std::size_t>(evs[i].track)];
+        return std::make_pair(pids.at(t.process),
+                              tids.at({t.process, t.thread}));
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return sort_key(a) < sort_key(b);
+                     });
+
+    std::ostringstream os;
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? "" : ",\n");
+        first = false;
+    };
+    // Metadata: process and thread names, in sorted (pid, tid) order.
+    for (const auto &[name, pid] : pids) {
+        sep();
+        os << "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": "
+           << pid << ", \"tid\": 0, \"args\": {\"name\": \""
+           << jsonEscape(name) << "\"}}";
+    }
+    for (const auto &[name, tid] : tids) {
+        sep();
+        os << "  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": "
+           << pids.at(name.first) << ", \"tid\": " << tid
+           << ", \"args\": {\"name\": \"" << jsonEscape(name.second)
+           << "\"}}";
+    }
+    for (std::size_t i : order) {
+        const TraceEvent &ev = evs[i];
+        const TrackInfo &t =
+            tr[static_cast<std::size_t>(ev.track)];
+        sep();
+        os << "  {\"ph\": \"" << ev.phase << "\", \"name\": \""
+           << jsonEscape(ev.name) << "\", \"cat\": \""
+           << jsonEscape(ev.category) << "\", \"pid\": "
+           << pids.at(t.process) << ", \"tid\": "
+           << tids.at({t.process, t.thread}) << ", \"ts\": "
+           << jsonNumber(ev.tsSec * 1e6);
+        if (ev.phase == 'X')
+            os << ", \"dur\": "
+               << jsonNumber((ev.endSec - ev.tsSec) * 1e6);
+        if (ev.phase == 'i')
+            os << ", \"s\": \"t\"";
+        if (!ev.args.empty()) {
+            os << ", \"args\": {";
+            for (std::size_t a = 0; a < ev.args.size(); ++a) {
+                os << (a ? ", " : "") << '"'
+                   << jsonEscape(ev.args[a].key)
+                   << "\": " << ev.args[a].json;
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool
+SimTracer::writeJson(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write trace %s\n", path.c_str());
+        return false;
+    }
+    f << toJson();
+    return true;
+}
+
+void
+SimTracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    tracks.clear();
+    log.clear();
+}
+
+} // namespace aquoman::obs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Simulation tracer: structured spans and instants on named tracks,
+ * exported as Chrome trace_event JSON (load in Perfetto or
+ * chrome://tracing). Timestamps are **modelled** simulation seconds,
+ * never wall clock, so a deterministic run produces a byte-identical
+ * trace for every AQUOMAN_THREADS value.
+ *
+ * Tracks map to Perfetto's process/thread hierarchy: a track is a
+ * (process, thread) name pair — e.g. ("ssd0", "tasks") or
+ * ("queries", "q6#3"). Export sorts tracks by name and renumbers
+ * pids/tids, so registration order never leaks into the output.
+ *
+ * Disabled by default; setting AQUOMAN_TRACE=<path> enables the tracer
+ * at first use and installs an atexit hook that writes the trace there,
+ * so any binary in the repo honours the variable. Hot paths must guard
+ * with enabled().
+ */
+
+#ifndef AQUOMAN_OBS_TRACE_HH
+#define AQUOMAN_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aquoman::obs {
+
+/** One span argument: key plus a pre-rendered JSON value token. */
+struct TraceArg
+{
+    std::string key;
+    std::string json;
+};
+
+TraceArg arg(const std::string &key, double v);
+TraceArg arg(const std::string &key, std::int64_t v);
+TraceArg arg(const std::string &key, const std::string &v);
+TraceArg arg(const std::string &key, const char *v);
+
+/** One recorded event. Spans keep exact start *and* end marks (not a
+ *  duration) so tests can assert bitwise contiguity of adjacent spans. */
+struct TraceEvent
+{
+    char phase = 'X'; ///< 'X' complete span, 'i' instant
+    int track = -1;
+    std::string name;
+    std::string category;
+    double tsSec = 0.0;
+    double endSec = 0.0; ///< == tsSec for instants
+    std::vector<TraceArg> args;
+};
+
+/** The process-wide simulation tracer. */
+class SimTracer
+{
+  public:
+    struct TrackInfo
+    {
+        std::string process;
+        std::string thread;
+    };
+
+    /** The process-wide instance (reads AQUOMAN_TRACE on first use). */
+    static SimTracer &global();
+
+    /** Cheap hot-path guard; check before building names or args. */
+    bool
+    enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    void enable() { on.store(true, std::memory_order_relaxed); }
+    void disable() { on.store(false, std::memory_order_relaxed); }
+
+    /** Register (or find) the track (@p process, @p thread). */
+    int track(const std::string &process, const std::string &thread);
+
+    /** Record a complete span on @p track over [start_sec, end_sec]. */
+    void span(int track, const std::string &name,
+              const std::string &category, double start_sec,
+              double end_sec, std::vector<TraceArg> args = {});
+
+    /** Record an instant event on @p track at @p at_sec. */
+    void instant(int track, const std::string &name,
+                 const std::string &category, double at_sec,
+                 std::vector<TraceArg> args = {});
+
+    /** Snapshot of all recorded events (tests / exporters). */
+    std::vector<TraceEvent> events() const;
+
+    std::size_t eventCount() const;
+
+    TrackInfo trackInfo(int track) const;
+
+    /**
+     * Render the whole trace as Chrome trace_event JSON
+     * ({"traceEvents": [...]}; ts/dur in microseconds). Deterministic:
+     * tracks sort by (process, thread) name and events by track, with
+     * per-track recording order preserved.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; false (with a message) on failure. */
+    bool writeJson(const std::string &path) const;
+
+    /** Path from AQUOMAN_TRACE ("" when unset). */
+    const std::string &envPath() const { return envPath_; }
+
+    /** Drop all tracks and events (does not change enabled()). */
+    void clear();
+
+  private:
+    SimTracer();
+
+    mutable std::mutex mu;
+    std::atomic<bool> on{false};
+    std::string envPath_;
+    std::vector<TrackInfo> tracks;
+    std::vector<TraceEvent> log;
+};
+
+} // namespace aquoman::obs
+
+#endif // AQUOMAN_OBS_TRACE_HH

@@ -8,6 +8,8 @@
 #include <queue>
 
 #include "engine/executor.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "service/sharded_store.hh"
 
 namespace aquoman::service {
@@ -28,6 +30,22 @@ queryStateName(QueryState s)
         return "Done";
     }
     return "?";
+}
+
+std::vector<std::string>
+QueryRecord::formatLifecycle() const
+{
+    std::vector<std::string> out;
+    const char *prev = "submitted";
+    for (const LifecycleEvent &ev : lifecycle) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "t=%.6fs %s: %s -> %s",
+                      ev.atSec, name.c_str(), prev,
+                      queryStateName(ev.state));
+        out.emplace_back(buf);
+        prev = queryStateName(ev.state);
+    }
+    return out;
 }
 
 namespace {
@@ -64,6 +82,9 @@ struct QueryService::Impl
 
         bool busy = false;
         QueryId inFlight = -1;
+        /// Modelled time the in-flight subtask was dispatched (exact
+        /// span start for the trace).
+        double inFlightStart = 0.0;
         /// Ready subtasks keyed by admission index: the round-robin
         /// cursor walks this order so interleaving is fair and
         /// deterministic.
@@ -82,6 +103,7 @@ struct QueryService::Impl
         std::vector<TaskStep> steps;
         std::size_t nextStep = 0;
         std::int64_t reservedBytes = 0;
+        int queryTrack = -1; ///< lifecycle trace track (lazy)
     };
 
     enum class EventKind
@@ -112,6 +134,10 @@ struct QueryService::Impl
     {
         AQ_ASSERT(cfg.numDevices > 0, "service needs >= 1 device");
         AQ_ASSERT(cfg.admissionLimit > 0, "admission limit must be >= 1");
+        tracePrefix = cfg.traceLabel.empty() ? "" : cfg.traceLabel + ".";
+        devTracks.assign(cfg.numDevices, -1);
+        aqPortTracks.assign(cfg.numDevices, -1);
+        hostPortTracks.assign(cfg.numDevices, -1);
         std::vector<ControllerSwitch *> switches;
         for (int d = 0; d < cfg.numDevices; ++d) {
             auto node = std::make_unique<DeviceNode>();
@@ -135,14 +161,80 @@ struct QueryService::Impl
         events.push(Event{time, nextSeq++, kind, qid, device});
     }
 
+    // -- observability -------------------------------------------------
+
+    std::string
+    deviceName(int d) const
+    {
+        return cfg.flash.name + std::to_string(d);
+    }
+
+    std::string
+    queryLabel(const QueryExec &e) const
+    {
+        return e.rec.name + "#" + std::to_string(e.rec.id);
+    }
+
+    /// Track registration is lazy so a tracer enabled after service
+    /// construction still gets every track.
+    int
+    devTrack(int d)
+    {
+        if (devTracks[d] < 0)
+            devTracks[d] = tracer.track(tracePrefix + deviceName(d),
+                                        "table-tasks");
+        return devTracks[d];
+    }
+
+    int
+    aqPortTrack(int d)
+    {
+        if (aqPortTracks[d] < 0)
+            aqPortTracks[d] = tracer.track(
+                tracePrefix + deviceName(d), "switch aquoman-port");
+        return aqPortTracks[d];
+    }
+
+    int
+    hostPortTrack(int d)
+    {
+        if (hostPortTracks[d] < 0)
+            hostPortTracks[d] = tracer.track(
+                tracePrefix + deviceName(d), "switch host-port");
+        return hostPortTracks[d];
+    }
+
+    int
+    hostModelTrack()
+    {
+        if (hostTrack < 0)
+            hostTrack =
+                tracer.track(tracePrefix + "host-model", "phases");
+        return hostTrack;
+    }
+
+    /**
+     * Record a lifecycle transition: a structured {state, atSec} event
+     * plus, when tracing, a span on the query's track covering the
+     * state just left.
+     */
     void
     logState(QueryExec &e, QueryState to)
     {
-        char buf[160];
-        std::snprintf(buf, sizeof buf, "t=%.6fs %s: %s -> %s", clock,
-                      e.rec.name.c_str(), queryStateName(e.rec.state),
-                      queryStateName(to));
-        e.rec.lifecycle.emplace_back(buf);
+        if (tracer.enabled()) {
+            if (e.queryTrack < 0)
+                e.queryTrack = tracer.track(tracePrefix + "queries",
+                                            queryLabel(e));
+            if (!e.rec.lifecycle.empty()) {
+                const LifecycleEvent &prev = e.rec.lifecycle.back();
+                tracer.span(e.queryTrack, queryStateName(prev.state),
+                            "query-state", prev.atSec, clock);
+            }
+            if (to == QueryState::Done)
+                tracer.instant(e.queryTrack, "Done", "query-state",
+                               clock);
+        }
+        e.rec.lifecycle.push_back({to, clock});
         e.rec.state = to;
     }
 
@@ -165,6 +257,10 @@ struct QueryService::Impl
         e.admissionIdx = admissionCounter++;
         e.rec.admitSec = clock;
         e.rec.queueWaitSec = clock - e.rec.submitSec;
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        if (reg.enabled())
+            reg.observe("service.queue_wait_seconds",
+                        e.rec.queueWaitSec);
         e.rec.anchorDevice = static_cast<int>(
             (e.admissionIdx + cfg.scheduleSeed) % devices.size());
         ++running;
@@ -191,6 +287,8 @@ struct QueryService::Impl
 
         DeviceNode &anchor = *devices[e.rec.anchorDevice];
         Executor ex(catalog_, anchor.sw.get());
+        if (tracer.enabled())
+            ex.setTraceLabel(tracePrefix + queryLabel(e));
         e.rec.result = ex.run(e.query);
         e.rec.metrics = ex.metrics();
         e.rec.metrics.suspendCount = e.rec.suspendCount;
@@ -210,6 +308,8 @@ struct QueryService::Impl
         DeviceNode &anchor = *devices[e.rec.anchorDevice];
         AquomanConfig dev_cfg = cfg.device;
         dev_cfg.dramBytes = dram_reservation;
+        if (tracer.enabled())
+            dev_cfg.traceLabel = tracePrefix + queryLabel(e);
         AquomanDevice dev(catalog_, *anchor.sw, dev_cfg);
         OffloadedQueryResult r = dev.runQuery(e.query);
         e.rec.result = std::move(r.result);
@@ -300,6 +400,7 @@ struct QueryService::Impl
         const SubTask &sub = e.steps[e.nextStep].subs.at(d);
         dn.busy = true;
         dn.inFlight = qid;
+        dn.inFlightStart = clock;
         schedule(clock + sub.seconds, EventKind::SubtaskDone, qid, d);
     }
 
@@ -318,6 +419,30 @@ struct QueryService::Impl
         ++dn.tasksRun;
         dn.sw->accountRead(FlashPort::Aquoman, sub.bytes);
         e.rec.deviceBusySec += sub.seconds;
+
+        if (tracer.enabled()) {
+            // One span per Table-Task subtask on the device's track,
+            // mirrored on its switch's AQUOMAN-port track with the
+            // bandwidth the port sustained over the span.
+            tracer.span(devTrack(ev.device), step.what, "table-task",
+                        dn.inFlightStart, clock,
+                        {obs::arg("query", e.rec.name),
+                         obs::arg("bytes", sub.bytes)});
+            double gbps = sub.seconds > 0.0
+                ? static_cast<double>(sub.bytes) / sub.seconds / 1e9
+                : 0.0;
+            tracer.span(aqPortTrack(ev.device), "aquoman read",
+                        "switch-port", dn.inFlightStart, clock,
+                        {obs::arg("bytes", sub.bytes),
+                         obs::arg("bandwidth_gbps", gbps)});
+        }
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        if (reg.enabled()) {
+            reg.add("service." + deviceName(ev.device) + ".task_seconds",
+                    sub.seconds);
+            reg.add("service." + deviceName(ev.device) + ".tasks_run",
+                    1.0);
+        }
 
         if (--step.remaining == 0) {
             ++e.nextStep;
@@ -356,6 +481,22 @@ struct QueryService::Impl
         double bw = anchor.sw->effectiveReadBandwidth(contended);
         HostRunEstimate est = host.estimate(m, bw);
         e.rec.hostFinishSec = est.runtime + dma_bytes / bw;
+        if (tracer.enabled()) {
+            double end = clock + e.rec.hostFinishSec;
+            tracer.span(hostPortTrack(e.rec.anchorDevice),
+                        e.rec.name + " host read", "switch-port",
+                        clock, end,
+                        {obs::arg("bytes", e.rec.hostFinishBytes),
+                         obs::arg("bandwidth_gbps", bw / 1e9),
+                         obs::arg("contended",
+                                  contended ? "yes" : "no")});
+            tracer.span(hostModelTrack(),
+                        queryLabel(e) + " hostFinish", "host-phase",
+                        clock, end,
+                        {obs::arg("io_seconds", est.ioTime),
+                         obs::arg("cpu_seconds", est.cpuTime),
+                         obs::arg("dma_bytes", dma_bytes)});
+        }
         schedule(clock + e.rec.hostFinishSec, EventKind::HostDone,
                  e.rec.id);
     }
@@ -366,6 +507,10 @@ struct QueryService::Impl
         logState(e, QueryState::Done);
         e.rec.doneSec = clock;
         e.rec.metrics.queueWaitSec = e.rec.queueWaitSec;
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        if (reg.enabled())
+            reg.observe("service.query_latency_seconds",
+                        e.rec.latencySec());
         if (e.reservedBytes > 0) {
             devices[e.rec.anchorDevice]->dram->free(
                 "service.q" + std::to_string(e.rec.id));
@@ -401,6 +546,18 @@ struct QueryService::Impl
                 break;
             }
         }
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        if (reg.enabled()) {
+            for (std::size_t d = 0; d < devices.size(); ++d) {
+                reg.set("service." + deviceName(static_cast<int>(d))
+                            + ".busy_seconds",
+                        devices[d]->busySec);
+                reg.set("service." + deviceName(static_cast<int>(d))
+                            + ".utilization",
+                        clock > 0.0 ? devices[d]->busySec / clock
+                                    : 0.0);
+            }
+        }
     }
 
     ServiceConfig cfg;
@@ -421,6 +578,13 @@ struct QueryService::Impl
     std::int64_t nextQueryId = 0;
     std::int64_t admissionCounter = 0;
     int running = 0;
+
+    obs::SimTracer &tracer = obs::SimTracer::global();
+    std::string tracePrefix;
+    std::vector<int> devTracks;
+    std::vector<int> aqPortTracks;
+    std::vector<int> hostPortTracks;
+    int hostTrack = -1;
 };
 
 // =====================================================================
@@ -478,10 +642,7 @@ QueryService::submit(const Query &q, double arrival_sec)
     e.rec.name = q.name.empty() ? "q" + std::to_string(id) : q.name;
     e.rec.submitSec = std::max(arrival_sec, impl->clock);
     e.rec.state = QueryState::Queued;
-    char buf[160];
-    std::snprintf(buf, sizeof buf, "t=%.6fs %s: submitted -> Queued",
-                  e.rec.submitSec, e.rec.name.c_str());
-    e.rec.lifecycle.emplace_back(buf);
+    e.rec.lifecycle.push_back({QueryState::Queued, e.rec.submitSec});
     impl->schedule(e.rec.submitSec, Impl::EventKind::Arrival, id);
     return id;
 }
@@ -531,6 +692,8 @@ QueryService::aggregate() const
     for (QueryId id : impl->completed) {
         const QueryRecord &r = impl->execs.at(id).rec;
         lat.push_back(r.latencySec());
+        s.latencyHistogram.record(r.latencySec());
+        s.queueWaitHistogram.record(r.queueWaitSec);
         s.meanQueueWaitSec += r.queueWaitSec;
         if (r.suspendCount > 0)
             ++suspended;

@@ -38,6 +38,7 @@
 #include "engine/host_model.hh"
 #include "engine/metrics.hh"
 #include "flash/controller_switch.hh"
+#include "obs/metrics.hh"
 #include "relalg/plan.hh"
 
 namespace aquoman::service {
@@ -55,6 +56,13 @@ enum class QueryState
 };
 
 const char *queryStateName(QueryState s);
+
+/** One structured lifecycle transition (modelled time). */
+struct LifecycleEvent
+{
+    QueryState state = QueryState::Queued;
+    double atSec = 0.0;
+};
 
 /** Static configuration of a QueryService instance. */
 struct ServiceConfig
@@ -87,6 +95,13 @@ struct ServiceConfig
      * suspends the query to the host at admission.
      */
     std::int64_t queryDramBytes = 0;
+
+    /**
+     * Prefix for this service's simulation-trace track names (useful
+     * when one process runs several services against one tracer).
+     * Empty uses the bare device / "queries" / "host-model" names.
+     */
+    std::string traceLabel;
 
     std::int64_t
     resolvedQueryDramBytes() const
@@ -138,8 +153,13 @@ struct QueryRecord
     /** Host-side work metrics (residual stages, or the whole query). */
     EngineMetrics metrics;
 
-    /** Timestamped lifecycle transitions. */
-    std::vector<std::string> lifecycle;
+    /** Timestamped lifecycle transitions (first entry is Queued at
+     *  submit time, last is Done). */
+    std::vector<LifecycleEvent> lifecycle;
+
+    /** The lifecycle rendered as the legacy "t=..s name: A -> B"
+     *  text lines. */
+    std::vector<std::string> formatLifecycle() const;
 
     double latencySec() const { return doneSec - submitSec; }
 };
@@ -163,6 +183,12 @@ struct ServiceStats
 
     /** Per-device Table-Task subtasks executed. */
     std::vector<std::int64_t> deviceTasksRun;
+
+    /** Distribution of completed-query latencies (modelled seconds). */
+    obs::Histogram latencyHistogram;
+
+    /** Distribution of admission queue waits (modelled seconds). */
+    obs::Histogram queueWaitHistogram;
 };
 
 /**

@@ -1,0 +1,242 @@
+/** @file
+ * Unit tests of the observability metrics layer: log-bucketed histogram
+ * accuracy and order-independence, registry counters/gauges/histograms,
+ * the JSON and Prometheus expositions, and the enabled() gating
+ * contract instrumentation sites rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace aquoman::obs {
+namespace {
+
+std::string
+histJson(const Histogram &h)
+{
+    std::ostringstream os;
+    h.toJson(os);
+    return os.str();
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BasicMoments)
+{
+    Histogram h;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        h.record(v);
+    EXPECT_EQ(h.count(), 4);
+    EXPECT_EQ(h.sum(), 10.0);
+    EXPECT_EQ(h.min(), 1.0);
+    EXPECT_EQ(h.max(), 4.0);
+    EXPECT_EQ(h.mean(), 2.5);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesAreThatSample)
+{
+    Histogram h;
+    h.record(0.125);
+    // Quantiles clamp to [min, max], so one sample pins every quantile.
+    EXPECT_EQ(h.quantile(0.0), 0.125);
+    EXPECT_EQ(h.quantile(0.5), 0.125);
+    EXPECT_EQ(h.quantile(0.99), 0.125);
+    EXPECT_EQ(h.quantile(1.0), 0.125);
+}
+
+TEST(HistogramTest, QuantileRelativeErrorBounded)
+{
+    // 1..1000: p50 must land within one sub-bucket (1/16 relative) of
+    // the exact order statistic, across three orders of magnitude.
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.record(static_cast<double>(i));
+    for (double q : {0.5, 0.9, 0.99}) {
+        double exact = q * 1000.0;
+        double approx = h.quantile(q);
+        EXPECT_GE(approx, exact * (1.0 - 1.0 / Histogram::kSubBuckets))
+            << "q=" << q;
+        EXPECT_LE(approx, exact * (1.0 + 2.0 / Histogram::kSubBuckets))
+            << "q=" << q;
+    }
+    EXPECT_GE(h.quantile(0.5), h.quantile(0.25));
+    EXPECT_GE(h.quantile(0.99), h.quantile(0.9));
+}
+
+TEST(HistogramTest, ZeroAndNegativeSamplesShareTheZeroBucket)
+{
+    Histogram h;
+    h.record(0.0);
+    h.record(-3.0);
+    h.record(8.0);
+    EXPECT_EQ(h.count(), 3);
+    EXPECT_EQ(h.min(), -3.0);
+    EXPECT_EQ(h.max(), 8.0);
+    // Two of three samples are <= 0, so the median is the zero bucket,
+    // clamped to the observed minimum.
+    EXPECT_LE(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MergeIsOrderIndependent)
+{
+    std::vector<double> a{0.001, 0.5, 12.0, 3e6};
+    std::vector<double> b{7.0, 7.0, 0.25, 1e-9, 42.0};
+    Histogram fwd, rev, merged_ab, merged_ba, part_a, part_b;
+    for (double v : a)
+        fwd.record(v);
+    for (double v : b)
+        fwd.record(v);
+    for (auto it = b.rbegin(); it != b.rend(); ++it)
+        rev.record(*it);
+    for (auto it = a.rbegin(); it != a.rend(); ++it)
+        rev.record(*it);
+    for (double v : a)
+        part_a.record(v);
+    for (double v : b)
+        part_b.record(v);
+    merged_ab.merge(part_a);
+    merged_ab.merge(part_b);
+    merged_ba.merge(part_b);
+    merged_ba.merge(part_a);
+    EXPECT_EQ(histJson(fwd), histJson(rev));
+    EXPECT_EQ(histJson(fwd), histJson(merged_ab));
+    EXPECT_EQ(histJson(fwd), histJson(merged_ba));
+}
+
+TEST(HistogramTest, JsonContainsAllFields)
+{
+    Histogram h;
+    h.record(2.0);
+    h.record(4.0);
+    std::string js = histJson(h);
+    for (const char *key :
+         {"\"count\"", "\"sum\"", "\"min\"", "\"max\"", "\"mean\"",
+          "\"p50\"", "\"p90\"", "\"p99\""})
+        EXPECT_NE(js.find(key), std::string::npos) << js;
+    EXPECT_NE(js.find("\"count\": 2"), std::string::npos) << js;
+}
+
+class MetricsRegistryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        wasEnabled = MetricsRegistry::global().enabled();
+        MetricsRegistry::global().clear();
+        MetricsRegistry::global().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        MetricsRegistry::global().clear();
+        MetricsRegistry::global().setEnabled(wasEnabled);
+    }
+
+    bool wasEnabled = false;
+};
+
+TEST_F(MetricsRegistryTest, CountersAccumulateAndGaugesOverwrite)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.add("svc.bytes", 10.0);
+    reg.add("svc.bytes", 32.0);
+    reg.set("svc.depth", 3.0);
+    reg.set("svc.depth", 7.0);
+    EXPECT_EQ(reg.counter("svc.bytes"), 42.0);
+    EXPECT_EQ(reg.gauge("svc.depth"), 7.0);
+    EXPECT_EQ(reg.counter("absent"), 0.0);
+    EXPECT_EQ(reg.gauge("absent"), 0.0);
+}
+
+TEST_F(MetricsRegistryTest, ObserveFeedsNamedHistogram)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.observe("svc.wait", 1.0);
+    reg.observe("svc.wait", 3.0);
+    Histogram h = reg.histogram("svc.wait");
+    EXPECT_EQ(h.count(), 2);
+    EXPECT_EQ(h.sum(), 4.0);
+    EXPECT_EQ(reg.histogram("absent").count(), 0);
+}
+
+TEST_F(MetricsRegistryTest, JsonExpositionIsSortedAndComplete)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.add("zeta", 1.0);
+    reg.add("alpha", 2.0);
+    reg.set("mid", 5.0);
+    reg.observe("lat", 0.25);
+    std::ostringstream os;
+    reg.toJson(os);
+    std::string js = os.str();
+    EXPECT_NE(js.find("\"counters\""), std::string::npos) << js;
+    EXPECT_NE(js.find("\"gauges\""), std::string::npos) << js;
+    EXPECT_NE(js.find("\"histograms\""), std::string::npos) << js;
+    // std::map iteration: "alpha" precedes "zeta" in the output.
+    EXPECT_LT(js.find("\"alpha\""), js.find("\"zeta\"")) << js;
+}
+
+TEST_F(MetricsRegistryTest, PrometheusExpositionSanitisesNames)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.add("flash.ssd0.bytes_read", 4096.0);
+    reg.observe("service.query latency", 0.5);
+    std::ostringstream os;
+    reg.toPrometheus(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("flash_ssd0_bytes_read 4096"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("service_query_latency_count 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos) << text;
+    // Dotted metric names must not survive sanitisation.
+    EXPECT_EQ(text.find("flash.ssd0"), std::string::npos) << text;
+}
+
+TEST_F(MetricsRegistryTest, ClearDropsValuesButKeepsEnabled)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.add("c", 1.0);
+    reg.set("g", 2.0);
+    reg.observe("h", 3.0);
+    reg.clear();
+    EXPECT_TRUE(reg.enabled());
+    EXPECT_EQ(reg.counter("c"), 0.0);
+    EXPECT_EQ(reg.gauge("g"), 0.0);
+    EXPECT_EQ(reg.histogram("h").count(), 0);
+}
+
+TEST_F(MetricsRegistryTest, EnabledGateIsAdvisoryForCallSites)
+{
+    // The contract is that *call sites* check enabled() before paying
+    // for name construction; the registry itself stays functional
+    // either way so tests can populate it directly.
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.setEnabled(false);
+    EXPECT_FALSE(reg.enabled());
+    reg.add("still.works", 1.0);
+    EXPECT_EQ(reg.counter("still.works"), 1.0);
+    reg.setEnabled(true);
+    EXPECT_TRUE(reg.enabled());
+}
+
+} // namespace
+} // namespace aquoman::obs

@@ -1,0 +1,204 @@
+/** @file
+ * Simulation-trace contract tests: a service run under the tracer
+ * produces byte-identical Chrome trace_event JSON for every
+ * AQUOMAN_THREADS value (all timestamps are modelled seconds); a
+ * standalone device run's Table-Task spans tile [0, deviceSeconds]
+ * bitwise; and a traced service run carries at least one track per SSD
+ * and one span per scheduled Table Task.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "aquoman/device.hh"
+#include "common/thread_pool.hh"
+#include "obs/trace.hh"
+#include "service/query_service.hh"
+#include "tpch/dbgen.hh"
+#include "tpch/queries.hh"
+
+namespace aquoman::obs {
+namespace {
+
+using service::QueryService;
+using service::ServiceConfig;
+using tpch::TpchConfig;
+using tpch::TpchDatabase;
+using tpch::tpchQuery;
+
+constexpr double kSf = 0.01;
+const std::vector<int> kQueries{6, 14, 1, 12};
+
+const TpchDatabase &
+database()
+{
+    static TpchDatabase db = [] {
+        TpchConfig cfg;
+        cfg.scaleFactor = kSf;
+        return TpchDatabase::generate(cfg);
+    }();
+    return db;
+}
+
+/** Enables a clean tracer for the test, restores the old state after. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        wasEnabled = SimTracer::global().enabled();
+        threadsBefore = ThreadPool::global().parallelism();
+        SimTracer::global().clear();
+        SimTracer::global().enable();
+    }
+
+    void
+    TearDown() override
+    {
+        SimTracer::global().clear();
+        if (!wasEnabled)
+            SimTracer::global().disable();
+        ThreadPool::setGlobalParallelism(threadsBefore);
+    }
+
+    bool wasEnabled = false;
+    int threadsBefore = 1;
+};
+
+/** Run the standard workload on a fresh 2-SSD service. */
+void
+runServiceWorkload()
+{
+    ServiceConfig cfg;
+    cfg.numDevices = 2;
+    cfg.admissionLimit = 2;
+    QueryService svc(cfg);
+    const TpchDatabase &db = database();
+    for (const auto &t : {db.region, db.nation, db.supplier, db.customer,
+                          db.part, db.partsupp, db.orders, db.lineitem})
+        svc.addTable(t);
+    db.registerMetadata(svc.catalog());
+    for (int q : kQueries)
+        svc.submit(tpchQuery(q, kSf));
+    svc.drain();
+}
+
+TEST_F(TraceTest, ServiceTraceIsByteIdenticalAcrossThreadCounts)
+{
+    ThreadPool::setGlobalParallelism(1);
+    runServiceWorkload();
+    std::string serial = SimTracer::global().toJson();
+    ASSERT_GT(SimTracer::global().eventCount(), 0u);
+
+    SimTracer::global().clear();
+    ThreadPool::setGlobalParallelism(4);
+    runServiceWorkload();
+    std::string parallel = SimTracer::global().toJson();
+
+    EXPECT_EQ(serial, parallel)
+        << "trace JSON must not depend on AQUOMAN_THREADS";
+}
+
+TEST_F(TraceTest, DeviceTaskSpansTileDeviceSecondsExactly)
+{
+    FlashConfig fc;
+    FlashDevice flash(fc);
+    ControllerSwitch sw(flash);
+    TableStore store(sw);
+    Catalog catalog;
+    database().installInto(catalog, store);
+
+    AquomanConfig cfg;
+    cfg.traceLabel = "tile-check";
+    AquomanDevice device(catalog, sw, cfg);
+    OffloadedQueryResult res = device.runQuery(tpchQuery(6, kSf));
+    ASSERT_FALSE(res.stats.tasks.empty());
+
+    SimTracer &tracer = SimTracer::global();
+    std::vector<TraceEvent> spans;
+    for (const TraceEvent &ev : tracer.events()) {
+        SimTracer::TrackInfo ti = tracer.trackInfo(ev.track);
+        if (ev.phase == 'X' && ti.process == "aquoman:tile-check"
+                && ti.thread == "table-tasks")
+            spans.push_back(ev);
+    }
+    // One span per Table-Task record, in issue order.
+    ASSERT_EQ(spans.size(), res.stats.tasks.size());
+
+    // Spans carry exact start/end marks, so adjacent spans must agree
+    // bitwise and the union must be exactly [0, deviceSeconds]: the
+    // durations sum to deviceSeconds with no floating-point slop.
+    EXPECT_EQ(spans.front().tsSec, 0.0);
+    for (std::size_t i = 1; i < spans.size(); ++i)
+        EXPECT_EQ(spans[i].tsSec, spans[i - 1].endSec) << "span " << i;
+    EXPECT_EQ(spans.back().endSec, res.stats.deviceSeconds);
+    for (std::size_t i = 0; i < spans.size(); ++i)
+        EXPECT_EQ(spans[i].name, res.stats.tasks[i].what);
+}
+
+TEST_F(TraceTest, ServiceTraceCoversDevicesAndTasks)
+{
+    ServiceConfig cfg;
+    cfg.numDevices = 2;
+    cfg.admissionLimit = 2;
+    QueryService svc(cfg);
+    const TpchDatabase &db = database();
+    for (const auto &t : {db.region, db.nation, db.supplier, db.customer,
+                          db.part, db.partsupp, db.orders, db.lineitem})
+        svc.addTable(t);
+    db.registerMetadata(svc.catalog());
+    std::vector<service::QueryId> ids;
+    for (int q : kQueries)
+        ids.push_back(svc.submit(tpchQuery(q, kSf)));
+    svc.drain();
+
+    SimTracer &tracer = SimTracer::global();
+    std::vector<TraceEvent> events = tracer.events();
+    ASSERT_FALSE(events.empty());
+
+    // >= 1 device-scheduler span per device track, and one span per
+    // scheduled Table-Task subtask overall.
+    std::vector<int> device_spans(cfg.numDevices, 0);
+    std::int64_t task_spans = 0;
+    for (const TraceEvent &ev : events) {
+        if (ev.phase != 'X' || ev.category != "table-task")
+            continue;
+        SimTracer::TrackInfo ti = tracer.trackInfo(ev.track);
+        for (int d = 0; d < cfg.numDevices; ++d)
+            if (ti.process == "ssd" + std::to_string(d)) {
+                ++device_spans[d];
+                ++task_spans;
+            }
+    }
+    service::ServiceStats stats = svc.aggregate();
+    std::int64_t tasks_run = 0;
+    for (std::int64_t t : stats.deviceTasksRun)
+        tasks_run += t;
+    for (int d = 0; d < cfg.numDevices; ++d)
+        EXPECT_GE(device_spans[d], 1) << "device " << d;
+    EXPECT_EQ(task_spans, tasks_run);
+
+    // Every query got a lifecycle track with a terminal Done instant.
+    int done_instants = 0;
+    for (const TraceEvent &ev : events) {
+        SimTracer::TrackInfo ti = tracer.trackInfo(ev.track);
+        if (ev.phase == 'i' && ti.process == "queries"
+                && ev.name == "Done")
+            ++done_instants;
+    }
+    EXPECT_EQ(done_instants, static_cast<int>(ids.size()));
+
+    // The export is structurally a Chrome trace_event JSON document.
+    std::string js = tracer.toJson();
+    EXPECT_EQ(js.rfind("{\"traceEvents\": [", 0), 0u) << js.substr(0, 60);
+    EXPECT_NE(js.find("\"ph\": \"M\""), std::string::npos);
+    EXPECT_NE(js.find("process_name"), std::string::npos);
+    EXPECT_NE(js.find("thread_name"), std::string::npos);
+    EXPECT_EQ(js.substr(js.size() - 3), "]}\n");
+}
+
+} // namespace
+} // namespace aquoman::obs

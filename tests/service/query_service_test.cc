@@ -213,12 +213,28 @@ TEST_F(QueryServiceTest, RuntimeSuspensionCompletesViaHost)
     EXPECT_GT(rec.hostFinishBytes, 0);
     EXPECT_GT(rec.hostFinishSec, 0.0);
     bool saw_suspended = false, saw_host_finish = false;
-    for (const std::string &line : rec.lifecycle) {
-        saw_suspended |= line.find("Suspended") != std::string::npos;
-        saw_host_finish |= line.find("HostFinish") != std::string::npos;
+    for (const LifecycleEvent &ev : rec.lifecycle) {
+        saw_suspended |= ev.state == QueryState::Suspended;
+        saw_host_finish |= ev.state == QueryState::HostFinish;
     }
     EXPECT_TRUE(saw_suspended);
     EXPECT_TRUE(saw_host_finish);
+
+    // Structured lifecycle: starts Queued at submit, ends Done at
+    // doneSec, timestamps never go backwards, and the legacy text
+    // rendering still mentions every transition.
+    ASSERT_GE(rec.lifecycle.size(), 2u);
+    EXPECT_EQ(rec.lifecycle.front().state, QueryState::Queued);
+    EXPECT_EQ(rec.lifecycle.front().atSec, rec.submitSec);
+    EXPECT_EQ(rec.lifecycle.back().state, QueryState::Done);
+    EXPECT_EQ(rec.lifecycle.back().atSec, rec.doneSec);
+    for (std::size_t i = 1; i < rec.lifecycle.size(); ++i)
+        EXPECT_GE(rec.lifecycle[i].atSec, rec.lifecycle[i - 1].atSec);
+    std::vector<std::string> text = rec.formatLifecycle();
+    ASSERT_EQ(text.size(), rec.lifecycle.size());
+    EXPECT_NE(text.front().find("submitted -> Queued"),
+              std::string::npos);
+    EXPECT_NE(text.back().find("-> Done"), std::string::npos);
 }
 
 TEST_F(QueryServiceTest, AdmissionReservationFailureRunsOnHost)
