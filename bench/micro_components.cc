@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <string_view>
 
 #include "aquoman/swissknife/bitonic.hh"
 #include "flash/flash_device.hh"
@@ -20,8 +21,10 @@
 #include "aquoman/swissknife/merger.hh"
 #include "aquoman/swissknife/streaming_sorter.hh"
 #include "aquoman/swissknife/topk.hh"
+#include "aquoman/pe_batch.hh"
 #include "aquoman/transform_compiler.hh"
 #include "common/rng.hh"
+#include "relalg/eval.hh"
 
 namespace aquoman {
 namespace {
@@ -138,6 +141,167 @@ BM_PeTransformRow(benchmark::State &state)
 BENCHMARK(BM_PeTransformRow);
 
 // ---------------------------------------------------------------------
+// Row Selector / Row Transformer: scalar vs batched
+// ---------------------------------------------------------------------
+
+/** q6-shaped probe relation for the selector benchmarks. */
+RelTable
+selectorInput(std::int64_t rows)
+{
+    Rng rng(6);
+    RelColumn ship("l_shipdate", ColumnType::Date);
+    RelColumn disc("l_discount", ColumnType::Decimal);
+    RelColumn qty("l_quantity", ColumnType::Decimal);
+    RelColumn ep("l_extendedprice", ColumnType::Decimal);
+    RelColumn tax("l_tax", ColumnType::Decimal);
+    for (std::int64_t i = 0; i < rows; ++i) {
+        ship.push(rng.uniform(8035, 10592)); // 1992..1998
+        disc.push(rng.uniform(0, 10));
+        qty.push(rng.uniform(100, 5000));
+        ep.push(rng.uniform(100000, 10000000));
+        tax.push(rng.uniform(0, 8));
+    }
+    RelTable t;
+    t.addColumn(std::move(ship));
+    t.addColumn(std::move(disc));
+    t.addColumn(std::move(qty));
+    t.addColumn(std::move(ep));
+    t.addColumn(std::move(tax));
+    return t;
+}
+
+/**
+ * A q6/q19-shaped predicate: a selective leading date-range conjunct,
+ * then a computed revenue comparison plus two cheap compares. The
+ * shrinking selection only evaluates the computed conjunct at the
+ * survivors of the date range — the Row Selector's canonical win.
+ */
+ExprPtr
+selectorPredicate()
+{
+    auto rev = mul(col("l_extendedprice"),
+                   sub(litDec("1.00"), col("l_discount")));
+    auto charge = mul(rev, add(litDec("1.00"), col("l_tax")));
+    return andE(
+        andE(lt(col("l_shipdate"), litDateDays(9131)),
+             ge(col("l_shipdate"), litDateDays(8766))),
+        andE(andE(gt(rev, litDec("30000.00")),
+                  lt(charge, litDec("80000.00"))),
+             andE(ge(col("l_discount"), litDec("0.05")),
+                  lt(col("l_quantity"), litDec("24.00")))));
+}
+
+/** Scalar selector: full-width predicate bitmap, then row gather. */
+std::vector<std::int64_t>
+runSelectorScalar(const ExprPtr &pred, const RelTable &t)
+{
+    BitVector bv = evalPredicate(pred, t);
+    std::vector<std::int64_t> rows;
+    for (std::int64_t i = 0; i < t.numRows(); ++i) {
+        if (bv.get(i))
+            rows.push_back(i);
+    }
+    return rows;
+}
+
+void
+BM_RowSelectorScalar(benchmark::State &state)
+{
+    RelTable t = selectorInput(state.range(0));
+    ExprPtr pred = selectorPredicate();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runSelectorScalar(pred, t).data());
+    state.SetItemsProcessed(state.iterations() * t.numRows());
+}
+BENCHMARK(BM_RowSelectorScalar)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_RowSelectorBatched(benchmark::State &state)
+{
+    RelTable t = selectorInput(state.range(0));
+    ExprPtr pred = selectorPredicate();
+    for (auto _ : state) {
+        SelectionVector sel = SelectionVector::dense(t.numRows());
+        filterSelection(pred, t, sel);
+        benchmark::DoNotOptimize(sel.size());
+    }
+    state.SetItemsProcessed(state.iterations() * t.numRows());
+}
+BENCHMARK(BM_RowSelectorBatched)->Arg(1 << 16)->Arg(1 << 20);
+
+/** The Fig. 9 revenue transform compiled for the PE chain. */
+TransformResult
+transformerProgram()
+{
+    std::map<std::string, ColumnType> schema = {
+        {"ep", ColumnType::Decimal},
+        {"disc", ColumnType::Decimal},
+        {"tax", ColumnType::Decimal}};
+    auto rev = mul(col("ep"), sub(litDec("1.00"), col("disc")));
+    return compileTransform(
+        {{"disc_price", rev},
+         {"charge", mul(rev, add(litDec("1.00"), col("tax")))}},
+        schema, AquomanConfig{});
+}
+
+std::vector<std::vector<std::int64_t>>
+transformerInput(std::int64_t rows)
+{
+    Rng rng(9);
+    std::vector<std::vector<std::int64_t>> cols(3);
+    for (auto &c : cols) {
+        c.resize(rows);
+        for (auto &v : c)
+            v = rng.uniform(0, 20000);
+    }
+    return cols;
+}
+
+void
+BM_RowTransformerScalar(benchmark::State &state)
+{
+    TransformResult tr = transformerProgram();
+    SystolicArray array = tr.program->buildArray();
+    auto cols = transformerInput(state.range(0));
+    const std::int64_t n = state.range(0);
+    std::vector<std::int64_t> in(3), out;
+    std::vector<std::int64_t> sink(n);
+    for (auto _ : state) {
+        for (std::int64_t r = 0; r < n; ++r) {
+            in[0] = cols[0][r];
+            in[1] = cols[1][r];
+            in[2] = cols[2][r];
+            array.runRow(in, out);
+            sink[r] = out[0] + out[1];
+        }
+        benchmark::DoNotOptimize(sink.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RowTransformerScalar)->Arg(1 << 16);
+
+void
+BM_RowTransformerBatched(benchmark::State &state)
+{
+    TransformResult tr = transformerProgram();
+    PeBatchKernel kernel(tr.program->programs, 3);
+    auto cols = transformerInput(state.range(0));
+    const std::int64_t n = state.range(0);
+    std::vector<std::int64_t> o0(n), o1(n), sink(n);
+    const std::int64_t *ins[3] =
+        {cols[0].data(), cols[1].data(), cols[2].data()};
+    std::int64_t *outs[2] = {o0.data(), o1.data()};
+    for (auto _ : state) {
+        kernel.run(ins, n, outs, 2);
+        for (std::int64_t r = 0; r < n; ++r)
+            sink[r] = o0[r] + o1[r];
+        benchmark::DoNotOptimize(sink.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RowTransformerBatched)->Arg(1 << 16);
+
+// ---------------------------------------------------------------------
 // Disabled-observability overhead check
 // ---------------------------------------------------------------------
 
@@ -215,14 +379,91 @@ checkDisabledObservabilityOverhead()
     return 0;
 }
 
+/**
+ * CI perf-smoke gate (--check-batch-speedup): the batched Row Selector
+ * must clear 2x the scalar selector's throughput on the q6-shaped
+ * probe relation. Also reports the Row Transformer ratio for context
+ * (not gated: its win varies more across hosts). Returns 0 on success.
+ */
+int
+checkBatchSpeedup()
+{
+    constexpr std::int64_t kRows = 1 << 20;
+    RelTable t = selectorInput(kRows);
+    ExprPtr pred = selectorPredicate();
+    double scalar_sel = bestOfSeconds(7, [&] {
+        benchmark::DoNotOptimize(runSelectorScalar(pred, t).data());
+    });
+    double batched_sel = bestOfSeconds(7, [&] {
+        SelectionVector sel = SelectionVector::dense(t.numRows());
+        filterSelection(pred, t, sel);
+        benchmark::DoNotOptimize(sel.size());
+    });
+
+    TransformResult tr = transformerProgram();
+    SystolicArray array = tr.program->buildArray();
+    PeBatchKernel kernel(tr.program->programs, 3);
+    auto cols = transformerInput(kRows);
+    std::vector<std::int64_t> in(3), out, o0(kRows), o1(kRows);
+    const std::int64_t *ins[3] =
+        {cols[0].data(), cols[1].data(), cols[2].data()};
+    std::int64_t *outs[2] = {o0.data(), o1.data()};
+    double scalar_tr = bestOfSeconds(3, [&] {
+        for (std::int64_t r = 0; r < kRows; ++r) {
+            in[0] = cols[0][r];
+            in[1] = cols[1][r];
+            in[2] = cols[2][r];
+            array.runRow(in, out);
+            o0[r] = out[0];
+        }
+        benchmark::DoNotOptimize(o0.data());
+    });
+    double batched_tr = bestOfSeconds(3, [&] {
+        kernel.run(ins, kRows, outs, 2);
+        benchmark::DoNotOptimize(o0.data());
+    });
+
+    double sel_speedup =
+        batched_sel > 0.0 ? scalar_sel / batched_sel : 0.0;
+    double tr_speedup = batched_tr > 0.0 ? scalar_tr / batched_tr : 0.0;
+    std::printf("row selector:    scalar %.1f Mrows/s, batched %.1f "
+                "Mrows/s, speedup %.2fx (gate: >= 2x)\n",
+                kRows / scalar_sel / 1e6, kRows / batched_sel / 1e6,
+                sel_speedup);
+    std::printf("row transformer: scalar %.1f Mrows/s, batched %.1f "
+                "Mrows/s, speedup %.2fx (informational)\n",
+                kRows / scalar_tr / 1e6, kRows / batched_tr / 1e6,
+                tr_speedup);
+    if (sel_speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: batched selector speedup %.2fx < 2x\n",
+                     sel_speedup);
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 } // namespace aquoman
 
 int
 main(int argc, char **argv)
 {
+    // Strip our flag before google-benchmark sees the argument list.
+    bool check_batch = false;
+    int out_argc = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--check-batch-speedup")
+            check_batch = true;
+        else
+            argv[out_argc++] = argv[i];
+    }
+    argc = out_argc;
+
     if (int rc = aquoman::checkDisabledObservabilityOverhead())
         return rc;
+    if (check_batch)
+        return aquoman::checkBatchSpeedup();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

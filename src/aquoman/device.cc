@@ -6,11 +6,14 @@
 #include <set>
 #include <unordered_map>
 
+#include "aquoman/pe_batch.hh"
 #include "aquoman/swissknife/groupby.hh"
 #include "aquoman/swissknife/kv.hh"
 #include "aquoman/swissknife/streaming_sorter.hh"
 #include "aquoman/swissknife/topk.hh"
 #include "aquoman/transform_compiler.hh"
+#include "columnstore/selection_vector.hh"
+#include "common/batch_mode.hh"
 #include "obs/trace.hh"
 #include "relalg/eval.hh"
 
@@ -242,22 +245,132 @@ struct AquomanDevice::Impl
         out.vals->resize(ids.size());
         for (std::size_t i = 0; i < ids.size(); ++i)
             (*out.vals)[i] = src.get(ids[i]);
-        if (account) {
-            std::int64_t bytes = pageTouchBytes(
-                t.numRows(), columnTypeWidth(src.type()), rel.rows);
-            if (src.type() == ColumnType::Varchar) {
-                // String payloads stream from the column's own heap.
-                const CatalogEntry &entry = catalog.get(ref.table);
-                double density = t.numRows() > 0
-                    ? std::min(1.0, static_cast<double>(rel.rows)
-                                        / t.numRows())
-                    : 0.0;
-                bytes += static_cast<std::int64_t>(
-                    columnHeapBytes(entry, dc.baseColumn) * density);
-            }
-            accountFlash(bytes);
-        }
+        if (account)
+            chargeGather(rel, name);
         return out;
+    }
+
+    /**
+     * Charge the flash traffic gather(rel, name, true) would account,
+     * without materializing values. The batched filter path streams
+     * the same page-touch bytes the full-column gather models (the
+     * Row Selector still reads every page the selection touches) even
+     * though the simulator only evaluates the surviving rows.
+     */
+    void
+    chargeGather(const DeviceRelation &rel, const std::string &name)
+    {
+        const DevCol &dc = resolve(rel, name);
+        if (dc.dataColIdx >= 0)
+            return; // device DRAM read: no flash traffic
+        const LeafRef &ref = rel.leafRefs[dc.leafIdx];
+        const Table &t = baseTable(ref.table);
+        const Column &src = t.col(dc.baseColumn);
+        std::int64_t bytes = pageTouchBytes(
+            t.numRows(), columnTypeWidth(src.type()), rel.rows);
+        if (src.type() == ColumnType::Varchar) {
+            // String payloads stream from the column's own heap.
+            const CatalogEntry &entry = catalog.get(ref.table);
+            double density = t.numRows() > 0
+                ? std::min(1.0, static_cast<double>(rel.rows)
+                                    / t.numRows())
+                : 0.0;
+            bytes += static_cast<std::int64_t>(
+                columnHeapBytes(entry, dc.baseColumn) * density);
+        }
+        accountFlash(bytes);
+    }
+
+    /**
+     * Gather one visible column at the selected tuple positions only
+     * (no flash accounting; callers charge via chargeGather so the
+     * modelled traffic is independent of the evaluation strategy).
+     */
+    RelColumn
+    gatherAt(const DeviceRelation &rel, const std::string &name,
+             const SelectionVector &sel)
+    {
+        const DevCol &dc = resolve(rel, name);
+        std::int64_t n = sel.size();
+        if (dc.dataColIdx >= 0) {
+            const RelColumn &src = rel.dataCols[dc.dataColIdx];
+            RelColumn out(name, src.type);
+            out.heap = src.heap;
+            out.vals->resize(n);
+            for (std::int64_t i = 0; i < n; ++i)
+                (*out.vals)[i] = src.get(sel[i]);
+            return out;
+        }
+        const LeafRef &ref = rel.leafRefs[dc.leafIdx];
+        const Table &t = baseTable(ref.table);
+        const Column &src = t.col(dc.baseColumn);
+        RelColumn out(name, src.type());
+        if (src.type() == ColumnType::Varchar)
+            out.heap = t.stringsPtr();
+        const auto &ids = *rel.rowids[dc.leafIdx];
+        out.vals->resize(n);
+        for (std::int64_t i = 0; i < n; ++i)
+            (*out.vals)[i] = src.get(ids[sel[i]]);
+        return out;
+    }
+
+    /** gatherAt over an explicit (possibly repeated) position list. */
+    RelColumn
+    gatherAtIdx(const DeviceRelation &rel, const std::string &name,
+                const std::vector<std::int64_t> &pos)
+    {
+        const DevCol &dc = resolve(rel, name);
+        std::int64_t n = static_cast<std::int64_t>(pos.size());
+        if (dc.dataColIdx >= 0) {
+            const RelColumn &src = rel.dataCols[dc.dataColIdx];
+            RelColumn out(name, src.type);
+            out.heap = src.heap;
+            out.vals->resize(n);
+            for (std::int64_t i = 0; i < n; ++i)
+                (*out.vals)[i] = src.get(pos[i]);
+            return out;
+        }
+        const LeafRef &ref = rel.leafRefs[dc.leafIdx];
+        const Table &t = baseTable(ref.table);
+        const Column &src = t.col(dc.baseColumn);
+        RelColumn out(name, src.type());
+        if (src.type() == ColumnType::Varchar)
+            out.heap = t.stringsPtr();
+        const auto &ids = *rel.rowids[dc.leafIdx];
+        out.vals->resize(n);
+        for (std::int64_t i = 0; i < n; ++i)
+            (*out.vals)[i] = src.get(ids[pos[i]]);
+        return out;
+    }
+
+    /**
+     * Run a compiled Row Transformation Program column-at-a-time: the
+     * kernel is compiled once per Table Task and executed over
+     * contiguous kPeBatchRows morsels of flat buffers. Bit-identical
+     * to the per-row SystolicArray loop (the kernel falls back to it
+     * for programs with cross-row state).
+     */
+    void
+    runTransformBatched(const CompiledTransform &ct,
+                        const std::vector<RelColumn> &inputs,
+                        std::int64_t rows,
+                        std::vector<std::vector<std::int64_t> *> outs)
+    {
+        PeBatchKernel kernel(ct.programs,
+                             static_cast<int>(inputs.size()));
+        for (auto *o : outs)
+            o->resize(rows);
+        std::vector<const std::int64_t *> in_ptrs(inputs.size());
+        std::vector<std::int64_t *> out_ptrs(outs.size());
+        for (std::int64_t b = 0; b < rows; b += kPeBatchRows) {
+            std::int64_t e = std::min(rows, b + kPeBatchRows);
+            for (std::size_t i = 0; i < inputs.size(); ++i)
+                in_ptrs[i] = inputs[i].vals->data() + b;
+            for (std::size_t o = 0; o < outs.size(); ++o)
+                out_ptrs[o] = outs[o]->data() + b;
+            kernel.run(in_ptrs.data(), e - b, out_ptrs.data(),
+                       static_cast<int>(outs.size()));
+        }
     }
 
     /** Materialise the visible columns as a host RelTable. */
@@ -410,13 +523,49 @@ struct AquomanDevice::Impl
         }
         std::vector<std::string> cols;
         collectColumns(pred, cols);
-        RelTable view = viewFor(rel, cols, leaf_scan);
-        BitVector mask = evalPredicate(pred, view);
         std::vector<std::int64_t> keep;
-        keep.reserve(mask.popcount());
-        for (std::int64_t i = 0; i < rel.rows; ++i)
-            if (mask.get(i))
-                keep.push_back(i);
+        if (!batchExecutionEnabled()) {
+            // Scalar oracle: materialize every predicate column over
+            // every tuple, evaluate the whole tree at once.
+            RelTable view = viewFor(rel, cols, leaf_scan);
+            BitVector mask = evalPredicate(pred, view);
+            keep.reserve(mask.popcount());
+            for (std::int64_t i = 0; i < rel.rows; ++i)
+                if (mask.get(i))
+                    keep.push_back(i);
+        } else {
+            // Batched Row Selector: charge the same per-column flash
+            // traffic the full view gathers, in the same column order
+            // (modelled time must not depend on evaluation strategy),
+            // then short-circuit conjuncts over a shrinking selection.
+            if (leaf_scan) {
+                for (const auto &c : cols)
+                    chargeGather(rel, c);
+            }
+            SelectionVector sel = SelectionVector::dense(rel.rows);
+            for (const auto &c : conjuncts) {
+                if (sel.empty())
+                    break;
+                std::vector<std::string> ccols;
+                collectColumns(c, ccols);
+                RelTable view;
+                for (const auto &name : ccols)
+                    view.addColumn(gatherAt(rel, name, sel));
+                if (view.numColumns() == 0) {
+                    // Constant conjunct: one verdict for all rows.
+                    RelTable one;
+                    RelColumn dummy("__sel_rows", ColumnType::Int64);
+                    dummy.push(0);
+                    one.addColumn(std::move(dummy));
+                    RelColumn v = evalExpr(c, one, "pred");
+                    if (v.get(0) == 0 || v.get(0) == kNullValue)
+                        sel = SelectionVector::dense(0);
+                    continue;
+                }
+                sel.filter(evalPredicate(c, view));
+            }
+            keep = sel.toIndices();
+        }
         std::int64_t before = rel.rows;
         compact(rel, keep);
         stats.taskLog.push_back(
@@ -582,14 +731,22 @@ struct AquomanDevice::Impl
             std::vector<RelColumn> outs;
             for (std::size_t o = 0; o < computed.size(); ++o)
                 outs.emplace_back(computed[o].name, ct.outputTypes[o]);
-            std::vector<std::int64_t> row_in, row_out;
-            for (std::int64_t r = 0; r < rel.rows; ++r) {
-                row_in.clear();
-                for (const auto &ic : inputs)
-                    row_in.push_back(ic.get(r));
-                array.runRow(row_in, row_out);
-                for (std::size_t o = 0; o < outs.size(); ++o)
-                    outs[o].push(row_out[o]);
+            if (batchExecutionEnabled()) {
+                std::vector<std::vector<std::int64_t> *> out_vecs;
+                for (auto &o : outs)
+                    out_vecs.push_back(o.vals.get());
+                runTransformBatched(ct, inputs, rel.rows,
+                                    std::move(out_vecs));
+            } else {
+                std::vector<std::int64_t> row_in, row_out;
+                for (std::int64_t r = 0; r < rel.rows; ++r) {
+                    row_in.clear();
+                    for (const auto &ic : inputs)
+                        row_in.push_back(ic.get(r));
+                    array.runRow(row_in, row_out);
+                    for (std::size_t o = 0; o < outs.size(); ++o)
+                        outs[o].push(row_out[o]);
+                }
             }
             stats.transformedRows += rel.rows;
             double vectors = std::ceil(static_cast<double>(rel.rows)
@@ -802,12 +959,20 @@ struct AquomanDevice::Impl
             }
             DeviceRelation &side = from_left ? l : r;
             const std::vector<std::int64_t> &idx = from_left ? li : ri;
-            RelColumn full = gather(side, cname, true);
-            RelColumn cc(cname, full.type);
-            cc.heap = full.heap;
-            cc.vals->reserve(idx.size());
-            for (std::int64_t i : idx)
-                cc.vals->push_back(full.get(i));
+            RelColumn cc;
+            if (batchExecutionEnabled()) {
+                // Same modelled charge as the full gather; values are
+                // fetched at the candidate pairs only.
+                chargeGather(side, cname);
+                cc = gatherAtIdx(side, cname, idx);
+            } else {
+                RelColumn full = gather(side, cname, true);
+                cc = RelColumn(cname, full.type);
+                cc.heap = full.heap;
+                cc.vals->reserve(idx.size());
+                for (std::int64_t i : idx)
+                    cc.vals->push_back(full.get(i));
+            }
             view.addColumn(std::move(cc));
         }
         BitVector mask = evalPredicate(pred, view);
@@ -1128,10 +1293,23 @@ struct AquomanDevice::Impl
         GroupByAccelerator gb(config,
                               static_cast<int>(spec.groupColumns.size()),
                               hw);
+        // Batched: run the whole transform column-at-a-time first; the
+        // per-row loop below then only feeds the accelerator. The
+        // hash-update order (and hence spill behaviour) is unchanged.
+        bool batched = array && batchExecutionEnabled();
+        std::vector<std::vector<std::int64_t>> tcols;
+        if (batched) {
+            tcols.resize(ct->outputNames.size());
+            std::vector<std::vector<std::int64_t> *> out_vecs;
+            for (auto &c : tcols)
+                out_vecs.push_back(&c);
+            runTransformBatched(*ct, inputs, rel.rows,
+                                std::move(out_vecs));
+        }
         std::vector<std::int64_t> row_in, row_out, gid(group_cols.size()),
             vals(hw.size(), 1);
         for (std::int64_t r = 0; r < rel.rows; ++r) {
-            if (array) {
+            if (array && !batched) {
                 row_in.clear();
                 for (const auto &ic : inputs)
                     row_in.push_back(ic.get(r));
@@ -1141,7 +1319,9 @@ struct AquomanDevice::Impl
                 gid[g] = group_cols[g].get(r);
             for (std::size_t s = 0; s < slots.size(); ++s) {
                 if (slots[s].value >= 0)
-                    vals[slots[s].value] = row_out[transform_idx[s]];
+                    vals[slots[s].value] = batched
+                        ? tcols[transform_idx[s]][r]
+                        : row_out[transform_idx[s]];
             }
             gb.update(gid, vals);
         }

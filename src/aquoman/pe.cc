@@ -87,7 +87,7 @@ Pe::runRow(std::deque<std::int64_t> &in, std::deque<std::int64_t> &out)
               case PeOpcode::Add: r = a + b; break;
               case PeOpcode::Sub: r = a - b; break;
               case PeOpcode::Mul: r = a * b; break;
-              case PeOpcode::Div: r = b == 0 ? 0 : a / b; break;
+              case PeOpcode::Div: r = peDiv(a, b); break;
               case PeOpcode::Eq:  r = a == b; break;
               case PeOpcode::Lt:  r = a < b; break;
               case PeOpcode::Gt:  r = a > b; break;

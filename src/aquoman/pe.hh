@@ -20,12 +20,29 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 
 namespace aquoman {
+
+/**
+ * PE integer division: divide-by-zero yields 0 (the hardware's
+ * saturating behaviour), and INT64_MIN / -1 saturates to INT64_MIN
+ * instead of trapping. Shared by the scalar interpreter and the batch
+ * kernel so both paths stay bit-identical on every input.
+ */
+constexpr std::int64_t
+peDiv(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (b == -1 && a == std::numeric_limits<std::int64_t>::min())
+        return a;
+    return a / b;
+}
 
 /** PE opcodes (Table II plus the documented extensions). */
 enum class PeOpcode : std::uint8_t

@@ -1,0 +1,328 @@
+#include "aquoman/pe_batch.hh"
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/date.hh"
+#include "common/decimal.hh"
+
+namespace aquoman {
+
+namespace {
+
+/** Resolved operand for one vectorized op: a column or a constant. */
+struct Operand
+{
+    const std::int64_t *ptr = nullptr;
+    std::int64_t c = 0;
+};
+
+/**
+ * Apply @p f element-wise with the operand shapes specialized, so the
+ * common column/column and column/constant cases compile to tight
+ * loops without per-element branching.
+ */
+template <class F>
+void
+applyOp(std::int64_t *dst, Operand a, Operand b, std::int64_t n, F f)
+{
+    if (a.ptr != nullptr && b.ptr != nullptr) {
+        const std::int64_t *pa = a.ptr, *pb = b.ptr;
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = f(pa[i], pb[i]);
+    } else if (a.ptr != nullptr) {
+        const std::int64_t *pa = a.ptr;
+        const std::int64_t yb = b.c;
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = f(pa[i], yb);
+    } else if (b.ptr != nullptr) {
+        const std::int64_t xa = a.c;
+        const std::int64_t *pb = b.ptr;
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = f(xa, pb[i]);
+    } else {
+        const std::int64_t v = f(a.c, b.c);
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = v;
+    }
+}
+
+} // namespace
+
+PeBatchKernel::PeBatchKernel(
+    const std::vector<std::vector<PeInstruction>> &programs,
+    int num_inputs)
+    : numInputs_(num_inputs), fallback_(programs)
+{
+    vectorizable_ = compile(programs);
+    if (!vectorizable_) {
+        vals_.clear();
+        outputs_.clear();
+        numBuffers_ = 0;
+    }
+}
+
+/**
+ * Symbolically execute one row of the whole array. Every FIFO slot and
+ * register becomes a value id; values that would come from a previous
+ * row (loop-carried register reads, leftover operand-FIFO entries)
+ * defeat vectorization. Registers the program never writes read as the
+ * power-on zero, which IS row-invariant and stays vectorizable.
+ */
+bool
+PeBatchKernel::compile(
+    const std::vector<std::vector<PeInstruction>> &programs)
+{
+    vals_.clear();
+    int zero_id = -1;
+    auto add_val = [&](Val v) {
+        vals_.push_back(v);
+        return static_cast<int>(vals_.size()) - 1;
+    };
+    auto zero = [&]() {
+        if (zero_id < 0) {
+            Val z;
+            z.kind = Val::Kind::Zero;
+            zero_id = add_val(z);
+        }
+        return zero_id;
+    };
+
+    std::vector<int> fifo;
+    for (int i = 0; i < numInputs_; ++i) {
+        Val v;
+        v.kind = Val::Kind::Input;
+        v.input = i;
+        fifo.push_back(add_val(v));
+    }
+
+    for (const auto &prog : programs) {
+        std::set<int> written;
+        for (const auto &ins : prog) {
+            if (ins.rd != 0 && ins.op != PeOpcode::Store)
+                written.insert(ins.rd);
+        }
+        std::map<int, int> regs; // reg -> value id written THIS row
+        std::deque<int> op_reg;
+        std::vector<int> out;
+        std::size_t in_pos = 0;
+        bool carried = false;
+
+        auto read_rs = [&](int rs) -> int {
+            if (rs == 0) {
+                if (in_pos >= fifo.size()) {
+                    // Scalar panics on input-FIFO underflow; the
+                    // fallback reproduces that exactly.
+                    carried = true;
+                    return -1;
+                }
+                return fifo[in_pos++];
+            }
+            auto it = regs.find(rs);
+            if (it != regs.end())
+                return it->second;
+            if (written.count(rs)) {
+                carried = true; // value from the previous row
+                return -1;
+            }
+            return zero(); // never written: power-on zero every row
+        };
+        auto write_rd = [&](int rd, int v) {
+            if (rd == 0)
+                out.push_back(v);
+            else
+                regs[rd] = v;
+        };
+
+        for (const PeInstruction &ins : prog) {
+            if (carried)
+                break;
+            switch (ins.op) {
+              case PeOpcode::Pass:
+                write_rd(ins.rd, read_rs(ins.rs));
+                break;
+              case PeOpcode::Copy: {
+                int v = read_rs(ins.rs);
+                write_rd(ins.rd, v);
+                op_reg.push_back(v);
+                break;
+              }
+              case PeOpcode::Store:
+                op_reg.push_back(read_rs(ins.rs));
+                break;
+              default: {
+                int a = read_rs(ins.rs);
+                int b = -1;
+                Val v;
+                v.kind = Val::Kind::Op;
+                v.op = ins.op;
+                if (ins.useImm) {
+                    v.useImm = true;
+                    v.imm = ins.imm;
+                } else if (ins.op == PeOpcode::Year) {
+                    // Unary: never pops the operand FIFO.
+                } else {
+                    if (op_reg.empty()) {
+                        carried = true; // operand from a previous row
+                        break;
+                    }
+                    b = op_reg.front();
+                    op_reg.pop_front();
+                }
+                v.a = a;
+                v.b = b;
+                write_rd(ins.rd, add_val(v));
+                break;
+              }
+            }
+        }
+        // Leftover operands would feed the NEXT row's pops.
+        if (carried || !op_reg.empty())
+            return false;
+        fifo = std::move(out); // unconsumed inputs are dropped
+    }
+
+    outputs_ = std::move(fifo);
+    numBuffers_ = 0;
+    for (auto &v : vals_) {
+        if (v.kind == Val::Kind::Op)
+            v.buf = numBuffers_++;
+    }
+    return true;
+}
+
+void
+PeBatchKernel::run(const std::int64_t *const *inputs, std::int64_t n,
+                   std::int64_t *const *outputs, int num_outputs)
+{
+    if (n <= 0)
+        return;
+    if (!vectorizable_) {
+        runScalar(inputs, n, outputs, num_outputs);
+        return;
+    }
+    AQ_ASSERT(num_outputs <= numOutputs(),
+              "batch kernel produces ", numOutputs(),
+              " outputs per row, caller wants ", num_outputs);
+    scratch_.resize(numBuffers_);
+    for (auto &buf : scratch_) {
+        if (static_cast<std::int64_t>(buf.size()) < n)
+            buf.resize(n);
+    }
+    auto operand = [&](int id) {
+        Operand o;
+        const Val &v = vals_[id];
+        switch (v.kind) {
+          case Val::Kind::Input:
+            o.ptr = inputs[v.input];
+            break;
+          case Val::Kind::Zero:
+            o.c = 0;
+            break;
+          case Val::Kind::Op:
+            o.ptr = scratch_[v.buf].data();
+            break;
+        }
+        return o;
+    };
+    // Value ids are in definition order, so operands are always ready.
+    for (const Val &v : vals_) {
+        if (v.kind != Val::Kind::Op)
+            continue;
+        std::int64_t *dst = scratch_[v.buf].data();
+        Operand a = operand(v.a);
+        Operand b;
+        if (v.useImm)
+            b.c = v.imm;
+        else if (v.b >= 0)
+            b = operand(v.b);
+        switch (v.op) {
+          case PeOpcode::Add:
+            applyOp(dst, a, b, n,
+                    [](std::int64_t x, std::int64_t y) { return x + y; });
+            break;
+          case PeOpcode::Sub:
+            applyOp(dst, a, b, n,
+                    [](std::int64_t x, std::int64_t y) { return x - y; });
+            break;
+          case PeOpcode::Mul:
+            applyOp(dst, a, b, n,
+                    [](std::int64_t x, std::int64_t y) { return x * y; });
+            break;
+          case PeOpcode::Div:
+            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
+                return peDiv(x, y);
+            });
+            break;
+          case PeOpcode::Eq:
+            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
+                return static_cast<std::int64_t>(x == y);
+            });
+            break;
+          case PeOpcode::Lt:
+            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
+                return static_cast<std::int64_t>(x < y);
+            });
+            break;
+          case PeOpcode::Gt:
+            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
+                return static_cast<std::int64_t>(x > y);
+            });
+            break;
+          case PeOpcode::MulScaled:
+            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
+                return decimalMul(x, y);
+            });
+            break;
+          case PeOpcode::DivScaled:
+            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
+                return decimalDiv(x, y);
+            });
+            break;
+          case PeOpcode::Year:
+            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t) {
+                return static_cast<std::int64_t>(
+                    civilFromDays(static_cast<std::int32_t>(x)).year);
+            });
+            break;
+          default:
+            panic("non-arithmetic opcode in batch kernel DAG");
+        }
+    }
+    for (int o = 0; o < num_outputs; ++o) {
+        const Val &v = vals_[outputs_[o]];
+        switch (v.kind) {
+          case Val::Kind::Input:
+            std::memcpy(outputs[o], inputs[v.input],
+                        static_cast<std::size_t>(n) * sizeof(std::int64_t));
+            break;
+          case Val::Kind::Zero:
+            std::memset(outputs[o], 0,
+                        static_cast<std::size_t>(n) * sizeof(std::int64_t));
+            break;
+          case Val::Kind::Op:
+            std::memcpy(outputs[o], scratch_[v.buf].data(),
+                        static_cast<std::size_t>(n) * sizeof(std::int64_t));
+            break;
+        }
+    }
+}
+
+void
+PeBatchKernel::runScalar(const std::int64_t *const *inputs,
+                         std::int64_t n, std::int64_t *const *outputs,
+                         int num_outputs)
+{
+    rowIn_.resize(numInputs_);
+    for (std::int64_t r = 0; r < n; ++r) {
+        for (int i = 0; i < numInputs_; ++i)
+            rowIn_[i] = inputs[i][r];
+        fallback_.runRow(rowIn_, rowOut_);
+        for (int o = 0; o < num_outputs; ++o)
+            outputs[o][r] = rowOut_[o];
+    }
+}
+
+} // namespace aquoman

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Columnar batch execution of Row Transformation Programs. A PE
+ * program's per-row FIFO read/write sequence is static (no branches),
+ * so one symbolic pass over the instruction memories turns the whole
+ * systolic array into a DAG of value definitions that can execute
+ * column-at-a-time over flat int64 buffers — no deques, one tight loop
+ * per operation per morsel.
+ *
+ * The compilation is conservative: any program whose semantics depend
+ * on state carried between rows (a register read before its first
+ * write of the row, an operand FIFO that is popped empty or left
+ * non-empty at end of row) is NOT vectorizable, and the kernel falls
+ * back to the scalar SystolicArray interpreter internally, preserving
+ * bit-identical behaviour — including panics on FIFO underflow. The
+ * scalar interpreter therefore stays the semantic oracle; the batch
+ * kernel is only ever a faster way to run the same program.
+ */
+
+#ifndef AQUOMAN_AQUOMAN_PE_BATCH_HH
+#define AQUOMAN_AQUOMAN_PE_BATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "aquoman/pe.hh"
+
+namespace aquoman {
+
+/** Rows per batch-kernel morsel (contiguous flat-buffer runs). */
+constexpr std::int64_t kPeBatchRows = 16384;
+
+/** A systolic-array program compiled for column-at-a-time execution. */
+class PeBatchKernel
+{
+  public:
+    /**
+     * Compile @p programs (one instruction memory per PE, chained
+     * through their FIFOs) for batch execution over @p num_inputs
+     * input columns per row.
+     */
+    PeBatchKernel(const std::vector<std::vector<PeInstruction>> &programs,
+                  int num_inputs);
+
+    /** False when the program needs the scalar fallback. */
+    bool vectorizable() const { return vectorizable_; }
+
+    /** Output values the array produces per row (vectorizable only). */
+    int numOutputs() const { return static_cast<int>(outputs_.size()); }
+
+    /**
+     * Execute rows [0, n): value r of input column i is
+     * inputs[i][r]; output column o is written to outputs[o][0..n).
+     * @param num_outputs output columns the caller consumes per row
+     */
+    void run(const std::int64_t *const *inputs, std::int64_t n,
+             std::int64_t *const *outputs, int num_outputs);
+
+  private:
+    /** One symbolic per-row value (SSA-style definition). */
+    struct Val
+    {
+        enum class Kind : std::uint8_t { Input, Zero, Op };
+        Kind kind = Kind::Zero;
+        int input = -1;               ///< Kind::Input: input column
+        PeOpcode op = PeOpcode::Pass; ///< Kind::Op
+        int a = -1;                   ///< left operand value id
+        int b = -1;                   ///< right operand id (-1: imm/unary)
+        bool useImm = false;
+        std::int64_t imm = 0;
+        int buf = -1;                 ///< scratch buffer (Kind::Op)
+    };
+
+    bool compile(const std::vector<std::vector<PeInstruction>> &programs);
+    void runScalar(const std::int64_t *const *inputs, std::int64_t n,
+                   std::int64_t *const *outputs, int num_outputs);
+
+    int numInputs_ = 0;
+    bool vectorizable_ = false;
+    std::vector<Val> vals_;
+    std::vector<int> outputs_; ///< value ids of the last PE's out FIFO
+    int numBuffers_ = 0;
+    std::vector<std::vector<std::int64_t>> scratch_;
+
+    /// Scalar fallback: the reference interpreter, with its cross-row
+    /// register/opReg state preserved across run() calls.
+    SystolicArray fallback_;
+    std::vector<std::int64_t> rowIn_, rowOut_;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_AQUOMAN_PE_BATCH_HH

@@ -9,10 +9,11 @@
 #ifndef AQUOMAN_COLUMNSTORE_CATALOG_HH
 #define AQUOMAN_COLUMNSTORE_CATALOG_HH
 
+#include <algorithm>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "columnstore/flash_layout.hh"
 
@@ -55,9 +56,12 @@ columnHeapBytes(const CatalogEntry &entry, const std::string &column)
     const Column &c = t.col(column);
     std::int64_t bytes = 0;
     if (c.type() == ColumnType::Varchar) {
-        std::set<std::int64_t> offsets;
+        std::vector<std::int64_t> offsets(c.size());
         for (std::int64_t i = 0; i < c.size(); ++i)
-            offsets.insert(c.get(i));
+            offsets[i] = c.get(i);
+        std::sort(offsets.begin(), offsets.end());
+        offsets.erase(std::unique(offsets.begin(), offsets.end()),
+                      offsets.end());
         for (std::int64_t off : offsets) {
             bytes += static_cast<std::int64_t>(
                 t.strings().get(off).size()) + 1;

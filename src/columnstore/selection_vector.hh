@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Selection vectors for vector-at-a-time execution. A SelectionVector
+ * names the tuples of a relation that are still alive after zero or
+ * more predicate conjuncts, either as a dense range [0, n) (nothing
+ * filtered yet) or as a strictly ascending row-index list. Operators
+ * shrink the selection conjunct by conjunct and materialize values only
+ * at stage boundaries the perf model prices, instead of copying every
+ * column after every predicate.
+ */
+
+#ifndef AQUOMAN_COLUMNSTORE_SELECTION_VECTOR_HH
+#define AQUOMAN_COLUMNSTORE_SELECTION_VECTOR_HH
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/logging.hh"
+
+namespace aquoman {
+
+/**
+ * An ordered set of selected row positions. Dense selections carry no
+ * index storage; sparse selections hold a strictly ascending index
+ * list. A sparse list that covers the full prefix [0, n) is promoted
+ * back to dense on construction, so isDense() is canonical.
+ */
+class SelectionVector
+{
+  public:
+    SelectionVector() = default;
+
+    /** All rows [0, n) selected. */
+    static SelectionVector
+    dense(std::int64_t n)
+    {
+        SelectionVector s;
+        s.count_ = n;
+        return s;
+    }
+
+    /**
+     * Selection from an explicit index list. @p rows must be strictly
+     * ascending; a list equal to [0, rows.size()) is promoted to dense.
+     */
+    static SelectionVector
+    sparse(std::vector<std::int64_t> rows)
+    {
+        SelectionVector s;
+        s.assign(std::move(rows));
+        return s;
+    }
+
+    std::int64_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool isDense() const { return dense_; }
+
+    /** Row id at selection position @p pos. */
+    std::int64_t
+    operator[](std::int64_t pos) const
+    {
+        return dense_ ? pos : idx_[pos];
+    }
+
+    /** Raw index array, or nullptr when dense. */
+    const std::int64_t *
+    data() const
+    {
+        return dense_ ? nullptr : idx_.data();
+    }
+
+    /** Replace the selection with a (subset) index list. */
+    void
+    assign(std::vector<std::int64_t> rows)
+    {
+        count_ = static_cast<std::int64_t>(rows.size());
+        idx_ = std::move(rows);
+        dense_ = false;
+        normalize();
+    }
+
+    /**
+     * Shrink to the positions where @p mask is set. @p mask indexes
+     * selection positions (0..size()), not row ids.
+     */
+    void
+    filter(const BitVector &mask)
+    {
+        std::vector<std::int64_t> next;
+        next.reserve(count_);
+        for (std::int64_t pos = 0; pos < count_; ++pos) {
+            if (mask.get(pos))
+                next.push_back((*this)[pos]);
+        }
+        assign(std::move(next));
+    }
+
+    /** Materialized ascending row-index list (copies when dense). */
+    std::vector<std::int64_t>
+    toIndices() const
+    {
+        if (!dense_)
+            return idx_;
+        std::vector<std::int64_t> out(count_);
+        std::iota(out.begin(), out.end(), 0);
+        return out;
+    }
+
+  private:
+    /** Promote a sparse list equal to [0, n) back to dense. */
+    void
+    normalize()
+    {
+        if (dense_)
+            return;
+        if (idx_.empty()
+                || (idx_.front() == 0 && idx_.back() == count_ - 1)) {
+            dense_ = true;
+            idx_.clear();
+            idx_.shrink_to_fit();
+        }
+    }
+
+    bool dense_ = true;
+    std::int64_t count_ = 0;
+    std::vector<std::int64_t> idx_;
+};
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COLUMNSTORE_SELECTION_VECTOR_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Runtime toggle for the vectorized batch execution engine. The batch
+ * paths (PeBatchKernel, selection-vector filters) are bit-identical to
+ * the scalar interpreter by contract; the flag exists so differential
+ * tests can run both strategies against each other and so a regression
+ * can be bisected in the field (AQUOMAN_BATCH=0 restores the scalar
+ * oracle). Modelled seconds and traces are unaffected either way —
+ * only simulator wall-clock changes.
+ */
+
+#ifndef AQUOMAN_COMMON_BATCH_MODE_HH
+#define AQUOMAN_COMMON_BATCH_MODE_HH
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace aquoman {
+
+namespace detail {
+/// -1 = unresolved, 0 = scalar, 1 = batched.
+inline std::atomic<int> g_batch_mode{-1};
+} // namespace detail
+
+/** Batch engine on? Defaults to on; env AQUOMAN_BATCH=0 disables. */
+inline bool
+batchExecutionEnabled()
+{
+    int v = detail::g_batch_mode.load(std::memory_order_relaxed);
+    if (v < 0) {
+        const char *e = std::getenv("AQUOMAN_BATCH");
+        v = (e != nullptr && std::string_view(e) == "0") ? 0 : 1;
+        detail::g_batch_mode.store(v, std::memory_order_relaxed);
+    }
+    return v == 1;
+}
+
+/** Test hook: force batch (true) or scalar-oracle (false) execution. */
+inline void
+setBatchExecutionEnabled(bool on)
+{
+    detail::g_batch_mode.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COMMON_BATCH_MODE_HH

@@ -1,10 +1,13 @@
 #include "engine/executor.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "columnstore/selection_vector.hh"
+#include "common/batch_mode.hh"
 #include "common/thread_pool.hh"
 #include "obs/trace.hh"
 #include "relalg/eval.hh"
@@ -51,6 +54,107 @@ resolveColumns(const RelTable &t, const std::vector<std::string> &names)
     for (const auto &n : names)
         out.push_back(t.indexOf(n));
     return out;
+}
+
+/**
+ * Fixed-width composite key over up to four non-varchar columns. Key
+ * equality matches the string encoding exactly (raw int64 values), so
+ * hash containers group identical row sets in identical insertion
+ * order — results are bit-identical to the string-keyed path, minus
+ * the per-row string allocation.
+ */
+struct IntKey
+{
+    std::array<std::int64_t, 4> v;
+    std::uint32_t n;
+
+    bool
+    operator==(const IntKey &o) const
+    {
+        return n == o.n && std::equal(v.begin(), v.begin() + n,
+                                      o.v.begin());
+    }
+};
+
+struct IntKeyHash
+{
+    std::size_t
+    operator()(const IntKey &k) const
+    {
+        std::uint64_t h = 0x9e3779b97f4a7c15ull;
+        for (std::uint32_t i = 0; i < k.n; ++i) {
+            std::uint64_t x = static_cast<std::uint64_t>(k.v[i]) + h;
+            x ^= x >> 33;
+            x *= 0xff51afd7ed558ccdull;
+            x ^= x >> 33;
+            h = x;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** Can rows of @p cols be keyed by raw int64 values? */
+bool
+intKeyable(const RelTable &t, const std::vector<int> &cols)
+{
+    if (cols.size() > 4)
+        return false;
+    for (int c : cols) {
+        if (t.col(c).type == ColumnType::Varchar)
+            return false;
+    }
+    return true;
+}
+
+IntKey
+makeIntKey(const RelTable &t, const std::vector<int> &cols,
+           std::int64_t row)
+{
+    IntKey k;
+    k.n = static_cast<std::uint32_t>(cols.size());
+    for (std::uint32_t c = 0; c < k.n; ++c)
+        k.v[c] = t.col(cols[c]).get(row);
+    return k;
+}
+
+/**
+ * Hash-join candidate enumeration, generic over the key type. Builds
+ * on the right side in row order, probes the left in morsels; each
+ * morsel's matches land in a local pair list and concatenation in
+ * morsel order reproduces the serial probe order exactly (equal_range
+ * iteration order is a property of the table, not the prober).
+ */
+template <typename Key, typename Hash, typename MakeKeyFn>
+void
+hashJoinCandidates(const RelTable &left, const std::vector<int> &lk,
+                   const RelTable &right, const std::vector<int> &rk,
+                   MakeKeyFn make_key, std::vector<std::int64_t> &li,
+                   std::vector<std::int64_t> &ri)
+{
+    std::unordered_multimap<Key, std::int64_t, Hash> ht;
+    ht.reserve(right.numRows() * 2);
+    for (std::int64_t j = 0; j < right.numRows(); ++j)
+        ht.emplace(make_key(right, rk, j), j);
+    auto morsels = ThreadPool::splitRange(0, left.numRows(), kMorselRows);
+    std::vector<std::vector<std::int64_t>> lloc(morsels.size());
+    std::vector<std::vector<std::int64_t>> rloc(morsels.size());
+    parallelFor(0, static_cast<std::int64_t>(morsels.size()), 1,
+                [&](std::int64_t m0, std::int64_t m1) {
+        for (std::int64_t m = m0; m < m1; ++m) {
+            auto [b, e] = morsels[m];
+            for (std::int64_t i = b; i < e; ++i) {
+                auto [lo, hi] = ht.equal_range(make_key(left, lk, i));
+                for (auto it = lo; it != hi; ++it) {
+                    lloc[m].push_back(i);
+                    rloc[m].push_back(it->second);
+                }
+            }
+        }
+    });
+    for (std::size_t m = 0; m < morsels.size(); ++m) {
+        li.insert(li.end(), lloc[m].begin(), lloc[m].end());
+        ri.insert(ri.end(), rloc[m].begin(), rloc[m].end());
+    }
 }
 
 /** Three-way compare of two rows on one column (NULL sorts first). */
@@ -307,28 +411,73 @@ Executor::execScan(const Plan &p,
 RelTable
 Executor::execFilter(const Plan &p, const RelTable &in)
 {
-    BitVector mask = evalPredicate(p.predicate, in);
     trace.rowOps += in.numRows() * (1.0 + exprCost(p.predicate));
-    // Candidate-list construction: each morsel collects its surviving
-    // rows locally; concatenating the locals in morsel order yields
-    // exactly the serial ascending row order.
-    auto morsels = ThreadPool::splitRange(0, in.numRows(), kMorselRows);
-    std::vector<std::vector<std::int64_t>> locals(morsels.size());
-    parallelFor(0, static_cast<std::int64_t>(morsels.size()), 1,
-                [&](std::int64_t m0, std::int64_t m1) {
-        for (std::int64_t m = m0; m < m1; ++m) {
-            auto [b, e] = morsels[m];
-            std::vector<std::int64_t> &l = locals[m];
-            for (std::int64_t i = b; i < e; ++i)
-                if (mask.get(i))
-                    l.push_back(i);
-        }
-    });
-    std::vector<std::int64_t> idx;
-    idx.reserve(mask.popcount());
-    for (const auto &l : locals)
-        idx.insert(idx.end(), l.begin(), l.end());
-    return gatherRows(in, idx);
+    if (!batchExecutionEnabled()) {
+        // Scalar oracle: evaluate the whole predicate tree over every
+        // row, then build the candidate list. Each morsel collects its
+        // surviving rows locally; concatenating the locals in morsel
+        // order yields exactly the serial ascending row order.
+        BitVector mask = evalPredicate(p.predicate, in);
+        auto morsels =
+            ThreadPool::splitRange(0, in.numRows(), kMorselRows);
+        std::vector<std::vector<std::int64_t>> locals(morsels.size());
+        parallelFor(0, static_cast<std::int64_t>(morsels.size()), 1,
+                    [&](std::int64_t m0, std::int64_t m1) {
+            for (std::int64_t m = m0; m < m1; ++m) {
+                auto [b, e] = morsels[m];
+                std::vector<std::int64_t> &l = locals[m];
+                for (std::int64_t i = b; i < e; ++i)
+                    if (mask.get(i))
+                        l.push_back(i);
+            }
+        });
+        std::vector<std::int64_t> idx;
+        idx.reserve(mask.popcount());
+        for (const auto &l : locals)
+            idx.insert(idx.end(), l.begin(), l.end());
+        return gatherRows(in, idx);
+    }
+    // Batched: conjuncts short-circuit over a shrinking selection, so
+    // each later conjunct touches only surviving rows instead of the
+    // whole relation. Morsel-local survivor lists concatenated in
+    // morsel order keep the ascending row order (and hence results)
+    // bit-identical to the scalar path for any thread count.
+    std::vector<ExprPtr> conjuncts;
+    splitAndConjuncts(p.predicate, conjuncts);
+    SelectionVector sel = SelectionVector::dense(in.numRows());
+    for (const ExprPtr &c : conjuncts) {
+        if (sel.empty())
+            break;
+        auto morsels = ThreadPool::splitRange(0, sel.size(), kMorselRows);
+        std::vector<std::vector<std::int64_t>> locals(morsels.size());
+        const std::int64_t *base = sel.data(); // nullptr when dense
+        parallelFor(0, static_cast<std::int64_t>(morsels.size()), 1,
+                    [&](std::int64_t m0, std::int64_t m1) {
+            for (std::int64_t m = m0; m < m1; ++m) {
+                auto [b, e] = morsels[m];
+                const std::int64_t *rows =
+                    base == nullptr ? nullptr : base + b;
+                RelColumn v = evalExprSel(c, in, rows, b, e - b, "pred");
+                std::vector<std::int64_t> &l = locals[m];
+                for (std::int64_t j = 0; j < e - b; ++j) {
+                    std::int64_t val = v.get(j);
+                    if (val != 0 && val != kNullValue)
+                        l.push_back(sel[b + j]);
+                }
+            }
+        });
+        std::vector<std::int64_t> next;
+        std::size_t total = 0;
+        for (const auto &l : locals)
+            total += l.size();
+        next.reserve(total);
+        for (const auto &l : locals)
+            next.insert(next.end(), l.begin(), l.end());
+        sel.assign(std::move(next));
+    }
+    if (sel.isDense() && sel.size() == in.numRows())
+        return in; // all rows pass: share columns, materialize nothing
+    return gatherRows(in, sel.toIndices());
 }
 
 RelTable
@@ -376,35 +525,15 @@ Executor::execJoin(const Plan &p, const RelTable &left,
         trace.rowOps += static_cast<double>(left.numRows())
             * right.numRows();
     } else {
-        std::unordered_multimap<std::string, std::int64_t> ht;
-        ht.reserve(right.numRows() * 2);
-        for (std::int64_t j = 0; j < right.numRows(); ++j)
-            ht.emplace(makeKey(right, rk, j), j);
         trace.rowOps += right.numRows() * 4.0;
-        // Probe in morsels over the read-only hash table. Each morsel's
-        // matches land in a local pair list; concatenation in morsel
-        // order reproduces the serial probe order exactly (equal_range
-        // iteration order is a property of the table, not the prober).
-        auto morsels =
-            ThreadPool::splitRange(0, left.numRows(), kMorselRows);
-        std::vector<std::vector<std::int64_t>> lloc(morsels.size());
-        std::vector<std::vector<std::int64_t>> rloc(morsels.size());
-        parallelFor(0, static_cast<std::int64_t>(morsels.size()), 1,
-                    [&](std::int64_t m0, std::int64_t m1) {
-            for (std::int64_t m = m0; m < m1; ++m) {
-                auto [b, e] = morsels[m];
-                for (std::int64_t i = b; i < e; ++i) {
-                    auto [lo, hi] = ht.equal_range(makeKey(left, lk, i));
-                    for (auto it = lo; it != hi; ++it) {
-                        lloc[m].push_back(i);
-                        rloc[m].push_back(it->second);
-                    }
-                }
-            }
-        });
-        for (std::size_t m = 0; m < morsels.size(); ++m) {
-            li.insert(li.end(), lloc[m].begin(), lloc[m].end());
-            ri.insert(ri.end(), rloc[m].begin(), rloc[m].end());
+        if (intKeyable(left, lk) && intKeyable(right, rk)) {
+            // All-integer keys: fixed-width composites skip the
+            // per-row key-string allocation.
+            hashJoinCandidates<IntKey, IntKeyHash>(
+                left, lk, right, rk, makeIntKey, li, ri);
+        } else {
+            hashJoinCandidates<std::string, std::hash<std::string>>(
+                left, lk, right, rk, makeKey, li, ri);
         }
         trace.rowOps += left.numRows() * 4.0 + li.size() * 2.0;
     }
@@ -412,13 +541,40 @@ Executor::execJoin(const Plan &p, const RelTable &left,
     // Apply the residual predicate over the combined candidate rows.
     std::vector<char> pass(li.size(), 1);
     if (p.residual) {
-        RelTable lg = gatherRows(left, li);
-        RelTable rg = gatherRows(right, ri);
+        std::vector<std::string> need;
+        collectColumns(p.residual, need);
         RelTable combined;
-        for (int c = 0; c < lg.numColumns(); ++c)
-            combined.addColumn(lg.col(c));
-        for (int c = 0; c < rg.numColumns(); ++c)
-            combined.addColumn(rg.col(c));
+        if (batchExecutionEnabled() && !need.empty()) {
+            // Gather only the columns the residual references (names
+            // are disjoint across sides), at the candidate pairs.
+            std::int64_t pairs = static_cast<std::int64_t>(li.size());
+            for (const auto &cname : need) {
+                bool from_left = left.hasColumn(cname);
+                const RelColumn &src = from_left ? left.col(cname)
+                                                 : right.col(cname);
+                const std::vector<std::int64_t> &idx =
+                    from_left ? li : ri;
+                RelColumn cc(cname, src.type);
+                cc.heap = src.heap;
+                cc.vals->resize(pairs);
+                std::vector<std::int64_t> &vals = *cc.vals;
+                parallelFor(0, pairs, kMorselRows,
+                            [&](std::int64_t k0, std::int64_t k1) {
+                    for (std::int64_t k = k0; k < k1; ++k) {
+                        std::int64_t i = idx[k];
+                        vals[k] = i < 0 ? kNullValue : src.get(i);
+                    }
+                });
+                combined.addColumn(std::move(cc));
+            }
+        } else {
+            RelTable lg = gatherRows(left, li);
+            RelTable rg = gatherRows(right, ri);
+            for (int c = 0; c < lg.numColumns(); ++c)
+                combined.addColumn(lg.col(c));
+            for (int c = 0; c < rg.numColumns(); ++c)
+                combined.addColumn(rg.col(c));
+        }
         BitVector mask = evalPredicate(p.residual, combined);
         trace.rowOps += li.size() * exprCost(p.residual);
         for (std::size_t k = 0; k < li.size(); ++k)
@@ -494,71 +650,111 @@ Executor::execGroupBy(const Plan &p, const RelTable &in)
         trace.rowOps += in.numRows() * (a.input ? exprCost(a.input) : 0.5);
     }
 
-    struct GroupState
-    {
-        std::int64_t first_row;
-        std::vector<std::int64_t> accum;  // per-agg value
-        std::vector<std::int64_t> counts; // per-agg non-null count
-        std::vector<std::unordered_set<std::int64_t>> distinct;
-    };
-
-    std::unordered_map<std::string, int> index;
-    std::vector<GroupState> groups;
     std::size_t nagg = p.aggregates.size();
 
-    if (p.groupColumns.empty() && in.numRows() == 0) {
-        // SQL: a global aggregate over an empty input yields one row
-        // (NULL for Sum/Min/Max/Avg, 0 for Count).
-        GroupState gs;
-        gs.first_row = -1;
-        gs.accum.assign(nagg, kNullValue);
-        gs.counts.assign(nagg, 0);
-        gs.distinct.resize(nagg);
-        groups.push_back(std::move(gs));
-    }
+    // SQL: a global aggregate over an empty input yields one row
+    // (NULL for Sum/Min/Max/Avg, 0 for Count).
+    bool empty_global = p.groupColumns.empty() && in.numRows() == 0;
 
-    for (std::int64_t i = 0; i < in.numRows(); ++i) {
-        std::string key = makeKey(in, gcols, i);
-        auto [it, fresh] = index.emplace(key,
-                                         static_cast<int>(groups.size()));
-        if (fresh) {
-            GroupState gs;
-            gs.first_row = i;
-            gs.accum.assign(nagg, 0);
-            gs.counts.assign(nagg, 0);
-            gs.distinct.resize(nagg);
-            for (std::size_t a = 0; a < nagg; ++a) {
-                if (p.aggregates[a].kind == AggKind::Min)
-                    gs.accum[a] = std::numeric_limits<std::int64_t>::max();
-                if (p.aggregates[a].kind == AggKind::Max)
-                    gs.accum[a] = std::numeric_limits<std::int64_t>::min();
-            }
-            groups.push_back(std::move(gs));
+    // Group ids in row order; first-seen order defines the output
+    // order, so both key representations yield identical results.
+    std::vector<std::int64_t> first_rows;
+    if (empty_global)
+        first_rows.push_back(-1);
+    std::vector<int> gidx(in.numRows());
+    // Grouping only needs key EQUALITY, and heap interning gives every
+    // distinct string one canonical offset — so varchar group columns
+    // can be keyed by their raw offset values too.
+    if (gcols.size() <= 4) {
+        std::unordered_map<IntKey, int, IntKeyHash> index;
+        index.reserve(in.numRows());
+        for (std::int64_t i = 0; i < in.numRows(); ++i) {
+            auto [it, fresh] = index.emplace(
+                makeIntKey(in, gcols, i),
+                static_cast<int>(first_rows.size()));
+            if (fresh)
+                first_rows.push_back(i);
+            gidx[i] = it->second;
         }
-        GroupState &gs = groups[it->second];
-        for (std::size_t a = 0; a < nagg; ++a) {
-            std::int64_t v = agg_in[a].get(i);
-            if (v == kNullValue)
-                continue;
-            gs.counts[a]++;
-            switch (p.aggregates[a].kind) {
-              case AggKind::Sum:
-              case AggKind::Avg:
-                gs.accum[a] += v;
-                break;
-              case AggKind::Min:
-                gs.accum[a] = std::min(gs.accum[a], v);
-                break;
-              case AggKind::Max:
-                gs.accum[a] = std::max(gs.accum[a], v);
-                break;
-              case AggKind::Count:
-                break;
-              case AggKind::CountDistinct:
-                gs.distinct[a].insert(v);
-                break;
-            }
+    } else {
+        std::unordered_map<std::string, int> index;
+        index.reserve(in.numRows());
+        for (std::int64_t i = 0; i < in.numRows(); ++i) {
+            auto [it, fresh] = index.emplace(
+                makeKey(in, gcols, i),
+                static_cast<int>(first_rows.size()));
+            if (fresh)
+                first_rows.push_back(i);
+            gidx[i] = it->second;
         }
+    }
+    std::int64_t num_groups =
+        static_cast<std::int64_t>(first_rows.size());
+
+    // Accumulate one aggregate at a time into flat per-group arrays.
+    // Each group still sees its rows in ascending row order, so every
+    // accumulator value matches the row-at-a-time formulation exactly.
+    std::vector<std::int64_t> accum(nagg * num_groups, 0);
+    std::vector<std::int64_t> counts(nagg * num_groups, 0);
+    std::vector<std::vector<std::unordered_set<std::int64_t>>>
+        distinct(nagg);
+    std::int64_t nrows = in.numRows();
+    for (std::size_t a = 0; a < nagg; ++a) {
+        std::int64_t *acc = accum.data() + a * num_groups;
+        std::int64_t *cnt = counts.data() + a * num_groups;
+        const std::vector<std::int64_t> &av = *agg_in[a].vals;
+        switch (p.aggregates[a].kind) {
+          case AggKind::Sum:
+          case AggKind::Avg:
+            for (std::int64_t i = 0; i < nrows; ++i) {
+                std::int64_t v = av[i];
+                if (v == kNullValue)
+                    continue;
+                cnt[gidx[i]]++;
+                acc[gidx[i]] += v;
+            }
+            break;
+          case AggKind::Min:
+            std::fill(acc, acc + num_groups,
+                      std::numeric_limits<std::int64_t>::max());
+            for (std::int64_t i = 0; i < nrows; ++i) {
+                std::int64_t v = av[i];
+                if (v == kNullValue)
+                    continue;
+                cnt[gidx[i]]++;
+                acc[gidx[i]] = std::min(acc[gidx[i]], v);
+            }
+            break;
+          case AggKind::Max:
+            std::fill(acc, acc + num_groups,
+                      std::numeric_limits<std::int64_t>::min());
+            for (std::int64_t i = 0; i < nrows; ++i) {
+                std::int64_t v = av[i];
+                if (v == kNullValue)
+                    continue;
+                cnt[gidx[i]]++;
+                acc[gidx[i]] = std::max(acc[gidx[i]], v);
+            }
+            break;
+          case AggKind::Count:
+            for (std::int64_t i = 0; i < nrows; ++i) {
+                if (av[i] != kNullValue)
+                    cnt[gidx[i]]++;
+            }
+            break;
+          case AggKind::CountDistinct:
+            distinct[a].resize(num_groups);
+            for (std::int64_t i = 0; i < nrows; ++i) {
+                std::int64_t v = av[i];
+                if (v == kNullValue)
+                    continue;
+                cnt[gidx[i]]++;
+                distinct[a][gidx[i]].insert(v);
+            }
+            break;
+        }
+        if (empty_global)
+            acc[0] = kNullValue;
     }
     double group_cost = in.numRows() * (4.0 + nagg);
     trace.rowOps += group_cost;
@@ -568,7 +764,6 @@ Executor::execGroupBy(const Plan &p, const RelTable &in)
     // the behaviour AQUOMAN exploits on q17/q18 (Sec. VIII-B: "the
     // part that is off-loaded happens to execute sequentially on the
     // host, effectively using only one hardware thread").
-    std::int64_t num_groups = static_cast<std::int64_t>(groups.size());
     if (num_groups > 1024 && num_groups > in.numRows() / 50)
         trace.seqRowOps += group_cost * 0.9;
 
@@ -577,8 +772,8 @@ Executor::execGroupBy(const Plan &p, const RelTable &in)
         const RelColumn &src = in.col(gc);
         RelColumn dst(src.name, src.type);
         dst.heap = src.heap;
-        for (const auto &g : groups)
-            dst.vals->push_back(src.get(g.first_row));
+        for (std::int64_t g = 0; g < num_groups; ++g)
+            dst.vals->push_back(src.get(first_rows[g]));
         out.addColumn(std::move(dst));
     }
     for (std::size_t a = 0; a < nagg; ++a) {
@@ -591,28 +786,30 @@ Executor::execGroupBy(const Plan &p, const RelTable &in)
         } else if (spec.kind == AggKind::Avg) {
             out_type = ColumnType::Decimal;
         }
+        const std::int64_t *acc = accum.data() + a * num_groups;
+        const std::int64_t *cnt = counts.data() + a * num_groups;
         RelColumn dst(spec.name, out_type);
-        for (const auto &g : groups) {
+        for (std::int64_t g = 0; g < num_groups; ++g) {
             std::int64_t v = 0;
             switch (spec.kind) {
               case AggKind::Sum:
-                v = g.accum[a];
+                v = acc[g];
                 break;
               case AggKind::Min:
               case AggKind::Max:
-                v = g.counts[a] ? g.accum[a] : kNullValue;
+                v = cnt[g] ? acc[g] : kNullValue;
                 break;
               case AggKind::Count:
-                v = g.counts[a];
+                v = cnt[g];
                 break;
               case AggKind::CountDistinct:
-                v = static_cast<std::int64_t>(g.distinct[a].size());
+                v = static_cast<std::int64_t>(distinct[a][g].size());
                 break;
               case AggKind::Avg: {
-                std::int64_t sum = g.accum[a];
+                std::int64_t sum = acc[g];
                 if (in_type != ColumnType::Decimal)
                     sum *= kDecimalScale;
-                v = g.counts[a] ? sum / g.counts[a] : kNullValue;
+                v = cnt[g] ? sum / cnt[g] : kNullValue;
                 break;
               }
             }
@@ -632,15 +829,35 @@ Executor::execOrderBy(const Plan &p, const RelTable &in)
     std::vector<std::int64_t> idx(in.numRows());
     for (std::int64_t i = 0; i < in.numRows(); ++i)
         idx[i] = i;
-    std::stable_sort(idx.begin(), idx.end(),
-        [&](std::int64_t a, std::int64_t b) {
-            for (std::size_t k = 0; k < keys.size(); ++k) {
-                int c = compareValues(in.col(keys[k]), a, b);
-                if (c != 0)
-                    return p.sortKeys[k].descending ? c > 0 : c < 0;
-            }
-            return false;
-        });
+    if (intKeyable(in, keys)) {
+        // All-integer sort keys: compare raw values without the
+        // per-key column-type dispatch.
+        std::vector<const std::int64_t *> kv;
+        std::vector<bool> desc;
+        for (std::size_t k = 0; k < keys.size(); ++k) {
+            kv.push_back(in.col(keys[k]).vals->data());
+            desc.push_back(p.sortKeys[k].descending);
+        }
+        std::stable_sort(idx.begin(), idx.end(),
+            [&](std::int64_t a, std::int64_t b) {
+                for (std::size_t k = 0; k < kv.size(); ++k) {
+                    std::int64_t x = kv[k][a], y = kv[k][b];
+                    if (x != y)
+                        return desc[k] ? x > y : x < y;
+                }
+                return false;
+            });
+    } else {
+        std::stable_sort(idx.begin(), idx.end(),
+            [&](std::int64_t a, std::int64_t b) {
+                for (std::size_t k = 0; k < keys.size(); ++k) {
+                    int c = compareValues(in.col(keys[k]), a, b);
+                    if (c != 0)
+                        return p.sortKeys[k].descending ? c > 0 : c < 0;
+                }
+                return false;
+            });
+    }
     double n = static_cast<double>(std::max<std::int64_t>(in.numRows(), 1));
     double sort_ops = n * std::log2(n + 1) * 3.0;
     trace.rowOps += sort_ops;

@@ -10,8 +10,8 @@
 #ifndef AQUOMAN_FLASH_CONTROLLER_SWITCH_HH
 #define AQUOMAN_FLASH_CONTROLLER_SWITCH_HH
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "common/stats.hh"
 #include "flash/flash_device.hh"
@@ -43,11 +43,8 @@ class ControllerSwitch
          void *out, std::int64_t bytes)
     {
         device.read(ext, offset, out, bytes);
-        {
-            std::lock_guard<std::mutex> lock(statsMu);
-            portStats.add(portName(port) + ".bytesRead",
-                          static_cast<double>(bytes));
-        }
+        portBytesRead[portIdx(port)].fetch_add(
+            bytes, std::memory_order_relaxed);
         observePort("bytes_read", port, bytes);
     }
 
@@ -57,11 +54,8 @@ class ControllerSwitch
           const void *data, std::int64_t bytes)
     {
         device.write(ext, offset, data, bytes);
-        {
-            std::lock_guard<std::mutex> lock(statsMu);
-            portStats.add(portName(port) + ".bytesWritten",
-                          static_cast<double>(bytes));
-        }
+        portBytesWritten[portIdx(port)].fetch_add(
+            bytes, std::memory_order_relaxed);
         observePort("bytes_written", port, bytes);
     }
 
@@ -74,11 +68,8 @@ class ControllerSwitch
     void
     accountRead(FlashPort port, std::int64_t bytes)
     {
-        {
-            std::lock_guard<std::mutex> lock(statsMu);
-            portStats.add(portName(port) + ".bytesRead",
-                          static_cast<double>(bytes));
-        }
+        portBytesRead[portIdx(port)].fetch_add(
+            bytes, std::memory_order_relaxed);
         observePort("bytes_read", port, bytes);
     }
 
@@ -86,11 +77,8 @@ class ControllerSwitch
     void
     accountWrite(FlashPort port, std::int64_t bytes)
     {
-        {
-            std::lock_guard<std::mutex> lock(statsMu);
-            portStats.add(portName(port) + ".bytesWritten",
-                          static_cast<double>(bytes));
-        }
+        portBytesWritten[portIdx(port)].fetch_add(
+            bytes, std::memory_order_relaxed);
         observePort("bytes_written", port, bytes);
     }
 
@@ -98,18 +86,16 @@ class ControllerSwitch
     std::int64_t
     bytesRead(FlashPort port) const
     {
-        std::lock_guard<std::mutex> lock(statsMu);
-        return static_cast<std::int64_t>(
-            portStats.get(portName(port) + ".bytesRead"));
+        return portBytesRead[portIdx(port)].load(
+            std::memory_order_relaxed);
     }
 
     /** Total bytes written on @p port (real + modelled). */
     std::int64_t
     bytesWritten(FlashPort port) const
     {
-        std::lock_guard<std::mutex> lock(statsMu);
-        return static_cast<std::int64_t>(
-            portStats.get(portName(port) + ".bytesWritten"));
+        return portBytesWritten[portIdx(port)].load(
+            std::memory_order_relaxed);
     }
 
     /**
@@ -123,8 +109,26 @@ class ControllerSwitch
         return both_ports_active ? bw / 2.0 : bw;
     }
 
-    /** Per-port traffic counters. */
-    const StatSet &stats() const { return portStats; }
+    /**
+     * Snapshot of the per-port traffic counters. The hot-path ledgers
+     * are relaxed atomics (exact sums, no mutex on read/write paths).
+     */
+    StatSet
+    stats() const
+    {
+        StatSet s;
+        for (FlashPort port : {FlashPort::Host, FlashPort::Aquoman}) {
+            std::int64_t r = bytesRead(port);
+            std::int64_t w = bytesWritten(port);
+            if (r != 0)
+                s.add(portName(port) + ".bytesRead",
+                      static_cast<double>(r));
+            if (w != 0)
+                s.add(portName(port) + ".bytesWritten",
+                      static_cast<double>(w));
+        }
+        return s;
+    }
 
     /** Underlying device. */
     FlashDevice &dev() { return device; }
@@ -148,10 +152,13 @@ class ControllerSwitch
         }
     }
 
+    static int portIdx(FlashPort port) { return static_cast<int>(port); }
+
     FlashDevice &device;
-    /// Queries run concurrently through one switch; counters serialise.
-    mutable std::mutex statsMu;
-    StatSet portStats;
+    /// Queries run concurrently through one switch; the per-port byte
+    /// ledgers are lock-free relaxed atomics (exact sums).
+    mutable std::atomic<std::int64_t> portBytesRead[2]{};
+    mutable std::atomic<std::int64_t> portBytesWritten[2]{};
 };
 
 } // namespace aquoman

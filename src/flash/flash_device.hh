@@ -10,6 +10,7 @@
 #ifndef AQUOMAN_FLASH_FLASH_DEVICE_HH
 #define AQUOMAN_FLASH_FLASH_DEVICE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <mutex>
@@ -90,26 +91,33 @@ class FlashDevice
     {
         AQ_ASSERT(offset >= 0 && offset + bytes <= ext.numPages
                   * config.pageBytes);
-        std::lock_guard<std::mutex> lock(mu);
-        const auto *src = static_cast<const std::uint8_t *>(data);
-        std::int64_t pos = offset;
-        std::int64_t remaining = bytes;
-        while (remaining > 0) {
-            PageId page = ext.firstPage + pos / config.pageBytes;
-            std::int64_t in_page = pos % config.pageBytes;
-            std::int64_t chunk =
-                std::min(remaining, config.pageBytes - in_page);
-            ensurePage(page);
-            std::memcpy(pageStore[page].data() + in_page, src, chunk);
-            src += chunk;
-            pos += chunk;
-            remaining -= chunk;
+        {
+            // The mutex only serialises the page store; the ledger
+            // below is lock-free.
+            std::lock_guard<std::mutex> lock(mu);
+            const auto *src = static_cast<const std::uint8_t *>(data);
+            std::int64_t pos = offset;
+            std::int64_t remaining = bytes;
+            while (remaining > 0) {
+                PageId page = ext.firstPage + pos / config.pageBytes;
+                std::int64_t in_page = pos % config.pageBytes;
+                std::int64_t chunk =
+                    std::min(remaining, config.pageBytes - in_page);
+                ensurePage(page);
+                std::memcpy(pageStore[page].data() + in_page, src,
+                            chunk);
+                src += chunk;
+                pos += chunk;
+                remaining -= chunk;
+            }
         }
         std::int64_t pages_touched =
             (bytes + config.pageBytes - 1) / config.pageBytes;
-        statSet.add("flash.bytesWritten", static_cast<double>(bytes));
-        statSet.add("flash.pagesWritten",
-                    static_cast<double>(pages_touched));
+        // Hot-path ledger: relaxed atomics, no ordering needed — the
+        // counters are pure sums read after the writers joined.
+        bytesWrittenCtr.fetch_add(bytes, std::memory_order_relaxed);
+        pagesWrittenCtr.fetch_add(pages_touched,
+                                  std::memory_order_relaxed);
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
         if (reg.enabled()) {
             reg.add("flash." + config.name + ".bytes_written",
@@ -129,30 +137,33 @@ class FlashDevice
     {
         AQ_ASSERT(offset >= 0 && offset + bytes <= ext.numPages
                   * config.pageBytes);
-        std::lock_guard<std::mutex> lock(mu);
-        auto *dst = static_cast<std::uint8_t *>(out);
-        std::int64_t pos = offset;
-        std::int64_t remaining = bytes;
-        while (remaining > 0) {
-            PageId page = ext.firstPage + pos / config.pageBytes;
-            std::int64_t in_page = pos % config.pageBytes;
-            std::int64_t chunk =
-                std::min(remaining, config.pageBytes - in_page);
-            if (page < static_cast<PageId>(pageStore.size())
-                    && !pageStore[page].empty()) {
-                std::memcpy(dst, pageStore[page].data() + in_page, chunk);
-            } else {
-                std::memset(dst, 0, chunk); // erased page reads as zero
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            auto *dst = static_cast<std::uint8_t *>(out);
+            std::int64_t pos = offset;
+            std::int64_t remaining = bytes;
+            while (remaining > 0) {
+                PageId page = ext.firstPage + pos / config.pageBytes;
+                std::int64_t in_page = pos % config.pageBytes;
+                std::int64_t chunk =
+                    std::min(remaining, config.pageBytes - in_page);
+                if (page < static_cast<PageId>(pageStore.size())
+                        && !pageStore[page].empty()) {
+                    std::memcpy(dst, pageStore[page].data() + in_page,
+                                chunk);
+                } else {
+                    std::memset(dst, 0, chunk); // erased reads as zero
+                }
+                dst += chunk;
+                pos += chunk;
+                remaining -= chunk;
             }
-            dst += chunk;
-            pos += chunk;
-            remaining -= chunk;
         }
         std::int64_t pages_touched =
             (bytes + config.pageBytes - 1) / config.pageBytes;
-        statSet.add("flash.bytesRead", static_cast<double>(bytes));
-        statSet.add("flash.pagesRead",
-                    static_cast<double>(pages_touched));
+        bytesReadCtr.fetch_add(bytes, std::memory_order_relaxed);
+        pagesReadCtr.fetch_add(pages_touched,
+                               std::memory_order_relaxed);
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
         if (reg.enabled()) {
             reg.add("flash." + config.name + ".bytes_read",
@@ -163,8 +174,30 @@ class FlashDevice
         }
     }
 
-    /** Traffic counters (bytesRead/bytesWritten/pagesRead/pagesWritten). */
-    StatSet &stats() const { return statSet; }
+    /**
+     * Snapshot of the traffic counters (flash.bytesRead/bytesWritten/
+     * pagesRead/pagesWritten). The hot-path ledgers are relaxed
+     * atomics; each is an exact sum of the increments that happened
+     * before the call.
+     */
+    StatSet
+    stats() const
+    {
+        StatSet s;
+        s.add("flash.bytesRead",
+              static_cast<double>(
+                  bytesReadCtr.load(std::memory_order_relaxed)));
+        s.add("flash.bytesWritten",
+              static_cast<double>(
+                  bytesWrittenCtr.load(std::memory_order_relaxed)));
+        s.add("flash.pagesRead",
+              static_cast<double>(
+                  pagesReadCtr.load(std::memory_order_relaxed)));
+        s.add("flash.pagesWritten",
+              static_cast<double>(
+                  pagesWrittenCtr.load(std::memory_order_relaxed)));
+        return s;
+    }
 
     /** Pages currently allocated. */
     std::int64_t allocatedPages() const { return nextFreePage; }
@@ -181,11 +214,15 @@ class FlashDevice
 
     FlashConfig config;
     /// One device serves concurrent host/AQUOMAN streams; the command
-    /// queue serialises page operations (and the traffic counters).
+    /// queue serialises page operations. The traffic counters are
+    /// lock-free so the ledger adds no serialisation of their own.
     mutable std::mutex mu;
     std::vector<std::vector<std::uint8_t>> pageStore;
     PageId nextFreePage = 0;
-    mutable StatSet statSet;
+    mutable std::atomic<std::int64_t> bytesReadCtr{0};
+    mutable std::atomic<std::int64_t> bytesWrittenCtr{0};
+    mutable std::atomic<std::int64_t> pagesReadCtr{0};
+    mutable std::atomic<std::int64_t> pagesWrittenCtr{0};
 };
 
 } // namespace aquoman

@@ -1,6 +1,7 @@
 #include "relalg/eval.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/decimal.hh"
 #include "relalg/plan.hh"
@@ -41,6 +42,20 @@ cmpResult(CmpOp op, int c)
       case CmpOp::Ge: return c >= 0;
     }
     return 0;
+}
+
+/**
+ * The varchar column @p e references directly, or nullptr. Heap
+ * interning dedupes (one canonical offset per distinct string), so
+ * string equality against such a column reduces to offset equality.
+ */
+const RelColumn *
+varcharColRef(const ExprPtr &e, const RelTable &input)
+{
+    if (e->kind != ExprKind::ColRef)
+        return nullptr;
+    const RelColumn &c = input.col(input.indexOf(e->column));
+    return c.type == ColumnType::Varchar && c.heap ? &c : nullptr;
 }
 
 } // namespace
@@ -147,6 +162,29 @@ evalExpr(const ExprPtr &e, const RelTable &input, const std::string &name)
         break;
       }
       case ExprKind::Compare: {
+        if (e->cmpOp == CmpOp::Eq || e->cmpOp == CmpOp::Ne) {
+            // varchar column vs string constant: compare interned
+            // offsets instead of string bytes (same result, dedupe
+            // makes the canonical offset unique).
+            const RelColumn *col = nullptr;
+            const Expr *cst = nullptr;
+            if (e->children[1]->kind == ExprKind::ConstStr) {
+                col = varcharColRef(e->children[0], input);
+                cst = e->children[1].get();
+            } else if (e->children[0]->kind == ExprKind::ConstStr) {
+                col = varcharColRef(e->children[1], input);
+                cst = e->children[0].get();
+            }
+            if (col && cst) {
+                std::int64_t off = col->heap->find(cst->strVal);
+                bool want_eq = e->cmpOp == CmpOp::Eq;
+                const std::vector<std::int64_t> &sv = *col->vals;
+                out.vals->resize(n);
+                for (std::int64_t i = 0; i < n; ++i)
+                    (*out.vals)[i] = (sv[i] == off) == want_eq;
+                break;
+            }
+        }
         RelColumn a = evalExpr(e->children[0], input);
         RelColumn b = evalExpr(e->children[1], input);
         out.vals->resize(n);
@@ -199,6 +237,23 @@ evalExpr(const ExprPtr &e, const RelTable &input, const std::string &name)
         break;
       }
       case ExprKind::Like: {
+        const RelColumn *dict = varcharColRef(e->children[0], input);
+        if (dict && dict->heap->numStrings() * 4 < n) {
+            // Small dictionary: match each distinct string once and
+            // reuse the verdict by interned offset.
+            std::unordered_map<std::int64_t, std::int64_t> memo;
+            memo.reserve(dict->heap->numStrings());
+            const std::vector<std::int64_t> &sv = *dict->vals;
+            out.vals->resize(n);
+            for (std::int64_t i = 0; i < n; ++i) {
+                auto [it, fresh] = memo.try_emplace(sv[i], 0);
+                if (fresh)
+                    it->second = likeMatch(dict->heap->get(sv[i]),
+                                           e->pattern);
+                (*out.vals)[i] = it->second;
+            }
+            break;
+        }
         RelColumn a = evalExpr(e->children[0], input);
         AQ_ASSERT(isStringType(a.type), "LIKE over non-string");
         out.vals->resize(n);
@@ -207,6 +262,25 @@ evalExpr(const ExprPtr &e, const RelTable &input, const std::string &name)
         break;
       }
       case ExprKind::InList: {
+        if (!e->listStrs.empty()) {
+            const RelColumn *col = varcharColRef(e->children[0], input);
+            if (col) {
+                // Resolve each list literal to its interned offset
+                // (-1 when absent, which matches no row).
+                std::vector<std::int64_t> offs;
+                for (const std::string &v : e->listStrs)
+                    offs.push_back(col->heap->find(v));
+                const std::vector<std::int64_t> &sv = *col->vals;
+                out.vals->resize(n);
+                for (std::int64_t i = 0; i < n; ++i) {
+                    std::int64_t v = sv[i];
+                    bool hit = std::find(offs.begin(), offs.end(), v)
+                        != offs.end();
+                    (*out.vals)[i] = hit;
+                }
+                break;
+            }
+        }
         RelColumn a = evalExpr(e->children[0], input);
         out.vals->resize(n);
         if (!e->listStrs.empty()) {
@@ -271,10 +345,83 @@ BitVector
 evalPredicate(const ExprPtr &e, const RelTable &input)
 {
     RelColumn c = evalExpr(e, input, "pred");
-    BitVector bv(input.numRows());
-    for (std::int64_t i = 0; i < input.numRows(); ++i)
-        bv.set(i, c.get(i) != 0 && c.get(i) != kNullValue);
+    std::int64_t n = input.numRows();
+    BitVector bv(n);
+    const std::vector<std::int64_t> &vals = *c.vals;
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t v = vals[i];
+        bv.set(i, v != 0 && v != kNullValue);
+    }
     return bv;
+}
+
+RelColumn
+evalExprSel(const ExprPtr &e, const RelTable &input,
+            const std::int64_t *rows, std::int64_t first, std::int64_t n,
+            const std::string &name)
+{
+    if (rows == nullptr && first == 0 && n == input.numRows())
+        return evalExpr(e, input, name);
+    // Late materialization: gather only the referenced leaf columns at
+    // the selected positions, then run the reference evaluator over
+    // the compacted sub-relation. Interior nodes therefore execute the
+    // exact evalExpr loops, just over n rows instead of all of them.
+    std::vector<std::string> cols;
+    collectColumns(e, cols);
+    RelTable sub;
+    for (const auto &cname : cols) {
+        const RelColumn &src = input.col(input.indexOf(cname));
+        RelColumn cc(cname, src.type);
+        cc.heap = src.heap;
+        cc.vals->resize(n);
+        std::vector<std::int64_t> &vals = *cc.vals;
+        if (rows == nullptr) {
+            const std::vector<std::int64_t> &sv = *src.vals;
+            std::copy(sv.begin() + first, sv.begin() + first + n,
+                      vals.begin());
+        } else {
+            for (std::int64_t i = 0; i < n; ++i)
+                vals[i] = src.get(rows[i]);
+        }
+        sub.addColumn(std::move(cc));
+    }
+    if (sub.numColumns() == 0) {
+        // Constant expression: give the sub-relation its row count via
+        // a dummy column the expression never references.
+        RelColumn dummy("__sel_rows", ColumnType::Int64);
+        dummy.vals->assign(n, 0);
+        sub.addColumn(std::move(dummy));
+    }
+    return evalExpr(e, sub, name);
+}
+
+void
+splitAndConjuncts(const ExprPtr &e, std::vector<ExprPtr> &out)
+{
+    if (e->kind == ExprKind::Logic && e->logicOp == LogicOp::And) {
+        splitAndConjuncts(e->children[0], out);
+        splitAndConjuncts(e->children[1], out);
+    } else {
+        out.push_back(e);
+    }
+}
+
+void
+filterSelection(const ExprPtr &pred, const RelTable &input,
+                SelectionVector &sel)
+{
+    std::vector<ExprPtr> conjuncts;
+    splitAndConjuncts(pred, conjuncts);
+    for (const ExprPtr &c : conjuncts) {
+        if (sel.empty())
+            break;
+        std::int64_t n = sel.size();
+        RelColumn v = evalExprSel(c, input, sel.data(), 0, n, "pred");
+        BitVector mask(n);
+        for (std::int64_t i = 0; i < n; ++i)
+            mask.set(i, v.get(i) != 0 && v.get(i) != kNullValue);
+        sel.filter(mask);
+    }
 }
 
 } // namespace aquoman

@@ -9,8 +9,11 @@
 #ifndef AQUOMAN_RELALG_EVAL_HH
 #define AQUOMAN_RELALG_EVAL_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "columnstore/selection_vector.hh"
 #include "common/bitvector.hh"
 #include "relalg/expr.hh"
 #include "relalg/reltable.hh"
@@ -30,6 +33,29 @@ RelColumn evalExpr(const ExprPtr &e, const RelTable &input,
 
 /** Evaluate a boolean expression into a row-selection bit vector. */
 BitVector evalPredicate(const ExprPtr &e, const RelTable &input);
+
+/**
+ * Evaluate @p e at @p n selected rows of @p input into a column of
+ * length @p n. @p rows names the selected row ids; when nullptr the
+ * selection is the dense range [first, first + n). The full dense
+ * range delegates to evalExpr (zero-copy column references), so the
+ * two entry points are bit-identical by construction.
+ */
+RelColumn evalExprSel(const ExprPtr &e, const RelTable &input,
+                      const std::int64_t *rows, std::int64_t first,
+                      std::int64_t n, const std::string &name = "expr");
+
+/** Split the top-level AND tree of @p e into its conjuncts, in order. */
+void splitAndConjuncts(const ExprPtr &e, std::vector<ExprPtr> &out);
+
+/**
+ * Shrink @p sel to the rows of @p input passing @p pred, evaluating
+ * conjunct by conjunct so later conjuncts only see survivors. The
+ * resulting selection is exactly the ascending pass set evalPredicate
+ * would produce over the rows @p sel selects.
+ */
+void filterSelection(const ExprPtr &pred, const RelTable &input,
+                     SelectionVector &sel);
 
 } // namespace aquoman
 

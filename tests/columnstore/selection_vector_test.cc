@@ -1,0 +1,146 @@
+/** @file
+ * Unit tests for SelectionVector: dense/sparse representations, the
+ * canonical promotion of full-prefix sparse lists back to dense, and
+ * conjunct-style shrinking with BitVector masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "columnstore/selection_vector.hh"
+
+namespace aquoman {
+namespace {
+
+TEST(SelectionVectorTest, DefaultIsEmptyDense)
+{
+    SelectionVector s;
+    EXPECT_TRUE(s.isDense());
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0);
+    EXPECT_EQ(s.data(), nullptr);
+    EXPECT_TRUE(s.toIndices().empty());
+}
+
+TEST(SelectionVectorTest, DenseCoversPrefix)
+{
+    SelectionVector s = SelectionVector::dense(5);
+    EXPECT_TRUE(s.isDense());
+    EXPECT_EQ(s.size(), 5);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.data(), nullptr);
+    for (std::int64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(s[i], i);
+    EXPECT_EQ(s.toIndices(), (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SelectionVectorTest, SparseKeepsAscendingRows)
+{
+    SelectionVector s = SelectionVector::sparse({1, 4, 7});
+    EXPECT_FALSE(s.isDense());
+    EXPECT_EQ(s.size(), 3);
+    EXPECT_EQ(s[0], 1);
+    EXPECT_EQ(s[1], 4);
+    EXPECT_EQ(s[2], 7);
+    ASSERT_NE(s.data(), nullptr);
+    EXPECT_EQ(s.data()[2], 7);
+    EXPECT_EQ(s.toIndices(), (std::vector<std::int64_t>{1, 4, 7}));
+}
+
+TEST(SelectionVectorTest, FullPrefixSparsePromotesToDense)
+{
+    // isDense() is canonical: [0, n) never hides behind an index list.
+    SelectionVector s = SelectionVector::sparse({0, 1, 2, 3});
+    EXPECT_TRUE(s.isDense());
+    EXPECT_EQ(s.size(), 4);
+    EXPECT_EQ(s.data(), nullptr);
+    EXPECT_EQ(s[3], 3);
+}
+
+TEST(SelectionVectorTest, EmptySparsePromotesToDense)
+{
+    SelectionVector s = SelectionVector::sparse({});
+    EXPECT_TRUE(s.isDense());
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SelectionVectorTest, AssignReplacesSelection)
+{
+    SelectionVector s = SelectionVector::dense(10);
+    s.assign({2, 3, 9});
+    EXPECT_FALSE(s.isDense());
+    EXPECT_EQ(s.size(), 3);
+    EXPECT_EQ(s[2], 9);
+
+    // Assigning the full prefix promotes back to dense.
+    s.assign({0, 1, 2});
+    EXPECT_TRUE(s.isDense());
+    EXPECT_EQ(s.size(), 3);
+}
+
+TEST(SelectionVectorTest, FilterShrinksDenseToSparse)
+{
+    // Masks index selection positions, not row ids.
+    SelectionVector s = SelectionVector::dense(6);
+    BitVector keep(6);
+    keep.set(1, true);
+    keep.set(4, true);
+    s.filter(keep);
+    EXPECT_FALSE(s.isDense());
+    EXPECT_EQ(s.size(), 2);
+    EXPECT_EQ(s[0], 1);
+    EXPECT_EQ(s[1], 4);
+}
+
+TEST(SelectionVectorTest, FilterComposesConjuncts)
+{
+    // Second conjunct's mask positions are relative to the survivors
+    // of the first, exactly how shrinking conjunct evaluation uses it.
+    SelectionVector s = SelectionVector::dense(8);
+    BitVector even(8);
+    for (std::int64_t i = 0; i < 8; i += 2)
+        even.set(i, true);
+    s.filter(even); // rows 0 2 4 6
+    ASSERT_EQ(s.size(), 4);
+
+    BitVector tail(4);
+    tail.set(2, true);
+    tail.set(3, true);
+    s.filter(tail);
+    EXPECT_EQ(s.size(), 2);
+    EXPECT_EQ(s[0], 4);
+    EXPECT_EQ(s[1], 6);
+}
+
+TEST(SelectionVectorTest, FilterAllTrueOnDenseStaysDense)
+{
+    SelectionVector s = SelectionVector::dense(4);
+    BitVector all(4);
+    for (std::int64_t i = 0; i < 4; ++i)
+        all.set(i, true);
+    s.filter(all);
+    EXPECT_TRUE(s.isDense());
+    EXPECT_EQ(s.size(), 4);
+}
+
+TEST(SelectionVectorTest, FilterAllFalseEmptiesSelection)
+{
+    SelectionVector s = SelectionVector::sparse({3, 5});
+    BitVector none(2);
+    s.filter(none);
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(s.isDense()); // empty is canonically dense
+    EXPECT_TRUE(s.toIndices().empty());
+}
+
+TEST(SelectionVectorTest, SparsePrefixWithGapStaysSparse)
+{
+    // Starts at row 0 but skips rows: not the full prefix [0, n), so
+    // it must stay sparse ({0,2,3} has back()==3 != size()-1==2).
+    SelectionVector s = SelectionVector::sparse({0, 2, 3});
+    EXPECT_FALSE(s.isDense());
+    EXPECT_EQ(s.size(), 3);
+    EXPECT_EQ(s[1], 2);
+}
+
+} // namespace
+} // namespace aquoman

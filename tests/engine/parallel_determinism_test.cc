@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string_view>
 #include <vector>
 
+#include "common/batch_mode.hh"
 #include "common/thread_pool.hh"
 #include "engine/executor.hh"
 #include "tpch/dbgen.hh"
@@ -117,6 +120,10 @@ class ParallelDeterminism : public ::testing::Test
     {
         ThreadPool::setGlobalParallelism(
             ThreadPool::configuredParallelism());
+        // Restore whatever AQUOMAN_BATCH asked for, even on failure.
+        const char *env = std::getenv("AQUOMAN_BATCH");
+        setBatchExecutionEnabled(env == nullptr
+                                 || std::string_view(env) != "0");
     }
 };
 
@@ -141,6 +148,36 @@ TEST_F(ParallelDeterminism, SerialAndParallelRunsAreBitIdentical)
         expectRelTablesIdentical(serial.results[i], parallel.results[i],
                                  kQueries[i]);
         expectMetricsIdentical(serial.metrics[i], parallel.metrics[i],
+                               kQueries[i]);
+    }
+}
+
+/**
+ * The batch engine's central contract: vectorized execution is a pure
+ * wall-clock optimization. Query results AND the modelled metrics must
+ * be bit-identical to the scalar-oracle interpreter, at every thread
+ * count (the batch paths and morsel parallelism compose).
+ */
+TEST_F(ParallelDeterminism, BatchAndScalarEnginesAreBitIdentical)
+{
+    setBatchExecutionEnabled(false);
+    ThreadPool::setGlobalParallelism(1);
+    RunArtifacts scalar = runEverything();
+
+    setBatchExecutionEnabled(true);
+    ThreadPool::setGlobalParallelism(1);
+    RunArtifacts batched = runEverything();
+    ThreadPool::setGlobalParallelism(4);
+    RunArtifacts batched_mt = runEverything();
+
+    for (std::size_t i = 0; i < kQueries.size(); ++i) {
+        expectRelTablesIdentical(scalar.results[i], batched.results[i],
+                                 kQueries[i]);
+        expectMetricsIdentical(scalar.metrics[i], batched.metrics[i],
+                               kQueries[i]);
+        expectRelTablesIdentical(scalar.results[i],
+                                 batched_mt.results[i], kQueries[i]);
+        expectMetricsIdentical(scalar.metrics[i], batched_mt.metrics[i],
                                kQueries[i]);
     }
 }
