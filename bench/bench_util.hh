@@ -119,15 +119,39 @@ scaleMetrics(const EngineMetrics &m, double sf)
     return out;
 }
 
-/** Scale a device trace linearly to SF-1000. */
+/**
+ * Scale a device trace linearly to SF-1000. The Table-Task ledger is
+ * scaled per stage component and the totals recomputed from it, so the
+ * exact-sum invariants the profiler audits (per-task stage seconds sum
+ * to task seconds; task seconds sum to deviceSeconds; task flash bytes
+ * partition deviceFlashBytes) survive scaling bitwise.
+ */
 inline AquomanRunStats
 scaleStats(const AquomanRunStats &s, double sf)
 {
     double k = 1000.0 / sf;
     AquomanRunStats out = s;
-    out.deviceSeconds *= k;
-    out.deviceFlashBytes =
-        static_cast<std::int64_t>(s.deviceFlashBytes * k);
+    if (out.tasks.empty()) {
+        out.deviceSeconds *= k;
+        out.deviceFlashBytes =
+            static_cast<std::int64_t>(s.deviceFlashBytes * k);
+    } else {
+        out.deviceSeconds = 0.0;
+        out.deviceFlashBytes = 0;
+        for (TableTaskRecord &t : out.tasks) {
+            for (int i = 0; i < obs::kNumPipeStages; ++i)
+                t.stages.sec[i] *= k;
+            t.seconds = t.stages.total();
+            t.flashBytes =
+                static_cast<std::int64_t>(t.flashBytes * k);
+            if (t.rowsIn >= 0)
+                t.rowsIn = static_cast<std::int64_t>(t.rowsIn * k);
+            if (t.rowsOut >= 0)
+                t.rowsOut = static_cast<std::int64_t>(t.rowsOut * k);
+            out.deviceSeconds += t.seconds;
+            out.deviceFlashBytes += t.flashBytes;
+        }
+    }
     out.deviceDramPeak = static_cast<std::int64_t>(s.deviceDramPeak * k);
     out.spillRows = static_cast<std::int64_t>(s.spillRows * k);
     out.spillGroups = static_cast<std::int64_t>(s.spillGroups * k);

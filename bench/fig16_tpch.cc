@@ -13,8 +13,10 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
+#include "aquoman/query_profile.hh"
 #include "bench_util.hh"
 #include "common/thread_pool.hh"
 
@@ -33,7 +35,17 @@ struct QueryRow
     double queueWait, suspendCount, hostFinishBytes;
     OffloadClass cls;
     double wallSeconds; ///< real time of this query's functional runs
+    obs::QueryProfile profile; ///< L-AQUOMAN cost attribution
 };
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == flag)
+            return true;
+    return false;
+}
 
 } // namespace
 
@@ -68,7 +80,8 @@ main(int argc, char **argv)
         cfg40.traceLabel = "q" + std::to_string(q) + " dram40";
         AquomanConfig cfg16 = fx.scaledDevice(16ll << 30);
         cfg16.traceLabel = "q" + std::to_string(q) + " dram16";
-        AquomanRunStats aq40 = scaleStats(fx.offload(q, cfg40).stats, sf);
+        OffloadedQueryResult off40 = fx.offload(q, cfg40);
+        AquomanRunStats aq40 = scaleStats(off40.stats, sf);
         AquomanRunStats aq16 = scaleStats(fx.offload(q, cfg16).stats, sf);
 
         SystemEvaluation evS40 = evaluateOffload(base, aq40, hostS);
@@ -95,6 +108,40 @@ main(int argc, char **argv)
         r.hostFinishBytes =
             static_cast<double>(aq40.hostResidual.hostFinishBytes);
         r.cls = evL40.offloadClass;
+
+        // Cost-attribution tree: host phase split exactly the way
+        // evaluateOffload prices it (residual estimate + result DMA),
+        // so the tree's pre-order seconds reproduce the modelled
+        // L-AQUOMAN device + host total bitwise.
+        HostRunEstimate resL = hostL.estimate(aq40.hostResidual);
+        HostPhaseProfile hp;
+        hp.hostSeconds = resL.runtime;
+        hp.dmaSeconds = static_cast<double>(aq40.dmaBytes)
+            / hostL.cfg().storageReadBandwidth;
+        hp.dmaBytes = aq40.dmaBytes;
+        hp.hostBytes = std::max<std::int64_t>(
+            0, aq40.hostResidual.hostFinishBytes - aq40.dmaBytes);
+        r.profile = buildQueryProfile(
+            "q" + std::to_string(q), off40.compilation, aq40, hp,
+            offloadClassName(evL40.offloadClass));
+#ifndef NDEBUG
+        {
+            obs::LedgerAudit audit;
+            for (const TableTaskRecord &t : aq40.tasks) {
+                audit.taskSeconds.push_back(t.seconds);
+                audit.taskFlashBytes.push_back(t.flashBytes);
+            }
+            audit.deviceSeconds = aq40.deviceSeconds;
+            audit.deviceFlashBytes = aq40.deviceFlashBytes;
+            std::string err;
+            if (!obs::auditLedgers(audit, &err)) {
+                std::fprintf(stderr,
+                             "ledger audit failed for q%d: %s\n", q,
+                             err.c_str());
+                std::abort();
+            }
+        }
+#endif
         r.wallSeconds = query_timer.seconds();
     }
     });
@@ -163,6 +210,13 @@ main(int argc, char **argv)
                 "thread(s)\n", bench_wall, rows.size(),
                 ThreadPool::global().parallelism());
 
+    if (hasFlag(argc, argv, "--explain")) {
+        header("EXPLAIN ANALYZE: L-AQUOMAN (40GB device DRAM, modelled "
+               "at SF-1000)");
+        for (const auto &r : rows)
+            std::printf("\n%s", r.profile.textString().c_str());
+    }
+
     if (!json_path.empty()) {
         std::vector<JsonRecord> records;
         for (const auto &r : rows) {
@@ -179,6 +233,7 @@ main(int argc, char **argv)
             rec.add("queue_wait_seconds", r.queueWait);
             rec.add("suspend_count", r.suspendCount);
             rec.add("host_finish_bytes", r.hostFinishBytes);
+            rec.addRaw("profile", r.profile.jsonString());
             records.push_back(std::move(rec));
         }
         // Latency distributions over the 22 queries (modelled seconds;

@@ -16,6 +16,7 @@
 #include "aquoman/swissknife/bitonic.hh"
 #include "flash/flash_device.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
 #include "obs/trace.hh"
 #include "aquoman/swissknife/groupby.hh"
 #include "aquoman/swissknife/merger.hh"
@@ -321,10 +322,12 @@ bestOfSeconds(int reps, const std::function<void()> &fn)
 }
 
 /**
- * The observability layer promises that with metrics and tracing
- * disabled, the enabled() guards on the hot paths are negligible:
- * per guarded call-site pair (registry + tracer check) under 1% of one
- * 8KB FlashDevice page read — the cheapest instrumented operation.
+ * The observability layer promises that with metrics, tracing, and
+ * profile collection disabled, each enabled() guard on the hot paths
+ * is negligible: one call site (registry, tracer, or profiler check)
+ * under 1% of one 8KB FlashDevice page read — the cheapest
+ * instrumented operation. The loop body exercises all three guards,
+ * so the per-call-site cost is the iteration cost over three.
  * Returns 0 on success, 1 on violation.
  */
 int
@@ -337,6 +340,10 @@ checkDisabledObservabilityOverhead()
                     "check\n");
         return 0;
     }
+    // Profile collection defaults on; measure the guard on its
+    // disabled path, then restore.
+    bool profile_was = obs::profileCollectionEnabled();
+    obs::setProfileCollection(false);
 
     constexpr int kGuardIters = 1 << 22;
     auto guard_loop = [&] {
@@ -346,10 +353,15 @@ checkDisabledObservabilityOverhead()
                 ++hits;
             if (tracer.enabled())
                 ++hits;
+            if (obs::profileCollectionEnabled())
+                ++hits;
         }
         benchmark::DoNotOptimize(hits);
     };
-    double guard_sec = bestOfSeconds(5, guard_loop) / kGuardIters;
+    constexpr int kGuardsPerIter = 3;
+    double guard_sec =
+        bestOfSeconds(5, guard_loop) / kGuardIters / kGuardsPerIter;
+    obs::setProfileCollection(profile_was);
 
     FlashConfig fc;
     FlashDevice flash(fc);

@@ -47,7 +47,32 @@ struct RunResult
     ServiceStats stats;
     double wallSeconds;
     std::vector<StatSet> switchStats; ///< per-device port counters
+    std::vector<obs::QueryProfile> profiles; ///< per completed query
+    std::int64_t flightDumps = 0;
 };
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == flag)
+            return true;
+    return false;
+}
+
+/** Render a name->count map as a JSON object string. */
+std::string
+countsJson(const std::map<std::string, std::int64_t> &counts)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, n] : counts) {
+        out += (first ? "\"" : ", \"") + obs::jsonEscape(name)
+            + "\": " + std::to_string(n);
+        first = false;
+    }
+    return out + "}";
+}
 
 RunResult
 runWorkload(const tpch::TpchDatabase &db, double sf, int num_devices)
@@ -86,8 +111,12 @@ runWorkload(const tpch::TpchDatabase &db, double sf, int num_devices)
     r.devices = num_devices;
     r.stats = svc.aggregate();
     r.wallSeconds = timer.seconds();
+    r.flightDumps = svc.flightDumps();
     for (int d = 0; d < num_devices; ++d)
         r.switchStats.push_back(svc.deviceSwitch(d).stats());
+    for (QueryId id = 0;
+         id < static_cast<QueryId>(svc.numQueries()); ++id)
+        r.profiles.push_back(svc.record(id).profile);
     return r;
 }
 
@@ -135,6 +164,22 @@ main(int argc, char **argv)
     std::printf("suspend rate: %.2f (all runs share one admission "
                 "policy)\n", runs.front().stats.suspendRate);
 
+    std::printf("\nbottleneck histogram (Table Tasks, %d devices):\n",
+                runs.back().devices);
+    for (const auto &[stage, n] : runs.back().stats.bottleneckTaskCounts)
+        std::printf("  %-12s %6lld\n", stage.c_str(),
+                    static_cast<long long>(n));
+    for (const auto &[why, n] : runs.back().stats.suspendReasonCounts)
+        std::printf("  suspend %-12s %6lld\n", why.c_str(),
+                    static_cast<long long>(n));
+
+    if (hasFlag(argc, argv, "--explain")) {
+        header("EXPLAIN ANALYZE: completed queries ("
+               + std::to_string(runs.back().devices) + " devices)");
+        for (const obs::QueryProfile &p : runs.back().profiles)
+            std::printf("\n%s", p.textString().c_str());
+    }
+
     if (!json_path.empty()) {
         std::vector<JsonRecord> records;
         for (const RunResult &r : runs) {
@@ -152,7 +197,13 @@ main(int argc, char **argv)
             rec.add("mean_queue_wait_seconds",
                     r.stats.meanQueueWaitSec);
             rec.add("suspend_rate", r.stats.suspendRate);
+            rec.add("flight_dumps",
+                    static_cast<double>(r.flightDumps));
             rec.add("wall_seconds", r.wallSeconds);
+            rec.addRaw("bottleneck_tasks",
+                       countsJson(r.stats.bottleneckTaskCounts));
+            rec.addRaw("suspend_reasons",
+                       countsJson(r.stats.suspendReasonCounts));
             rec.addRaw("query_latency_histogram",
                        histogramJson(r.stats.latencyHistogram));
             rec.addRaw("queue_wait_histogram",

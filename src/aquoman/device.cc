@@ -26,6 +26,8 @@ struct SuspendError
 {
     std::string reason;
     bool dram = false;
+    /// Structured classification of the suspension (Sec. VI-E).
+    obs::SuspendReason code = obs::SuspendReason::UnsupportedOp;
 };
 
 /** Reference to one base table participating in a tuple table. */
@@ -94,6 +96,18 @@ struct AquomanDevice::Impl
     double taskMarkSeconds = 0.0;
     std::int64_t taskMarkBytes = 0;
 
+    /**
+     * Seconds accrued since the last task boundary, split over the
+     * pipeline resources. deviceSeconds is always derived as
+     * taskMarkSeconds + taskStages.total(), so when the task closes
+     * its stage decomposition sums to its seconds bitwise and the
+     * per-task seconds tile [0, deviceSeconds] exactly.
+     */
+    obs::StageSeconds taskStages;
+
+    /** Compiled stage currently executing ("" outside the loop). */
+    std::string currentStage;
+
     /** Simulation-trace tracks (< 0 when tracing is disabled). */
     int taskTrack = -1;
     int stageTrack = -1;
@@ -103,6 +117,8 @@ struct AquomanDevice::Impl
         : catalog(cat), sw(sw_), config(cfg), dram(cfg.dramBytes),
           sorter(cfg), residual(cat, &sw_)
     {
+        // Host-residual operators report into the run's profile tree.
+        residual.setProfileSink(&stats.hostOps);
     }
 
     // ---------------------------------------------------------- util
@@ -114,16 +130,30 @@ struct AquomanDevice::Impl
      * when rooted in a single base table, makes the task shardable
      * across the devices holding that table's stripes.
      */
+    /** Attribute @p t modelled seconds of the current task to @p s. */
+    void
+    accrue(obs::PipeStage s, double t)
+    {
+        taskStages.add(s, t);
+        stats.deviceSeconds = taskMarkSeconds + taskStages.total();
+    }
+
     void
     recordTask(const std::string &what,
-               const DeviceRelation *rel = nullptr)
+               const DeviceRelation *rel = nullptr,
+               std::int64_t rows_in = -1, std::int64_t rows_out = -1)
     {
         TableTaskRecord rec;
         rec.what = what;
+        rec.stage = currentStage;
+        rec.rowsIn = rows_in;
+        rec.rowsOut = rows_out;
         if (rel && rel->leafRefs.size() == 1)
             rec.table = rel->leafRefs[0].table;
-        rec.seconds = stats.deviceSeconds - taskMarkSeconds;
+        rec.seconds = taskStages.total();
         rec.flashBytes = stats.deviceFlashBytes - taskMarkBytes;
+        rec.stages = taskStages;
+        rec.bottleneck = taskStages.bottleneck();
         if (taskTrack >= 0) {
             // The marks give this span exact start/end: adjacent task
             // spans tile [0, deviceSeconds] with no gaps or overlaps.
@@ -135,6 +165,7 @@ struct AquomanDevice::Impl
         }
         taskMarkSeconds = stats.deviceSeconds;
         taskMarkBytes = stats.deviceFlashBytes;
+        taskStages = obs::StageSeconds{};
         stats.tasks.push_back(std::move(rec));
     }
 
@@ -152,7 +183,7 @@ struct AquomanDevice::Impl
             throw SuspendError{
                 "device DRAM exceeded allocating "
                     + std::to_string(bytes) + "B for " + slot,
-                true};
+                true, obs::SuspendReason::DramOverflow};
         }
         stats.deviceDramPeak = std::max(stats.deviceDramPeak,
                                         dram.peakBytes());
@@ -183,21 +214,34 @@ struct AquomanDevice::Impl
         return std::max<std::int64_t>(bytes, selected * width);
     }
 
-    /** Account a device flash read and its streaming time. */
+    /**
+     * Account a device flash read and its streaming time, attributed
+     * to the pipeline stage that bounds it: the flash channels, the
+     * Row Selector's processing rate, or (when a transform program
+     * consumes the stream) the Row Transformer.
+     */
     void
     accountFlash(std::int64_t bytes, std::int64_t rows_processed = 0,
                  int transform_len = 0)
     {
         stats.deviceFlashBytes += bytes;
-        double t = static_cast<double>(bytes)
+        double flash_t = static_cast<double>(bytes)
             / sw.dev().cfg().readBandwidth;
-        t = std::max(t, static_cast<double>(bytes) / config.processingRate);
+        double sel_t =
+            static_cast<double>(bytes) / config.processingRate;
+        double tr_t = 0.0;
         if (rows_processed > 0 && transform_len > 0) {
             double vectors = std::ceil(static_cast<double>(rows_processed)
                                        / kRowVectorSize);
-            t = std::max(t, vectors * transform_len / config.clockHz);
+            tr_t = vectors * transform_len / config.clockHz;
         }
-        stats.deviceSeconds += t;
+        double t = std::max(flash_t, std::max(sel_t, tr_t));
+        obs::PipeStage bound = obs::PipeStage::FlashRead;
+        if (sel_t > flash_t)
+            bound = obs::PipeStage::Selector;
+        if (tr_t > flash_t && tr_t > sel_t)
+            bound = obs::PipeStage::Transformer;
+        accrue(bound, t);
     }
 
     const Table &
@@ -491,7 +535,9 @@ struct AquomanDevice::Impl
         auto it = deviceRels.find(leaf.stageRef);
         if (it == deviceRels.end()) {
             throw SuspendError{"stage '" + leaf.stageRef
-                               + "' is not device-resident"};
+                                   + "' is not device-resident",
+                               false,
+                               obs::SuspendReason::MidPlanGroupBy};
         }
         DeviceRelation rel = it->second; // tuple-table copy (cheap ptrs)
         // Copy-on-write: rowids/dataCols are shared_ptr'd; compact()
@@ -574,7 +620,7 @@ struct AquomanDevice::Impl
             + " regex, transformer rest; " + std::to_string(before)
             + " -> " + std::to_string(rel.rows) + " rows");
         ++stats.tasksExecuted;
-        recordTask("rowScan " + what, &rel);
+        recordTask("rowScan " + what, &rel, before, rel.rows);
     }
 
     /** String heap backing a visible varchar column. */
@@ -657,7 +703,8 @@ struct AquomanDevice::Impl
             // already rejected big-heap patterns).
             const ExprPtr &a = e->children[0];
             if (a->kind != ExprKind::ColRef)
-                throw SuspendError{"LIKE over a computed value"};
+                throw SuspendError{"LIKE over a computed value", false,
+                                   obs::SuspendReason::StringHeapRegex};
             RelColumn src = gather(rel, a->column, true);
             std::string name = "__regex#" + std::to_string(slotCounter++);
             RelColumn bits(name, ColumnType::Int32);
@@ -751,8 +798,8 @@ struct AquomanDevice::Impl
             stats.transformedRows += rel.rows;
             double vectors = std::ceil(static_cast<double>(rel.rows)
                                        / kRowVectorSize);
-            stats.deviceSeconds += vectors * array.maxProgramLength()
-                / config.clockHz;
+            accrue(obs::PipeStage::Transformer,
+                   vectors * array.maxProgramLength() / config.clockHz);
             // Computed columns follow the pass-through data columns.
             int next_data = static_cast<int>(new_data.size());
             for (auto &out_col : outs)
@@ -769,7 +816,7 @@ struct AquomanDevice::Impl
                 + std::to_string(ct.programs.size()) + " PE(s), "
                 + std::to_string(ct.totalInstructions) + " instr");
             ++stats.tasksExecuted;
-            recordTask("rowTransf", &rel);
+            recordTask("rowTransf", &rel, rel.rows, rel.rows);
         }
         // Transform outputs stream directly into the next pipeline
         // stage (Sec. IV: "without materialising it in DRAM"), so no
@@ -915,12 +962,14 @@ struct AquomanDevice::Impl
         std::string slot = freshSlot("sort");
         charge(slot, static_cast<std::int64_t>(s.size()) * kKvBytes);
         SorterStats st = sorter.sort(s, true);
-        stats.deviceSeconds += st.seconds;
+        accrue(obs::PipeStage::Swissknife, st.seconds);
         stats.taskLog.push_back(
             what + ": SORT " + std::to_string(st.recordsIn)
             + " records, " + std::to_string(st.numBlocks) + " block(s)");
         ++stats.tasksExecuted;
-        recordTask("sort " + what);
+        recordTask("sort " + what, nullptr,
+                   static_cast<std::int64_t>(s.size()),
+                   static_cast<std::int64_t>(s.size()));
         release(slot);
         // The sorted run stays resident until the merge completes.
         charge(freshSlot("sorted"),
@@ -1146,8 +1195,8 @@ struct AquomanDevice::Impl
             }
             double merge_bytes =
                 static_cast<double>(ls.size() + rs.size()) * kKvBytes;
-            stats.deviceSeconds +=
-                merge_bytes / StreamingSorter::kDatapathBytesPerSec;
+            accrue(obs::PipeStage::Swissknife,
+                   merge_bytes / StreamingSorter::kDatapathBytesPerSec);
             path = "SORT_MERGE";
         }
 
@@ -1190,7 +1239,8 @@ struct AquomanDevice::Impl
             "join " + node.leftKeys[0] + "=" + node.rightKeys[0] + " ["
             + path + "] -> " + std::to_string(out.rows) + " tuples");
         ++stats.tasksExecuted;
-        recordTask("join " + node.leftKeys[0] + "=" + node.rightKeys[0]);
+        recordTask("join " + node.leftKeys[0] + "=" + node.rightKeys[0],
+                   nullptr, l.rows + r.rows, out.rows);
         return out;
     }
 
@@ -1335,7 +1385,11 @@ struct AquomanDevice::Impl
         // device is not slowed as long as the host keeps up (~200M
         // lookup-accumulates/s, Sec. VI-E).
         double spill_t = gb.stats().rowsSpilled / 200e6;
-        stats.deviceSeconds += std::max(transform_t, spill_t);
+        // Attribution: the group-by accelerator (a Swissknife unit)
+        // only bounds the task when the spill drain outruns the feed.
+        accrue(transform_t >= spill_t ? obs::PipeStage::Transformer
+                                      : obs::PipeStage::Swissknife,
+               std::max(transform_t, spill_t));
         stats.spillRows += gb.stats().rowsSpilled;
         stats.spillGroups += gb.stats().groupsSpilled;
         stats.hostResidual.rowOps += gb.stats().rowsSpilled;
@@ -1398,7 +1452,7 @@ struct AquomanDevice::Impl
             + std::to_string(gb.stats().groupsSpilled)
             + " spill-over group(s)");
         ++stats.tasksExecuted;
-        recordTask("aggregate", &rel);
+        recordTask("aggregate", &rel, rel.rows, out.numRows());
         return out;
     }
 
@@ -1537,7 +1591,7 @@ struct AquomanDevice::Impl
                 + std::to_string(topk.chainLength())
                 + " VCAS block(s))");
             ++stats.tasksExecuted;
-            recordTask("topk", &root);
+            recordTask("topk", &root, before, root.rows);
             RelTable t = materialize(root, true);
             stats.dmaBytes += t.residentBytes();
             stageTables[stage.id] = std::move(t);
@@ -1620,6 +1674,7 @@ AquomanDevice::runQuery(const Query &q)
     for (std::size_t s = 0; s < q.stages.size(); ++s) {
         const Stage &stage = q.stages[s];
         const StageDecision &d = out.compilation.stages[s];
+        impl.currentStage = stage.id;
         bool try_device = d.onDevice && !degraded;
         if (try_device) {
             // A runtime-degraded dependency forces the host path.
@@ -1648,6 +1703,8 @@ AquomanDevice::runQuery(const Query &q)
                 impl.stats.taskLog.push_back(
                     "SUSPEND stage '" + stage.id + "': " + e.reason);
                 impl.stats.hostStages.emplace_back(stage.id, e.reason);
+                impl.stats.suspensions.push_back(
+                    {stage.id, e.code, e.reason});
                 ++impl.stats.hostResidual.suspendCount;
                 if (e.dram)
                     degraded = true;
@@ -1667,6 +1724,11 @@ AquomanDevice::runQuery(const Query &q)
         }
         impl.stats.hostStages.emplace_back(
             stage.id, d.onDevice ? "degraded dependency" : d.reason);
+        impl.stats.suspensions.push_back(
+            {stage.id,
+             d.onDevice ? obs::SuspendReason::DramOverflow
+                        : d.reasonCode,
+             d.onDevice ? "degraded dependency" : d.reason});
         if (impl.stageTrack >= 0) {
             tracer.instant(impl.stageTrack, "host stage " + stage.id,
                            "host-stage", impl.stats.deviceSeconds,
@@ -1677,6 +1739,7 @@ AquomanDevice::runQuery(const Query &q)
         impl.runHostStage(stage);
     }
 
+    impl.currentStage.clear();
     // The answer is the last stage's table (materialise if needed).
     const std::string &last = q.stages.back().id;
     if (!impl.stageTables.count(last)) {

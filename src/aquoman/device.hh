@@ -32,6 +32,7 @@
 #include "aquoman/task_compiler.hh"
 #include "engine/executor.hh"
 #include "engine/metrics.hh"
+#include "obs/profile.hh"
 
 namespace aquoman {
 
@@ -54,11 +55,37 @@ struct TableTaskRecord
      */
     std::string table;
 
-    /** Modelled device seconds attributed to this task. */
+    /** Compiled stage this task belongs to ("" for the epilogue). */
+    std::string stage;
+
+    /** Rows entering / leaving the task (-1 when not applicable). */
+    std::int64_t rowsIn = -1;
+    std::int64_t rowsOut = -1;
+
+    /**
+     * Modelled device seconds attributed to this task. Always equals
+     * stages.total() bitwise, so per-task stage decompositions sum
+     * exactly to the task's seconds and, task by task, to the query's
+     * deviceSeconds.
+     */
     double seconds = 0.0;
 
     /** Device flash bytes attributed to this task. */
     std::int64_t flashBytes = 0;
+
+    /** The task's seconds split over the pipeline resources. */
+    obs::StageSeconds stages;
+
+    /** Bottleneck resource: argmax of @ref stages (deterministic). */
+    obs::PipeStage bottleneck = obs::PipeStage::FlashRead;
+};
+
+/** One suspension: which stage left the device, and why. */
+struct StageSuspension
+{
+    std::string stage;
+    obs::SuspendReason reason = obs::SuspendReason::None;
+    std::string detail;
 };
 
 /** Performance trace of one offloaded query. */
@@ -107,6 +134,16 @@ struct AquomanRunStats
 
     /** Stages that executed on the host, with reasons. */
     std::vector<std::pair<std::string, std::string>> hostStages;
+
+    /** Structured suspension records (mirrors hostStages, typed). */
+    std::vector<StageSuspension> suspensions;
+
+    /**
+     * Per-operator profile nodes collected from the host-residual
+     * executor when obs::profileCollectionEnabled(); the children
+     * become the host-phase subtree of the query profile.
+     */
+    obs::ProfileNode hostOps;
 };
 
 /** Result of running one query on the AQUOMAN-augmented system. */

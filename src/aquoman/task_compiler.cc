@@ -309,9 +309,11 @@ TaskCompiler::compile(const Query &q) const
         if (out.regexForcedHost) {
             d.onDevice = false;
             d.reason = regex_why;
+            d.reasonCode = obs::SuspendReason::StringHeapRegex;
         } else if (!shape) {
             d.onDevice = false;
             d.reason = why;
+            d.reasonCode = obs::SuspendReason::UnsupportedOp;
         } else {
             d.onDevice = true;
             for (const auto &leaf : shape->leaves) {
@@ -322,11 +324,19 @@ TaskCompiler::compile(const Query &q) const
                     d.reason = "consumes stage '" + leaf.stageRef
                         + "' whose aggregate output is not buffered in "
                           "device DRAM (Sec. VI-E condition 1)";
+                    d.reasonCode = obs::SuspendReason::MidPlanGroupBy;
                     break;
                 }
                 if (!checkLeafSupport(leaf, leaf_why)) {
                     d.onDevice = false;
                     d.reason = leaf_why;
+                    // checkLeafSupport only rejects regex/LIKE cases
+                    // today; anything else is a generic unsupported op.
+                    d.reasonCode = leaf_why.find("regex") !=
+                                           std::string::npos
+                        || leaf_why.find("LIKE") != std::string::npos
+                        ? obs::SuspendReason::StringHeapRegex
+                        : obs::SuspendReason::UnsupportedOp;
                     break;
                 }
             }
@@ -336,6 +346,8 @@ TaskCompiler::compile(const Query &q) const
                         d.onDevice = false;
                         d.reason = "count(distinct) has no SQL "
                                    "Swissknife accelerator";
+                        d.reasonCode =
+                            obs::SuspendReason::UnsupportedOp;
                         break;
                     }
                 }

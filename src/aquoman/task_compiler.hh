@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "aquoman/config.hh"
+#include "obs/profile.hh"
 #include "columnstore/catalog.hh"
 #include "relalg/plan.hh"
 
@@ -99,6 +100,8 @@ struct StageDecision
     std::string stageId;
     bool onDevice = false;
     std::string reason; ///< populated when onDevice is false
+    /** Structured classification of @ref reason (profiling). */
+    obs::SuspendReason reasonCode = obs::SuspendReason::None;
     StageShape shape;   ///< valid when the shape was recognised
     bool shapeValid = false;
 };

@@ -9,6 +9,7 @@
 #include "columnstore/selection_vector.hh"
 #include "common/batch_mode.hh"
 #include "common/thread_pool.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "relalg/eval.hh"
 
@@ -266,19 +267,47 @@ Executor::execNode(const PlanPtr &p,
                    const std::map<std::string, RelTable> &stages)
 {
     obs::SimTracer &tracer = obs::SimTracer::global();
-    if (traceLabel.empty() || !tracer.enabled())
+    bool tracing = !traceLabel.empty() && tracer.enabled();
+    bool profiling =
+        profileSink != nullptr && obs::profileCollectionEnabled();
+    if (!tracing && !profiling)
         return execNodeDispatch(p, stages);
-    if (traceTrack < 0)
+    if (tracing && traceTrack < 0)
         traceTrack = tracer.track("host:" + traceLabel, "operators");
+    obs::ProfileNode *parent = profileCur;
+    obs::ProfileNode local;
+    if (profiling)
+        profileCur = &local; // children report into this node
     double ops_before = trace.rowOps;
     RelTable out = execNodeDispatch(p, stages);
-    // Children ran inside the dispatch, so their spans nest within
-    // this one on the shared cumulative row-ops axis.
-    tracer.span(traceTrack, planNodeName(*p), "operator",
-                ops_before / kTraceOpsPerSec,
-                trace.rowOps / kTraceOpsPerSec,
-                {obs::arg("rows", out.numRows()),
-                 obs::arg("row_ops", trace.rowOps - ops_before)});
+    double ops = trace.rowOps - ops_before;
+    if (tracing) {
+        // Children ran inside the dispatch, so their spans nest within
+        // this one on the shared cumulative row-ops axis.
+        tracer.span(traceTrack, planNodeName(*p), "operator",
+                    ops_before / kTraceOpsPerSec,
+                    trace.rowOps / kTraceOpsPerSec,
+                    {obs::arg("rows", out.numRows()),
+                     obs::arg("row_ops", ops)});
+    }
+    if (profiling) {
+        profileCur = parent;
+        local.name = planNodeName(*p);
+        local.kind = "host-op";
+        local.rowsOut = out.numRows();
+        // Unary/n-ary operators consume their children's outputs;
+        // scans have no relational input (rowsIn stays -1).
+        std::int64_t rows_in = -1;
+        for (const obs::ProfileNode &c : local.children)
+            rows_in = rows_in < 0 ? c.rowsOut : rows_in + c.rowsOut;
+        local.rowsIn = rows_in;
+        // Abstract row-op cost only: host modelled seconds live in the
+        // query's host-phase node, never per operator, so profile
+        // stage-seconds keep summing exactly to the modelled totals.
+        local.detail = "row_ops=" + obs::jsonNumber(ops);
+        (parent ? *parent : *profileSink)
+            .children.push_back(std::move(local));
+    }
     return out;
 }
 

@@ -15,6 +15,7 @@
 
 #include "columnstore/catalog.hh"
 #include "engine/metrics.hh"
+#include "obs/profile.hh"
 #include "relalg/plan.hh"
 #include "relalg/reltable.hh"
 
@@ -71,6 +72,15 @@ class Executor
         traceTrack = -1;
     }
 
+    /**
+     * Collect per-operator profile nodes into @p sink: each top-level
+     * runPlan() appends one "host-op" subtree (rows in/out plus the
+     * modelled row-op cost) as a child of @p sink. Collection is also
+     * gated on obs::profileCollectionEnabled(); pass nullptr to stop.
+     * The sink must outlive every run routed through this executor.
+     */
+    void setProfileSink(obs::ProfileNode *sink) { profileSink = sink; }
+
   private:
     RelTable execNode(const PlanPtr &p,
                       const std::map<std::string, RelTable> &stages);
@@ -101,6 +111,10 @@ class Executor
 
     std::string traceLabel;
     int traceTrack = -1;
+
+    obs::ProfileNode *profileSink = nullptr;
+    /** Node the currently executing operator reports into. */
+    obs::ProfileNode *profileCur = nullptr;
 };
 
 } // namespace aquoman

@@ -115,8 +115,12 @@ Histogram::merge(const Histogram &other)
 double
 Histogram::quantile(double q) const
 {
-    if (n == 0)
+    // Empty histograms must answer a defined value, never walk an
+    // empty bucket list; a single sample pins every quantile.
+    if (n == 0 || buckets.empty())
         return 0.0;
+    if (n == 1)
+        return lo;
     q = std::clamp(q, 0.0, 1.0);
     auto target = static_cast<std::int64_t>(
         std::ceil(q * static_cast<double>(n)));
@@ -234,6 +238,50 @@ MetricsRegistry::toJson(std::ostream &os) const
     os << "}}";
 }
 
+std::string
+promLabelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+labeledMetric(const std::string &name,
+              const std::vector<std::pair<std::string, std::string>>
+                  &labels)
+{
+    std::string out = name;
+    out += '{';
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += k;
+        out += "=\"";
+        out += promLabelEscape(v);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
 namespace {
 
 std::string
@@ -249,6 +297,52 @@ promName(const std::string &name)
     return out;
 }
 
+/** A registry key split into sanitised metric name + label block. */
+struct PromKey
+{
+    std::string name;   ///< sanitised base name
+    std::string labels; ///< "{...}" incl. braces, or empty
+    bool valid = false; ///< name matches [a-zA-Z_:][a-zA-Z0-9_:]*
+};
+
+PromKey
+splitPromKey(const std::string &key)
+{
+    PromKey out;
+    std::string base = key;
+    auto brace = key.find('{');
+    // Label blocks come from labeledMetric(), whose values are
+    // already escaped; a block with a raw newline or no closing
+    // brace is hostile and falls back to a fully sanitised flat name.
+    if (brace != std::string::npos && key.back() == '}'
+            && key.find('\n', brace) == std::string::npos) {
+        base = key.substr(0, brace);
+        out.labels = key.substr(brace);
+    }
+    out.name = promName(base);
+    // promName leaves only [a-zA-Z0-9_:]; the name is still invalid
+    // when empty or when it starts with a digit.
+    out.valid = !out.name.empty()
+        && !(out.name[0] >= '0' && out.name[0] <= '9');
+    return out;
+}
+
+/** `name{existing,quantile="q"}` — merge a quantile into the block. */
+std::string
+withQuantile(const PromKey &k, const char *q)
+{
+    std::string out = k.name;
+    if (k.labels.empty()) {
+        out += "{quantile=\"";
+    } else {
+        out += k.labels.substr(0, k.labels.size() - 1);
+        out += ",quantile=\"";
+    }
+    out += q;
+    out += "\"}";
+    return out;
+}
+
 } // namespace
 
 void
@@ -256,26 +350,34 @@ MetricsRegistry::toPrometheus(std::ostream &os) const
 {
     std::lock_guard<std::mutex> lock(mu);
     for (const auto &[k, v] : counters) {
-        std::string n = promName(k);
-        os << "# TYPE " << n << " counter\n"
-           << n << " " << jsonNumber(v) << "\n";
+        PromKey pk = splitPromKey(k);
+        if (!pk.valid)
+            continue;
+        os << "# TYPE " << pk.name << " counter\n"
+           << pk.name << pk.labels << " " << jsonNumber(v) << "\n";
     }
     for (const auto &[k, v] : gauges) {
-        std::string n = promName(k);
-        os << "# TYPE " << n << " gauge\n"
-           << n << " " << jsonNumber(v) << "\n";
+        PromKey pk = splitPromKey(k);
+        if (!pk.valid)
+            continue;
+        os << "# TYPE " << pk.name << " gauge\n"
+           << pk.name << pk.labels << " " << jsonNumber(v) << "\n";
     }
     for (const auto &[k, h] : histograms) {
-        std::string n = promName(k);
-        os << "# TYPE " << n << " summary\n";
+        PromKey pk = splitPromKey(k);
+        if (!pk.valid)
+            continue;
+        os << "# TYPE " << pk.name << " summary\n";
         constexpr std::pair<const char *, double> kQuantiles[] = {
             {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
         for (const auto &[label, q] : kQuantiles) {
-            os << n << "{quantile=\"" << label << "\"} "
+            os << withQuantile(pk, label) << " "
                << jsonNumber(h.quantile(q)) << "\n";
         }
-        os << n << "_sum " << jsonNumber(h.sum()) << "\n"
-           << n << "_count " << h.count() << "\n";
+        os << pk.name << "_sum" << pk.labels << " "
+           << jsonNumber(h.sum()) << "\n"
+           << pk.name << "_count" << pk.labels << " " << h.count()
+           << "\n";
     }
 }
 

@@ -20,6 +20,8 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace aquoman::obs {
 
@@ -28,6 +30,22 @@ std::string jsonNumber(double v);
 
 /** Minimal JSON string escaping (quotes, backslash, control chars). */
 std::string jsonEscape(const std::string &s);
+
+/**
+ * Escape a Prometheus label value: backslash, double quote and newline
+ * become \\, \" and \n per the text exposition format.
+ */
+std::string promLabelEscape(const std::string &s);
+
+/**
+ * Canonical registry key for a labeled metric:
+ * `name{key="escaped value",...}`. toPrometheus() recognises the
+ * brace-suffixed form and emits the label block verbatim (values are
+ * already escaped here), merging histogram quantile labels into it.
+ */
+std::string labeledMetric(
+    const std::string &name,
+    const std::vector<std::pair<std::string, std::string>> &labels);
 
 /**
  * A log-bucketed histogram of non-negative samples. Buckets subdivide
@@ -116,7 +134,11 @@ class MetricsRegistry
     /**
      * Prometheus text exposition: counters and gauges as single
      * samples, histograms as summaries (quantile labels + _sum/_count).
-     * Metric names are sanitised to [a-zA-Z0-9_:].
+     * Metric names are sanitised to [a-zA-Z0-9_:]; names that are
+     * still invalid afterwards (empty, or starting with a digit) are
+     * dropped from the exposition. Keys built with labeledMetric()
+     * keep their label block; hostile label blocks (raw newlines,
+     * unterminated braces) fall back to a fully sanitised flat name.
      */
     void toPrometheus(std::ostream &os) const;
 

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <iostream>
 #include <map>
 #include <queue>
+#include <sstream>
 
+#include "aquoman/query_profile.hh"
 #include "engine/executor.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -99,6 +102,9 @@ struct QueryService::Impl
     {
         QueryRecord rec;
         Query query;
+        /// Compiled stage plan (empty when suspended at admission);
+        /// the EXPLAIN-ANALYZE profile is assembled from it.
+        QueryCompilation comp;
         std::int64_t admissionIdx = -1;
         std::vector<TaskStep> steps;
         std::size_t nextStep = 0;
@@ -213,6 +219,42 @@ struct QueryService::Impl
         return hostTrack;
     }
 
+    /** Append one event to the flight-recorder ring at modelled time. */
+    void
+    flightNote(const std::string &cat, const std::string &subject,
+               std::string detail = "")
+    {
+        flight.record(clock, cat, subject, std::move(detail));
+    }
+
+    /**
+     * Render the flight-recorder ring to stderr, remember the text for
+     * lastFlightDump(), and mirror not-yet-dumped events as trace
+     * instants on a dedicated track.
+     */
+    void
+    dumpFlight(const std::string &why)
+    {
+        std::ostringstream os;
+        flight.render(os, why);
+        lastDump = os.str();
+        ++flightDumpCount;
+        std::cerr << lastDump;
+        if (tracer.enabled()) {
+            if (flightTrack < 0)
+                flightTrack = tracer.track(
+                    tracePrefix + "flight-recorder", "events");
+            for (const obs::FlightEvent &ev : flight.snapshot()) {
+                if (ev.seq <= lastDumpedSeq)
+                    continue;
+                tracer.instant(flightTrack,
+                               ev.category + " " + ev.subject,
+                               "flight-recorder", ev.atSec);
+                lastDumpedSeq = ev.seq;
+            }
+        }
+    }
+
     /**
      * Record a lifecycle transition: a structured {state, atSec} event
      * plus, when tracing, a span on the query's track covering the
@@ -271,10 +313,19 @@ struct QueryService::Impl
         if (!anchor.dram->allocate(slot, want)) {
             // Admission-time suspension: no device DRAM for this
             // query's intermediates — the host runs it whole.
+            e.rec.suspendReason = obs::SuspendReason::AdmissionDram;
+            flightNote("admit-fail", queryLabel(e),
+                       "no DRAM on " + deviceName(e.rec.anchorDevice)
+                           + " for " + std::to_string(want) + " bytes");
+            dumpFlight("admission DRAM reservation failed for "
+                       + queryLabel(e));
             runOnHost(e);
             return;
         }
         e.reservedBytes = want;
+        flightNote("admit", queryLabel(e),
+                   "anchor=" + deviceName(e.rec.anchorDevice)
+                       + " dram=" + std::to_string(want));
         runOnDevice(e, want);
     }
 
@@ -287,6 +338,8 @@ struct QueryService::Impl
 
         DeviceNode &anchor = *devices[e.rec.anchorDevice];
         Executor ex(catalog_, anchor.sw.get());
+        if (obs::profileCollectionEnabled())
+            ex.setProfileSink(&e.rec.stats.hostOps);
         if (tracer.enabled())
             ex.setTraceLabel(tracePrefix + queryLabel(e));
         e.rec.result = ex.run(e.query);
@@ -314,6 +367,7 @@ struct QueryService::Impl
         OffloadedQueryResult r = dev.runQuery(e.query);
         e.rec.result = std::move(r.result);
         e.rec.stats = std::move(r.stats);
+        e.comp = std::move(r.compilation);
         e.rec.metrics = e.rec.stats.hostResidual;
         e.rec.suspendCount = e.rec.metrics.suspendCount;
         e.rec.hostFinishBytes = e.rec.metrics.hostFinishBytes;
@@ -401,6 +455,8 @@ struct QueryService::Impl
         dn.busy = true;
         dn.inFlight = qid;
         dn.inFlightStart = clock;
+        flightNote("dispatch", deviceName(d),
+                   queryLabel(e) + " " + e.steps[e.nextStep].what);
         schedule(clock + sub.seconds, EventKind::SubtaskDone, qid, d);
     }
 
@@ -462,6 +518,11 @@ struct QueryService::Impl
             // The device executor raised Sec. VI-E suspensions while
             // running; surface them in the lifecycle.
             logState(e, QueryState::Suspended);
+            flightNote("suspend", queryLabel(e),
+                       "suspendCount="
+                           + std::to_string(e.rec.suspendCount));
+            dumpFlight("query " + queryLabel(e)
+                       + " suspended to host");
         }
         beginHostFinish(e, e.rec.metrics, e.rec.stats.dmaBytes);
     }
@@ -481,6 +542,26 @@ struct QueryService::Impl
         double bw = anchor.sw->effectiveReadBandwidth(contended);
         HostRunEstimate est = host.estimate(m, bw);
         e.rec.hostFinishSec = est.runtime + dma_bytes / bw;
+        flightNote("host-finish", queryLabel(e),
+                   "sec=" + std::to_string(e.rec.hostFinishSec));
+        if (obs::profileCollectionEnabled()) {
+            HostPhaseProfile hp;
+            hp.hostSeconds = est.runtime;
+            hp.dmaSeconds = dma_bytes / bw;
+            hp.dmaBytes = dma_bytes;
+            hp.hostBytes = std::max<std::int64_t>(
+                0, e.rec.hostFinishBytes - dma_bytes);
+            e.rec.profile =
+                buildQueryProfile(e.rec.name, e.comp, e.rec.stats, hp);
+            if (e.rec.suspendReason == obs::SuspendReason::AdmissionDram) {
+                // The admission failure outranks anything the (never
+                // run) device executor could have reported.
+                e.rec.profile.suspend = e.rec.suspendReason;
+                e.rec.profile.root.suspend = e.rec.suspendReason;
+            } else {
+                e.rec.suspendReason = e.rec.profile.suspend;
+            }
+        }
         if (tracer.enabled()) {
             double end = clock + e.rec.hostFinishSec;
             tracer.span(hostPortTrack(e.rec.anchorDevice),
@@ -505,6 +586,7 @@ struct QueryService::Impl
     finish(QueryExec &e)
     {
         logState(e, QueryState::Done);
+        flightNote("done", queryLabel(e));
         e.rec.doneSec = clock;
         e.rec.metrics.queueWaitSec = e.rec.queueWaitSec;
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
@@ -549,13 +631,21 @@ struct QueryService::Impl
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
         if (reg.enabled()) {
             for (std::size_t d = 0; d < devices.size(); ++d) {
+                double util = clock > 0.0
+                    ? devices[d]->busySec / clock : 0.0;
                 reg.set("service." + deviceName(static_cast<int>(d))
                             + ".busy_seconds",
                         devices[d]->busySec);
                 reg.set("service." + deviceName(static_cast<int>(d))
                             + ".utilization",
-                        clock > 0.0 ? devices[d]->busySec / clock
-                                    : 0.0);
+                        util);
+                // Labeled twin of the flat gauge: one metric family
+                // with a device label in the Prometheus exposition.
+                reg.set(obs::labeledMetric(
+                            "service.device_utilization",
+                            {{"device",
+                              deviceName(static_cast<int>(d))}}),
+                        util);
             }
         }
     }
@@ -572,6 +662,12 @@ struct QueryService::Impl
     std::priority_queue<Event, std::vector<Event>, std::greater<>>
         events;
     std::function<void(const QueryRecord &)> onComplete;
+
+    obs::FlightRecorder flight{256};
+    std::string lastDump;
+    std::int64_t flightDumpCount = 0;
+    std::int64_t lastDumpedSeq = -1;
+    int flightTrack = -1;
 
     double clock = 0.0;
     std::int64_t nextSeq = 0;
@@ -643,6 +739,8 @@ QueryService::submit(const Query &q, double arrival_sec)
     e.rec.submitSec = std::max(arrival_sec, impl->clock);
     e.rec.state = QueryState::Queued;
     e.rec.lifecycle.push_back({QueryState::Queued, e.rec.submitSec});
+    impl->flight.record(e.rec.submitSec, "submit",
+                        impl->queryLabel(e), "");
     impl->schedule(e.rec.submitSec, Impl::EventKind::Arrival, id);
     return id;
 }
@@ -673,6 +771,24 @@ QueryService::record(QueryId id) const
     return it->second.rec;
 }
 
+const obs::FlightRecorder &
+QueryService::flightRecorder() const
+{
+    return impl->flight;
+}
+
+std::int64_t
+QueryService::flightDumps() const
+{
+    return impl->flightDumpCount;
+}
+
+const std::string &
+QueryService::lastFlightDump() const
+{
+    return impl->lastDump;
+}
+
 ServiceStats
 QueryService::aggregate() const
 {
@@ -695,6 +811,11 @@ QueryService::aggregate() const
         s.latencyHistogram.record(r.latencySec());
         s.queueWaitHistogram.record(r.queueWaitSec);
         s.meanQueueWaitSec += r.queueWaitSec;
+        for (const TableTaskRecord &t : r.stats.tasks)
+            ++s.bottleneckTaskCounts[obs::pipeStageName(t.bottleneck)];
+        if (r.suspendReason != obs::SuspendReason::None)
+            ++s.suspendReasonCounts[obs::suspendReasonName(
+                r.suspendReason)];
         if (r.suspendCount > 0)
             ++suspended;
         if (first || r.submitSec < first_submit)

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "engine/metrics.hh"
 #include "flash/controller_switch.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
 #include "relalg/plan.hh"
 
 namespace aquoman::service {
@@ -153,6 +155,16 @@ struct QueryRecord
     /** Host-side work metrics (residual stages, or the whole query). */
     EngineMetrics metrics;
 
+    /**
+     * EXPLAIN-ANALYZE cost-attribution tree (built when
+     * obs::profileCollectionEnabled(); modelled time only, so it is
+     * byte-identical across AQUOMAN_THREADS / AQUOMAN_BATCH).
+     */
+    obs::QueryProfile profile;
+
+    /** Why the query (partially) left the device, when it did. */
+    obs::SuspendReason suspendReason = obs::SuspendReason::None;
+
     /** Timestamped lifecycle transitions (first entry is Queued at
      *  submit time, last is Done). */
     std::vector<LifecycleEvent> lifecycle;
@@ -189,6 +201,15 @@ struct ServiceStats
 
     /** Distribution of admission queue waits (modelled seconds). */
     obs::Histogram queueWaitHistogram;
+
+    /**
+     * Aggregate bottleneck histogram: pipeline-stage name -> number of
+     * completed Table Tasks bound by that resource.
+     */
+    std::map<std::string, std::int64_t> bottleneckTaskCounts;
+
+    /** SuspendReason name -> completed queries that suspended for it. */
+    std::map<std::string, std::int64_t> suspendReasonCounts;
 };
 
 /**
@@ -236,6 +257,19 @@ class QueryService
 
     /** Aggregate statistics over queries completed so far. */
     ServiceStats aggregate() const;
+
+    /**
+     * Flight recorder: ring buffer of recent scheduling events. It is
+     * rendered to stderr (and mirrored as trace instants) whenever a
+     * query suspends or an admission reservation fails.
+     */
+    const obs::FlightRecorder &flightRecorder() const;
+
+    /** Number of flight-recorder dumps triggered so far. */
+    std::int64_t flightDumps() const;
+
+    /** Text of the most recent dump ("" when none happened). */
+    const std::string &lastFlightDump() const;
 
   private:
     struct Impl;

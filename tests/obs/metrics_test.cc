@@ -211,6 +211,87 @@ TEST_F(MetricsRegistryTest, PrometheusExpositionSanitisesNames)
     EXPECT_EQ(text.find("flash.ssd0"), std::string::npos) << text;
 }
 
+TEST_F(MetricsRegistryTest, PrometheusEscapesHostileLabelValues)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    // A label value carrying every character the exposition format
+    // must escape: backslash, double quote, newline.
+    std::string hostile = "a\\b\"c\nd";
+    reg.set(labeledMetric("service.device_utilization",
+                          {{"device", hostile}}),
+            0.5);
+    std::ostringstream os;
+    reg.toPrometheus(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("service_device_utilization{device="
+                        "\"a\\\\b\\\"c\\nd\"} 0.5"),
+              std::string::npos)
+        << text;
+    // The raw newline must never reach the exposition: every line is
+    // either a comment or "name{labels} value".
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+}
+
+TEST_F(MetricsRegistryTest, PrometheusRejectsInvalidMetricNames)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    // Sanitises to "123_bad": leading digit, not a valid metric name.
+    reg.add("123 bad", 1.0);
+    // Sanitises to the empty string.
+    reg.add("...", 2.0);
+    reg.add("fine.name", 3.0);
+    std::ostringstream os;
+    reg.toPrometheus(os);
+    std::string text = os.str();
+    EXPECT_EQ(text.find("123_bad"), std::string::npos) << text;
+    EXPECT_NE(text.find("fine_name 3"), std::string::npos) << text;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        char c = line[0];
+        EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                    || c == '_' || c == ':')
+            << line;
+    }
+}
+
+TEST_F(MetricsRegistryTest, LabeledHistogramMergesQuantileLabel)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.observe(labeledMetric("svc.latency", {{"device", "ssd0"}}),
+                0.25);
+    std::ostringstream os;
+    reg.toPrometheus(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("svc_latency{device=\"ssd0\","
+                        "quantile=\"0.5\"}"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("svc_latency_count{device=\"ssd0\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("svc_latency_sum{device=\"ssd0\"} 0.25"),
+              std::string::npos)
+        << text;
+}
+
+TEST(LabeledMetricTest, BuildsEscapedKey)
+{
+    EXPECT_EQ(labeledMetric("m", {{"a", "x"}, {"b", "y\"z"}}),
+              "m{a=\"x\",b=\"y\\\"z\"}");
+    EXPECT_EQ(promLabelEscape("plain"), "plain");
+    EXPECT_EQ(promLabelEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(promLabelEscape("a\\b"), "a\\\\b");
+}
+
 TEST_F(MetricsRegistryTest, ClearDropsValuesButKeepsEnabled)
 {
     MetricsRegistry &reg = MetricsRegistry::global();

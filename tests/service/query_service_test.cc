@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -310,6 +311,140 @@ TEST_F(QueryServiceTest, TableTasksSpreadAcrossTheArray)
         EXPECT_GT(run.svc->deviceSwitch(d).bytesRead(FlashPort::Aquoman),
                   0) << "device " << d;
     }
+}
+
+TEST_F(QueryServiceTest, ProfilesCarryExactCostAttribution)
+{
+    ConcurrentRun run = runConcurrent(4, 8);
+    for (std::size_t i = 0; i < run.ids.size(); ++i) {
+        const QueryRecord &rec = run.svc->record(run.ids[i]);
+        std::string what = "q" + std::to_string(kQueries[i]);
+        ASSERT_FALSE(rec.profile.root.children.empty()) << what;
+        // The tree's pre-order seconds reproduce the modelled device
+        // time plus the priced host phase bitwise.
+        EXPECT_EQ(rec.profile.totalSeconds(),
+                  rec.stats.deviceSeconds + rec.hostFinishSec)
+            << what;
+        // Every node's stage decomposition sums exactly to its
+        // seconds (StageSeconds::total() is the accrual order).
+        std::function<void(const obs::ProfileNode &)> check =
+            [&](const obs::ProfileNode &n) {
+                EXPECT_EQ(n.stages.total(), n.selfSeconds())
+                    << what << " node " << n.name;
+                for (const obs::ProfileNode &c : n.children)
+                    check(c);
+            };
+        check(rec.profile.root);
+    }
+
+    // Aggregate bottleneck histogram covers exactly the completed
+    // Table Tasks.
+    ServiceStats agg = run.svc->aggregate();
+    std::int64_t attributed = 0;
+    for (const auto &[stage, n] : agg.bottleneckTaskCounts)
+        attributed += n;
+    std::int64_t tasks = 0;
+    for (QueryId id : run.ids)
+        tasks += static_cast<std::int64_t>(
+            run.svc->record(id).stats.tasks.size());
+    EXPECT_EQ(attributed, tasks);
+}
+
+TEST_F(QueryServiceTest, LedgersSurviveAuditAcrossTheArray)
+{
+    ConcurrentRun run = runConcurrent(4, 8);
+    std::int64_t device_flash_total = 0;
+    for (std::size_t i = 0; i < run.ids.size(); ++i) {
+        const QueryRecord &rec = run.svc->record(run.ids[i]);
+        obs::LedgerAudit audit;
+        for (const TableTaskRecord &t : rec.stats.tasks) {
+            audit.taskSeconds.push_back(t.seconds);
+            audit.taskFlashBytes.push_back(t.flashBytes);
+        }
+        audit.deviceSeconds = rec.stats.deviceSeconds;
+        audit.deviceFlashBytes = rec.stats.deviceFlashBytes;
+        std::string err;
+        EXPECT_TRUE(obs::auditLedgers(audit, &err))
+            << "q" << kQueries[i] << ": " << err;
+        device_flash_total += rec.stats.deviceFlashBytes;
+    }
+
+    // Switch-port partition: the per-device AQUOMAN-port ledgers
+    // partition the queries' flash bytes exactly (the scheduler's
+    // integer byte split rides its remainder on the last stripe).
+    obs::LedgerAudit port_audit;
+    for (int d = 0; d < run.svc->numDevices(); ++d)
+        port_audit.portBytes.push_back(
+            run.svc->deviceSwitch(d).bytesRead(FlashPort::Aquoman));
+    port_audit.expectedPortTotal = device_flash_total;
+    std::string err;
+    EXPECT_TRUE(obs::auditLedgers(port_audit, &err)) << err;
+}
+
+TEST_F(QueryServiceTest, RuntimeSuspensionReportsStructuredReason)
+{
+    auto svc = makeService(4, 8, /*query_dram_bytes=*/4096);
+    QueryId id = svc->submit(tpchQuery(3, kSf));
+    svc->drain();
+
+    const QueryRecord &rec = svc->record(id);
+    EXPECT_EQ(rec.state, QueryState::Done);
+    EXPECT_EQ(rec.suspendReason, obs::SuspendReason::DramOverflow);
+    EXPECT_EQ(rec.profile.suspend, obs::SuspendReason::DramOverflow);
+
+    // The suspension triggered a flight-recorder dump naming the
+    // query.
+    EXPECT_GE(svc->flightDumps(), 1);
+    EXPECT_NE(svc->lastFlightDump().find("flight recorder"),
+              std::string::npos);
+    EXPECT_NE(svc->lastFlightDump().find(rec.name), std::string::npos);
+
+    ServiceStats agg = svc->aggregate();
+    EXPECT_EQ(agg.suspendReasonCounts.at("dram_overflow"), 1);
+}
+
+TEST_F(QueryServiceTest, AdmissionFailureReportsAdmissionDram)
+{
+    ServiceConfig cfg;
+    cfg.numDevices = 2;
+    cfg.queryDramBytes = cfg.device.dramBytes + 1;
+    QueryService svc(cfg);
+    installTables(svc);
+
+    QueryId id = svc.submit(tpchQuery(6, kSf));
+    svc.drain();
+
+    const QueryRecord &rec = svc.record(id);
+    EXPECT_EQ(rec.state, QueryState::Done);
+    EXPECT_EQ(rec.suspendReason, obs::SuspendReason::AdmissionDram);
+    EXPECT_EQ(rec.profile.suspend, obs::SuspendReason::AdmissionDram);
+    // The host ran the query whole; its operator tree hangs off the
+    // profile's host phase.
+    ASSERT_FALSE(rec.profile.root.children.empty());
+    EXPECT_FALSE(rec.profile.root.children.back().children.empty());
+
+    EXPECT_GE(svc.flightDumps(), 1);
+    EXPECT_NE(svc.lastFlightDump().find("admission"), std::string::npos);
+}
+
+TEST_F(QueryServiceTest, FlightRecorderObservesHealthyRuns)
+{
+    auto svc = makeService(2, 8);
+    QueryId id = svc->submit(tpchQuery(6, kSf));
+    svc->drain();
+
+    EXPECT_EQ(svc->record(id).state, QueryState::Done);
+    // Healthy run: events recorded, but nothing dumped.
+    EXPECT_GT(svc->flightRecorder().recorded(), 0);
+    EXPECT_EQ(svc->flightDumps(), 0);
+    EXPECT_TRUE(svc->lastFlightDump().empty());
+    bool saw_submit = false, saw_done = false;
+    for (const obs::FlightEvent &ev : svc->flightRecorder().snapshot()) {
+        saw_submit |= ev.category == "submit";
+        saw_done |= ev.category == "done";
+    }
+    EXPECT_TRUE(saw_submit);
+    EXPECT_TRUE(saw_done);
 }
 
 } // namespace
