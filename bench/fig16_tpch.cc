@@ -14,10 +14,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <vector>
 
 #include "aquoman/query_profile.hh"
 #include "bench_util.hh"
+#include "columnstore/encoding.hh"
+#include "common/compress_mode.hh"
 #include "common/thread_pool.hh"
 
 using namespace aquoman;
@@ -33,6 +36,7 @@ struct QueryRow
     double avgMemL, avgMemLAq;
     double fracOnDevice, cpuSaving;
     double queueWait, suspendCount, hostFinishBytes;
+    double flashBytes, zoneConsidered, zoneSkipped;
     OffloadClass cls;
     double wallSeconds; ///< real time of this query's functional runs
     obs::QueryProfile profile; ///< L-AQUOMAN cost attribution
@@ -45,6 +49,90 @@ hasFlag(int argc, char **argv, const char *flag)
         if (std::string(argv[i]) == flag)
             return true;
     return false;
+}
+
+std::string
+flagValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == flag) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a path\n", flag);
+                std::exit(2);
+            }
+            return argv[i + 1];
+        }
+    }
+    return std::string();
+}
+
+/**
+ * Per-table, per-column compression report: the codec mix the page
+ * encoder chose, logical vs encoded bytes, and the resulting ratio.
+ * Written as deterministic JSON for the CI artifact.
+ */
+bool
+writeCompressionReport(const std::string &path, const Catalog &cat)
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    f << "{\n  \"compression_enabled\": "
+      << (compressionEnabled() ? "true" : "false")
+      << ",\n  \"tables\": [\n";
+    bool first_table = true;
+    std::int64_t total_logical = 0, total_encoded = 0;
+    for (const auto &[name, entry] : cat.all()) {
+        if (!entry.resident)
+            continue;
+        f << (first_table ? "" : ",\n") << "    {\"table\": \"" << name
+          << "\", \"columns\": [\n";
+        first_table = false;
+        const Table &t = *entry.table;
+        for (int c = 0; c < t.numColumns(); ++c) {
+            const Column &col = t.col(c);
+            std::int64_t logical =
+                t.numRows() * columnTypeWidth(col.type());
+            const ColumnLayoutMeta *enc =
+                entry.resident->encodingMeta(c);
+            std::int64_t encoded = enc ? enc->encodedBytes : logical;
+            total_logical += logical;
+            total_encoded += encoded;
+            // Dominant codec over the column's pages (raw layout when
+            // the column is stored unencoded).
+            std::string codec = "raw";
+            if (enc) {
+                std::int64_t counts[4] = {};
+                for (const PageBlockMeta &p : enc->pages)
+                    ++counts[static_cast<int>(p.codec)];
+                int best = 0;
+                for (int k = 1; k < 4; ++k)
+                    if (counts[k] > counts[best])
+                        best = k;
+                codec = columnCodecName(
+                    static_cast<ColumnCodec>(best));
+            }
+            double ratio = encoded > 0
+                ? static_cast<double>(logical) / encoded : 1.0;
+            f << "      {\"column\": \"" << col.name()
+              << "\", \"codec\": \"" << codec
+              << "\", \"logical_bytes\": " << logical
+              << ", \"encoded_bytes\": " << encoded
+              << ", \"pages\": " << (enc ? enc->numPages() : 0)
+              << ", \"ratio\": " << obs::jsonNumber(ratio) << "}"
+              << (c + 1 < t.numColumns() ? "," : "") << "\n";
+        }
+        f << "    ]}";
+    }
+    double total_ratio = total_encoded > 0
+        ? static_cast<double>(total_logical) / total_encoded : 1.0;
+    f << "\n  ],\n  \"total_logical_bytes\": " << total_logical
+      << ",\n  \"total_encoded_bytes\": " << total_encoded
+      << ",\n  \"total_ratio\": " << obs::jsonNumber(total_ratio)
+      << "\n}\n";
+    return true;
 }
 
 } // namespace
@@ -107,6 +195,10 @@ main(int argc, char **argv)
             static_cast<double>(aq40.hostResidual.suspendCount);
         r.hostFinishBytes =
             static_cast<double>(aq40.hostResidual.hostFinishBytes);
+        r.flashBytes = static_cast<double>(aq40.deviceFlashBytes);
+        r.zoneConsidered =
+            static_cast<double>(aq40.zonePagesConsidered);
+        r.zoneSkipped = static_cast<double>(aq40.zonePagesSkipped);
         r.cls = evL40.offloadClass;
 
         // Cost-attribution tree: host phase split exactly the way
@@ -233,6 +325,9 @@ main(int argc, char **argv)
             rec.add("queue_wait_seconds", r.queueWait);
             rec.add("suspend_count", r.suspendCount);
             rec.add("host_finish_bytes", r.hostFinishBytes);
+            rec.add("flash_bytes", r.flashBytes);
+            rec.add("zone_pages_considered", r.zoneConsidered);
+            rec.add("zone_pages_skipped", r.zoneSkipped);
             rec.addRaw("profile", r.profile.jsonString());
             records.push_back(std::move(rec));
         }
@@ -251,6 +346,14 @@ main(int argc, char **argv)
             std::printf("wrote %s\n", json_path.c_str());
         else
             return 1;
+    }
+
+    std::string report_path =
+        flagValue(argc, argv, "--compression-report");
+    if (!report_path.empty()) {
+        if (!writeCompressionReport(report_path, fx.catalog))
+            return 1;
+        std::printf("wrote %s\n", report_path.c_str());
     }
     return 0;
 }

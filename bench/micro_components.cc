@@ -24,6 +24,7 @@
 #include "aquoman/swissknife/topk.hh"
 #include "aquoman/pe_batch.hh"
 #include "aquoman/transform_compiler.hh"
+#include "columnstore/encoding.hh"
 #include "common/rng.hh"
 #include "relalg/eval.hh"
 
@@ -303,6 +304,108 @@ BM_RowTransformerBatched(benchmark::State &state)
 BENCHMARK(BM_RowTransformerBatched)->Arg(1 << 16);
 
 // ---------------------------------------------------------------------
+// Column-codec decode throughput
+// ---------------------------------------------------------------------
+
+/**
+ * Synthetic columns that force each codec to win the per-page size
+ * contest: a low-cardinality shuffle (dictionary), long runs (RLE),
+ * and a dense high-cardinality band (frame-of-reference). The bench
+ * decodes every page back to int64 and reports logical GB/s, i.e. the
+ * software line rate backing the simulator's Decode pipe stage.
+ */
+std::vector<std::int64_t>
+codecInput(ColumnCodec codec, std::int64_t n)
+{
+    Rng rng(static_cast<std::uint64_t>(codec) + 11);
+    std::vector<std::int64_t> v(n);
+    switch (codec) {
+      case ColumnCodec::Dict:
+        // 64 distinct wide-spread values, shuffled: too sparse for
+        // FOR, too choppy for RLE, dict table cheap per page.
+        for (std::int64_t i = 0; i < n; ++i)
+            v[i] = rng.uniform(0, 63) * 1'000'000'007;
+        break;
+      case ColumnCodec::Rle:
+        for (std::int64_t i = 0; i < n; ++i)
+            v[i] = (i / 500) * 7;
+        break;
+      default:
+        // > kMaxDictValues distinct values in a narrow band.
+        for (std::int64_t i = 0; i < n; ++i)
+            v[i] = 1'000'000'000 + rng.uniform(0, 999'999);
+        break;
+    }
+    return v;
+}
+
+void
+decodeBench(benchmark::State &state, ColumnCodec codec)
+{
+    const std::int64_t n = state.range(0);
+    std::vector<std::int64_t> vals = codecInput(codec, n);
+    ColumnEncoding enc = encodeValues(vals.data(), n, 8);
+    // The input must actually exercise the codec under test.
+    std::int64_t hits = 0;
+    for (const EncodedPage &p : enc.pages)
+        hits += p.codec == codec ? p.rows : 0;
+    if (hits * 2 < n) {
+        state.SkipWithError("input did not select intended codec");
+        return;
+    }
+    std::vector<std::int64_t> out;
+    out.reserve(n);
+    for (auto _ : state) {
+        out.clear();
+        for (const EncodedPage &p : enc.pages)
+            decodePage(p.bytes.data(), p.bytes.size(), out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * n * 8);
+    state.counters["ratio"] =
+        static_cast<double>(n * 8) / enc.encodedBytes;
+}
+
+void
+BM_DecodeDict(benchmark::State &state)
+{
+    decodeBench(state, ColumnCodec::Dict);
+}
+BENCHMARK(BM_DecodeDict)->Arg(1 << 20);
+
+void
+BM_DecodeRle(benchmark::State &state)
+{
+    decodeBench(state, ColumnCodec::Rle);
+}
+BENCHMARK(BM_DecodeRle)->Arg(1 << 20);
+
+void
+BM_DecodeFor(benchmark::State &state)
+{
+    decodeBench(state, ColumnCodec::For);
+}
+BENCHMARK(BM_DecodeFor)->Arg(1 << 20);
+
+void
+BM_EncodedPredicate(benchmark::State &state)
+{
+    // Predicate evaluation directly on dictionary codes, no decode.
+    const std::int64_t n = state.range(0);
+    std::vector<std::int64_t> vals = codecInput(ColumnCodec::Dict, n);
+    ColumnEncoding enc = encodeValues(vals.data(), n, 8);
+    for (auto _ : state) {
+        std::int64_t matches = 0;
+        for (const EncodedPage &p : enc.pages)
+            matches += countMatchesEncoded(p, ZoneOp::Lt,
+                                           32ll * 1'000'000'007);
+        benchmark::DoNotOptimize(matches);
+    }
+    state.SetBytesProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_EncodedPredicate)->Arg(1 << 20);
+
+// ---------------------------------------------------------------------
 // Disabled-observability overhead check
 // ---------------------------------------------------------------------
 
@@ -455,18 +558,81 @@ checkBatchSpeedup()
     return 0;
 }
 
+/**
+ * CI zone-map gate (--check-skip-rate): a q6-style one-year window
+ * over a *clustered* (sorted) synthetic shipdate column must let the
+ * page zone maps skip at least half the pages. Real TPC-H shipdate is
+ * unclustered, so fig16 sees ~0 skips; this gate covers the layout the
+ * zone maps are designed for. Also cross-checks soundness: the pages
+ * that survive pruning must hold every matching row.
+ */
+int
+checkSkipRate()
+{
+    constexpr std::int64_t kRows = 1 << 21;
+    constexpr std::int64_t kSpanDays = 2466; // 1992..1998, like TPC-H
+    constexpr std::int64_t kBaseDay = 8036;  // 1992-01-01
+    std::vector<std::int64_t> days(kRows);
+    for (std::int64_t i = 0; i < kRows; ++i)
+        days[i] = kBaseDay + i * kSpanDays / kRows;
+    ColumnEncoding enc = encodeValues(days.data(), kRows, 4);
+
+    // l_shipdate >= 1995-01-01 AND l_shipdate < 1996-01-01.
+    const std::int64_t lo = kBaseDay + 1096;
+    const std::int64_t hi = lo + 365;
+    std::int64_t skipped = 0, all_rows_match = 0, kept_rows_match = 0;
+    for (const EncodedPage &p : enc.pages) {
+        bool skip =
+            zoneCompare(p.zone, ZoneOp::Ge, lo) == ZoneVerdict::NonePass
+            || zoneCompare(p.zone, ZoneOp::Lt, hi)
+                == ZoneVerdict::NonePass;
+        std::int64_t m = 0;
+        if (countMatchesEncoded(p, ZoneOp::Ge, lo) > 0)
+            m = countMatchesEncoded(p, ZoneOp::Lt, hi)
+                + countMatchesEncoded(p, ZoneOp::Ge, lo) - p.rows;
+        m = std::max<std::int64_t>(m, 0);
+        all_rows_match += m;
+        if (skip)
+            ++skipped;
+        else
+            kept_rows_match += m;
+    }
+    double rate = static_cast<double>(skipped) / enc.numPages();
+    std::printf("zone-map skip rate: %lld of %lld pages skipped "
+                "(%.1f%%) on clustered q6 window (gate: >= 50%%)\n",
+                static_cast<long long>(skipped),
+                static_cast<long long>(enc.numPages()), rate * 100.0);
+    if (kept_rows_match != all_rows_match) {
+        std::fprintf(stderr,
+                     "FAIL: pruning dropped matching rows (%lld of "
+                     "%lld survive)\n",
+                     static_cast<long long>(kept_rows_match),
+                     static_cast<long long>(all_rows_match));
+        return 1;
+    }
+    if (rate < 0.5) {
+        std::fprintf(stderr, "FAIL: skip rate %.1f%% < 50%%\n",
+                     rate * 100.0);
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 } // namespace aquoman
 
 int
 main(int argc, char **argv)
 {
-    // Strip our flag before google-benchmark sees the argument list.
+    // Strip our flags before google-benchmark sees the argument list.
     bool check_batch = false;
+    bool check_skip = false;
     int out_argc = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::string_view(argv[i]) == "--check-batch-speedup")
             check_batch = true;
+        else if (std::string_view(argv[i]) == "--check-skip-rate")
+            check_skip = true;
         else
             argv[out_argc++] = argv[i];
     }
@@ -474,8 +640,14 @@ main(int argc, char **argv)
 
     if (int rc = aquoman::checkDisabledObservabilityOverhead())
         return rc;
-    if (check_batch)
-        return aquoman::checkBatchSpeedup();
+    if (check_batch || check_skip) {
+        int rc = 0;
+        if (check_batch)
+            rc = aquoman::checkBatchSpeedup();
+        if (rc == 0 && check_skip)
+            rc = aquoman::checkSkipRate();
+        return rc;
+    }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -12,8 +12,11 @@
 #include "aquoman/swissknife/streaming_sorter.hh"
 #include "aquoman/swissknife/topk.hh"
 #include "aquoman/transform_compiler.hh"
+#include "columnstore/encoding.hh"
 #include "columnstore/selection_vector.hh"
 #include "common/batch_mode.hh"
+#include "common/compress_mode.hh"
+#include "common/decimal.hh"
 #include "obs/trace.hh"
 #include "relalg/eval.hh"
 
@@ -219,10 +222,22 @@ struct AquomanDevice::Impl
      * to the pipeline stage that bounds it: the flash channels, the
      * Row Selector's processing rate, or (when a transform program
      * consumes the stream) the Row Transformer.
+     *
+     * @p bytes is what actually streams off flash — encoded bytes for
+     * compressed columns. The Row Selector's CPEs evaluate directly
+     * on the encoded stream (all page codecs are order-preserving:
+     * sorted dictionary codes, FOR deltas, RLE runs), so sel_t is
+     * also priced on encoded bytes. @p logical_bytes, when larger,
+     * is the decoded size the stream expands to; decompression runs
+     * at the pipeline's line rate and bounds the stage only when it
+     * exceeds every other resource (PipeStage::Decode). Raw streams
+     * pass logical == bytes and reproduce the pre-compression math
+     * bitwise.
      */
     void
     accountFlash(std::int64_t bytes, std::int64_t rows_processed = 0,
-                 int transform_len = 0)
+                 int transform_len = 0,
+                 std::int64_t logical_bytes = -1)
     {
         stats.deviceFlashBytes += bytes;
         double flash_t = static_cast<double>(bytes)
@@ -235,12 +250,20 @@ struct AquomanDevice::Impl
                                        / kRowVectorSize);
             tr_t = vectors * transform_len / config.clockHz;
         }
-        double t = std::max(flash_t, std::max(sel_t, tr_t));
+        double dec_t = 0.0;
+        if (logical_bytes > bytes) {
+            dec_t = static_cast<double>(logical_bytes)
+                / config.processingRate;
+        }
+        double t = std::max(std::max(flash_t, dec_t),
+                            std::max(sel_t, tr_t));
         obs::PipeStage bound = obs::PipeStage::FlashRead;
         if (sel_t > flash_t)
             bound = obs::PipeStage::Selector;
         if (tr_t > flash_t && tr_t > sel_t)
             bound = obs::PipeStage::Transformer;
+        if (dec_t > flash_t && dec_t > sel_t && dec_t > tr_t)
+            bound = obs::PipeStage::Decode;
         accrue(bound, t);
     }
 
@@ -294,12 +317,70 @@ struct AquomanDevice::Impl
         return out;
     }
 
+    /** Page-block metadata of a base column when stored encoded
+     *  (nullptr on raw layouts / AQUOMAN_COMPRESS=0). */
+    const ColumnLayoutMeta *
+    encodingFor(const LeafRef &ref, const std::string &column) const
+    {
+        if (!compressionEnabled())
+            return nullptr;
+        const CatalogEntry &entry = catalog.get(ref.table);
+        if (!entry.resident)
+            return nullptr;
+        return entry.resident->encodingMeta(
+            entry.table->indexOf(column));
+    }
+
+    /**
+     * Encoded analogue of pageTouchBytes: flash bytes to read
+     * @p selected of the @p rows rows held by @p pages encoded page
+     * blocks (@p encoded_bytes total). Same probabilistic page-touch
+     * shape, floored at the selection's share of the encoded payload.
+     */
+    std::int64_t
+    encodedTouchBytes(std::int64_t pages, std::int64_t rows,
+                      std::int64_t encoded_bytes,
+                      std::int64_t selected) const
+    {
+        if (rows <= 0 || selected <= 0 || pages <= 0)
+            return 0;
+        std::int64_t page = sw.dev().cfg().pageBytes;
+        double d = std::min(1.0, static_cast<double>(selected) / rows);
+        double rpp = static_cast<double>(rows) / pages;
+        double touched = pages * (1.0 - std::pow(1.0 - d, rpp));
+        auto bytes = static_cast<std::int64_t>(touched * page);
+        auto floor_bytes = static_cast<std::int64_t>(
+            static_cast<double>(encoded_bytes) * d);
+        return std::max(bytes, floor_bytes);
+    }
+
+    /** Heap bytes chargeable for a varchar gather at the relation's
+     *  tuple density (0 for non-varchar columns). */
+    std::int64_t
+    gatherHeapBytes(const DeviceRelation &rel, const LeafRef &ref,
+                    const DevCol &dc, const Column &src) const
+    {
+        if (src.type() != ColumnType::Varchar)
+            return 0;
+        // String payloads stream from the column's own heap.
+        const CatalogEntry &entry = catalog.get(ref.table);
+        const Table &t = *entry.table;
+        double density = t.numRows() > 0
+            ? std::min(1.0, static_cast<double>(rel.rows)
+                                / t.numRows())
+            : 0.0;
+        return static_cast<std::int64_t>(
+            columnHeapBytes(entry, dc.baseColumn) * density);
+    }
+
     /**
      * Charge the flash traffic gather(rel, name, true) would account,
      * without materializing values. The batched filter path streams
      * the same page-touch bytes the full-column gather models (the
      * Row Selector still reads every page the selection touches) even
-     * though the simulator only evaluates the surviving rows.
+     * though the simulator only evaluates the surviving rows. Encoded
+     * columns stream their compressed pages and expand to the raw
+     * page-touch bytes in the decoder.
      */
     void
     chargeGather(const DeviceRelation &rel, const std::string &name)
@@ -310,19 +391,242 @@ struct AquomanDevice::Impl
         const LeafRef &ref = rel.leafRefs[dc.leafIdx];
         const Table &t = baseTable(ref.table);
         const Column &src = t.col(dc.baseColumn);
-        std::int64_t bytes = pageTouchBytes(
-            t.numRows(), columnTypeWidth(src.type()), rel.rows);
-        if (src.type() == ColumnType::Varchar) {
-            // String payloads stream from the column's own heap.
-            const CatalogEntry &entry = catalog.get(ref.table);
-            double density = t.numRows() > 0
-                ? std::min(1.0, static_cast<double>(rel.rows)
-                                    / t.numRows())
-                : 0.0;
-            bytes += static_cast<std::int64_t>(
-                columnHeapBytes(entry, dc.baseColumn) * density);
+        int width = columnTypeWidth(src.type());
+        std::int64_t heap_bytes = gatherHeapBytes(rel, ref, dc, src);
+        if (const ColumnLayoutMeta *enc =
+                encodingFor(ref, dc.baseColumn)) {
+            std::int64_t bytes = encodedTouchBytes(
+                enc->numPages(), enc->rows, enc->encodedBytes,
+                rel.rows);
+            std::int64_t logical =
+                pageTouchBytes(t.numRows(), width, rel.rows);
+            accountFlash(bytes + heap_bytes, 0, 0,
+                         logical + heap_bytes);
+            return;
         }
+        std::int64_t bytes =
+            pageTouchBytes(t.numRows(), width, rel.rows) + heap_bytes;
         accountFlash(bytes);
+    }
+
+    /** One zone-map-eligible conjunct: a visible column compared (or
+     *  IN-listed) against integer constants. */
+    struct ZonePred
+    {
+        std::string column;
+        bool inList = false;
+        ZoneOp op = ZoneOp::Eq;
+        std::int64_t value = 0;
+        ColumnType constType = ColumnType::Int64;
+        const std::vector<std::int64_t> *list = nullptr;
+    };
+
+    static bool
+    zonePredFor(const ExprPtr &e, ZonePred *out)
+    {
+        if (e->kind == ExprKind::InList) {
+            const ExprPtr &c0 = e->children[0];
+            if (c0->kind != ExprKind::ColRef || e->listVals.empty()
+                || !e->listStrs.empty())
+                return false;
+            out->column = c0->column;
+            out->inList = true;
+            out->list = &e->listVals;
+            return true;
+        }
+        if (e->kind != ExprKind::Compare)
+            return false;
+        const ExprPtr &a = e->children[0];
+        const ExprPtr &b = e->children[1];
+        const Expr *colref = nullptr;
+        const Expr *konst = nullptr;
+        bool flipped = false;
+        if (a->kind == ExprKind::ColRef
+            && b->kind == ExprKind::Const) {
+            colref = a.get();
+            konst = b.get();
+        } else if (b->kind == ExprKind::ColRef
+                   && a->kind == ExprKind::Const) {
+            colref = b.get();
+            konst = a.get();
+            flipped = true;
+        } else {
+            return false;
+        }
+        switch (e->cmpOp) {
+          case CmpOp::Eq: out->op = ZoneOp::Eq; break;
+          case CmpOp::Ne: out->op = ZoneOp::Ne; break;
+          case CmpOp::Lt:
+            out->op = flipped ? ZoneOp::Gt : ZoneOp::Lt;
+            break;
+          case CmpOp::Le:
+            out->op = flipped ? ZoneOp::Ge : ZoneOp::Le;
+            break;
+          case CmpOp::Gt:
+            out->op = flipped ? ZoneOp::Lt : ZoneOp::Gt;
+            break;
+          case CmpOp::Ge:
+            out->op = flipped ? ZoneOp::Le : ZoneOp::Ge;
+            break;
+        }
+        out->column = colref->column;
+        out->value = konst->constVal;
+        out->constType = konst->resultType;
+        return true;
+    }
+
+    /**
+     * Row intervals of the scanned table that survive zone-map
+     * pruning: rows of pages whose zone maps prove no row can
+     * satisfy one of the scan's eligible conjuncts are excluded
+     * (sound — those rows fail the whole AND), the complement over
+     * [0, total_rows) is returned merged and ascending.
+     */
+    std::vector<std::pair<std::int64_t, std::int64_t>>
+    zoneSurvivingIntervals(const DeviceRelation &rel,
+                           const std::vector<ExprPtr> &conjuncts,
+                           std::int64_t total_rows)
+    {
+        std::vector<std::pair<std::int64_t, std::int64_t>> excluded;
+        for (const auto &c : conjuncts) {
+            ZonePred zp;
+            if (!zonePredFor(c, &zp))
+                continue;
+            const DevCol &dc = resolve(rel, zp.column);
+            if (dc.dataColIdx >= 0)
+                continue;
+            const ColumnLayoutMeta *enc =
+                encodingFor(rel.leafRefs[dc.leafIdx], dc.baseColumn);
+            if (!enc)
+                continue;
+            // The evaluator compares decimals and integers by scaling
+            // the non-decimal side by kDecimalScale; mirror that here
+            // so the zone verdicts match evalPredicate exactly.
+            const Column &src = baseTable(rel.leafRefs[dc.leafIdx]
+                                              .table)
+                                    .col(dc.baseColumn);
+            bool col_dec = src.type() == ColumnType::Decimal;
+            bool cst_dec = zp.constType == ColumnType::Decimal;
+            std::int64_t cval = zp.value;
+            if (!zp.inList && col_dec && !cst_dec)
+                cval *= kDecimalScale;
+            for (const PageBlockMeta &p : enc->pages) {
+                PageZone z = p.zone;
+                if (!zp.inList && cst_dec && !col_dec
+                    && !z.allNull()) {
+                    z.min *= kDecimalScale;
+                    z.max *= kDecimalScale;
+                }
+                ZoneVerdict v = zp.inList
+                    ? zoneInList(z, *zp.list)
+                    : zoneCompare(z, zp.op, cval);
+                if (v == ZoneVerdict::NonePass)
+                    excluded.emplace_back(p.firstRow,
+                                          p.firstRow + p.rows);
+            }
+        }
+        std::sort(excluded.begin(), excluded.end());
+        std::vector<std::pair<std::int64_t, std::int64_t>> surviving;
+        std::int64_t at = 0;
+        for (const auto &[b, e] : excluded) {
+            if (b > at)
+                surviving.emplace_back(at, b);
+            at = std::max(at, e);
+        }
+        if (at < total_rows)
+            surviving.emplace_back(at, total_rows);
+        return surviving;
+    }
+
+    /**
+     * Charge the flash traffic of a leaf-scan filter: the page-touch
+     * read of every predicate column, in column order (both the
+     * scalar oracle and the batched Row Selector charge through here,
+     * so modelled traffic is independent of evaluation strategy). On
+     * encoded tables the per-page zone maps are consulted first:
+     * pages that cannot satisfy the scan's conjuncts are skipped —
+     * not read, not charged — and every predicate column fetches
+     * only its pages overlapping the surviving row ranges (late
+     * materialization of the scan).
+     *
+     * @p charge is false for root-level filters over a pristine base
+     * scan: those sites never priced their predicate stream (the
+     * columns are charged where they materialize downstream), so only
+     * the zone-map verdicts are recorded there — charging sites stay
+     * in parity with the uncompressed oracle.
+     */
+    void
+    chargeFilterScan(const DeviceRelation &rel,
+                     const std::vector<std::string> &cols,
+                     const std::vector<ExprPtr> &conjuncts,
+                     bool charge = true)
+    {
+        if (!compressionEnabled() || rel.leafRefs.size() != 1) {
+            // Raw-oracle path: exactly the per-column gather charges.
+            if (charge) {
+                for (const auto &c : cols)
+                    chargeGather(rel, c);
+            }
+            return;
+        }
+        std::int64_t total_rows =
+            baseTable(rel.leafRefs[0].table).numRows();
+        auto surviving =
+            zoneSurvivingIntervals(rel, conjuncts, total_rows);
+        std::int64_t surv_rows = 0;
+        for (const auto &[b, e] : surviving)
+            surv_rows += e - b;
+        for (const auto &name : cols) {
+            const DevCol &dc = resolve(rel, name);
+            if (dc.dataColIdx >= 0)
+                continue; // device DRAM read: no flash traffic
+            const LeafRef &ref = rel.leafRefs[dc.leafIdx];
+            const Table &t = baseTable(ref.table);
+            const Column &src = t.col(dc.baseColumn);
+            int width = columnTypeWidth(src.type());
+            std::int64_t heap_bytes =
+                gatherHeapBytes(rel, ref, dc, src);
+            const ColumnLayoutMeta *enc =
+                encodingFor(ref, dc.baseColumn);
+            if (!enc) {
+                if (charge) {
+                    accountFlash(pageTouchBytes(t.numRows(), width,
+                                                rel.rows)
+                                 + heap_bytes);
+                }
+                continue;
+            }
+            // Pages of this column overlapping a surviving interval.
+            std::int64_t surv_pages = 0;
+            std::int64_t surv_page_rows = 0;
+            std::int64_t surv_bytes = 0;
+            std::size_t ii = 0;
+            for (const PageBlockMeta &p : enc->pages) {
+                std::int64_t pb = p.firstRow;
+                std::int64_t pe = p.firstRow + p.rows;
+                while (ii < surviving.size()
+                       && surviving[ii].second <= pb)
+                    ++ii;
+                if (ii < surviving.size()
+                    && surviving[ii].first < pe) {
+                    ++surv_pages;
+                    surv_page_rows += p.rows;
+                    surv_bytes += p.byteLen;
+                }
+            }
+            stats.zonePagesConsidered += enc->numPages();
+            stats.zonePagesSkipped += enc->numPages() - surv_pages;
+            if (!charge)
+                continue;
+            std::int64_t selected =
+                std::min(rel.rows, surv_page_rows);
+            std::int64_t bytes = encodedTouchBytes(
+                surv_pages, surv_page_rows, surv_bytes, selected);
+            std::int64_t logical =
+                pageTouchBytes(surv_page_rows, width, selected);
+            accountFlash(bytes + heap_bytes, 0, 0,
+                         logical + heap_bytes);
+        }
     }
 
     /**
@@ -569,25 +873,34 @@ struct AquomanDevice::Impl
         }
         std::vector<std::string> cols;
         collectColumns(pred, cols);
+        // Both evaluation strategies charge the scan identically,
+        // column by column in predicate order: zone-map pruning and
+        // compressed page-touch when the table is encoded, the raw
+        // page-touch model otherwise. A root-level filter over a
+        // pristine base scan (single-table queries: the filter sits
+        // above the scan, not below a join) still consults the zone
+        // maps — the Row Selector skips NonePass pages — but charges
+        // nothing, matching the oracle's charging sites.
+        if (leaf_scan) {
+            chargeFilterScan(rel, cols, conjuncts);
+        } else if (rel.leafRefs.size() == 1
+                   && rel.rows
+                       == baseTable(rel.leafRefs[0].table).numRows()) {
+            chargeFilterScan(rel, cols, conjuncts, false);
+        }
         std::vector<std::int64_t> keep;
         if (!batchExecutionEnabled()) {
             // Scalar oracle: materialize every predicate column over
             // every tuple, evaluate the whole tree at once.
-            RelTable view = viewFor(rel, cols, leaf_scan);
+            RelTable view = viewFor(rel, cols, false);
             BitVector mask = evalPredicate(pred, view);
             keep.reserve(mask.popcount());
             for (std::int64_t i = 0; i < rel.rows; ++i)
                 if (mask.get(i))
                     keep.push_back(i);
         } else {
-            // Batched Row Selector: charge the same per-column flash
-            // traffic the full view gathers, in the same column order
-            // (modelled time must not depend on evaluation strategy),
-            // then short-circuit conjuncts over a shrinking selection.
-            if (leaf_scan) {
-                for (const auto &c : cols)
-                    chargeGather(rel, c);
-            }
+            // Batched Row Selector: flash already charged above;
+            // short-circuit conjuncts over a shrinking selection.
             SelectionVector sel = SelectionVector::dense(rel.rows);
             for (const auto &c : conjuncts) {
                 if (sel.empty())

@@ -94,8 +94,18 @@ struct AquomanRunStats
     /** Modelled wall-clock seconds spent in the device pipeline. */
     double deviceSeconds = 0.0;
 
-    /** Flash bytes the device streamed (page-granular model). */
+    /** Flash bytes the device streamed (page-granular model; encoded
+     *  bytes when compression is on). */
     std::int64_t deviceFlashBytes = 0;
+
+    /**
+     * Zone-map page skipping over encoded leaf scans: pages whose
+     * zone maps were consulted, and the subset proven unable to
+     * satisfy the scan's predicates (never read, never charged).
+     * Both stay 0 on uncompressed (AQUOMAN_COMPRESS=0) runs.
+     */
+    std::int64_t zonePagesConsidered = 0;
+    std::int64_t zonePagesSkipped = 0;
 
     /** Peak device DRAM across the query. */
     std::int64_t deviceDramPeak = 0;

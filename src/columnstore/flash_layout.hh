@@ -1,11 +1,17 @@
 /**
  * @file
- * Persistence of column files onto the simulated flash device. Each
- * column becomes one contiguous extent of 8KB pages holding its values
- * in their on-flash width (4B for int32/date, 8B for int64/decimal and
- * varchar heap offsets); the table's string heap becomes one extra
- * extent. Both the host I/O path and the AQUOMAN path read columns back
- * through the flash controller switch, so all traffic is accounted.
+ * Persistence of column files onto the simulated flash device. With
+ * compression enabled (the default, see common/compress_mode.hh) each
+ * column becomes one extent of independently decodable encoded page
+ * blocks — dictionary / RLE / frame-of-reference chosen per page, one
+ * block per 8KB flash page, each with a zone map — plus one raw extent
+ * for the table's string heap. With AQUOMAN_COMPRESS=0 the layout is
+ * the raw one: values at their on-flash width (4B for int32/date, 8B
+ * for int64/decimal and varchar heap offsets), contiguous.
+ *
+ * Both the host I/O path and the AQUOMAN path read columns back
+ * through the flash controller switch, so all traffic — compressed
+ * bytes when compressed — is accounted.
  */
 
 #ifndef AQUOMAN_COLUMNSTORE_FLASH_LAYOUT_HH
@@ -15,16 +21,50 @@
 #include <memory>
 #include <vector>
 
+#include "columnstore/encoding.hh"
 #include "columnstore/table.hh"
+#include "common/compress_mode.hh"
 #include "flash/controller_switch.hh"
 
 namespace aquoman {
+
+/** Where one encoded page block lives inside its column extent. */
+struct PageBlockMeta
+{
+    ColumnCodec codec = ColumnCodec::Raw;
+    std::int64_t firstRow = 0;
+    std::int64_t rows = 0;
+    std::int64_t byteOffset = 0; ///< page-aligned offset in the extent
+    std::int64_t byteLen = 0;    ///< encoded block bytes
+    PageZone zone;
+};
+
+/** Persisted encoding of one column (empty pages == stored raw). */
+struct ColumnLayoutMeta
+{
+    std::int64_t rows = 0;
+    std::int64_t encodedBytes = 0;
+    std::vector<PageBlockMeta> pages;
+
+    bool encoded() const { return !pages.empty(); }
+
+    std::int64_t numPages() const
+    {
+        return static_cast<std::int64_t>(pages.size());
+    }
+};
 
 /** Flash extents backing one persisted table. */
 struct TableLayout
 {
     std::vector<FlashExtent> columnExtents; ///< one per column
     FlashExtent heapExtent;                 ///< string heap bytes
+
+    /**
+     * Per-column page-block metadata (parallel to columnExtents) when
+     * the table was persisted compressed; empty for the raw layout.
+     */
+    std::vector<ColumnLayoutMeta> columnEncodings;
 };
 
 /**
@@ -42,7 +82,7 @@ class FlashResidentTable
     const Table &table() const { return *tablePtr; }
     const TableLayout &extents() const { return layout; }
 
-    /** On-flash bytes of column @p col for @p rows rows. */
+    /** Uncompressed on-flash bytes of column @p col for @p rows rows. */
     std::int64_t
     columnBytes(int col, std::int64_t rows) const
     {
@@ -50,8 +90,24 @@ class FlashResidentTable
     }
 
     /**
+     * Page-block metadata of column @p col, or nullptr when the
+     * column is stored raw.
+     */
+    const ColumnLayoutMeta *
+    encodingMeta(int col) const
+    {
+        if (static_cast<std::size_t>(col)
+                >= layout.columnEncodings.size()
+            || !layout.columnEncodings[col].encoded())
+            return nullptr;
+        return &layout.columnEncodings[col];
+    }
+
+    /**
      * Read rows [row_begin, row_end) of column @p col from flash through
-     * @p sw on behalf of @p port, decoding into int64 values.
+     * @p sw on behalf of @p port, decoding into int64 values. Encoded
+     * columns read and decode whole page blocks (only the blocks
+     * overlapping the range); raw columns read the exact value bytes.
      */
     void
     readColumnRange(ControllerSwitch &sw, FlashPort port, int col,
@@ -61,11 +117,16 @@ class FlashResidentTable
         const Column &c = tablePtr->col(col);
         AQ_ASSERT(row_begin >= 0 && row_end <= c.size()
                   && row_begin <= row_end);
-        int width = columnTypeWidth(c.type());
         std::int64_t n = row_end - row_begin;
         out.resize(n);
         if (n == 0)
             return;
+        if (const ColumnLayoutMeta *meta = encodingMeta(col)) {
+            readEncodedRange(sw, port, col, *meta, row_begin, row_end,
+                             out);
+            return;
+        }
+        int width = columnTypeWidth(c.type());
         std::vector<std::uint8_t> buf(n * width);
         sw.read(port, layout.columnExtents.at(col), row_begin * width,
                 buf.data(), n * width);
@@ -85,6 +146,44 @@ class FlashResidentTable
     }
 
   private:
+    void
+    readEncodedRange(ControllerSwitch &sw, FlashPort port, int col,
+                     const ColumnLayoutMeta &meta,
+                     std::int64_t row_begin, std::int64_t row_end,
+                     std::vector<std::int64_t> &out) const
+    {
+        const FlashExtent &ext = layout.columnExtents.at(col);
+        // First block whose rows extend past row_begin.
+        std::size_t lo = 0, hi = meta.pages.size();
+        while (lo < hi) {
+            std::size_t mid = (lo + hi) / 2;
+            const PageBlockMeta &p = meta.pages[mid];
+            if (p.firstRow + p.rows <= row_begin)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        std::vector<std::uint8_t> buf;
+        std::vector<std::int64_t> vals;
+        for (std::size_t pi = lo; pi < meta.pages.size(); ++pi) {
+            const PageBlockMeta &p = meta.pages[pi];
+            if (p.firstRow >= row_end)
+                break;
+            buf.resize(p.byteLen);
+            sw.read(port, ext, p.byteOffset, buf.data(), p.byteLen);
+            vals.clear();
+            decodePage(buf.data(), buf.size(), vals);
+            AQ_ASSERT(static_cast<std::int64_t>(vals.size())
+                          == p.rows,
+                      "decoded row count disagrees with page meta");
+            std::int64_t b = std::max(row_begin, p.firstRow);
+            std::int64_t e =
+                std::min(row_end, p.firstRow + p.rows);
+            for (std::int64_t r = b; r < e; ++r)
+                out[r - row_begin] = vals[r - p.firstRow];
+        }
+    }
+
     std::shared_ptr<const Table> tablePtr;
     TableLayout layout;
 };
@@ -103,13 +202,18 @@ class TableStore
     store(std::shared_ptr<const Table> table)
     {
         table->checkConsistent();
+        bool compress = compressionEnabled();
         TableLayout layout;
         FlashDevice &dev = sw.dev();
         for (int i = 0; i < table->numColumns(); ++i) {
             const Column &c = table->col(i);
+            if (compress) {
+                storeEncoded(dev, c, layout);
+                continue;
+            }
             int width = columnTypeWidth(c.type());
             std::int64_t bytes = c.size() * width;
-            FlashExtent ext = dev.allocate(std::max<std::int64_t>(bytes, 1));
+            FlashExtent ext = dev.allocate(bytes);
             std::vector<std::uint8_t> buf(bytes);
             if (width == 4) {
                 for (std::int64_t r = 0; r < c.size(); ++r) {
@@ -128,7 +232,7 @@ class TableStore
         }
         const auto &heap = table->strings().raw();
         layout.heapExtent = dev.allocate(
-            std::max<std::int64_t>(heap.size(), 1));
+            static_cast<std::int64_t>(heap.size()));
         if (!heap.empty()) {
             sw.write(FlashPort::Host, layout.heapExtent, 0, heap.data(),
                      static_cast<std::int64_t>(heap.size()));
@@ -140,6 +244,40 @@ class TableStore
     ControllerSwitch &controller() { return sw; }
 
   private:
+    /** Encode @p c into page blocks, one block per flash page. */
+    void
+    storeEncoded(FlashDevice &dev, const Column &c, TableLayout &layout)
+    {
+        int width = columnTypeWidth(c.type());
+        std::vector<std::int64_t> vals(c.size());
+        for (std::int64_t r = 0; r < c.size(); ++r)
+            vals[r] = c.get(r);
+        ColumnEncoding enc = encodeValues(
+            vals.data(), static_cast<std::int64_t>(vals.size()), width);
+        FlashExtent ext =
+            dev.allocate(enc.numPages() * kFlashPageBytes);
+        ColumnLayoutMeta meta;
+        meta.rows = enc.rows;
+        meta.encodedBytes = enc.encodedBytes;
+        for (std::int64_t p = 0; p < enc.numPages(); ++p) {
+            const EncodedPage &page = enc.pages[p];
+            PageBlockMeta pm;
+            pm.codec = page.codec;
+            pm.firstRow = page.firstRow;
+            pm.rows = page.rows;
+            pm.byteOffset = p * kFlashPageBytes;
+            pm.byteLen =
+                static_cast<std::int64_t>(page.bytes.size());
+            pm.zone = page.zone;
+            sw.write(FlashPort::Host, ext, pm.byteOffset,
+                     page.bytes.data(), pm.byteLen);
+            meta.pages.push_back(pm);
+        }
+        layout.columnExtents.push_back(ext);
+        layout.columnEncodings.resize(layout.columnExtents.size());
+        layout.columnEncodings.back() = std::move(meta);
+    }
+
     ControllerSwitch &sw;
 };
 

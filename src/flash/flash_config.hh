@@ -13,6 +13,14 @@
 
 namespace aquoman {
 
+/**
+ * Flash page access granularity in bytes (paper: 8KB). The single
+ * authority for the page size: FlashConfig defaults to it, the column
+ * encoder sizes its page blocks by it, and FlashDevice::allocate
+ * rounds every request up to this granularity.
+ */
+inline constexpr std::int64_t kFlashPageBytes = 8 * 1024;
+
 /** Static parameters of a simulated flash device. */
 struct FlashConfig
 {
@@ -21,7 +29,7 @@ struct FlashConfig
     std::string name = "flash";
 
     /** Page access granularity in bytes (paper: 8KB). */
-    std::int64_t pageBytes = 8 * 1024;
+    std::int64_t pageBytes = kFlashPageBytes;
 
     /** Pages per erase block. */
     int pagesPerBlock = 256;

@@ -51,13 +51,18 @@ class FlashDevice
     const FlashConfig &cfg() const { return config; }
 
     /**
-     * Allocate a fresh extent able to hold @p bytes.
+     * Allocate a fresh extent able to hold @p bytes. Requests are
+     * rounded up to page granularity here — and only here: callers
+     * pass their exact byte need (zero included, for an empty column
+     * file) and always receive at least one whole page.
      * @throws FatalError when the device is full.
      */
     FlashExtent
     allocate(std::int64_t bytes)
     {
         std::lock_guard<std::mutex> lock(mu);
+        if (bytes < 0)
+            bytes = 0;
         std::int64_t pages = (bytes + config.pageBytes - 1)
             / config.pageBytes;
         if (pages == 0)

@@ -27,6 +27,8 @@ pipeStageName(PipeStage s)
         return "switch";
       case PipeStage::HostPhase:
         return "host_phase";
+      case PipeStage::Decode:
+        return "decode";
     }
     return "?";
 }

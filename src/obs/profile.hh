@@ -34,10 +34,14 @@
 namespace aquoman::obs {
 
 /**
- * The six resources a modelled second can be attributed to. The first
+ * The resources a modelled second can be attributed to. The first
  * four are the in-device pipeline (Fig. 4 of the paper); Switch is
  * DMA / controller-switch transfer time; HostPhase is x86 residual
- * execution after suspension or for host-only stages.
+ * execution after suspension or for host-only stages; Decode is
+ * line-rate decompression of encoded column pages in the Row
+ * Transformer (appended last so pre-compression stage indices — and
+ * the earliest-wins bottleneck rule on uncompressed runs — are
+ * unchanged).
  */
 enum class PipeStage
 {
@@ -47,11 +51,12 @@ enum class PipeStage
     Swissknife,
     Switch,
     HostPhase,
+    Decode,
 };
 
-inline constexpr int kNumPipeStages = 6;
+inline constexpr int kNumPipeStages = 7;
 
-/** Stable lower-case name ("flash_read", ..., "host_phase"). */
+/** Stable lower-case name ("flash_read", ..., "decode"). */
 const char *pipeStageName(PipeStage s);
 
 /**
@@ -74,14 +79,14 @@ enum class SuspendReason
 const char *suspendReasonName(SuspendReason r);
 
 /**
- * Modelled seconds split over the six pipeline stages. total() sums
+ * Modelled seconds split over the pipeline stages. total() sums
  * the slots in fixed declaration order so the decomposition is exact:
  * accruing into slots and reading total() is how the device keeps its
  * per-task seconds bitwise equal to the stage breakdown.
  */
 struct StageSeconds
 {
-    double sec[kNumPipeStages] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    double sec[kNumPipeStages] = {};
 
     void
     add(PipeStage s, double t)

@@ -25,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "columnstore/encoding.hh"
 #include "columnstore/table.hh"
+#include "common/compress_mode.hh"
 #include "flash/controller_switch.hh"
 
 namespace aquoman::service {
@@ -134,14 +136,37 @@ class ShardedTableStore
     }
 
   private:
-    /** On-flash encoding of rows [r0, r1): column slices in order. */
+    /**
+     * On-flash encoding of rows [r0, r1): column slices in order.
+     * With compression enabled each slice becomes encoded page blocks
+     * (the same codecs TableStore persists, page-aligned so every
+     * block owns one flash page); otherwise raw column slices at
+     * their stored width.
+     */
     static std::vector<std::uint8_t>
     encodeStripe(const Table &t, std::int64_t r0, std::int64_t r1)
     {
         std::vector<std::uint8_t> buf;
+        bool compress = compressionEnabled();
+        std::vector<std::int64_t> vals;
         for (int ci = 0; ci < t.numColumns(); ++ci) {
             const Column &c = t.col(ci);
             int width = columnTypeWidth(c.type());
+            if (compress) {
+                vals.resize(r1 - r0);
+                for (std::int64_t r = r0; r < r1; ++r)
+                    vals[r - r0] = c.get(r);
+                ColumnEncoding enc = encodeValues(
+                    vals.data(),
+                    static_cast<std::int64_t>(vals.size()), width, r0);
+                for (const EncodedPage &page : enc.pages) {
+                    std::size_t at = buf.size();
+                    buf.resize(at + kFlashPageBytes, 0);
+                    std::memcpy(buf.data() + at, page.bytes.data(),
+                                page.bytes.size());
+                }
+                continue;
+            }
             std::size_t at = buf.size();
             buf.resize(at + static_cast<std::size_t>(r1 - r0) * width);
             for (std::int64_t r = r0; r < r1; ++r) {

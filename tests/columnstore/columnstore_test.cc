@@ -7,6 +7,7 @@
 #include "columnstore/catalog.hh"
 #include "columnstore/flash_layout.hh"
 #include "columnstore/table.hh"
+#include "common/compress_mode.hh"
 
 namespace aquoman {
 namespace {
@@ -110,10 +111,43 @@ TEST_F(FlashLayoutTest, PartialRangeRead)
 
 TEST_F(FlashLayoutTest, DateColumnUsesFourBytes)
 {
+    // The raw (uncompressed) layout stores dates at 4 bytes per row.
+    bool was = compressionEnabled();
+    setCompressionEnabled(false);
     auto t = makeSales();
     auto resident = store.store(t);
+    setCompressionEnabled(was);
     const FlashExtent &ext = resident->extents().columnExtents[2];
     EXPECT_EQ(ext.byteLength, 1000 * 4);
+    EXPECT_EQ(resident->encodingMeta(2), nullptr);
+}
+
+TEST_F(FlashLayoutTest, EncodedLayoutShrinksLowCardinalityColumns)
+{
+    bool was = compressionEnabled();
+    setCompressionEnabled(true);
+    auto t = makeSales();
+    auto resident = store.store(t);
+    setCompressionEnabled(was);
+    // day has 50 distinct values: the dictionary/FOR page encodings
+    // must beat the 4-byte raw layout, and the extent holds whole
+    // flash pages of encoded blocks.
+    const ColumnLayoutMeta *enc = resident->encodingMeta(2);
+    ASSERT_NE(enc, nullptr);
+    EXPECT_EQ(enc->rows, 1000);
+    EXPECT_LT(enc->encodedBytes, 1000 * 4);
+    const FlashExtent &ext = resident->extents().columnExtents[2];
+    EXPECT_EQ(ext.byteLength, enc->numPages() * kFlashPageBytes);
+    // Zone maps cover the whole column exactly.
+    std::int64_t rows = 0;
+    for (const PageBlockMeta &p : enc->pages) {
+        EXPECT_EQ(p.firstRow, rows);
+        rows += p.rows;
+        EXPECT_GE(p.zone.min, 8000);
+        EXPECT_LE(p.zone.max, 8049);
+        EXPECT_EQ(p.zone.nullCount, 0);
+    }
+    EXPECT_EQ(rows, 1000);
 }
 
 TEST_F(FlashLayoutTest, CatalogMetadata)

@@ -16,9 +16,17 @@
  *    be bit-stable. Any relative drift beyond --model-tolerance
  *    (default 0, exact) on any matched record fails the gate.
  *
+ *  - flash_bytes: modelled bytes streamed off flash (deterministic).
+ *    The gate is the geometric mean of candidate/baseline ratios over
+ *    records carrying the field on both sides; it fails when the
+ *    geomean exceeds 1 + threshold (--flash-bytes-threshold-pct,
+ *    default 0 — any net bytes-read regression fails). Baselines
+ *    predating the field simply contribute no samples.
+ *
  * Usage:
  *   bench_diff <baseline.json> <candidate.json>
  *              [--wall-threshold-pct P] [--model-tolerance T]
+ *              [--flash-bytes-threshold-pct P]
  *
  * Exit codes: 0 pass, 1 regression detected, 2 usage / parse error.
  */
@@ -297,7 +305,8 @@ usage()
         stderr,
         "usage: bench_diff <baseline.json> <candidate.json>\n"
         "                  [--wall-threshold-pct P] "
-        "[--model-tolerance T]\n");
+        "[--model-tolerance T]\n"
+        "                  [--flash-bytes-threshold-pct P]\n");
     return 2;
 }
 
@@ -309,12 +318,15 @@ main(int argc, char **argv)
     std::string baseline_path, candidate_path;
     double wall_threshold_pct = 10.0;
     double model_tolerance = 0.0;
+    double flash_threshold_pct = 0.0;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--wall-threshold-pct" && i + 1 < argc) {
             wall_threshold_pct = std::atof(argv[++i]);
         } else if (a == "--model-tolerance" && i + 1 < argc) {
             model_tolerance = std::atof(argv[++i]);
+        } else if (a == "--flash-bytes-threshold-pct" && i + 1 < argc) {
+            flash_threshold_pct = std::atof(argv[++i]);
         } else if (baseline_path.empty()) {
             baseline_path = a;
         } else if (candidate_path.empty()) {
@@ -345,6 +357,8 @@ main(int argc, char **argv)
     int matched = 0;
     double log_ratio_sum = 0.0;
     int wall_samples = 0;
+    double flash_log_ratio_sum = 0.0;
+    int flash_samples = 0;
 
     for (const Record &cand : candidate) {
         std::string key = recordKey(cand);
@@ -360,6 +374,14 @@ main(int argc, char **argv)
             && cw->second > 0.0) {
             log_ratio_sum += std::log(cw->second / bw->second);
             ++wall_samples;
+        }
+
+        auto bf = base.find("flash_bytes");
+        auto cf = cand.find("flash_bytes");
+        if (bf != base.end() && cf != cand.end() && bf->second > 0.0
+            && cf->second > 0.0) {
+            flash_log_ratio_sum += std::log(cf->second / bf->second);
+            ++flash_samples;
         }
 
         for (const auto &[name, base_v] : base) {
@@ -408,6 +430,21 @@ main(int argc, char **argv)
                      "limit %.4f\n",
                      geomean, limit);
         ++failures;
+    }
+    if (flash_samples > 0) {
+        double flash_geomean =
+            std::exp(flash_log_ratio_sum / flash_samples);
+        double flash_limit = 1.0 + flash_threshold_pct / 100.0;
+        std::printf("bench_diff: flash_bytes geomean ratio %.4f over "
+                    "%d record(s) (limit %.4f)\n",
+                    flash_geomean, flash_samples, flash_limit);
+        if (flash_geomean > flash_limit) {
+            std::fprintf(stderr,
+                         "FAIL flash_bytes geomean ratio %.4f exceeds "
+                         "limit %.4f\n",
+                         flash_geomean, flash_limit);
+            ++failures;
+        }
     }
     return failures > 0 ? 1 : 0;
 }
