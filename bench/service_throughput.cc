@@ -28,6 +28,7 @@
 
 #include "bench_util.hh"
 #include "service/query_service.hh"
+#include "workload/tpch_params.hh"
 
 using namespace aquoman;
 using namespace aquoman::bench;
@@ -60,6 +61,21 @@ hasFlag(int argc, char **argv, const char *flag)
     return false;
 }
 
+/**
+ * Parameter seed (--seed N, default 0). Seed 0 pins every client to
+ * the validation-parameter instances — byte-identical to the plans
+ * this bench has always run — while a nonzero seed draws a distinct
+ * parameter set per (client, round) from the workload generator.
+ */
+std::uint64_t
+seedFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--seed")
+            return std::strtoull(argv[i + 1], nullptr, 10);
+    return 0;
+}
+
 /** Render a name->count map as a JSON object string. */
 std::string
 countsJson(const std::map<std::string, std::int64_t> &counts)
@@ -75,7 +91,8 @@ countsJson(const std::map<std::string, std::int64_t> &counts)
 }
 
 RunResult
-runWorkload(const tpch::TpchDatabase &db, double sf, int num_devices)
+runWorkload(const tpch::TpchDatabase &db,
+            const workload::TpchInstanceGenerator &gen, int num_devices)
 {
     WallTimer timer;
     ServiceConfig cfg;
@@ -93,10 +110,15 @@ runWorkload(const tpch::TpchDatabase &db, double sf, int num_devices)
     // Closed loop: each client resubmits as soon as its query is done.
     std::map<QueryId, int> owner;
     std::vector<int> done(kClients, 0);
+    // Seed 0 runs instance 0 (the validation parameters) everywhere;
+    // otherwise each (client, round) gets its own parameter draw.
     auto clientQuery = [&](int client, int round) {
         int q = kRotation[(client + round)
                           % static_cast<int>(kRotation.size())];
-        return tpch::tpchQuery(q, sf);
+        std::uint64_t idx = gen.seed() == 0
+            ? 0
+            : 1 + static_cast<std::uint64_t>(client) * kRounds + round;
+        return gen.build(gen.instance(q, idx));
     };
     svc.setOnComplete([&](const QueryRecord &rec) {
         int client = owner.at(rec.id);
@@ -127,17 +149,19 @@ main(int argc, char **argv)
 {
     std::string json_path = jsonPathFromArgs(argc, argv);
     double sf = scaleFactor();
+    std::uint64_t seed = seedFromArgs(argc, argv);
     header("Service throughput: " + std::to_string(kClients)
            + " closed-loop TPC-H clients x " + std::to_string(kRounds)
            + " rounds (functional runs at SF " + std::to_string(sf)
-           + ")");
+           + ", seed " + std::to_string(seed) + ")");
 
     tpch::TpchDatabase db =
         tpch::TpchDatabase::generate(tpch::TpchConfig{sf, 19920101});
+    workload::TpchInstanceGenerator gen(seed, sf);
 
     std::vector<RunResult> runs;
     for (int m : {1, 2, 4})
-        runs.push_back(runWorkload(db, sf, m));
+        runs.push_back(runWorkload(db, gen, m));
 
     std::printf("%-8s %9s %12s %10s %10s %10s %12s %9s\n", "devices",
                 "queries", "makespan s", "p50 s", "p95 s", "p99 s",
@@ -187,6 +211,7 @@ main(int argc, char **argv)
             rec.add("devices", r.devices);
             rec.add("clients", kClients);
             rec.add("rounds", kRounds);
+            rec.add("seed", static_cast<double>(seed));
             rec.add("queries_completed",
                     static_cast<double>(r.stats.completed));
             rec.add("makespan_seconds", r.stats.makespanSec);

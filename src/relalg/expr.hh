@@ -144,6 +144,18 @@ litDate(const std::string &iso)
     return e;
 }
 
+/** Decimal literal from an already-scaled fixed-point value
+ *  (hundredths), e.g. litDecScaled(5) == litDec("0.05"). */
+inline ExprPtr
+litDecScaled(std::int64_t scaled)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Const;
+    e->resultType = ColumnType::Decimal;
+    e->constVal = scaled;
+    return e;
+}
+
 /** Date literal from a precomputed day count. */
 inline ExprPtr
 litDateDays(std::int32_t days)

@@ -31,6 +31,8 @@ queryStateName(QueryState s)
         return "HostFinish";
       case QueryState::Done:
         return "Done";
+      case QueryState::Shed:
+        return "Shed";
     }
     return "?";
 }
@@ -136,10 +138,33 @@ struct QueryService::Impl
         }
     };
 
+    /** Runtime admission state of one tenant. */
+    struct TenantState
+    {
+        TenantConfig cfg;
+        std::deque<QueryId> queue;
+        double deficit = 0.0;       ///< DRR credit within its class
+        std::int64_t dramInUse = 0; ///< reserved bytes across devices
+        std::int64_t submitted = 0;
+        std::int64_t shedCount = 0;
+    };
+
     explicit Impl(ServiceConfig cfg_) : cfg(std::move(cfg_)), host(cfg.host)
     {
         AQ_ASSERT(cfg.numDevices > 0, "service needs >= 1 device");
         AQ_ASSERT(cfg.admissionLimit > 0, "admission limit must be >= 1");
+        // Resolve the per-query DRAM reservation exactly once: the
+        // quota of a live service must not move if a caller mutates
+        // admissionLimit on a retained config copy.
+        perQueryDram = cfg.resolvedQueryDramBytes();
+        if (cfg.tenants.empty())
+            tenants.push_back(TenantState{TenantConfig{}, {}, 0.0, 0, 0,
+                                          0});
+        else
+            for (const TenantConfig &tc : cfg.tenants) {
+                AQ_ASSERT(tc.weight > 0.0, "tenant weight must be > 0");
+                tenants.push_back(TenantState{tc, {}, 0.0, 0, 0, 0});
+            }
         tracePrefix = cfg.traceLabel.empty() ? "" : cfg.traceLabel + ".";
         devTracks.assign(cfg.numDevices, -1);
         aqPortTracks.assign(cfg.numDevices, -1);
@@ -272,9 +297,9 @@ struct QueryService::Impl
                 tracer.span(e.queryTrack, queryStateName(prev.state),
                             "query-state", prev.atSec, clock);
             }
-            if (to == QueryState::Done)
-                tracer.instant(e.queryTrack, "Done", "query-state",
-                               clock);
+            if (to == QueryState::Done || to == QueryState::Shed)
+                tracer.instant(e.queryTrack, queryStateName(to),
+                               "query-state", clock);
         }
         e.rec.lifecycle.push_back({to, clock});
         e.rec.state = to;
@@ -282,12 +307,122 @@ struct QueryService::Impl
 
     // -- admission -----------------------------------------------------
 
+    /**
+     * Deterministic tail-drop: the arriving query is dropped at its
+     * modelled arrival time, transitions Queued -> Shed, and never
+     * executes. Fires the completion hook so open-loop drivers see
+     * every submitted query exactly once.
+     */
+    void
+    shed(QueryExec &e, const std::string &why)
+    {
+        TenantState &t = tenants[static_cast<std::size_t>(e.rec.tenant)];
+        ++t.shedCount;
+        e.rec.shed = true;
+        e.rec.doneSec = clock;
+        logState(e, QueryState::Shed);
+        flightNote("shed", queryLabel(e),
+                   "tenant=" + t.cfg.name + " " + why);
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        if (reg.enabled())
+            reg.add(obs::labeledMetric("service.tenant_shed_total",
+                                       {{"tenant", t.cfg.name}}),
+                    1.0);
+        shedIds.push_back(e.rec.id);
+        if (onComplete)
+            onComplete(e.rec);
+    }
+
+    /**
+     * An arrival enters its tenant's admission queue unless the queue
+     * is at its bound (tail drop) or the tenant's DRAM quota can never
+     * fit one reservation (immediate shed — queueing would be
+     * forever).
+     */
+    void
+    onArrival(QueryId qid)
+    {
+        QueryExec &e = execs[qid];
+        TenantState &t = tenants[static_cast<std::size_t>(e.rec.tenant)];
+        if (t.cfg.dramQuotaBytes > 0 &&
+            t.cfg.dramQuotaBytes < perQueryDram) {
+            shed(e, "quota " + std::to_string(t.cfg.dramQuotaBytes)
+                        + " below per-query reservation "
+                        + std::to_string(perQueryDram));
+            return;
+        }
+        if (cfg.maxQueuedPerTenant > 0 &&
+            static_cast<int>(t.queue.size()) >= cfg.maxQueuedPerTenant) {
+            shed(e, "queue full ("
+                        + std::to_string(cfg.maxQueuedPerTenant) + ")");
+            return;
+        }
+        t.queue.push_back(qid);
+        tryAdmit();
+    }
+
+    /** A tenant may be served when it has work and quota headroom. */
+    bool
+    eligible(const TenantState &t) const
+    {
+        if (t.queue.empty())
+            return false;
+        return t.cfg.dramQuotaBytes <= 0 ||
+               t.dramInUse + perQueryDram <= t.cfg.dramQuotaBytes;
+    }
+
+    /**
+     * Pick the next tenant to serve: strict priority class first, then
+     * deficit round-robin within the class. Each pass over the class
+     * tops up every eligible tenant's deficit by its weight; a tenant
+     * is served when its deficit reaches one query's cost (1.0).
+     * Single tenant degenerates to exact FIFO.
+     */
+    int
+    pickTenant()
+    {
+        int best_prio = 0;
+        bool any = false;
+        for (const TenantState &t : tenants)
+            if (eligible(t) &&
+                (!any || t.cfg.priority < best_prio)) {
+                best_prio = t.cfg.priority;
+                any = true;
+            }
+        if (!any)
+            return -1;
+        std::size_t n = tenants.size();
+        for (;;) {
+            for (std::size_t step = 0; step < n; ++step) {
+                std::size_t i = (drrCursor + step) % n;
+                TenantState &t = tenants[i];
+                if (t.cfg.priority != best_prio || !eligible(t))
+                    continue;
+                if (t.deficit >= 1.0) {
+                    t.deficit -= 1.0;
+                    // Stay on this tenant: it keeps its turn while it
+                    // has credit, then the cursor moves past it.
+                    drrCursor = i;
+                    return static_cast<int>(i);
+                }
+                t.deficit += t.cfg.weight;
+            }
+            drrCursor = (drrCursor + 1) % n; // full pass: rotate start
+        }
+    }
+
     void
     tryAdmit()
     {
-        while (running < cfg.admissionLimit && !admissionQueue.empty()) {
-            QueryId qid = admissionQueue.front();
-            admissionQueue.pop_front();
+        while (running < cfg.admissionLimit) {
+            int ti = pickTenant();
+            if (ti < 0)
+                break;
+            TenantState &t = tenants[static_cast<std::size_t>(ti)];
+            QueryId qid = t.queue.front();
+            t.queue.pop_front();
+            if (t.queue.empty())
+                t.deficit = 0.0; // classic DRR: no credit hoarding
             admit(qid);
         }
     }
@@ -296,19 +431,25 @@ struct QueryService::Impl
     admit(QueryId qid)
     {
         QueryExec &e = execs[qid];
+        TenantState &t = tenants[static_cast<std::size_t>(e.rec.tenant)];
         e.admissionIdx = admissionCounter++;
         e.rec.admitSec = clock;
         e.rec.queueWaitSec = clock - e.rec.submitSec;
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
-        if (reg.enabled())
+        if (reg.enabled()) {
             reg.observe("service.queue_wait_seconds",
                         e.rec.queueWaitSec);
+            reg.observe(obs::labeledMetric(
+                            "service.tenant_queue_wait_seconds",
+                            {{"tenant", t.cfg.name}}),
+                        e.rec.queueWaitSec);
+        }
         e.rec.anchorDevice = static_cast<int>(
             (e.admissionIdx + cfg.scheduleSeed) % devices.size());
         ++running;
 
         DeviceNode &anchor = *devices[e.rec.anchorDevice];
-        std::int64_t want = cfg.resolvedQueryDramBytes();
+        std::int64_t want = perQueryDram;
         std::string slot = "service.q" + std::to_string(qid);
         if (!anchor.dram->allocate(slot, want)) {
             // Admission-time suspension: no device DRAM for this
@@ -323,6 +464,7 @@ struct QueryService::Impl
             return;
         }
         e.reservedBytes = want;
+        t.dramInUse += want;
         flightNote("admit", queryLabel(e),
                    "anchor=" + deviceName(e.rec.anchorDevice)
                        + " dram=" + std::to_string(want));
@@ -589,13 +731,20 @@ struct QueryService::Impl
         flightNote("done", queryLabel(e));
         e.rec.doneSec = clock;
         e.rec.metrics.queueWaitSec = e.rec.queueWaitSec;
+        TenantState &t = tenants[static_cast<std::size_t>(e.rec.tenant)];
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
-        if (reg.enabled())
+        if (reg.enabled()) {
             reg.observe("service.query_latency_seconds",
                         e.rec.latencySec());
+            reg.observe(obs::labeledMetric(
+                            "service.tenant_latency_seconds",
+                            {{"tenant", t.cfg.name}}),
+                        e.rec.latencySec());
+        }
         if (e.reservedBytes > 0) {
             devices[e.rec.anchorDevice]->dram->free(
                 "service.q" + std::to_string(e.rec.id));
+            t.dramInUse -= e.reservedBytes;
             e.reservedBytes = 0;
         }
         --running;
@@ -617,8 +766,7 @@ struct QueryService::Impl
             clock = ev.time;
             switch (ev.kind) {
               case EventKind::Arrival:
-                admissionQueue.push_back(ev.qid);
-                tryAdmit();
+                onArrival(ev.qid);
                 break;
               case EventKind::SubtaskDone:
                 onSubtaskDone(ev);
@@ -657,8 +805,11 @@ struct QueryService::Impl
     std::unique_ptr<ShardedTableStore> store;
 
     std::map<QueryId, QueryExec> execs;
-    std::deque<QueryId> admissionQueue;
+    std::vector<TenantState> tenants;
+    std::size_t drrCursor = 0;
+    std::int64_t perQueryDram = 0;
     std::vector<QueryId> completed;
+    std::vector<QueryId> shedIds;
     std::priority_queue<Event, std::vector<Event>, std::greater<>>
         events;
     std::function<void(const QueryRecord &)> onComplete;
@@ -729,16 +880,21 @@ QueryService::now() const
 }
 
 QueryId
-QueryService::submit(const Query &q, double arrival_sec)
+QueryService::submit(const Query &q, double arrival_sec, int tenant)
 {
+    AQ_ASSERT(tenant >= 0 &&
+              tenant < static_cast<int>(impl->tenants.size()),
+              "no tenant ", tenant);
     QueryId id = impl->nextQueryId++;
     Impl::QueryExec &e = impl->execs[id];
     e.query = q;
     e.rec.id = id;
     e.rec.name = q.name.empty() ? "q" + std::to_string(id) : q.name;
+    e.rec.tenant = tenant;
     e.rec.submitSec = std::max(arrival_sec, impl->clock);
     e.rec.state = QueryState::Queued;
     e.rec.lifecycle.push_back({QueryState::Queued, e.rec.submitSec});
+    ++impl->tenants[static_cast<std::size_t>(tenant)].submitted;
     impl->flight.record(e.rec.submitSec, "submit",
                         impl->queryLabel(e), "");
     impl->schedule(e.rec.submitSec, Impl::EventKind::Arrival, id);
@@ -789,19 +945,45 @@ QueryService::lastFlightDump() const
     return impl->lastDump;
 }
 
+namespace {
+
+double
+percentileOf(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    auto idx = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted.size()))) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
 ServiceStats
 QueryService::aggregate() const
 {
     ServiceStats s;
     s.completed = static_cast<std::int64_t>(impl->completed.size());
+    s.shedTotal = static_cast<std::int64_t>(impl->shedIds.size());
+    if (s.completed + s.shedTotal > 0)
+        s.shedRate = static_cast<double>(s.shedTotal) /
+                     static_cast<double>(s.completed + s.shedTotal);
     for (const auto &dn : impl->devices) {
         s.deviceBusySec.push_back(dn->busySec);
         s.deviceTasksRun.push_back(dn->tasksRun);
+    }
+    for (const Impl::TenantState &t : impl->tenants) {
+        TenantStats ts;
+        ts.name = t.cfg.name;
+        ts.submitted = t.submitted;
+        ts.shed = t.shedCount;
+        s.tenants.push_back(std::move(ts));
     }
     if (impl->completed.empty())
         return s;
 
     std::vector<double> lat;
+    std::vector<std::vector<double>> tenant_lat(impl->tenants.size());
     double first_submit = 0.0, last_done = 0.0;
     std::int64_t suspended = 0;
     bool first = true;
@@ -811,6 +993,14 @@ QueryService::aggregate() const
         s.latencyHistogram.record(r.latencySec());
         s.queueWaitHistogram.record(r.queueWaitSec);
         s.meanQueueWaitSec += r.queueWaitSec;
+        auto ti = static_cast<std::size_t>(r.tenant);
+        tenant_lat[ti].push_back(r.latencySec());
+        TenantStats &ts = s.tenants[ti];
+        ++ts.completed;
+        ts.meanQueueWaitSec += r.queueWaitSec;
+        double slo = impl->tenants[ti].cfg.sloSec;
+        if (slo <= 0.0 || r.latencySec() <= slo)
+            ++ts.withinSlo;
         for (const TableTaskRecord &t : r.stats.tasks)
             ++s.bottleneckTaskCounts[obs::pipeStageName(t.bottleneck)];
         if (r.suspendReason != obs::SuspendReason::None)
@@ -831,14 +1021,24 @@ QueryService::aggregate() const
         ? static_cast<double>(s.completed) / s.makespanSec : 0.0;
 
     std::sort(lat.begin(), lat.end());
-    auto pct = [&](double p) {
-        auto idx = static_cast<std::size_t>(
-            std::ceil(p * static_cast<double>(lat.size()))) - 1;
-        return lat[std::min(idx, lat.size() - 1)];
-    };
-    s.p50LatencySec = pct(0.50);
-    s.p95LatencySec = pct(0.95);
-    s.p99LatencySec = pct(0.99);
+    s.p50LatencySec = percentileOf(lat, 0.50);
+    s.p95LatencySec = percentileOf(lat, 0.95);
+    s.p99LatencySec = percentileOf(lat, 0.99);
+
+    for (std::size_t ti = 0; ti < s.tenants.size(); ++ti) {
+        TenantStats &ts = s.tenants[ti];
+        if (ts.submitted > 0)
+            ts.shedRate = static_cast<double>(ts.shed) /
+                          static_cast<double>(ts.submitted);
+        if (ts.completed > 0)
+            ts.meanQueueWaitSec /= static_cast<double>(ts.completed);
+        std::sort(tenant_lat[ti].begin(), tenant_lat[ti].end());
+        ts.p50LatencySec = percentileOf(tenant_lat[ti], 0.50);
+        ts.p90LatencySec = percentileOf(tenant_lat[ti], 0.90);
+        ts.p99LatencySec = percentileOf(tenant_lat[ti], 0.99);
+        ts.goodputQps = s.makespanSec > 0.0
+            ? static_cast<double>(ts.withinSlo) / s.makespanSec : 0.0;
+    }
     return s;
 }
 

@@ -55,6 +55,7 @@ enum class QueryState
     Suspended,  ///< shipped to the host (DRAM pressure / unsupported op)
     HostFinish, ///< host executing residual stages / receiving results
     Done,       ///< result delivered
+    Shed,       ///< dropped by admission control (terminal, no result)
 };
 
 const char *queryStateName(QueryState s);
@@ -64,6 +65,37 @@ struct LifecycleEvent
 {
     QueryState state = QueryState::Queued;
     double atSec = 0.0;
+};
+
+/**
+ * One tenant of the service. The admission scheduler serves tenants by
+ * strict priority class (lower number first) and, within a class, by
+ * deficit round-robin weighted by @c weight — so a heavy tenant cannot
+ * starve a light one in the same class, and a backlogged low-priority
+ * tenant cannot delay an urgent one.
+ */
+struct TenantConfig
+{
+    std::string name = "default";
+
+    /** Priority class; lower is served strictly first. */
+    int priority = 1;
+
+    /** Fair-share weight within the priority class (DRR quantum). */
+    double weight = 1.0;
+
+    /**
+     * Device-DRAM bytes this tenant may hold across concurrently
+     * admitted queries (0 = unlimited). A tenant at its quota stays
+     * queued — skipped by the scheduler, not shed — until one of its
+     * queries frees its reservation. A quota smaller than one query's
+     * reservation sheds every arrival immediately.
+     */
+    std::int64_t dramQuotaBytes = 0;
+
+    /** Latency SLO (modelled seconds, 0 = none); queries finishing
+     *  within it count toward the tenant's goodput. */
+    double sloSec = 0.0;
 };
 
 /** Static configuration of a QueryService instance. */
@@ -94,9 +126,26 @@ struct ServiceConfig
      * Device-DRAM bytes reserved per admitted query for intermediates.
      * 0 means device.dramBytes / admissionLimit, so a full admission
      * window always fits. Reservation failure on the anchor device
-     * suspends the query to the host at admission.
+     * suspends the query to the host at admission. Resolved once at
+     * service construction — later mutation of admissionLimit on a
+     * copied config cannot skew the quota of a live service.
      */
     std::int64_t queryDramBytes = 0;
+
+    /**
+     * Tenants sharing the service. Empty means one implicit
+     * unlimited-quota tenant, which makes admission exact FIFO — the
+     * pre-multi-tenant behavior, byte-for-byte.
+     */
+    std::vector<TenantConfig> tenants;
+
+    /**
+     * Bound on each tenant's admission queue (0 = unbounded). An
+     * arrival that finds its tenant's queue full is shed: dropped
+     * deterministically at its modelled arrival time, recorded with
+     * QueryState::Shed, never executed.
+     */
+    int maxQueuedPerTenant = 0;
 
     /**
      * Prefix for this service's simulation-trace track names (useful
@@ -122,6 +171,12 @@ struct QueryRecord
     QueryId id = -1;
     std::string name;
     QueryState state = QueryState::Queued;
+
+    /** Tenant index (into ServiceConfig::tenants; 0 when none given). */
+    int tenant = 0;
+
+    /** True when admission control dropped the query (state Shed). */
+    bool shed = false;
 
     /** Device whose switch carries this query's host/DMA traffic and
      *  whose DRAM holds its reservation. */
@@ -176,10 +231,42 @@ struct QueryRecord
     double latencySec() const { return doneSec - submitSec; }
 };
 
+/** Per-tenant slice of the aggregate statistics. */
+struct TenantStats
+{
+    std::string name;
+    std::int64_t submitted = 0;
+    std::int64_t completed = 0;
+    std::int64_t shed = 0;
+
+    double p50LatencySec = 0.0;
+    double p90LatencySec = 0.0;
+    double p99LatencySec = 0.0;
+    double meanQueueWaitSec = 0.0;
+
+    /** shed / submitted. */
+    double shedRate = 0.0;
+
+    /** Completed queries that met the tenant's SLO (all, if no SLO). */
+    std::int64_t withinSlo = 0;
+
+    /** SLO-meeting completions per modelled second of makespan. */
+    double goodputQps = 0.0;
+};
+
 /** Aggregate service statistics over all completed queries. */
 struct ServiceStats
 {
     std::int64_t completed = 0;
+
+    /** Queries dropped by admission control. */
+    std::int64_t shedTotal = 0;
+
+    /** shedTotal / (completed + shedTotal). */
+    double shedRate = 0.0;
+
+    /** One entry per configured tenant (one implicit when none). */
+    std::vector<TenantStats> tenants;
     double makespanSec = 0.0;
     double throughputQps = 0.0;
     double p50LatencySec = 0.0;
@@ -239,9 +326,12 @@ class QueryService
 
     /**
      * Submit @p q arriving at modelled time @p arrival_sec (clamped to
-     * now()). Execution happens inside drain().
+     * now()) on behalf of @p tenant (index into
+     * ServiceConfig::tenants). Execution happens inside drain(); the
+     * query may be shed there instead of executed.
      */
-    QueryId submit(const Query &q, double arrival_sec = 0.0);
+    QueryId submit(const Query &q, double arrival_sec = 0.0,
+                   int tenant = 0);
 
     /**
      * Completion hook, fired as each query reaches Done. The callback

@@ -16,7 +16,7 @@ revenueExpr()
 }
 
 Query
-q01(double)
+q01(double, const TpchQueryParams &p)
 {
     auto plan = orderBy(
         groupBy(
@@ -25,7 +25,7 @@ q01(double)
                             {"l_returnflag", "l_linestatus", "l_quantity",
                              "l_extendedprice", "l_discount", "l_tax",
                              "l_shipdate"}),
-                       le(col("l_shipdate"), litDate("1998-09-02"))),
+                       le(col("l_shipdate"), litDateDays(p.q1CutoffDate))),
                 {{"l_returnflag", col("l_returnflag")},
                  {"l_linestatus", col("l_linestatus")},
                  {"l_quantity", col("l_quantity")},
@@ -48,9 +48,10 @@ q01(double)
 }
 
 Query
-q02(double)
+q02(double, const TpchQueryParams &p)
 {
-    // Eligible (part, supplier) pairs in EUROPE for size-15 %BRASS parts.
+    // Eligible (part, supplier) pairs in the region for parts of the
+    // chosen size whose type ends in the chosen syllable.
     auto eligible =
         join(JoinType::Inner,
              join(JoinType::Inner,
@@ -59,8 +60,10 @@ q02(double)
                             filter(scan("part", "",
                                         {"p_partkey", "p_mfgr", "p_size",
                                          "p_type"}),
-                                   andE(eq(col("p_size"), lit(15)),
-                                        like(col("p_type"), "%BRASS"))),
+                                   andE(eq(col("p_size"),
+                                           lit(p.q2Size)),
+                                        like(col("p_type"),
+                                             "%" + p.q2TypeSuffix))),
                             scan("partsupp", "",
                                  {"ps_partkey", "ps_suppkey",
                                   "ps_supplycost"}),
@@ -74,7 +77,7 @@ q02(double)
                                       "n_regionkey"}),
                   {"s_nationkey"}, {"n_nationkey"}),
              filter(scan("region", "", {"r_regionkey", "r_name"}),
-                    eq(col("r_name"), litStr("EUROPE"))),
+                    eq(col("r_name"), litStr(p.q2Region))),
              {"n_regionkey"}, {"r_regionkey"});
 
     auto mincost =
@@ -106,7 +109,7 @@ q02(double)
 }
 
 Query
-q03(double)
+q03(double, const TpchQueryParams &p)
 {
     auto plan = orderBy(
         groupBy(
@@ -115,17 +118,18 @@ q03(double)
                      filter(scan("lineitem", "",
                                  {"l_orderkey", "l_extendedprice",
                                   "l_discount", "l_shipdate"}),
-                            gt(col("l_shipdate"), litDate("1995-03-15"))),
+                            gt(col("l_shipdate"),
+                               litDateDays(p.q3Date))),
                      join(JoinType::Inner,
                           filter(scan("orders", "",
                                       {"o_orderkey", "o_custkey",
                                        "o_orderdate", "o_shippriority"}),
                                  lt(col("o_orderdate"),
-                                    litDate("1995-03-15"))),
+                                    litDateDays(p.q3Date))),
                           filter(scan("customer", "",
                                       {"c_custkey", "c_mktsegment"}),
                                  eq(col("c_mktsegment"),
-                                    litStr("BUILDING"))),
+                                    litStr(p.q3Segment))),
                           {"o_custkey"}, {"c_custkey"}),
                      {"l_orderkey"}, {"o_orderkey"}),
                 {{"l_orderkey", col("l_orderkey")},
@@ -140,7 +144,7 @@ q03(double)
 }
 
 Query
-q04(double)
+q04(double, const TpchQueryParams &p)
 {
     auto plan = orderBy(
         groupBy(
@@ -148,9 +152,11 @@ q04(double)
                  filter(scan("orders", "",
                              {"o_orderkey", "o_orderdate",
                               "o_orderpriority"}),
-                        andE(ge(col("o_orderdate"), litDate("1993-07-01")),
+                        andE(ge(col("o_orderdate"),
+                                litDateDays(p.q4StartDate)),
                              lt(col("o_orderdate"),
-                                litDate("1993-10-01")))),
+                                litDateDays(
+                                    addMonths(p.q4StartDate, 3))))),
                  filter(scan("lineitem", "",
                              {"l_orderkey", "l_commitdate",
                               "l_receiptdate"}),
@@ -163,13 +169,13 @@ q04(double)
 }
 
 Query
-q05(double)
+q05(double, const TpchQueryParams &p)
 {
     auto asia_nations =
         join(JoinType::Inner,
              scan("nation", "", {"n_nationkey", "n_name", "n_regionkey"}),
              filter(scan("region", "", {"r_regionkey", "r_name"}),
-                    eq(col("r_name"), litStr("ASIA"))),
+                    eq(col("r_name"), litStr(p.q5Region))),
              {"n_regionkey"}, {"r_regionkey"});
     auto cust = join(JoinType::Inner,
                      scan("customer", "", {"c_custkey", "c_nationkey"}),
@@ -178,8 +184,11 @@ q05(double)
         join(JoinType::Inner,
              filter(scan("orders", "", {"o_orderkey", "o_custkey",
                                         "o_orderdate"}),
-                    andE(ge(col("o_orderdate"), litDate("1994-01-01")),
-                         lt(col("o_orderdate"), litDate("1995-01-01")))),
+                    andE(ge(col("o_orderdate"),
+                            litDateDays(p.q5StartDate)),
+                         lt(col("o_orderdate"),
+                            litDateDays(
+                                addMonths(p.q5StartDate, 12))))),
              cust, {"o_custkey"}, {"c_custkey"});
     auto li = join(JoinType::Inner,
                    scan("lineitem", "",
@@ -200,25 +209,30 @@ q05(double)
 }
 
 Query
-q06(double)
+q06(double, const TpchQueryParams &p)
 {
     auto plan = groupBy(
         project(
             filter(scan("lineitem", "",
                         {"l_shipdate", "l_discount", "l_quantity",
                          "l_extendedprice"}),
-                   andE(andE(ge(col("l_shipdate"), litDate("1994-01-01")),
-                             lt(col("l_shipdate"), litDate("1995-01-01"))),
-                        andE(between(col("l_discount"), litDec("0.05"),
-                                     litDec("0.07")),
-                             lt(col("l_quantity"), lit(24))))),
+                   andE(andE(ge(col("l_shipdate"),
+                                litDateDays(p.q6StartDate)),
+                             lt(col("l_shipdate"),
+                                litDateDays(
+                                    addMonths(p.q6StartDate, 12)))),
+                        andE(between(col("l_discount"),
+                                     litDecScaled(p.q6DiscountCents - 1),
+                                     litDecScaled(p.q6DiscountCents + 1)),
+                             lt(col("l_quantity"),
+                                lit(p.q6Quantity))))),
             {{"rev_in", mul(col("l_extendedprice"), col("l_discount"))}}),
         {}, {{"revenue", AggKind::Sum, col("rev_in")}});
     return Query{"q06", {{"out", plan}}};
 }
 
 Query
-q07(double)
+q07(double, const TpchQueryParams &p)
 {
     auto li =
         filter(scan("lineitem", "",
@@ -244,10 +258,10 @@ q07(double)
              join(JoinType::Inner, li, ord, {"l_orderkey"}, {"o_orderkey"}),
              supp_n1, {"l_suppkey"}, {"s_suppkey"});
     auto nation_pair = orE(
-        andE(eq(col("n1.n_name"), litStr("FRANCE")),
-             eq(col("n2.n_name"), litStr("GERMANY"))),
-        andE(eq(col("n1.n_name"), litStr("GERMANY")),
-             eq(col("n2.n_name"), litStr("FRANCE"))));
+        andE(eq(col("n1.n_name"), litStr(p.q7Nation1)),
+             eq(col("n2.n_name"), litStr(p.q7Nation2))),
+        andE(eq(col("n1.n_name"), litStr(p.q7Nation2)),
+             eq(col("n2.n_name"), litStr(p.q7Nation1))));
     auto plan = orderBy(
         groupBy(project(filter(joined, nation_pair),
                         {{"supp_nation", col("n1.n_name")},
@@ -262,13 +276,13 @@ q07(double)
 }
 
 Query
-q08(double)
+q08(double, const TpchQueryParams &p)
 {
     auto america_nations =
         join(JoinType::Inner,
              scan("nation", "n1", {"n_nationkey", "n_regionkey"}),
              filter(scan("region", "", {"r_regionkey", "r_name"}),
-                    eq(col("r_name"), litStr("AMERICA"))),
+                    eq(col("r_name"), litStr(p.q8Region))),
              {"n1.n_regionkey"}, {"r_regionkey"});
     auto cust = join(JoinType::Inner,
                      scan("customer", "", {"c_custkey", "c_nationkey"}),
@@ -287,8 +301,7 @@ q08(double)
                        {"l_orderkey", "l_partkey", "l_suppkey",
                         "l_extendedprice", "l_discount"}),
                   filter(scan("part", "", {"p_partkey", "p_type"}),
-                         eq(col("p_type"),
-                            litStr("ECONOMY ANODIZED STEEL"))),
+                         eq(col("p_type"), litStr(p.q8Type))),
                   {"l_partkey"}, {"p_partkey"}),
              ord, {"l_orderkey"}, {"o_orderkey"});
     auto with_supp_nation =
@@ -303,7 +316,7 @@ q08(double)
                 {{"o_year", year(col("o_orderdate"))},
                  {"volume", revenueExpr()},
                  {"brazil_volume",
-                  caseWhen({eq(col("n2.n_name"), litStr("BRAZIL")),
+                  caseWhen({eq(col("n2.n_name"), litStr(p.q8Nation)),
                             revenueExpr()},
                            litDec("0.00"))}}),
         {"o_year"},
@@ -318,7 +331,7 @@ q08(double)
 }
 
 Query
-q09(double)
+q09(double, const TpchQueryParams &p)
 {
     auto li =
         join(JoinType::Inner,
@@ -327,7 +340,7 @@ q09(double)
                        {"l_orderkey", "l_partkey", "l_suppkey",
                         "l_quantity", "l_extendedprice", "l_discount"}),
                   filter(scan("part", "", {"p_partkey", "p_name"}),
-                         like(col("p_name"), "%green%")),
+                         like(col("p_name"), "%" + p.q9Color + "%")),
                   {"l_partkey"}, {"p_partkey"}),
              scan("partsupp", "",
                   {"ps_partkey", "ps_suppkey", "ps_supplycost"}),
@@ -357,7 +370,7 @@ q09(double)
 }
 
 Query
-q10(double)
+q10(double, const TpchQueryParams &p)
 {
     auto li =
         join(JoinType::Inner,
@@ -367,8 +380,11 @@ q10(double)
                     eq(col("l_returnflag"), litStr("R"))),
              filter(scan("orders", "",
                          {"o_orderkey", "o_custkey", "o_orderdate"}),
-                    andE(ge(col("o_orderdate"), litDate("1993-10-01")),
-                         lt(col("o_orderdate"), litDate("1994-01-01")))),
+                    andE(ge(col("o_orderdate"),
+                            litDateDays(p.q10StartDate)),
+                         lt(col("o_orderdate"),
+                            litDateDays(
+                                addMonths(p.q10StartDate, 3))))),
              {"l_orderkey"}, {"o_orderkey"});
     auto with_cust =
         join(JoinType::Inner, li,
@@ -398,7 +414,7 @@ q10(double)
 }
 
 Query
-q11(double sf)
+q11(double sf, const TpchQueryParams &p)
 {
     auto german_ps =
         join(JoinType::Inner,
@@ -408,7 +424,7 @@ q11(double sf)
              join(JoinType::Inner,
                   scan("supplier", "", {"s_suppkey", "s_nationkey"}),
                   filter(scan("nation", "", {"n_nationkey", "n_name"}),
-                         eq(col("n_name"), litStr("GERMANY"))),
+                         eq(col("n_name"), litStr(p.q11Nation))),
                   {"s_nationkey"}, {"n_nationkey"}),
              {"ps_suppkey"}, {"s_suppkey"});
     auto value_in =
@@ -438,17 +454,20 @@ q11(double sf)
 }
 
 Query
-q12(double)
+q12(double, const TpchQueryParams &p)
 {
     auto li = filter(
         scan("lineitem", "",
              {"l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate",
               "l_shipdate"}),
-        andE(andE(inStrList(col("l_shipmode"), {"MAIL", "SHIP"}),
+        andE(andE(inStrList(col("l_shipmode"),
+                            {p.q12Mode1, p.q12Mode2}),
                   andE(lt(col("l_commitdate"), col("l_receiptdate")),
                        lt(col("l_shipdate"), col("l_commitdate")))),
-             andE(ge(col("l_receiptdate"), litDate("1994-01-01")),
-                  lt(col("l_receiptdate"), litDate("1995-01-01")))));
+             andE(ge(col("l_receiptdate"),
+                     litDateDays(p.q12StartDate)),
+                  lt(col("l_receiptdate"),
+                     litDateDays(addMonths(p.q12StartDate, 12))))));
     auto joined = join(JoinType::Inner, li,
                        scan("orders", "", {"o_orderkey",
                                            "o_orderpriority"}),
@@ -492,15 +511,18 @@ q13(double)
 }
 
 Query
-q14(double)
+q14(double, const TpchQueryParams &p)
 {
     auto joined =
         join(JoinType::Inner,
              filter(scan("lineitem", "",
                          {"l_partkey", "l_shipdate", "l_extendedprice",
                           "l_discount"}),
-                    andE(ge(col("l_shipdate"), litDate("1995-09-01")),
-                         lt(col("l_shipdate"), litDate("1995-10-01")))),
+                    andE(ge(col("l_shipdate"),
+                            litDateDays(p.q14StartDate)),
+                         lt(col("l_shipdate"),
+                            litDateDays(
+                                addMonths(p.q14StartDate, 1))))),
              scan("part", "", {"p_partkey", "p_type"}),
              {"l_partkey"}, {"p_partkey"});
     auto grouped = groupBy(
@@ -520,14 +542,17 @@ q14(double)
 }
 
 Query
-q15(double)
+q15(double, const TpchQueryParams &p)
 {
     auto revenue = groupBy(
         project(filter(scan("lineitem", "",
                             {"l_suppkey", "l_shipdate", "l_extendedprice",
                              "l_discount"}),
-                       andE(ge(col("l_shipdate"), litDate("1996-01-01")),
-                            lt(col("l_shipdate"), litDate("1996-04-01")))),
+                       andE(ge(col("l_shipdate"),
+                               litDateDays(p.q15StartDate)),
+                            lt(col("l_shipdate"),
+                               litDateDays(
+                                   addMonths(p.q15StartDate, 3))))),
                 {{"supplier_no", col("l_suppkey")},
                  {"rev_in", revenueExpr()}}),
         {"supplier_no"},
@@ -555,14 +580,15 @@ q15(double)
 }
 
 Query
-q16(double)
+q16(double, const TpchQueryParams &p)
 {
     auto eligible_parts =
         filter(scan("part", "", {"p_partkey", "p_brand", "p_type",
                                  "p_size"}),
-               andE(andE(ne(col("p_brand"), litStr("Brand#45")),
-                         notE(like(col("p_type"), "MEDIUM POLISHED%"))),
-                    inList(col("p_size"), {49, 14, 23, 45, 19, 3, 36, 9})));
+               andE(andE(ne(col("p_brand"), litStr(p.q16Brand)),
+                         notE(like(col("p_type"),
+                                   p.q16TypePrefix + "%"))),
+                    inList(col("p_size"), p.q16Sizes)));
     auto complainers =
         filter(scan("supplier", "", {"s_suppkey", "s_comment"}),
                like(col("s_comment"), "%Customer%Complaints%"));
@@ -581,7 +607,7 @@ q16(double)
 }
 
 Query
-q17(double)
+q17(double, const TpchQueryParams &p)
 {
     auto avg_qty = groupBy(
         scan("lineitem", "", {"l_partkey", "l_quantity"}),
@@ -598,9 +624,9 @@ q17(double)
                        {"l_partkey", "l_quantity", "l_extendedprice"}),
                   filter(scan("part", "",
                               {"p_partkey", "p_brand", "p_container"}),
-                         andE(eq(col("p_brand"), litStr("Brand#23")),
+                         andE(eq(col("p_brand"), litStr(p.q17Brand)),
                               eq(col("p_container"),
-                                 litStr("MED BOX")))),
+                                 litStr(p.q17Container)))),
                   {"l_partkey"}, {"p_partkey"}),
              scanStage("threshold"), {"l_partkey"}, {"t_partkey"});
     auto grouped =
@@ -616,7 +642,7 @@ q17(double)
 }
 
 Query
-q18(double)
+q18(double, const TpchQueryParams &p)
 {
     auto big_orders =
         project(filter(groupBy(scan("lineitem", "",
@@ -624,7 +650,7 @@ q18(double)
                                {"l_orderkey"},
                                {{"sum_qty", AggKind::Sum,
                                  col("l_quantity")}}),
-                       gt(col("sum_qty"), lit(300))),
+                       gt(col("sum_qty"), lit(p.q18Quantity))),
                 {{"bo_orderkey", col("l_orderkey")}});
     auto joined =
         join(JoinType::Inner,
@@ -650,7 +676,7 @@ q18(double)
 }
 
 Query
-q19(double)
+q19(double, const TpchQueryParams &p)
 {
     auto joined =
         join(JoinType::Inner,
@@ -664,22 +690,25 @@ q19(double)
                   {"p_partkey", "p_brand", "p_container", "p_size"}),
              {"l_partkey"}, {"p_partkey"});
     auto clause1 =
-        andE(andE(eq(col("p_brand"), litStr("Brand#12")),
+        andE(andE(eq(col("p_brand"), litStr(p.q19Brand1)),
                   inStrList(col("p_container"),
                             {"SM CASE", "SM BOX", "SM PACK", "SM PKG"})),
-             andE(between(col("l_quantity"), lit(1), lit(11)),
+             andE(between(col("l_quantity"), lit(p.q19Qty1),
+                          lit(p.q19Qty1 + 10)),
                   between(col("p_size"), lit(1), lit(5))));
     auto clause2 =
-        andE(andE(eq(col("p_brand"), litStr("Brand#23")),
+        andE(andE(eq(col("p_brand"), litStr(p.q19Brand2)),
                   inStrList(col("p_container"),
                             {"MED BAG", "MED BOX", "MED PKG", "MED PACK"})),
-             andE(between(col("l_quantity"), lit(10), lit(20)),
+             andE(between(col("l_quantity"), lit(p.q19Qty2),
+                          lit(p.q19Qty2 + 10)),
                   between(col("p_size"), lit(1), lit(10))));
     auto clause3 =
-        andE(andE(eq(col("p_brand"), litStr("Brand#34")),
+        andE(andE(eq(col("p_brand"), litStr(p.q19Brand3)),
                   inStrList(col("p_container"),
                             {"LG CASE", "LG BOX", "LG PACK", "LG PKG"})),
-             andE(between(col("l_quantity"), lit(20), lit(30)),
+             andE(between(col("l_quantity"), lit(p.q19Qty3),
+                          lit(p.q19Qty3 + 10)),
                   between(col("p_size"), lit(1), lit(15))));
     auto plan = groupBy(
         project(filter(joined, orE(orE(clause1, clause2), clause3)),
@@ -689,16 +718,18 @@ q19(double)
 }
 
 Query
-q20(double)
+q20(double, const TpchQueryParams &p)
 {
     auto forest_parts = filter(scan("part", "", {"p_partkey", "p_name"}),
-                               like(col("p_name"), "forest%"));
+                               like(col("p_name"), p.q20Color + "%"));
     auto shipped = groupBy(
         filter(scan("lineitem", "",
                     {"l_partkey", "l_suppkey", "l_shipdate",
                      "l_quantity"}),
-               andE(ge(col("l_shipdate"), litDate("1994-01-01")),
-                    lt(col("l_shipdate"), litDate("1995-01-01")))),
+               andE(ge(col("l_shipdate"),
+                       litDateDays(p.q20StartDate)),
+                    lt(col("l_shipdate"),
+                       litDateDays(addMonths(p.q20StartDate, 12))))),
         {"l_partkey", "l_suppkey"},
         {{"sum_qty", AggKind::Sum, col("l_quantity")}});
     auto eligible_ps =
@@ -720,7 +751,7 @@ q20(double)
                             "s_nationkey"}),
                       filter(scan("nation", "",
                                   {"n_nationkey", "n_name"}),
-                             eq(col("n_name"), litStr("CANADA"))),
+                             eq(col("n_name"), litStr(p.q20Nation))),
                       {"s_nationkey"}, {"n_nationkey"}),
                  scanStage("eligible_ps"), {"s_suppkey"}, {"ps_suppkey"}),
             {{"s_name", col("s_name")}, {"s_address", col("s_address")}}),
@@ -731,7 +762,7 @@ q20(double)
 }
 
 Query
-q21(double)
+q21(double, const TpchQueryParams &p)
 {
     auto l1 =
         join(JoinType::Inner,
@@ -748,7 +779,7 @@ q21(double)
                   scan("supplier", "",
                        {"s_suppkey", "s_name", "s_nationkey"}),
                   filter(scan("nation", "", {"n_nationkey", "n_name"}),
-                         eq(col("n_name"), litStr("SAUDI ARABIA"))),
+                         eq(col("n_name"), litStr(p.q21Nation))),
                   {"s_nationkey"}, {"n_nationkey"}),
              {"l_suppkey"}, {"s_suppkey"});
     auto with_other =
@@ -773,12 +804,12 @@ q21(double)
 }
 
 Query
-q22(double)
+q22(double, const TpchQueryParams &p)
 {
     // cntrycode == substring(c_phone, 1, 2) == 10 + c_nationkey by the
     // generator's construction; the numeric form keeps the group-by and
     // IN-list in fixed-width columns (DESIGN.md).
-    std::vector<std::int64_t> codes = {13, 31, 23, 29, 30, 18, 17};
+    const std::vector<std::int64_t> &codes = p.q22Codes;
     auto cust = project(
         scan("customer", "", {"c_custkey", "c_acctbal", "c_nationkey"}),
         {{"c_custkey", col("c_custkey")},
@@ -810,29 +841,35 @@ q22(double)
 Query
 tpchQuery(int number, double sf)
 {
+    return tpchQuery(number, sf, TpchQueryParams{});
+}
+
+Query
+tpchQuery(int number, double sf, const TpchQueryParams &p)
+{
     switch (number) {
-      case 1: return q01(sf);
-      case 2: return q02(sf);
-      case 3: return q03(sf);
-      case 4: return q04(sf);
-      case 5: return q05(sf);
-      case 6: return q06(sf);
-      case 7: return q07(sf);
-      case 8: return q08(sf);
-      case 9: return q09(sf);
-      case 10: return q10(sf);
-      case 11: return q11(sf);
-      case 12: return q12(sf);
+      case 1: return q01(sf, p);
+      case 2: return q02(sf, p);
+      case 3: return q03(sf, p);
+      case 4: return q04(sf, p);
+      case 5: return q05(sf, p);
+      case 6: return q06(sf, p);
+      case 7: return q07(sf, p);
+      case 8: return q08(sf, p);
+      case 9: return q09(sf, p);
+      case 10: return q10(sf, p);
+      case 11: return q11(sf, p);
+      case 12: return q12(sf, p);
       case 13: return q13(sf);
-      case 14: return q14(sf);
-      case 15: return q15(sf);
-      case 16: return q16(sf);
-      case 17: return q17(sf);
-      case 18: return q18(sf);
-      case 19: return q19(sf);
-      case 20: return q20(sf);
-      case 21: return q21(sf);
-      case 22: return q22(sf);
+      case 14: return q14(sf, p);
+      case 15: return q15(sf, p);
+      case 16: return q16(sf, p);
+      case 17: return q17(sf, p);
+      case 18: return q18(sf, p);
+      case 19: return q19(sf, p);
+      case 20: return q20(sf, p);
+      case 21: return q21(sf, p);
+      case 22: return q22(sf, p);
       default: fatal("no TPC-H query ", number);
     }
 }

@@ -1,0 +1,119 @@
+#include "workload/arrivals.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace aquoman::workload {
+
+const char *
+arrivalProcessName(ArrivalProcess p)
+{
+    switch (p) {
+      case ArrivalProcess::Poisson: return "poisson";
+      case ArrivalProcess::OnOff: return "onoff";
+      case ArrivalProcess::Diurnal: return "diurnal";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Exponential variate with mean 1/@p rate by inversion. */
+double
+expVariate(Rng &rng, double rate)
+{
+    // 1 - uniformReal() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - rng.uniformReal()) / rate;
+}
+
+std::vector<double>
+poissonArrivals(Rng &rng, double rate, double horizon)
+{
+    std::vector<double> out;
+    double t = expVariate(rng, rate);
+    while (t < horizon) {
+        out.push_back(t);
+        t += expVariate(rng, rate);
+    }
+    return out;
+}
+
+std::vector<double>
+onOffArrivals(const ArrivalConfig &cfg, Rng &rng, double horizon)
+{
+    // Alternate exponential on/off periods; arrivals are Poisson at
+    // the boosted on-rate during on periods, silent otherwise.
+    double duty = cfg.meanOnSec / (cfg.meanOnSec + cfg.meanOffSec);
+    double on_rate = cfg.rateQps / duty;
+    std::vector<double> out;
+    double t = 0.0;
+    bool on = true; // start in a burst so short horizons see traffic
+    while (t < horizon) {
+        double period = expVariate(rng, 1.0 / (on ? cfg.meanOnSec
+                                                  : cfg.meanOffSec));
+        double end = std::min(horizon, t + period);
+        if (on) {
+            double a = t + expVariate(rng, on_rate);
+            while (a < end) {
+                out.push_back(a);
+                a += expVariate(rng, on_rate);
+            }
+        }
+        t += period;
+        on = !on;
+    }
+    return out;
+}
+
+std::vector<double>
+diurnalArrivals(const ArrivalConfig &cfg, Rng &rng, double horizon)
+{
+    std::vector<double> profile = cfg.diurnalProfile;
+    if (profile.empty())
+        profile = {1.0};
+    double sum = 0.0, peak = 0.0;
+    for (double m : profile) {
+        AQ_ASSERT(m >= 0.0);
+        sum += m;
+        peak = std::max(peak, m);
+    }
+    AQ_ASSERT(sum > 0.0);
+    double mean = sum / static_cast<double>(profile.size());
+    // Thinning: generate at the peak instantaneous rate, accept with
+    // probability profile(t) / peak.
+    double peak_rate = cfg.rateQps * peak / mean;
+    double slot = horizon / static_cast<double>(profile.size());
+    std::vector<double> out;
+    double t = expVariate(rng, peak_rate);
+    while (t < horizon) {
+        auto idx = std::min(profile.size() - 1,
+                            static_cast<std::size_t>(t / slot));
+        if (rng.uniformReal() * peak < profile[idx])
+            out.push_back(t);
+        t += expVariate(rng, peak_rate);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<double>
+generateArrivals(const ArrivalConfig &cfg, std::uint64_t seed,
+                 std::uint64_t stream, double horizon_sec)
+{
+    AQ_ASSERT(cfg.rateQps > 0.0 && horizon_sec > 0.0);
+    Rng rng = Rng::stream(seed, 0x4152525641ull /* "ARRVA" */, stream);
+    switch (cfg.process) {
+      case ArrivalProcess::Poisson:
+        return poissonArrivals(rng, cfg.rateQps, horizon_sec);
+      case ArrivalProcess::OnOff:
+        return onOffArrivals(cfg, rng, horizon_sec);
+      case ArrivalProcess::Diurnal:
+        return diurnalArrivals(cfg, rng, horizon_sec);
+    }
+    return {};
+}
+
+} // namespace aquoman::workload

@@ -1,0 +1,78 @@
+#include "workload/tenant_mix.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace aquoman::workload {
+
+std::vector<WorkloadEvent>
+buildTrace(const std::vector<TenantSpec> &mix, std::uint64_t seed,
+           double horizon_sec)
+{
+    struct Tagged
+    {
+        WorkloadEvent ev;
+        std::uint64_t seq; ///< per-tenant arrival sequence (tie-break)
+    };
+    std::vector<Tagged> merged;
+
+    for (std::size_t t = 0; t < mix.size(); ++t) {
+        const TenantSpec &spec = mix[t];
+        AQ_ASSERT(!spec.classes.empty());
+        double total_weight = 0.0;
+        for (const auto &c : spec.classes) {
+            AQ_ASSERT(c.queryNumber >= 1 && c.queryNumber <= 22);
+            AQ_ASSERT(c.weight > 0.0);
+            total_weight += c.weight;
+        }
+
+        // Stream 2t: arrival times; stream 2t+1: query-class picks.
+        auto arrivals = generateArrivals(spec.arrivals, seed,
+                                         2 * static_cast<std::uint64_t>(t),
+                                         horizon_sec);
+        Rng pick = Rng::stream(seed, 0x4d495843ull /* "MIXC" */,
+                               2 * static_cast<std::uint64_t>(t) + 1);
+        std::map<int, std::uint64_t> next_instance;
+        for (std::size_t i = 0; i < arrivals.size(); ++i) {
+            double u = pick.uniformReal() * total_weight;
+            int qnum = spec.classes.back().queryNumber;
+            for (const auto &c : spec.classes) {
+                if (u < c.weight) {
+                    qnum = c.queryNumber;
+                    break;
+                }
+                u -= c.weight;
+            }
+            WorkloadEvent ev;
+            ev.atSec = arrivals[i];
+            ev.tenant = static_cast<int>(t);
+            ev.queryNumber = qnum;
+            // High bits carry the tenant so instances are distinct
+            // across tenants sharing a query class (and never 0, the
+            // reserved validation-parameter instance).
+            ev.instance = (static_cast<std::uint64_t>(t) << 32) |
+                          ++next_instance[qnum];
+            merged.push_back({ev, i});
+        }
+    }
+
+    std::sort(merged.begin(), merged.end(),
+              [](const Tagged &a, const Tagged &b) {
+                  if (a.ev.atSec != b.ev.atSec)
+                      return a.ev.atSec < b.ev.atSec;
+                  if (a.ev.tenant != b.ev.tenant)
+                      return a.ev.tenant < b.ev.tenant;
+                  return a.seq < b.seq;
+              });
+
+    std::vector<WorkloadEvent> out;
+    out.reserve(merged.size());
+    for (const auto &m : merged)
+        out.push_back(m.ev);
+    return out;
+}
+
+} // namespace aquoman::workload

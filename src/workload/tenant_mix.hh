@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Multi-tenant workload mix: each tenant owns an arrival source, a
+ * weighted set of query classes, a priority / fair-share weight for
+ * admission, and an SLO target. buildTrace() merges the per-tenant
+ * arrival streams into one deterministic, time-ordered event trace the
+ * service bench replays open-loop.
+ *
+ * Determinism: every tenant draws from its own Rng sub-stream (seed,
+ * tenant-index), and the merge breaks time ties by (time, tenant,
+ * per-tenant sequence), so a fixed (mix, seed, horizon) yields a
+ * byte-identical trace regardless of tenant count or thread count.
+ */
+
+#ifndef AQUOMAN_WORKLOAD_TENANT_MIX_HH
+#define AQUOMAN_WORKLOAD_TENANT_MIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/arrivals.hh"
+
+namespace aquoman::workload {
+
+/** Weight of one query class within a tenant's traffic. */
+struct QueryClassWeight
+{
+    int queryNumber = 1;
+    double weight = 1.0;
+};
+
+/** One tenant of the simulated service. */
+struct TenantSpec
+{
+    std::string name;
+
+    /** Admission priority class; lower is more urgent. */
+    int priority = 1;
+
+    /** Fair-share weight within the priority class (DRR quantum). */
+    double weight = 1.0;
+
+    /** Device-DRAM this tenant may hold across admitted queries
+     *  (0 = unlimited). */
+    std::int64_t dramQuotaBytes = 0;
+
+    /** Latency SLO (modelled seconds) used for goodput accounting. */
+    double sloSec = 1.0;
+
+    /** Arrival process (rateQps is the tenant's offered load). */
+    ArrivalConfig arrivals;
+
+    /** Query-class mix; weights need not sum to 1. */
+    std::vector<QueryClassWeight> classes;
+};
+
+/** One arrival in the merged trace. */
+struct WorkloadEvent
+{
+    double atSec = 0.0;
+    int tenant = 0;            ///< index into the mix
+    int queryNumber = 1;
+    std::uint64_t instance = 0; ///< instance index within (tenant, query)
+};
+
+/**
+ * Generate the merged arrival trace of @p mix over [0, horizon_sec).
+ * Query instances are numbered 1.. per (tenant, query class) with the
+ * tenant index folded into the high 32 bits, so every event maps to a
+ * distinct generated plan (instance 0 — the validation parameters — is
+ * reserved for closed-loop benches).
+ */
+std::vector<WorkloadEvent> buildTrace(const std::vector<TenantSpec> &mix,
+                                      std::uint64_t seed,
+                                      double horizon_sec);
+
+} // namespace aquoman::workload
+
+#endif // AQUOMAN_WORKLOAD_TENANT_MIX_HH

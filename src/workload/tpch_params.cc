@@ -1,0 +1,380 @@
+#include "workload/tpch_params.hh"
+
+#include <algorithm>
+
+#include "common/date.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "tpch/text_pool.hh"
+
+namespace aquoman::workload {
+
+namespace {
+
+const std::string &
+pick(Rng &rng, const std::vector<std::string> &pool)
+{
+    return pool[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+}
+
+/** "Brand#MN" with M,N uniform in [1,5] (spec 4.2.3: P_BRAND). */
+std::string
+pickBrand(Rng &rng)
+{
+    return "Brand#" + std::to_string(rng.uniform(1, 5)) +
+           std::to_string(rng.uniform(1, 5));
+}
+
+/** Full p_type: syl1 + ' ' + syl2 + ' ' + syl3. */
+std::string
+pickType(Rng &rng)
+{
+    return pick(rng, tpch::kTypeSyl1) + " " + pick(rng, tpch::kTypeSyl2) +
+           " " + pick(rng, tpch::kTypeSyl3);
+}
+
+/** Full p_container: syl1 + ' ' + syl2. */
+std::string
+pickContainer(Rng &rng)
+{
+    return pick(rng, tpch::kContainerSyl1) + " " +
+           pick(rng, tpch::kContainerSyl2);
+}
+
+std::string
+pickNation(Rng &rng)
+{
+    auto i = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(tpch::kNations.size()) - 1));
+    return tpch::kNations[i].name;
+}
+
+/** January 1st of a uniform year in [lo, hi]. */
+std::int32_t
+pickJan1(Rng &rng, int lo, int hi)
+{
+    return daysFromCivil(static_cast<int>(rng.uniform(lo, hi)), 1, 1);
+}
+
+/** First of a uniform month in [1993-01, 1993-01 + months - 1]. */
+std::int32_t
+pickMonthStart(Rng &rng, int months)
+{
+    return addMonths(daysFromCivil(1993, 1, 1),
+                     static_cast<int>(rng.uniform(0, months - 1)));
+}
+
+/** @p n distinct values in [lo, hi], in draw order. */
+std::vector<std::int64_t>
+pickDistinct(Rng &rng, int n, std::int64_t lo, std::int64_t hi)
+{
+    std::vector<std::int64_t> out;
+    while (static_cast<int>(out.size()) < n) {
+        std::int64_t v = rng.uniform(lo, hi);
+        if (std::find(out.begin(), out.end(), v) == out.end())
+            out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+QueryInstance::name() const
+{
+    std::string base =
+        (queryNumber < 10 ? "q0" : "q") + std::to_string(queryNumber);
+    if (index == 0)
+        return base;
+    return base + "#" + std::to_string(index);
+}
+
+tpch::TpchQueryParams
+drawParams(std::uint64_t seed, int query_number, std::uint64_t index)
+{
+    AQ_ASSERT(query_number >= 1 && query_number <= 22);
+    tpch::TpchQueryParams p;
+    if (index == 0)
+        return p; // validation parameters, always instance 0
+
+    Rng rng = Rng::stream(seed, static_cast<std::uint64_t>(query_number),
+                          index);
+    switch (query_number) {
+      case 1:
+        // DELTA in [60, 120] days back from 1998-12-01 (spec 2.4.1).
+        p.q1CutoffDate = daysFromCivil(1998, 12, 1) -
+                         static_cast<std::int32_t>(rng.uniform(60, 120));
+        break;
+      case 2:
+        p.q2Size = rng.uniform(1, 50);
+        p.q2TypeSuffix = pick(rng, tpch::kTypeSyl3);
+        p.q2Region = pick(rng, tpch::kRegions);
+        break;
+      case 3:
+        p.q3Segment = pick(rng, tpch::kSegments);
+        p.q3Date = daysFromCivil(1995, 3, 1) +
+                   static_cast<std::int32_t>(rng.uniform(0, 30));
+        break;
+      case 4:
+        // First of a month in [1993-01, 1997-10] (58 months).
+        p.q4StartDate = pickMonthStart(rng, 58);
+        break;
+      case 5:
+        p.q5Region = pick(rng, tpch::kRegions);
+        p.q5StartDate = pickJan1(rng, 1993, 1997);
+        break;
+      case 6:
+        p.q6StartDate = pickJan1(rng, 1993, 1997);
+        p.q6DiscountCents = rng.uniform(2, 9);
+        p.q6Quantity = rng.uniform(24, 25);
+        break;
+      case 7: {
+        auto pair = pickDistinct(
+            rng, 2, 0, static_cast<std::int64_t>(tpch::kNations.size()) - 1);
+        p.q7Nation1 = tpch::kNations[static_cast<std::size_t>(pair[0])].name;
+        p.q7Nation2 = tpch::kNations[static_cast<std::size_t>(pair[1])].name;
+        break;
+      }
+      case 8: {
+        // Nation first; its region follows (spec: REGION is the region
+        // of NATION).
+        auto n = static_cast<std::size_t>(rng.uniform(
+            0, static_cast<std::int64_t>(tpch::kNations.size()) - 1));
+        p.q8Nation = tpch::kNations[n].name;
+        p.q8Region = tpch::kRegions[static_cast<std::size_t>(
+            tpch::kNations[n].regionKey)];
+        p.q8Type = pickType(rng);
+        break;
+      }
+      case 9:
+        p.q9Color = pick(rng, tpch::kColors);
+        break;
+      case 10:
+        // First of a month in [1993-02, 1995-01] (24 months).
+        p.q10StartDate = addMonths(daysFromCivil(1993, 2, 1),
+                                   static_cast<int>(rng.uniform(0, 23)));
+        break;
+      case 11:
+        p.q11Nation = pickNation(rng);
+        break;
+      case 12: {
+        auto pair = pickDistinct(
+            rng, 2, 0, static_cast<std::int64_t>(tpch::kModes.size()) - 1);
+        p.q12Mode1 = tpch::kModes[static_cast<std::size_t>(pair[0])];
+        p.q12Mode2 = tpch::kModes[static_cast<std::size_t>(pair[1])];
+        p.q12StartDate = pickJan1(rng, 1993, 1997);
+        break;
+      }
+      case 13:
+        // Comment words stay fixed (queries.hh): dbgen plants only the
+        // special/requests pair, so no parameter to draw.
+        break;
+      case 14:
+        // First of a month in [1993-01, 1997-12] (60 months).
+        p.q14StartDate = pickMonthStart(rng, 60);
+        break;
+      case 15:
+        // First of a month in [1993-01, 1997-10] (58 months).
+        p.q15StartDate = pickMonthStart(rng, 58);
+        break;
+      case 16:
+        p.q16Brand = pickBrand(rng);
+        p.q16TypePrefix = pick(rng, tpch::kTypeSyl1) + " " +
+                          pick(rng, tpch::kTypeSyl2);
+        p.q16Sizes = pickDistinct(rng, 8, 1, 50);
+        break;
+      case 17:
+        p.q17Brand = pickBrand(rng);
+        p.q17Container = pickContainer(rng);
+        break;
+      case 18:
+        p.q18Quantity = rng.uniform(312, 315);
+        break;
+      case 19:
+        p.q19Brand1 = pickBrand(rng);
+        p.q19Brand2 = pickBrand(rng);
+        p.q19Brand3 = pickBrand(rng);
+        p.q19Qty1 = rng.uniform(1, 10);
+        p.q19Qty2 = rng.uniform(10, 20);
+        p.q19Qty3 = rng.uniform(20, 30);
+        break;
+      case 20:
+        p.q20Color = pick(rng, tpch::kColors);
+        p.q20StartDate = pickJan1(rng, 1993, 1997);
+        p.q20Nation = pickNation(rng);
+        break;
+      case 21:
+        p.q21Nation = pickNation(rng);
+        break;
+      case 22:
+        // Seven distinct country codes in [10, 34] (10 + nationkey).
+        p.q22Codes = pickDistinct(rng, 7, 10, 34);
+        break;
+      default:
+        break;
+    }
+    return p;
+}
+
+namespace {
+
+const std::int32_t kDbgenStart = daysFromCivil(1992, 1, 1);
+const std::int32_t kDbgenEnd = daysFromCivil(1998, 12, 31);
+
+void
+checkDate(int q, const char *what, std::int32_t d)
+{
+    if (d < kDbgenStart || d > kDbgenEnd)
+        fatal("q", q, " ", what, " ", dateToString(d),
+              " outside dbgen's date domain");
+}
+
+void
+checkInPool(int q, const char *what, const std::string &v,
+            const std::vector<std::string> &pool)
+{
+    if (std::find(pool.begin(), pool.end(), v) == pool.end())
+        fatal("q", q, " ", what, " '", v, "' not in the spec's pool");
+}
+
+void
+checkNation(int q, const char *what, const std::string &v)
+{
+    for (const auto &n : tpch::kNations)
+        if (v == n.name)
+            return;
+    fatal("q", q, " ", what, " '", v, "' is not a TPC-H nation");
+}
+
+void
+checkBrand(int q, const char *what, const std::string &v)
+{
+    bool ok = v.size() == 8 && v.compare(0, 6, "Brand#") == 0 &&
+              v[6] >= '1' && v[6] <= '5' && v[7] >= '1' && v[7] <= '5';
+    if (!ok)
+        fatal("q", q, " ", what, " '", v, "' is not a Brand#MN value");
+}
+
+} // namespace
+
+void
+validateParams(int q, const tpch::TpchQueryParams &p)
+{
+    // q1: cutoff must leave the window inside the populated domain.
+    checkDate(1, "cutoff", p.q1CutoffDate);
+
+    if (p.q2Size < 1 || p.q2Size > 50)
+        fatal("q2 size ", p.q2Size, " outside p_size domain [1,50]");
+    checkInPool(2, "type suffix", p.q2TypeSuffix, tpch::kTypeSyl3);
+    checkInPool(2, "region", p.q2Region, tpch::kRegions);
+
+    checkInPool(3, "segment", p.q3Segment, tpch::kSegments);
+    checkDate(3, "date", p.q3Date);
+
+    checkDate(4, "window start", p.q4StartDate);
+    checkDate(4, "window end", addMonths(p.q4StartDate, 3) - 1);
+
+    checkInPool(5, "region", p.q5Region, tpch::kRegions);
+    checkDate(5, "window start", p.q5StartDate);
+    checkDate(5, "window end", addMonths(p.q5StartDate, 12) - 1);
+
+    checkDate(6, "window start", p.q6StartDate);
+    checkDate(6, "window end", addMonths(p.q6StartDate, 12) - 1);
+    // Band centre +/- 1 must stay inside l_discount's [0.00, 0.10].
+    if (p.q6DiscountCents < 1 || p.q6DiscountCents > 9)
+        fatal("q6 discount centre ", p.q6DiscountCents,
+              " leaves the band outside [0.00,0.10]");
+    if (p.q6Quantity < 1 || p.q6Quantity > 50)
+        fatal("q6 quantity ", p.q6Quantity, " outside l_quantity [1,50]");
+
+    checkNation(7, "nation1", p.q7Nation1);
+    checkNation(7, "nation2", p.q7Nation2);
+    if (p.q7Nation1 == p.q7Nation2)
+        fatal("q7 nations must be distinct");
+
+    checkNation(8, "nation", p.q8Nation);
+    checkInPool(8, "region", p.q8Region, tpch::kRegions);
+    for (const auto &n : tpch::kNations)
+        if (p.q8Nation == n.name &&
+            tpch::kRegions[static_cast<std::size_t>(n.regionKey)] !=
+                p.q8Region)
+            fatal("q8 region '", p.q8Region, "' does not contain nation '",
+                  p.q8Nation, "'");
+
+    checkInPool(9, "color", p.q9Color, tpch::kColors);
+
+    checkDate(10, "window start", p.q10StartDate);
+    checkDate(10, "window end", addMonths(p.q10StartDate, 3) - 1);
+
+    checkNation(11, "nation", p.q11Nation);
+
+    checkInPool(12, "mode1", p.q12Mode1, tpch::kModes);
+    checkInPool(12, "mode2", p.q12Mode2, tpch::kModes);
+    if (p.q12Mode1 == p.q12Mode2)
+        fatal("q12 ship modes must be distinct");
+    checkDate(12, "window start", p.q12StartDate);
+    checkDate(12, "window end", addMonths(p.q12StartDate, 12) - 1);
+
+    checkDate(14, "window start", p.q14StartDate);
+    checkDate(14, "window end", addMonths(p.q14StartDate, 1) - 1);
+
+    checkDate(15, "window start", p.q15StartDate);
+    checkDate(15, "window end", addMonths(p.q15StartDate, 3) - 1);
+
+    checkBrand(16, "brand", p.q16Brand);
+    if (p.q16Sizes.size() != 8)
+        fatal("q16 needs 8 sizes, got ", p.q16Sizes.size());
+    for (auto s : p.q16Sizes)
+        if (s < 1 || s > 50)
+            fatal("q16 size ", s, " outside p_size domain [1,50]");
+
+    checkBrand(17, "brand", p.q17Brand);
+
+    if (p.q18Quantity < 1)
+        fatal("q18 quantity threshold must be positive");
+
+    checkBrand(19, "brand1", p.q19Brand1);
+    checkBrand(19, "brand2", p.q19Brand2);
+    checkBrand(19, "brand3", p.q19Brand3);
+    if (p.q19Qty1 < 1 || p.q19Qty1 > 10 || p.q19Qty2 < 10 ||
+        p.q19Qty2 > 20 || p.q19Qty3 < 20 || p.q19Qty3 > 30)
+        fatal("q19 quantity bands outside the spec's ranges");
+
+    checkInPool(20, "color", p.q20Color, tpch::kColors);
+    checkDate(20, "window start", p.q20StartDate);
+    checkDate(20, "window end", addMonths(p.q20StartDate, 12) - 1);
+    checkNation(20, "nation", p.q20Nation);
+
+    checkNation(21, "nation", p.q21Nation);
+
+    if (p.q22Codes.size() != 7)
+        fatal("q22 needs 7 country codes, got ", p.q22Codes.size());
+    for (auto c : p.q22Codes)
+        if (c < 10 || c > 34)
+            fatal("q22 country code ", c, " outside [10,34]");
+
+    (void)q;
+}
+
+QueryInstance
+TpchInstanceGenerator::instance(int query_number,
+                                std::uint64_t index) const
+{
+    QueryInstance inst;
+    inst.queryNumber = query_number;
+    inst.index = index;
+    inst.params = drawParams(seed_, query_number, index);
+    validateParams(query_number, inst.params);
+    return inst;
+}
+
+Query
+TpchInstanceGenerator::build(const QueryInstance &inst) const
+{
+    Query q = tpch::tpchQuery(inst.queryNumber, sf_, inst.params);
+    q.name = inst.name();
+    return q;
+}
+
+} // namespace aquoman::workload

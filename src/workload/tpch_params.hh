@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parameterized TPC-H query generator: turns the 22 templates of
+ * tpch/queries.hh into an unbounded stream of distinct query instances
+ * by drawing substitution parameters (TPC-H spec Sec. 2.4) from the
+ * repository's deterministic Rng. Every (seed, query, instance) triple
+ * yields a bit-reproducible TpchQueryParams regardless of generation
+ * order or thread count — the generator derives an independent
+ * Rng::stream per triple, the same discipline dbgen uses for parallel
+ * table partitions.
+ *
+ * Instance 0 of every query is pinned to the spec's validation
+ * parameters (the TpchQueryParams defaults), so existing benchmarks can
+ * move onto the generator without changing the plans they run.
+ */
+
+#ifndef AQUOMAN_WORKLOAD_TPCH_PARAMS_HH
+#define AQUOMAN_WORKLOAD_TPCH_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "tpch/queries.hh"
+
+namespace aquoman::workload {
+
+/** One generated query instance: template number + drawn parameters. */
+struct QueryInstance
+{
+    int queryNumber = 1;
+    std::uint64_t index = 0; ///< instance index within (seed, query)
+    tpch::TpchQueryParams params;
+
+    /** Stable display name, e.g. "q06#17" ("q06" for instance 0). */
+    std::string name() const;
+};
+
+/**
+ * Draw the substitution parameters of instance @p index of query
+ * @p query_number under @p seed. Index 0 returns the validation
+ * parameters unchanged; other indices draw every parameter from
+ * Rng::stream(seed, query_number, index) per the spec's domains.
+ */
+tpch::TpchQueryParams drawParams(std::uint64_t seed, int query_number,
+                                 std::uint64_t index);
+
+/**
+ * Assert that @p p is inside the value domains dbgen actually
+ * generates (dates within [1992-01-01, 1998-12-31], sizes in [1,50],
+ * discount band within [0.00,0.10], names from the spec pools, ...).
+ * fatal()s on the first violation; returns normally otherwise.
+ */
+void validateParams(int query_number, const tpch::TpchQueryParams &p);
+
+/** Deterministic instance generator bound to one (seed, scale). */
+class TpchInstanceGenerator
+{
+  public:
+    TpchInstanceGenerator(std::uint64_t seed, double sf)
+        : seed_(seed), sf_(sf) {}
+
+    /** Instance @p index of query @p query_number (validated). */
+    QueryInstance instance(int query_number, std::uint64_t index) const;
+
+    /** Build the logical plan of @p inst, renamed to inst.name(). */
+    Query build(const QueryInstance &inst) const;
+
+    std::uint64_t seed() const { return seed_; }
+    double scaleFactor() const { return sf_; }
+
+  private:
+    std::uint64_t seed_;
+    double sf_;
+};
+
+} // namespace aquoman::workload
+
+#endif // AQUOMAN_WORKLOAD_TPCH_PARAMS_HH

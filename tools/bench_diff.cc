@@ -283,19 +283,27 @@ parseReport(const std::string &path, std::vector<Record> *out,
     return true;
 }
 
-/** Key a record by its identity field for baseline/candidate matching. */
+/**
+ * Key a record by its identity fields for baseline/candidate matching.
+ * All present identity fields compose, so the multi-tenant workload
+ * bench can distinguish (tenant, overload, policy) slices while the
+ * single-field figure benches keep their "query=N" / "devices=M" keys.
+ */
 std::string
 recordKey(const Record &r)
 {
-    for (const char *id : {"query", "devices"}) {
+    std::string key;
+    for (const char *id :
+         {"query", "devices", "tenant", "overload", "fifo"}) {
         auto it = r.find(id);
-        if (it != r.end()) {
-            char buf[64];
-            std::snprintf(buf, sizeof buf, "%s=%g", id, it->second);
-            return buf;
-        }
+        if (it == r.end())
+            continue;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%s%s=%g",
+                      key.empty() ? "" : ",", id, it->second);
+        key += buf;
     }
-    return "";
+    return key;
 }
 
 int
