@@ -301,6 +301,19 @@ QueryProfile::jsonString() const
     return os.str();
 }
 
+std::size_t
+flightRecorderCapacityFromEnv(std::size_t fallback)
+{
+    const char *env = std::getenv("AQUOMAN_FLIGHT_EVENTS");
+    if (!env || !env[0])
+        return fallback;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v <= 0)
+        return fallback;
+    return static_cast<std::size_t>(v);
+}
+
 FlightRecorder::FlightRecorder(std::size_t capacity)
     : ring(capacity ? capacity : 1)
 {

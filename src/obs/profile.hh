@@ -188,6 +188,13 @@ struct FlightEvent
  * (and mirrored as trace instants) only when something goes wrong —
  * a suspension or an admission/allocation failure.
  */
+/**
+ * Ring capacity for service flight recorders: AQUOMAN_FLIGHT_EVENTS
+ * when set to a positive integer, else @p fallback. Values that fail
+ * to parse (or are <= 0) fall back silently.
+ */
+std::size_t flightRecorderCapacityFromEnv(std::size_t fallback = 256);
+
 class FlightRecorder
 {
   public:

@@ -1,0 +1,315 @@
+#include "obs/slo.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace aquoman::obs {
+
+namespace {
+
+std::string
+seriesKey(const char *name, const std::string &tenant)
+{
+    return labeledMetric(name, {{"tenant", tenant}});
+}
+
+} // namespace
+
+std::vector<BurnRateRule>
+defaultBurnRateRules()
+{
+    // Scaled-down version of the classic page/ticket ladder: the page
+    // rule wants a hot, recent burn; the ticket rule a sustained slow
+    // one. Window counts, not seconds, so the ladder tracks whatever
+    // base window the run uses.
+    return {
+        BurnRateRule{"page", /*longWindows=*/6, /*shortWindows=*/1,
+                     /*threshold=*/4.0},
+        BurnRateRule{"ticket", /*longWindows=*/24, /*shortWindows=*/6,
+                     /*threshold=*/1.5},
+    };
+}
+
+SloEngine::SloEngine(SloConfig c) : cfg(std::move(c)), ts(cfg.windowSec)
+{
+    if (cfg.rules.empty())
+        cfg.rules = defaultBurnRateRules();
+    for (const auto &rule : cfg.rules) {
+        AQ_ASSERT(rule.shortWindows >= 1 && rule.longWindows >= 1,
+                  "burn-rate rule windows must be >= 1");
+        AQ_ASSERT(rule.threshold > 0.0,
+                  "burn-rate rule threshold must be positive");
+    }
+    for (auto &obj : cfg.objectives) {
+        if (!(obj.attainment > 0.0) || !(obj.attainment < 1.0))
+            obj.attainment = cfg.defaultAttainment;
+        objectives[obj.tenant] = obj;
+        tenantRules[obj.tenant].resize(cfg.rules.size());
+    }
+}
+
+bool
+SloEngine::active() const
+{
+    for (const auto &[tenant, obj] : objectives)
+        if (obj.latencyTargetSec > 0.0)
+            return true;
+    return false;
+}
+
+const SloObjective *
+SloEngine::objectiveOf(const std::string &tenant) const
+{
+    auto it = objectives.find(tenant);
+    if (it == objectives.end() || !(it->second.latencyTargetSec > 0.0))
+        return nullptr;
+    return &it->second;
+}
+
+bool
+SloEngine::isViolation(const std::string &tenant,
+                       double latency_sec) const
+{
+    const SloObjective *obj = objectiveOf(tenant);
+    return obj != nullptr && latency_sec > obj->latencyTargetSec;
+}
+
+void
+SloEngine::recordCompletion(const std::string &tenant, double at_sec,
+                            double latency_sec)
+{
+    tenantRules[tenant].resize(cfg.rules.size());
+    ts.add(seriesKey("slo_completed", tenant), at_sec, 1.0);
+    ts.observe(seriesKey("slo_latency_seconds", tenant), at_sec,
+               latency_sec);
+    if (isViolation(tenant, latency_sec))
+        ts.add(seriesKey("slo_violations", tenant), at_sec, 1.0);
+    horizonSec = std::max(horizonSec, at_sec);
+}
+
+void
+SloEngine::recordShed(const std::string &tenant, double at_sec)
+{
+    tenantRules[tenant].resize(cfg.rules.size());
+    ts.add(seriesKey("slo_shed", tenant), at_sec, 1.0);
+    horizonSec = std::max(horizonSec, at_sec);
+}
+
+void
+SloEngine::recordSuspend(const std::string &tenant, double at_sec)
+{
+    tenantRules[tenant].resize(cfg.rules.size());
+    ts.add(seriesKey("slo_suspended", tenant), at_sec, 1.0);
+    horizonSec = std::max(horizonSec, at_sec);
+}
+
+void
+SloEngine::setAlertSink(std::function<void(const SloAlert &)> fn)
+{
+    sink = std::move(fn);
+}
+
+double
+SloEngine::burnOver(const std::string &tenant, std::int64_t first,
+                    std::int64_t last) const
+{
+    const SloObjective *obj = objectiveOf(tenant);
+    if (obj == nullptr)
+        return 0.0;
+    double completed =
+        ts.counterInRange(seriesKey("slo_completed", tenant), first, last);
+    double shed =
+        ts.counterInRange(seriesKey("slo_shed", tenant), first, last);
+    double total = completed + shed;
+    if (!(total > 0.0))
+        return 0.0;
+    double bad =
+        ts.counterInRange(seriesKey("slo_violations", tenant), first,
+                          last) +
+        shed;
+    return (bad / total) / (1.0 - obj->attainment);
+}
+
+void
+SloEngine::closeWindow(std::int64_t idx)
+{
+    for (auto &[tenant, states] : tenantRules) {
+        if (objectiveOf(tenant) == nullptr)
+            continue;
+        for (std::size_t r = 0; r < cfg.rules.size(); ++r) {
+            const BurnRateRule &rule = cfg.rules[r];
+            double shortBurn =
+                burnOver(tenant, idx - rule.shortWindows + 1, idx);
+            double longBurn =
+                burnOver(tenant, idx - rule.longWindows + 1, idx);
+            bool firing = shortBurn >= rule.threshold &&
+                          longBurn >= rule.threshold;
+            if (firing && !states[r].active) {
+                SloAlert alert;
+                alert.tenant = tenant;
+                alert.rule = rule.name;
+                alert.atSec = ts.windowStartSec(idx + 1);
+                alert.shortBurn = shortBurn;
+                alert.longBurn = longBurn;
+                firings.push_back(alert);
+                if (sink)
+                    sink(alert);
+            }
+            states[r].active = firing;
+        }
+    }
+}
+
+void
+SloEngine::advanceTo(double sec)
+{
+    std::int64_t target = ts.windowIndex(sec) - 1;
+    while (closedThrough < target)
+        closeWindow(++closedThrough);
+}
+
+void
+SloEngine::finish(double sec)
+{
+    advanceTo(sec);
+    std::int64_t last = std::max(ts.windowIndex(sec), ts.lastWindow());
+    while (closedThrough < last)
+        closeWindow(++closedThrough);
+    horizonSec = std::max(horizonSec, sec);
+    finished = true;
+}
+
+SloEngine::TenantTotals
+SloEngine::totals(const std::string &tenant) const
+{
+    TenantTotals t;
+    if (ts.empty())
+        return t;
+    std::int64_t first = ts.firstWindow();
+    std::int64_t last = ts.lastWindow();
+    auto sum = [&](const char *name) {
+        return static_cast<std::int64_t>(std::llround(
+            ts.counterInRange(seriesKey(name, tenant), first, last)));
+    };
+    t.completed = sum("slo_completed");
+    t.violations = sum("slo_violations");
+    t.shed = sum("slo_shed");
+    t.suspended = sum("slo_suspended");
+    if (t.completed > 0)
+        t.attainment = static_cast<double>(t.completed - t.violations) /
+                       static_cast<double>(t.completed);
+    const SloObjective *obj = objectiveOf(tenant);
+    double total = static_cast<double>(t.completed + t.shed);
+    if (obj != nullptr && total > 0.0) {
+        double budget = total * (1.0 - obj->attainment);
+        t.budgetConsumed =
+            static_cast<double>(t.violations + t.shed) / budget;
+    }
+    return t;
+}
+
+std::vector<std::string>
+SloEngine::tenants() const
+{
+    std::vector<std::string> out;
+    out.reserve(tenantRules.size());
+    for (const auto &[tenant, states] : tenantRules)
+        out.push_back(tenant);
+    return out;
+}
+
+void
+SloEngine::toJson(std::ostream &os) const
+{
+    os << "{\"window_seconds\":" << jsonNumber(cfg.windowSec)
+       << ",\"horizon_seconds\":" << jsonNumber(horizonSec)
+       << ",\"tenants\":[";
+    bool firstTenant = true;
+    std::int64_t lastIdx = ts.lastWindow();
+    for (const auto &tenant : tenants()) {
+        os << (firstTenant ? "" : ",") << "{\"name\":\""
+           << jsonEscape(tenant) << '"';
+        firstTenant = false;
+        const SloObjective *obj = objectiveOf(tenant);
+        if (obj != nullptr)
+            os << ",\"objective\":{\"latency_target_seconds\":"
+               << jsonNumber(obj->latencyTargetSec) << ",\"attainment\":"
+               << jsonNumber(obj->attainment) << '}';
+        else
+            os << ",\"objective\":null";
+        TenantTotals t = totals(tenant);
+        os << ",\"totals\":{\"completed\":" << t.completed
+           << ",\"violations\":" << t.violations << ",\"shed\":" << t.shed
+           << ",\"suspended\":" << t.suspended << ",\"attainment\":"
+           << jsonNumber(t.attainment) << ",\"budget_consumed\":"
+           << jsonNumber(t.budgetConsumed) << '}';
+        os << ",\"windows\":[";
+        bool firstWin = true;
+        double badCum = 0.0;
+        double totalCum = 0.0;
+        if (!ts.empty()) {
+            for (std::int64_t idx = ts.firstWindow(); idx <= lastIdx;
+                 ++idx) {
+                double completed = ts.counterAt(
+                    seriesKey("slo_completed", tenant), idx);
+                double violations = ts.counterAt(
+                    seriesKey("slo_violations", tenant), idx);
+                double shed =
+                    ts.counterAt(seriesKey("slo_shed", tenant), idx);
+                double suspended = ts.counterAt(
+                    seriesKey("slo_suspended", tenant), idx);
+                Histogram lat = ts.histogramAt(
+                    seriesKey("slo_latency_seconds", tenant), idx);
+                badCum += violations + shed;
+                totalCum += completed + shed;
+                if (completed == 0.0 && violations == 0.0 &&
+                    shed == 0.0 && suspended == 0.0 && lat.count() == 0)
+                    continue;
+                os << (firstWin ? "" : ",") << "{\"window\":" << idx
+                   << ",\"start_seconds\":"
+                   << jsonNumber(ts.windowStartSec(idx))
+                   << ",\"completed\":" << jsonNumber(completed)
+                   << ",\"violations\":" << jsonNumber(violations)
+                   << ",\"shed\":" << jsonNumber(shed)
+                   << ",\"suspended\":" << jsonNumber(suspended)
+                   << ",\"latency\":";
+                lat.toJson(os);
+                os << ",\"burn\":"
+                   << jsonNumber(burnOver(tenant, idx, idx));
+                double budgetCum = 0.0;
+                if (obj != nullptr && totalCum > 0.0)
+                    budgetCum =
+                        badCum / (totalCum * (1.0 - obj->attainment));
+                os << ",\"budget_consumed\":" << jsonNumber(budgetCum)
+                   << '}';
+                firstWin = false;
+            }
+        }
+        os << "]}";
+    }
+    os << "],\"alerts\":[";
+    bool firstAlert = true;
+    for (const auto &alert : firings) {
+        os << (firstAlert ? "" : ",") << "{\"tenant\":\""
+           << jsonEscape(alert.tenant) << "\",\"rule\":\""
+           << jsonEscape(alert.rule) << "\",\"at_seconds\":"
+           << jsonNumber(alert.atSec) << ",\"short_burn\":"
+           << jsonNumber(alert.shortBurn) << ",\"long_burn\":"
+           << jsonNumber(alert.longBurn) << '}';
+        firstAlert = false;
+    }
+    os << "]}";
+}
+
+std::string
+SloEngine::jsonString() const
+{
+    std::ostringstream os;
+    toJson(os);
+    return os.str();
+}
+
+} // namespace aquoman::obs

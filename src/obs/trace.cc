@@ -85,6 +85,9 @@ SimTracer::span(int track, const std::string &name,
     ev.endSec = end_sec;
     ev.args = std::move(args);
     std::lock_guard<std::mutex> lock(mu);
+    ev.group = ambient;
+    if (ambient != -1)
+        ++groupCounts[ambient];
     log.push_back(std::move(ev));
 }
 
@@ -102,21 +105,82 @@ SimTracer::instant(int track, const std::string &name,
     ev.endSec = at_sec;
     ev.args = std::move(args);
     std::lock_guard<std::mutex> lock(mu);
+    ev.group = ambient;
+    if (ambient != -1)
+        ++groupCounts[ambient];
     log.push_back(std::move(ev));
+}
+
+void
+SimTracer::setAmbientGroup(std::int64_t group)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ambient = group;
+}
+
+std::int64_t
+SimTracer::ambientGroup() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return ambient;
+}
+
+void
+SimTracer::compactLocked()
+{
+    log.erase(std::remove_if(log.begin(), log.end(),
+                             [&](const TraceEvent &ev) {
+                                 return ev.group != -1 &&
+                                        dropSet.count(ev.group) != 0;
+                             }),
+              log.end());
+    dropSet.clear();
+    pendingDropped = 0;
+}
+
+void
+SimTracer::resolveGroup(std::int64_t group, bool keep)
+{
+    if (group == -1)
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = groupCounts.find(group);
+    std::size_t count = it == groupCounts.end() ? 0 : it->second;
+    if (it != groupCounts.end())
+        groupCounts.erase(it);
+    if (keep || count == 0)
+        return;
+    dropSet.insert(group);
+    pendingDropped += count;
+    totalDropped += count;
+    if (dropSet.size() >= kCompactGroups)
+        compactLocked();
+}
+
+std::size_t
+SimTracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return totalDropped;
 }
 
 std::vector<TraceEvent>
 SimTracer::events() const
 {
     std::lock_guard<std::mutex> lock(mu);
-    return log;
+    std::vector<TraceEvent> out;
+    out.reserve(log.size() - pendingDropped);
+    for (const TraceEvent &ev : log)
+        if (ev.group == -1 || dropSet.count(ev.group) == 0)
+            out.push_back(ev);
+    return out;
 }
 
 std::size_t
 SimTracer::eventCount() const
 {
     std::lock_guard<std::mutex> lock(mu);
-    return log.size();
+    return log.size() - pendingDropped;
 }
 
 SimTracer::TrackInfo
@@ -134,23 +198,34 @@ SimTracer::toJson() const
     {
         std::lock_guard<std::mutex> lock(mu);
         tr = tracks;
-        evs = log;
+        evs.reserve(log.size() - pendingDropped);
+        for (const TraceEvent &ev : log)
+            if (ev.group == -1 || dropSet.count(ev.group) == 0)
+                evs.push_back(ev);
     }
+
+    // Tracks whose every event was sampled away are omitted entirely —
+    // no metadata lines — so a dropped query leaves zero bytes behind.
+    std::vector<bool> used(tr.size(), false);
+    for (const TraceEvent &ev : evs)
+        used[static_cast<std::size_t>(ev.track)] = true;
 
     // Renumber pids/tids by sorted (process, thread) names so the
     // output never depends on registration order. Each track is fed by
     // one logical (serial) sequence, so preserving per-track recording
     // order with a stable sort keeps the whole file deterministic.
     std::map<std::string, int> pids;
-    for (const TrackInfo &t : tr)
-        pids.emplace(t.process, 0);
+    for (std::size_t i = 0; i < tr.size(); ++i)
+        if (used[i])
+            pids.emplace(tr[i].process, 0);
     int next_pid = 1;
     for (auto &[name, pid] : pids)
         pid = next_pid++;
 
     std::map<std::pair<std::string, std::string>, int> tids;
-    for (const TrackInfo &t : tr)
-        tids.emplace(std::make_pair(t.process, t.thread), 0);
+    for (std::size_t i = 0; i < tr.size(); ++i)
+        if (used[i])
+            tids.emplace(std::make_pair(tr[i].process, tr[i].thread), 0);
     int next_tid = 1;
     for (auto &[name, tid] : tids)
         tid = next_tid++;
@@ -238,6 +313,11 @@ SimTracer::clear()
     std::lock_guard<std::mutex> lock(mu);
     tracks.clear();
     log.clear();
+    ambient = -1;
+    groupCounts.clear();
+    dropSet.clear();
+    pendingDropped = 0;
+    totalDropped = 0;
 }
 
 } // namespace aquoman::obs

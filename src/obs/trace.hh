@@ -22,7 +22,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,6 +53,9 @@ struct TraceEvent
     std::string category;
     double tsSec = 0.0;
     double endSec = 0.0; ///< == tsSec for instants
+    /** Tail-sampling group (-1 = ungrouped, always retained). Stamped
+     *  from the ambient group at record time; see resolveGroup(). */
+    std::int64_t group = -1;
     std::vector<TraceArg> args;
 };
 
@@ -90,6 +95,26 @@ class SimTracer
                  const std::string &category, double at_sec,
                  std::vector<TraceArg> args = {});
 
+    /**
+     * Tail-based sampling. Events are grouped (typically one group per
+     * query): setAmbientGroup(g) stamps every subsequently recorded
+     * event with g until cleared with setAmbientGroup(-1). This covers
+     * worker-thread recordings too, because the service sets the group
+     * around the synchronous call that fans work out. Once a group's
+     * fate is known (query completed / shed / suspended / sampled),
+     * resolveGroup(g, keep) either finalises its events (keep) or
+     * drops them from every export (events(), eventCount(), toJson()).
+     * Dropped groups are compacted from the log in batches so memory
+     * stays bounded; unresolved groups are retained at export.
+     * Ungrouped events (group -1) are never sampled away.
+     */
+    void setAmbientGroup(std::int64_t group);
+    std::int64_t ambientGroup() const;
+    void resolveGroup(std::int64_t group, bool keep);
+
+    /** Total events shed by resolveGroup(.., false) so far. */
+    std::size_t droppedEvents() const;
+
     /** Snapshot of all recorded events (tests / exporters). */
     std::vector<TraceEvent> events() const;
 
@@ -117,11 +142,24 @@ class SimTracer
   private:
     SimTracer();
 
+    /// Dropped groups pending physical removal are compacted from the
+    /// log once this many have accumulated.
+    static constexpr std::size_t kCompactGroups = 64;
+
+    void compactLocked();
+
     mutable std::mutex mu;
     std::atomic<bool> on{false};
     std::string envPath_;
     std::vector<TrackInfo> tracks;
     std::vector<TraceEvent> log;
+    std::int64_t ambient = -1;
+    /// Live (unresolved) group -> number of events recorded for it.
+    std::map<std::int64_t, std::size_t> groupCounts;
+    /// Groups resolved as dropped but not yet compacted out of log.
+    std::set<std::int64_t> dropSet;
+    std::size_t pendingDropped = 0; ///< events in log owned by dropSet
+    std::size_t totalDropped = 0;
 };
 
 } // namespace aquoman::obs

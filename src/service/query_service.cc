@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <iostream>
 #include <map>
@@ -73,6 +74,72 @@ struct TaskStep
     std::map<int, SubTask> subs; ///< device -> slice
     int remaining = 0;
 };
+
+/**
+ * RAII ambient trace group: stamps every event recorded inside the
+ * scope (including worker-thread recordings during a synchronous
+ * fan-out) with the query's sampling group. Restores the previous
+ * group, not -1, so nested scopes compose.
+ */
+class TraceGroupScope
+{
+  public:
+    TraceGroupScope(obs::SimTracer &t, bool active, std::int64_t gid)
+        : tracer(active ? &t : nullptr)
+    {
+        if (tracer) {
+            prev = tracer->ambientGroup();
+            tracer->setAmbientGroup(gid);
+        }
+    }
+
+    ~TraceGroupScope()
+    {
+        if (tracer)
+            tracer->setAmbientGroup(prev);
+    }
+
+    TraceGroupScope(const TraceGroupScope &) = delete;
+    TraceGroupScope &operator=(const TraceGroupScope &) = delete;
+
+  private:
+    obs::SimTracer *tracer;
+    std::int64_t prev = -1;
+};
+
+/** SloConfig with env overrides and per-tenant objectives resolved. */
+obs::SloConfig
+resolveSloConfig(const ServiceConfig &c)
+{
+    obs::SloConfig s = c.slo;
+    if (const char *env = std::getenv("AQUOMAN_SLO_WINDOW");
+        env && env[0]) {
+        char *end = nullptr;
+        double v = std::strtod(env, &end);
+        if (end != env && *end == '\0' && v > 0.0)
+            s.windowSec = v;
+    }
+    if (s.objectives.empty())
+        for (const TenantConfig &tc : c.tenants)
+            if (tc.sloSec > 0.0)
+                s.objectives.push_back(
+                    {tc.name, tc.sloSec, s.defaultAttainment});
+    return s;
+}
+
+int
+resolveTraceSampleN(const ServiceConfig &c)
+{
+    int n = c.traceSampleEveryN;
+    if (const char *env = std::getenv("AQUOMAN_TRACE_SAMPLE");
+        env && env[0]) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 0)
+            n = static_cast<int>(v);
+    }
+    return n;
+}
 
 } // namespace
 
@@ -182,6 +249,8 @@ struct QueryService::Impl
             devices.push_back(std::move(node));
         }
         store = std::make_unique<ShardedTableStore>(std::move(switches));
+        slo.setAlertSink(
+            [this](const obs::SloAlert &a) { onSloAlert(a); });
     }
 
     // -- event plumbing ------------------------------------------------
@@ -244,6 +313,52 @@ struct QueryService::Impl
         return hostTrack;
     }
 
+    int
+    sloAlertTrack()
+    {
+        if (sloTrack < 0)
+            sloTrack = tracer.track(tracePrefix + "slo", "alerts");
+        return sloTrack;
+    }
+
+    const std::string &
+    tenantName(const QueryExec &e) const
+    {
+        return tenants[static_cast<std::size_t>(e.rec.tenant)].cfg.name;
+    }
+
+    /** Tail sampling active: spans carry group tags and resolve. */
+    bool
+    sampling() const
+    {
+        return traceSampleN > 0 && tracer.enabled();
+    }
+
+    /**
+     * Burn-rate firing from the SLO engine: remember it in the flight
+     * recorder, mirror it as a trace instant (ungrouped — alerts are
+     * never sampled away), and bump the labeled alert counter.
+     */
+    void
+    onSloAlert(const obs::SloAlert &a)
+    {
+        flight.record(a.atSec, "slo-alert", a.tenant,
+                      "rule=" + a.rule + " short_burn="
+                          + obs::jsonNumber(a.shortBurn) + " long_burn="
+                          + obs::jsonNumber(a.longBurn));
+        if (tracer.enabled())
+            tracer.instant(sloAlertTrack(), a.tenant + " " + a.rule,
+                           "slo-alert", a.atSec,
+                           {obs::arg("short_burn", a.shortBurn),
+                            obs::arg("long_burn", a.longBurn)});
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        if (reg.enabled())
+            reg.add(obs::labeledMetric("service.slo_alerts_total",
+                                       {{"tenant", a.tenant},
+                                        {"rule", a.rule}}),
+                    1.0);
+    }
+
     /** Append one event to the flight-recorder ring at modelled time. */
     void
     flightNote(const std::string &cat, const std::string &subject,
@@ -288,6 +403,9 @@ struct QueryService::Impl
     void
     logState(QueryExec &e, QueryState to)
     {
+        TraceGroupScope group(tracer, sampling(), e.rec.id);
+        if (to == QueryState::Suspended)
+            slo.recordSuspend(tenantName(e), clock);
         if (tracer.enabled()) {
             if (e.queryTrack < 0)
                 e.queryTrack = tracer.track(tracePrefix + "queries",
@@ -321,6 +439,9 @@ struct QueryService::Impl
         e.rec.shed = true;
         e.rec.doneSec = clock;
         logState(e, QueryState::Shed);
+        slo.recordShed(t.cfg.name, clock);
+        if (sampling())
+            tracer.resolveGroup(e.rec.id, /*keep=*/true);
         flightNote("shed", queryLabel(e),
                    "tenant=" + t.cfg.name + " " + why);
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
@@ -475,6 +596,7 @@ struct QueryService::Impl
     void
     runOnHost(QueryExec &e)
     {
+        TraceGroupScope group(tracer, sampling(), e.rec.id);
         ++e.rec.suspendCount;
         logState(e, QueryState::Suspended);
 
@@ -498,6 +620,7 @@ struct QueryService::Impl
     void
     runOnDevice(QueryExec &e, std::int64_t dram_reservation)
     {
+        TraceGroupScope group(tracer, sampling(), e.rec.id);
         logState(e, QueryState::Running);
 
         DeviceNode &anchor = *devices[e.rec.anchorDevice];
@@ -605,6 +728,7 @@ struct QueryService::Impl
     void
     onSubtaskDone(const Event &ev)
     {
+        TraceGroupScope group(tracer, sampling(), ev.qid);
         DeviceNode &dn = *devices[ev.device];
         AQ_ASSERT(dn.busy && dn.inFlight == ev.qid, "scheduler state");
         dn.busy = false;
@@ -678,6 +802,7 @@ struct QueryService::Impl
     beginHostFinish(QueryExec &e, const EngineMetrics &m,
                     std::int64_t dma_bytes)
     {
+        TraceGroupScope group(tracer, sampling(), e.rec.id);
         logState(e, QueryState::HostFinish);
         DeviceNode &anchor = *devices[e.rec.anchorDevice];
         bool contended = anchor.busy || !anchor.pending.empty();
@@ -732,6 +857,18 @@ struct QueryService::Impl
         e.rec.doneSec = clock;
         e.rec.metrics.queueWaitSec = e.rec.queueWaitSec;
         TenantState &t = tenants[static_cast<std::size_t>(e.rec.tenant)];
+        e.rec.sloViolated =
+            slo.isViolation(t.cfg.name, e.rec.latencySec());
+        slo.recordCompletion(t.cfg.name, clock, e.rec.latencySec());
+        if (sampling()) {
+            // Tail-sampling verdict: the interesting outcomes keep
+            // their full span trees; healthy queries survive only the
+            // deterministic 1-in-N sample.
+            bool keep = e.rec.sloViolated || e.rec.suspendCount > 0 ||
+                        (e.rec.id % traceSampleN == 0);
+            e.rec.traceKept = keep;
+            tracer.resolveGroup(e.rec.id, keep);
+        }
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
         if (reg.enabled()) {
             reg.observe("service.query_latency_seconds",
@@ -764,6 +901,9 @@ struct QueryService::Impl
             events.pop();
             AQ_ASSERT(ev.time >= clock, "time went backwards");
             clock = ev.time;
+            // Close every rollup window that ended before this event;
+            // burn-rate alerts fire here, in modelled-time order.
+            slo.advanceTo(clock);
             switch (ev.kind) {
               case EventKind::Arrival:
                 onArrival(ev.qid);
@@ -776,6 +916,9 @@ struct QueryService::Impl
                 break;
             }
         }
+        // Event queue empty: evaluate the trailing partial window so
+        // the timeline is complete up to the final modelled second.
+        slo.finish(clock);
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
         if (reg.enabled()) {
             for (std::size_t d = 0; d < devices.size(); ++d) {
@@ -814,11 +957,15 @@ struct QueryService::Impl
         events;
     std::function<void(const QueryRecord &)> onComplete;
 
-    obs::FlightRecorder flight{256};
+    obs::FlightRecorder flight{obs::flightRecorderCapacityFromEnv(256)};
     std::string lastDump;
     std::int64_t flightDumpCount = 0;
     std::int64_t lastDumpedSeq = -1;
     int flightTrack = -1;
+
+    obs::SloEngine slo{resolveSloConfig(cfg)};
+    int traceSampleN = resolveTraceSampleN(cfg);
+    int sloTrack = -1;
 
     double clock = 0.0;
     std::int64_t nextSeq = 0;
@@ -943,6 +1090,12 @@ const std::string &
 QueryService::lastFlightDump() const
 {
     return impl->lastDump;
+}
+
+const obs::SloEngine &
+QueryService::sloEngine() const
+{
+    return impl->slo;
 }
 
 namespace {

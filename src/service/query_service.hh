@@ -41,6 +41,7 @@
 #include "flash/controller_switch.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
+#include "obs/slo.hh"
 #include "relalg/plan.hh"
 
 namespace aquoman::service {
@@ -154,6 +155,26 @@ struct ServiceConfig
      */
     std::string traceLabel;
 
+    /**
+     * SLO engine configuration. When `slo.objectives` is empty, one
+     * objective per tenant with sloSec > 0 is derived automatically
+     * (target = sloSec, attainment = slo.defaultAttainment), so the
+     * engine tracks exactly the SLOs admission already reports on.
+     * AQUOMAN_SLO_WINDOW=<seconds> overrides `slo.windowSec`.
+     */
+    obs::SloConfig slo;
+
+    /**
+     * Tail-based trace sampling: 0 (default) keeps every query's
+     * spans; N > 0 keeps full span trees only for queries that
+     * violated their SLO, were shed, or suspended, plus the
+     * deterministic 1-in-N sample of healthy queries (id % N == 0).
+     * AQUOMAN_TRACE_SAMPLE=<N> overrides. Sampling keys off the
+     * modelled outcome, so the sampled trace is byte-identical across
+     * AQUOMAN_THREADS.
+     */
+    int traceSampleEveryN = 0;
+
     std::int64_t
     resolvedQueryDramBytes() const
     {
@@ -219,6 +240,13 @@ struct QueryRecord
 
     /** Why the query (partially) left the device, when it did. */
     obs::SuspendReason suspendReason = obs::SuspendReason::None;
+
+    /** Completion latency exceeded the tenant's SLO objective. */
+    bool sloViolated = false;
+
+    /** Trace spans retained under tail sampling (always true when
+     *  sampling is off). */
+    bool traceKept = true;
 
     /** Timestamped lifecycle transitions (first entry is Queued at
      *  submit time, last is Done). */
@@ -360,6 +388,15 @@ class QueryService
 
     /** Text of the most recent dump ("" when none happened). */
     const std::string &lastFlightDump() const;
+
+    /**
+     * SLO engine fed by this service's completions / sheds /
+     * suspensions (windowed rollups, error budgets, burn-rate alerts).
+     * drain() closes windows as modelled time advances and finalises
+     * the trailing window when the event queue empties, so the
+     * engine's timeline JSON is complete after drain() returns.
+     */
+    const obs::SloEngine &sloEngine() const;
 
   private:
     struct Impl;

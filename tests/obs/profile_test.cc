@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <functional>
 #include <sstream>
@@ -271,6 +272,67 @@ TEST(FlightRecorder, RingKeepsNewestAndCountsDrops)
     EXPECT_EQ(events.back().subject, "s9");  // newest
     for (std::size_t i = 1; i < events.size(); ++i)
         EXPECT_LT(events[i - 1].seq, events[i].seq);
+}
+
+TEST(FlightRecorder, OverwriteAccountingAcrossCapacities)
+{
+    // The ring's size / recorded / dropped ledger must stay exact at
+    // the degenerate capacity 1, the default 256, and an oversized
+    // 4096 that never wraps.
+    for (std::size_t cap : {std::size_t{1}, std::size_t{256},
+                            std::size_t{4096}}) {
+        obs::FlightRecorder fr(cap);
+        EXPECT_EQ(fr.capacityEvents(), cap);
+        const int total = 1000;
+        for (int i = 0; i < total; ++i)
+            fr.record(static_cast<double>(i), "tick",
+                      "s" + std::to_string(i), "");
+        std::size_t expect_size =
+            std::min(cap, static_cast<std::size_t>(total));
+        EXPECT_EQ(fr.size(), expect_size) << "cap " << cap;
+        EXPECT_EQ(fr.recorded(), total) << "cap " << cap;
+        EXPECT_EQ(fr.dropped(),
+                  static_cast<std::int64_t>(total - expect_size))
+            << "cap " << cap;
+        std::vector<obs::FlightEvent> events = fr.snapshot();
+        ASSERT_EQ(events.size(), expect_size) << "cap " << cap;
+        // Oldest retained is exactly the first not-overwritten event,
+        // and sequence numbers are contiguous through the wrap.
+        EXPECT_EQ(events.front().seq,
+                  static_cast<std::int64_t>(total - expect_size))
+            << "cap " << cap;
+        for (std::size_t i = 1; i < events.size(); ++i)
+            EXPECT_EQ(events[i].seq, events[i - 1].seq + 1)
+                << "cap " << cap;
+    }
+}
+
+TEST(FlightRecorder, CapacityFromEnv)
+{
+    // Helper for restoring whatever AQUOMAN_FLIGHT_EVENTS held.
+    const char *old = std::getenv("AQUOMAN_FLIGHT_EVENTS");
+    std::string saved = old ? old : "";
+
+    unsetenv("AQUOMAN_FLIGHT_EVENTS");
+    EXPECT_EQ(obs::flightRecorderCapacityFromEnv(256), 256u);
+    EXPECT_EQ(obs::flightRecorderCapacityFromEnv(32), 32u);
+
+    setenv("AQUOMAN_FLIGHT_EVENTS", "4096", 1);
+    EXPECT_EQ(obs::flightRecorderCapacityFromEnv(256), 4096u);
+    setenv("AQUOMAN_FLIGHT_EVENTS", "1", 1);
+    EXPECT_EQ(obs::flightRecorderCapacityFromEnv(256), 1u);
+
+    // Garbage, trailing junk, zero and negatives fall back.
+    for (const char *bad : {"abc", "12x", "0", "-5", ""}) {
+        setenv("AQUOMAN_FLIGHT_EVENTS", bad, 1);
+        EXPECT_EQ(obs::flightRecorderCapacityFromEnv(256), 256u)
+            << "value '" << bad << "'";
+    }
+
+    if (old)
+        setenv("AQUOMAN_FLIGHT_EVENTS", saved.c_str(), 1);
+    else
+        unsetenv("AQUOMAN_FLIGHT_EVENTS");
 }
 
 TEST(FlightRecorder, RenderMentionsWhyAndOverwrites)

@@ -200,5 +200,126 @@ TEST_F(TraceTest, ServiceTraceCoversDevicesAndTasks)
     EXPECT_EQ(js.substr(js.size() - 3), "]}\n");
 }
 
+// ---------------------------------------------------------------------
+// Tail-based sampling groups
+// ---------------------------------------------------------------------
+
+TEST_F(TraceTest, AmbientGroupStampsEvents)
+{
+    SimTracer &tracer = SimTracer::global();
+    int t = tracer.track("proc", "thread");
+    tracer.span(t, "ungrouped", "c", 0.0, 1.0);
+    tracer.setAmbientGroup(7);
+    tracer.span(t, "grouped", "c", 1.0, 2.0);
+    tracer.instant(t, "grouped-i", "c", 1.5);
+    tracer.setAmbientGroup(-1);
+    tracer.span(t, "ungrouped2", "c", 2.0, 3.0);
+
+    std::vector<TraceEvent> evs = tracer.events();
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs[0].group, -1);
+    EXPECT_EQ(evs[1].group, 7);
+    EXPECT_EQ(evs[2].group, 7);
+    EXPECT_EQ(evs[3].group, -1);
+}
+
+TEST_F(TraceTest, ResolveGroupDropsOrKeeps)
+{
+    SimTracer &tracer = SimTracer::global();
+    int t = tracer.track("proc", "thread");
+    for (std::int64_t g : {0, 1, 2}) {
+        tracer.setAmbientGroup(g);
+        tracer.span(t, "work" + std::to_string(g), "c",
+                    static_cast<double>(g), static_cast<double>(g) + 1);
+        tracer.instant(t, "mark" + std::to_string(g), "c",
+                       static_cast<double>(g));
+    }
+    tracer.setAmbientGroup(-1);
+    tracer.instant(t, "always", "c", 9.0);
+
+    tracer.resolveGroup(0, /*keep=*/true);
+    tracer.resolveGroup(1, /*keep=*/false);
+    // Group 2 stays unresolved: retained at export.
+
+    EXPECT_EQ(tracer.droppedEvents(), 2u);
+    EXPECT_EQ(tracer.eventCount(), 5u);
+    std::vector<TraceEvent> evs = tracer.events();
+    ASSERT_EQ(evs.size(), 5u);
+    for (const TraceEvent &ev : evs)
+        EXPECT_NE(ev.group, 1) << ev.name;
+
+    // The exported JSON must not mention the dropped group's events.
+    std::string json = tracer.toJson();
+    EXPECT_EQ(json.find("work1"), std::string::npos);
+    EXPECT_NE(json.find("work0"), std::string::npos);
+    EXPECT_NE(json.find("work2"), std::string::npos);
+    EXPECT_NE(json.find("always"), std::string::npos);
+}
+
+TEST_F(TraceTest, DroppedTrackVanishesFromExport)
+{
+    SimTracer &tracer = SimTracer::global();
+    int kept = tracer.track("queries", "q-kept");
+    int dropped = tracer.track("queries", "q-dropped");
+    tracer.setAmbientGroup(1);
+    tracer.span(kept, "k", "c", 0.0, 1.0);
+    tracer.setAmbientGroup(2);
+    tracer.span(dropped, "d", "c", 0.0, 1.0);
+    tracer.setAmbientGroup(-1);
+    tracer.resolveGroup(2, false);
+
+    // A track whose every event was sampled away contributes zero
+    // bytes — not even pid/tid metadata.
+    std::string json = tracer.toJson();
+    EXPECT_EQ(json.find("q-dropped"), std::string::npos) << json;
+    EXPECT_NE(json.find("q-kept"), std::string::npos);
+}
+
+TEST_F(TraceTest, CompactionSurvivesManyDroppedGroups)
+{
+    // Drop far more groups than the compaction batch (64) and verify
+    // the retained view and accounting stay exact.
+    SimTracer &tracer = SimTracer::global();
+    int t = tracer.track("proc", "thread");
+    const std::int64_t kGroups = 300;
+    std::size_t kept_events = 0;
+    for (std::int64_t g = 0; g < kGroups; ++g) {
+        tracer.setAmbientGroup(g);
+        tracer.span(t, "g" + std::to_string(g), "c",
+                    static_cast<double>(g), static_cast<double>(g) + 1);
+        tracer.setAmbientGroup(-1);
+    }
+    for (std::int64_t g = 0; g < kGroups; ++g) {
+        bool keep = (g % 10 == 0);
+        tracer.resolveGroup(g, keep);
+        if (keep)
+            ++kept_events;
+    }
+    EXPECT_EQ(tracer.eventCount(), kept_events);
+    EXPECT_EQ(tracer.droppedEvents(),
+              static_cast<std::size_t>(kGroups) - kept_events);
+    for (const TraceEvent &ev : tracer.events())
+        EXPECT_EQ(ev.group % 10, 0) << ev.name;
+
+    // Resolving an unknown or already-resolved group is a no-op.
+    tracer.resolveGroup(12345, false);
+    tracer.resolveGroup(0, false);
+    EXPECT_EQ(tracer.eventCount(), kept_events);
+}
+
+TEST_F(TraceTest, ClearResetsSamplingState)
+{
+    SimTracer &tracer = SimTracer::global();
+    int t = tracer.track("proc", "thread");
+    tracer.setAmbientGroup(3);
+    tracer.span(t, "x", "c", 0.0, 1.0);
+    tracer.resolveGroup(3, false);
+    EXPECT_GT(tracer.droppedEvents(), 0u);
+    tracer.clear();
+    EXPECT_EQ(tracer.droppedEvents(), 0u);
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_EQ(tracer.ambientGroup(), -1);
+}
+
 } // namespace
 } // namespace aquoman::obs

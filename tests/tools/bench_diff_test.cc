@@ -1,0 +1,143 @@
+/** @file
+ * bench_diff core contracts: record-key matching, the exact failure
+ * message when a baseline record is missing from the candidate (key and
+ * side must both be named), candidate-only records surfacing as notes,
+ * modelled-field drift detection, and the matched==0 fatal path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../../tools/bench_diff_core.hh"
+
+namespace aquoman::tools {
+namespace {
+
+Record
+makeRecord(double query, double devices, double wall, double modelled)
+{
+    Record r;
+    r["query"] = query;
+    r["devices"] = devices;
+    r["wall_seconds"] = wall;
+    r["modelled_seconds"] = modelled;
+    return r;
+}
+
+bool
+containsMessage(const std::vector<std::string> &msgs,
+                const std::string &needle)
+{
+    for (const std::string &m : msgs)
+        if (m.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+TEST(BenchDiff, IdenticalReportsMatchCleanly)
+{
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0),
+                             makeRecord(14, 4, 3.0, 4.0)};
+    DiffResult d = diffReports(base, base, DiffOptions{});
+    EXPECT_FALSE(d.fatal);
+    EXPECT_EQ(d.failures, 0);
+    EXPECT_EQ(d.matched, 2);
+    EXPECT_DOUBLE_EQ(d.wallGeomean, 1.0);
+    EXPECT_TRUE(d.notes.empty());
+}
+
+TEST(BenchDiff, BaselineOnlyRecordFailsNamingKeyAndSide)
+{
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0),
+                             makeRecord(14, 8, 1.0, 2.0)};
+    std::vector<Record> cand{makeRecord(6, 4, 1.0, 2.0)};
+    DiffResult d = diffReports(base, cand, DiffOptions{});
+    EXPECT_FALSE(d.fatal);
+    EXPECT_EQ(d.matched, 1);
+    EXPECT_EQ(d.failures, 1);
+    // The message must name the missing record's key AND which side
+    // lacks it, so a CI log is actionable without rerunning locally.
+    EXPECT_TRUE(containsMessage(
+        d.failureMessages,
+        "record 'query=14,devices=8' missing from candidate report"))
+        << (d.failureMessages.empty() ? std::string("<none>")
+                                      : d.failureMessages.front());
+}
+
+TEST(BenchDiff, CandidateOnlyRecordIsANoteNotAFailure)
+{
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0)};
+    std::vector<Record> cand{makeRecord(6, 4, 1.0, 2.0),
+                             makeRecord(19, 4, 1.0, 2.0)};
+    DiffResult d = diffReports(base, cand, DiffOptions{});
+    EXPECT_EQ(d.failures, 0);
+    EXPECT_EQ(d.matched, 1);
+    EXPECT_TRUE(containsMessage(
+        d.notes,
+        "record 'query=19,devices=4' missing from baseline report"));
+}
+
+TEST(BenchDiff, ModelledDriftFails)
+{
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0)};
+    std::vector<Record> cand{makeRecord(6, 4, 1.0, 2.5)};
+    DiffResult d = diffReports(base, cand, DiffOptions{});
+    EXPECT_EQ(d.failures, 1);
+    EXPECT_TRUE(containsMessage(d.failureMessages, "modelled_seconds"));
+}
+
+TEST(BenchDiff, MissingModelledFieldNamesFieldAndSide)
+{
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0)};
+    std::vector<Record> cand{makeRecord(6, 4, 1.0, 2.0)};
+    cand[0].erase("modelled_seconds");
+    DiffResult d = diffReports(base, cand, DiffOptions{});
+    EXPECT_EQ(d.failures, 1);
+    EXPECT_TRUE(containsMessage(
+        d.failureMessages,
+        "field 'modelled_seconds' missing from candidate report"));
+}
+
+TEST(BenchDiff, WallClockGateUsesGeomean)
+{
+    // Individual records may regress as long as the geomean holds.
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0),
+                             makeRecord(14, 4, 1.0, 2.0)};
+    std::vector<Record> cand{makeRecord(6, 4, 1.3, 2.0),
+                             makeRecord(14, 4, 0.8, 2.0)};
+    DiffOptions opt;
+    opt.wallThresholdPct = 10.0;
+    DiffResult d = diffReports(base, cand, opt);
+    // geomean(1.3 * 0.8) = sqrt(1.04) ~ 1.02 <= 1.10.
+    EXPECT_EQ(d.failures, 0);
+    EXPECT_NEAR(d.wallGeomean, 1.0198, 1e-3);
+
+    cand[1]["wall_seconds"] = 1.3; // geomean 1.3 > 1.10
+    DiffResult bad = diffReports(base, cand, opt);
+    EXPECT_GE(bad.failures, 1);
+    EXPECT_TRUE(containsMessage(bad.failureMessages, "geomean"));
+}
+
+TEST(BenchDiff, NoMatchedRecordsIsFatal)
+{
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0)};
+    std::vector<Record> cand{makeRecord(19, 8, 1.0, 2.0)};
+    DiffResult d = diffReports(base, cand, DiffOptions{});
+    EXPECT_TRUE(d.fatal);
+    EXPECT_FALSE(d.fatalMessage.empty());
+}
+
+TEST(BenchDiff, RecordKeyComposition)
+{
+    Record r = makeRecord(6, 4, 1.0, 2.0);
+    r["tenant"] = 2;
+    EXPECT_EQ(recordKey(r), "query=6,devices=4,tenant=2");
+    Record plain;
+    plain["wall_seconds"] = 1.0;
+    EXPECT_EQ(recordKey(plain), "");
+}
+
+} // namespace
+} // namespace aquoman::tools

@@ -4,8 +4,8 @@
  * the figure benches (writeJsonReport format) and exits non-zero when
  * the candidate regresses against the baseline.
  *
- * Two families of checks, per record pair matched on the "query" (or
- * "devices") field:
+ * Checks, per record pair matched on the composed identity key
+ * (query / devices / tenant / overload / fifo):
  *
  *  - wall_seconds: real time, inherently noisy. The gate is the
  *    geometric mean of candidate/baseline ratios over all matched
@@ -23,6 +23,13 @@
  *    default 0 — any net bytes-read regression fails). Baselines
  *    predating the field simply contribute no samples.
  *
+ *  - record coverage: a baseline record key with no candidate match
+ *    fails the gate, naming the key and the side it is missing from.
+ *    Candidate-only keys are reported as informational notes.
+ *
+ * The matching and gating logic lives in bench_diff_core.hh so it is
+ * unit-testable; this file is only the CLI.
+ *
  * Usage:
  *   bench_diff <baseline.json> <candidate.json>
  *              [--wall-threshold-pct P] [--model-tolerance T]
@@ -31,280 +38,16 @@
  * Exit codes: 0 pass, 1 regression detected, 2 usage / parse error.
  */
 
-#include <cmath>
+#include "bench_diff_core.hh"
+
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+using namespace aquoman::tools;
+
 namespace {
-
-// ---------------------------------------------------------------------
-// Minimal recursive-descent JSON reader: just enough for the bench
-// reports (objects, arrays, numbers, strings, literals). Values other
-// than top-level-record numeric fields are parsed and discarded.
-// ---------------------------------------------------------------------
-
-struct Parser
-{
-    const char *p;
-    const char *end;
-    std::string error;
-
-    explicit Parser(const std::string &text)
-        : p(text.data()), end(text.data() + text.size())
-    {
-    }
-
-    bool
-    fail(const std::string &what)
-    {
-        if (error.empty())
-            error = what;
-        return false;
-    }
-
-    void
-    skipWs()
-    {
-        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n'
-                           || *p == '\r'))
-            ++p;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipWs();
-        if (p < end && *p == c) {
-            ++p;
-            return true;
-        }
-        return fail(std::string("expected '") + c + "'");
-    }
-
-    bool
-    peek(char c)
-    {
-        skipWs();
-        return p < end && *p == c;
-    }
-
-    bool
-    parseString(std::string *out)
-    {
-        if (!consume('"'))
-            return false;
-        std::string s;
-        while (p < end && *p != '"') {
-            char c = *p++;
-            if (c == '\\' && p < end) {
-                char e = *p++;
-                switch (e) {
-                  case 'n': s += '\n'; break;
-                  case 't': s += '\t'; break;
-                  case 'r': s += '\r'; break;
-                  case 'u':
-                    // Keep the escape verbatim; field names the diff
-                    // cares about never use \u.
-                    s += "\\u";
-                    break;
-                  default: s += e; break;
-                }
-            } else {
-                s += c;
-            }
-        }
-        if (p >= end)
-            return fail("unterminated string");
-        ++p;
-        if (out)
-            *out = std::move(s);
-        return true;
-    }
-
-    bool
-    parseNumber(double *out)
-    {
-        skipWs();
-        char *num_end = nullptr;
-        double v = std::strtod(p, &num_end);
-        if (num_end == p)
-            return fail("expected number");
-        p = num_end;
-        if (out)
-            *out = v;
-        return true;
-    }
-
-    /** Parse and discard any JSON value. */
-    bool
-    skipValue()
-    {
-        skipWs();
-        if (p >= end)
-            return fail("unexpected end of input");
-        switch (*p) {
-          case '{': {
-            ++p;
-            if (peek('}'))
-                return consume('}');
-            do {
-                if (!parseString(nullptr) || !consume(':')
-                    || !skipValue())
-                    return false;
-            } while (peek(',') && consume(','));
-            return consume('}');
-          }
-          case '[': {
-            ++p;
-            if (peek(']'))
-                return consume(']');
-            do {
-                if (!skipValue())
-                    return false;
-            } while (peek(',') && consume(','));
-            return consume(']');
-          }
-          case '"':
-            return parseString(nullptr);
-          case 't':
-          case 'f':
-          case 'n': {
-            const char *lits[] = {"true", "false", "null"};
-            for (const char *lit : lits) {
-                auto len = static_cast<std::ptrdiff_t>(std::strlen(lit));
-                if (end - p >= len && std::strncmp(p, lit, len) == 0) {
-                    p += len;
-                    return true;
-                }
-            }
-            return fail("bad literal");
-          }
-          default:
-            return parseNumber(nullptr);
-        }
-    }
-};
-
-/** Numeric fields of one record; non-numeric members are dropped. */
-using Record = std::map<std::string, double>;
-
-/**
- * Parse a writeJsonReport file: {"records": [{...}, ...], ...}. Only
- * the records array is retained.
- */
-bool
-parseReport(const std::string &path, std::vector<Record> *out,
-            std::string *error)
-{
-    std::ifstream f(path);
-    if (!f) {
-        *error = "cannot open " + path;
-        return false;
-    }
-    std::ostringstream buf;
-    buf << f.rdbuf();
-    std::string text = buf.str();
-
-    Parser ps(text);
-    if (!ps.consume('{')) {
-        *error = path + ": " + ps.error;
-        return false;
-    }
-    bool first = true;
-    while (first || (ps.peek(',') && ps.consume(','))) {
-        first = false;
-        std::string key;
-        if (!ps.parseString(&key) || !ps.consume(':')) {
-            *error = path + ": " + ps.error;
-            return false;
-        }
-        if (key != "records") {
-            if (!ps.skipValue()) {
-                *error = path + ": " + ps.error;
-                return false;
-            }
-            continue;
-        }
-        if (!ps.consume('[')) {
-            *error = path + ": " + ps.error;
-            return false;
-        }
-        if (!ps.peek(']')) {
-            do {
-                Record rec;
-                if (!ps.consume('{')) {
-                    *error = path + ": " + ps.error;
-                    return false;
-                }
-                bool rec_first = true;
-                while (rec_first || (ps.peek(',') && ps.consume(','))) {
-                    rec_first = false;
-                    std::string name;
-                    if (!ps.parseString(&name) || !ps.consume(':')) {
-                        *error = path + ": " + ps.error;
-                        return false;
-                    }
-                    ps.skipWs();
-                    if (ps.p < ps.end
-                        && (*ps.p == '-' || (*ps.p >= '0' && *ps.p <= '9'))) {
-                        double v = 0.0;
-                        if (!ps.parseNumber(&v)) {
-                            *error = path + ": " + ps.error;
-                            return false;
-                        }
-                        rec[name] = v;
-                    } else if (!ps.skipValue()) {
-                        *error = path + ": " + ps.error;
-                        return false;
-                    }
-                }
-                if (!ps.consume('}')) {
-                    *error = path + ": " + ps.error;
-                    return false;
-                }
-                out->push_back(std::move(rec));
-            } while (ps.peek(',') && ps.consume(','));
-        }
-        if (!ps.consume(']')) {
-            *error = path + ": " + ps.error;
-            return false;
-        }
-    }
-    if (!ps.consume('}')) {
-        *error = path + ": " + ps.error;
-        return false;
-    }
-    return true;
-}
-
-/**
- * Key a record by its identity fields for baseline/candidate matching.
- * All present identity fields compose, so the multi-tenant workload
- * bench can distinguish (tenant, overload, policy) slices while the
- * single-field figure benches keep their "query=N" / "devices=M" keys.
- */
-std::string
-recordKey(const Record &r)
-{
-    std::string key;
-    for (const char *id :
-         {"query", "devices", "tenant", "overload", "fifo"}) {
-        auto it = r.find(id);
-        if (it == r.end())
-            continue;
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%s%s=%g",
-                      key.empty() ? "" : ",", id, it->second);
-        key += buf;
-    }
-    return key;
-}
 
 int
 usage()
@@ -324,17 +67,15 @@ int
 main(int argc, char **argv)
 {
     std::string baseline_path, candidate_path;
-    double wall_threshold_pct = 10.0;
-    double model_tolerance = 0.0;
-    double flash_threshold_pct = 0.0;
+    DiffOptions opt;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--wall-threshold-pct" && i + 1 < argc) {
-            wall_threshold_pct = std::atof(argv[++i]);
+            opt.wallThresholdPct = std::atof(argv[++i]);
         } else if (a == "--model-tolerance" && i + 1 < argc) {
-            model_tolerance = std::atof(argv[++i]);
+            opt.modelTolerance = std::atof(argv[++i]);
         } else if (a == "--flash-bytes-threshold-pct" && i + 1 < argc) {
-            flash_threshold_pct = std::atof(argv[++i]);
+            opt.flashThresholdPct = std::atof(argv[++i]);
         } else if (baseline_path.empty()) {
             baseline_path = a;
         } else if (candidate_path.empty()) {
@@ -354,105 +95,27 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::map<std::string, const Record *> base_by_key;
-    for (const Record &r : baseline) {
-        std::string key = recordKey(r);
-        if (!key.empty())
-            base_by_key[key] = &r;
-    }
-
-    int failures = 0;
-    int matched = 0;
-    double log_ratio_sum = 0.0;
-    int wall_samples = 0;
-    double flash_log_ratio_sum = 0.0;
-    int flash_samples = 0;
-
-    for (const Record &cand : candidate) {
-        std::string key = recordKey(cand);
-        auto bit = base_by_key.find(key);
-        if (key.empty() || bit == base_by_key.end())
-            continue;
-        const Record &base = *bit->second;
-        ++matched;
-
-        auto bw = base.find("wall_seconds");
-        auto cw = cand.find("wall_seconds");
-        if (bw != base.end() && cw != cand.end() && bw->second > 0.0
-            && cw->second > 0.0) {
-            log_ratio_sum += std::log(cw->second / bw->second);
-            ++wall_samples;
-        }
-
-        auto bf = base.find("flash_bytes");
-        auto cf = cand.find("flash_bytes");
-        if (bf != base.end() && cf != cand.end() && bf->second > 0.0
-            && cf->second > 0.0) {
-            flash_log_ratio_sum += std::log(cf->second / bf->second);
-            ++flash_samples;
-        }
-
-        for (const auto &[name, base_v] : base) {
-            if (name.rfind("modelled_", 0) != 0)
-                continue;
-            auto cit = cand.find(name);
-            if (cit == cand.end()) {
-                std::fprintf(stderr,
-                             "FAIL %s: %s missing from candidate\n",
-                             key.c_str(), name.c_str());
-                ++failures;
-                continue;
-            }
-            double cand_v = cit->second;
-            double denom = std::fabs(base_v) > 0.0
-                ? std::fabs(base_v) : 1.0;
-            double drift = std::fabs(cand_v - base_v) / denom;
-            if (drift > model_tolerance) {
-                std::fprintf(stderr,
-                             "FAIL %s: %s drifted %.17g -> %.17g "
-                             "(rel %.3g > tol %.3g)\n",
-                             key.c_str(), name.c_str(), base_v, cand_v,
-                             drift, model_tolerance);
-                ++failures;
-            }
-        }
-    }
-
-    if (matched == 0) {
-        std::fprintf(stderr,
-                     "bench_diff: no matching records between %s and "
-                     "%s\n",
-                     baseline_path.c_str(), candidate_path.c_str());
+    DiffResult res = diffReports(baseline, candidate, opt);
+    if (res.fatal) {
+        std::fprintf(stderr, "bench_diff: %s (%s vs %s)\n",
+                     res.fatalMessage.c_str(), baseline_path.c_str(),
+                     candidate_path.c_str());
         return 2;
     }
 
-    double geomean = wall_samples > 0
-        ? std::exp(log_ratio_sum / wall_samples) : 1.0;
-    double limit = 1.0 + wall_threshold_pct / 100.0;
+    for (const std::string &note : res.notes)
+        std::printf("bench_diff: %s\n", note.c_str());
+    for (const std::string &msg : res.failureMessages)
+        std::fprintf(stderr, "%s\n", msg.c_str());
+
     std::printf("bench_diff: %d record(s) matched, wall geomean ratio "
-                "%.4f (limit %.4f), modelled failures %d\n",
-                matched, geomean, limit, failures);
-    if (geomean > limit) {
-        std::fprintf(stderr,
-                     "FAIL wall_seconds geomean ratio %.4f exceeds "
-                     "limit %.4f\n",
-                     geomean, limit);
-        ++failures;
-    }
-    if (flash_samples > 0) {
-        double flash_geomean =
-            std::exp(flash_log_ratio_sum / flash_samples);
-        double flash_limit = 1.0 + flash_threshold_pct / 100.0;
+                "%.4f (limit %.4f), failures %d\n",
+                res.matched, res.wallGeomean,
+                1.0 + opt.wallThresholdPct / 100.0, res.failures);
+    if (res.flashSamples > 0)
         std::printf("bench_diff: flash_bytes geomean ratio %.4f over "
                     "%d record(s) (limit %.4f)\n",
-                    flash_geomean, flash_samples, flash_limit);
-        if (flash_geomean > flash_limit) {
-            std::fprintf(stderr,
-                         "FAIL flash_bytes geomean ratio %.4f exceeds "
-                         "limit %.4f\n",
-                         flash_geomean, flash_limit);
-            ++failures;
-        }
-    }
-    return failures > 0 ? 1 : 0;
+                    res.flashGeomean, res.flashSamples,
+                    1.0 + opt.flashThresholdPct / 100.0);
+    return res.failures > 0 ? 1 : 0;
 }

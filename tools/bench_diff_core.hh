@@ -1,0 +1,570 @@
+/**
+ * @file
+ * Core of the bench regression gate, split out of bench_diff.cc so the
+ * matching / gating logic is unit-testable and the JSON machinery is
+ * reusable by the other report tools (tools/slo_report).
+ *
+ * Three layers:
+ *  - JsonParser: minimal recursive-descent reader primitives.
+ *  - JsonValue / parseJsonFile: a full JSON value tree (object member
+ *    order preserved) for tools that need more than flat numerics.
+ *  - Record / parseReport / recordKey / diffReports: the bench_diff
+ *    gate proper. A record key present in the baseline but absent from
+ *    the candidate (or vice versa) is reported by name and side —
+ *    never as a bare "no match" failure.
+ */
+
+#ifndef AQUOMAN_TOOLS_BENCH_DIFF_CORE_HH
+#define AQUOMAN_TOOLS_BENCH_DIFF_CORE_HH
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aquoman::tools {
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON reader: objects, arrays, numbers,
+// strings, literals.
+// ---------------------------------------------------------------------
+
+struct JsonParser
+{
+    const char *p;
+    const char *end;
+    std::string error;
+
+    explicit JsonParser(const std::string &text)
+        : p(text.data()), end(text.data() + text.size())
+    {
+    }
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = what;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n'
+                           || *p == '\r'))
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return p < end && *p == c;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return false;
+        std::string s;
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c == '\\' && p < end) {
+                char e = *p++;
+                switch (e) {
+                  case 'n': s += '\n'; break;
+                  case 't': s += '\t'; break;
+                  case 'r': s += '\r'; break;
+                  case 'u':
+                    // Keep the escape verbatim; field names the tools
+                    // care about never use \u.
+                    s += "\\u";
+                    break;
+                  default: s += e; break;
+                }
+            } else {
+                s += c;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p;
+        if (out)
+            *out = std::move(s);
+        return true;
+    }
+
+    bool
+    parseNumber(double *out)
+    {
+        skipWs();
+        char *num_end = nullptr;
+        double v = std::strtod(p, &num_end);
+        if (num_end == p)
+            return fail("expected number");
+        p = num_end;
+        if (out)
+            *out = v;
+        return true;
+    }
+
+    /** Parse and discard any JSON value. */
+    bool
+    skipValue()
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': {
+            ++p;
+            if (peek('}'))
+                return consume('}');
+            do {
+                if (!parseString(nullptr) || !consume(':')
+                    || !skipValue())
+                    return false;
+            } while (peek(',') && consume(','));
+            return consume('}');
+          }
+          case '[': {
+            ++p;
+            if (peek(']'))
+                return consume(']');
+            do {
+                if (!skipValue())
+                    return false;
+            } while (peek(',') && consume(','));
+            return consume(']');
+          }
+          case '"':
+            return parseString(nullptr);
+          case 't':
+          case 'f':
+          case 'n': {
+            const char *lits[] = {"true", "false", "null"};
+            for (const char *lit : lits) {
+                auto len = static_cast<std::ptrdiff_t>(std::strlen(lit));
+                if (end - p >= len && std::strncmp(p, lit, len) == 0) {
+                    p += len;
+                    return true;
+                }
+            }
+            return fail("bad literal");
+          }
+          default:
+            return parseNumber(nullptr);
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// Full JSON value tree (tools/slo_report and diff-by-path).
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /// Members in file order (deterministic writers sort their keys).
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Member @p key of an object (nullptr when absent / not object). */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    double
+    numberOr(double fallback) const
+    {
+        return kind == Kind::Number ? number : fallback;
+    }
+};
+
+inline bool
+parseJsonValue(JsonParser &ps, JsonValue *out)
+{
+    ps.skipWs();
+    if (ps.p >= ps.end)
+        return ps.fail("unexpected end of input");
+    switch (*ps.p) {
+      case '{': {
+        ++ps.p;
+        out->kind = JsonValue::Kind::Object;
+        if (ps.peek('}'))
+            return ps.consume('}');
+        do {
+            std::string key;
+            JsonValue v;
+            if (!ps.parseString(&key) || !ps.consume(':')
+                || !parseJsonValue(ps, &v))
+                return false;
+            out->object.emplace_back(std::move(key), std::move(v));
+        } while (ps.peek(',') && ps.consume(','));
+        return ps.consume('}');
+      }
+      case '[': {
+        ++ps.p;
+        out->kind = JsonValue::Kind::Array;
+        if (ps.peek(']'))
+            return ps.consume(']');
+        do {
+            JsonValue v;
+            if (!parseJsonValue(ps, &v))
+                return false;
+            out->array.push_back(std::move(v));
+        } while (ps.peek(',') && ps.consume(','));
+        return ps.consume(']');
+      }
+      case '"':
+        out->kind = JsonValue::Kind::String;
+        return ps.parseString(&out->str);
+      case 't':
+      case 'f':
+        out->kind = JsonValue::Kind::Bool;
+        out->boolean = *ps.p == 't';
+        return ps.skipValue();
+      case 'n':
+        out->kind = JsonValue::Kind::Null;
+        return ps.skipValue();
+      default:
+        out->kind = JsonValue::Kind::Number;
+        return ps.parseNumber(&out->number);
+    }
+}
+
+inline bool
+parseJsonFile(const std::string &path, JsonValue *out,
+              std::string *error)
+{
+    std::ifstream f(path);
+    if (!f) {
+        *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    std::string text = buf.str();
+    JsonParser ps(text);
+    if (!parseJsonValue(ps, out)) {
+        *error = path + ": " + ps.error;
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Bench-report records and the regression gate.
+// ---------------------------------------------------------------------
+
+/** Numeric fields of one record; non-numeric members are dropped. */
+using Record = std::map<std::string, double>;
+
+/**
+ * Parse a writeJsonReport file: {"records": [{...}, ...], ...}. Only
+ * the records array is retained.
+ */
+inline bool
+parseReport(const std::string &path, std::vector<Record> *out,
+            std::string *error)
+{
+    std::ifstream f(path);
+    if (!f) {
+        *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    std::string text = buf.str();
+
+    JsonParser ps(text);
+    auto bail = [&] {
+        *error = path + ": " + ps.error;
+        return false;
+    };
+    if (!ps.consume('{'))
+        return bail();
+    bool first = true;
+    while (first || (ps.peek(',') && ps.consume(','))) {
+        first = false;
+        std::string key;
+        if (!ps.parseString(&key) || !ps.consume(':'))
+            return bail();
+        if (key != "records") {
+            if (!ps.skipValue())
+                return bail();
+            continue;
+        }
+        if (!ps.consume('['))
+            return bail();
+        if (!ps.peek(']')) {
+            do {
+                Record rec;
+                if (!ps.consume('{'))
+                    return bail();
+                bool rec_first = true;
+                while (rec_first || (ps.peek(',') && ps.consume(','))) {
+                    rec_first = false;
+                    std::string name;
+                    if (!ps.parseString(&name) || !ps.consume(':'))
+                        return bail();
+                    ps.skipWs();
+                    if (ps.p < ps.end
+                        && (*ps.p == '-'
+                            || (*ps.p >= '0' && *ps.p <= '9'))) {
+                        double v = 0.0;
+                        if (!ps.parseNumber(&v))
+                            return bail();
+                        rec[name] = v;
+                    } else if (!ps.skipValue()) {
+                        return bail();
+                    }
+                }
+                if (!ps.consume('}'))
+                    return bail();
+                out->push_back(std::move(rec));
+            } while (ps.peek(',') && ps.consume(','));
+        }
+        if (!ps.consume(']'))
+            return bail();
+    }
+    if (!ps.consume('}'))
+        return bail();
+    return true;
+}
+
+/**
+ * Key a record by its identity fields for baseline/candidate matching.
+ * All present identity fields compose, so the multi-tenant workload
+ * bench can distinguish (tenant, overload, policy) slices while the
+ * single-field figure benches keep their "query=N" / "devices=M" keys.
+ */
+inline std::string
+recordKey(const Record &r)
+{
+    std::string key;
+    for (const char *id :
+         {"query", "devices", "tenant", "overload", "fifo"}) {
+        auto it = r.find(id);
+        if (it == r.end())
+            continue;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%s%s=%g",
+                      key.empty() ? "" : ",", id, it->second);
+        key += buf;
+    }
+    return key;
+}
+
+struct DiffOptions
+{
+    double wallThresholdPct = 10.0;
+    double modelTolerance = 0.0;
+    double flashThresholdPct = 0.0;
+};
+
+struct DiffResult
+{
+    int failures = 0;
+    int matched = 0;
+    /// FAIL lines, one per violation; callers print them to stderr.
+    std::vector<std::string> failureMessages;
+    /// Informational lines (candidate-only records etc.).
+    std::vector<std::string> notes;
+    double wallGeomean = 1.0;
+    int wallSamples = 0;
+    double flashGeomean = 1.0;
+    int flashSamples = 0;
+    bool fatal = false; ///< no records matched at all
+    std::string fatalMessage;
+};
+
+namespace detail {
+
+inline std::string
+formatMsg(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace detail
+
+/**
+ * Compare @p candidate against @p baseline. Fails when a modelled_*
+ * field drifts beyond tolerance, when a baseline record key or
+ * modelled field is missing from the candidate (named, with the side),
+ * or when the wall / flash geomean gates trip. Candidate-only record
+ * keys are reported as notes, not failures, so adding new bench
+ * coverage never trips the gate.
+ */
+inline DiffResult
+diffReports(const std::vector<Record> &baseline,
+            const std::vector<Record> &candidate,
+            const DiffOptions &opt)
+{
+    DiffResult res;
+
+    std::map<std::string, const Record *> base_by_key;
+    for (const Record &r : baseline) {
+        std::string key = recordKey(r);
+        if (!key.empty())
+            base_by_key[key] = &r;
+    }
+    std::map<std::string, const Record *> cand_by_key;
+    for (const Record &r : candidate) {
+        std::string key = recordKey(r);
+        if (!key.empty())
+            cand_by_key[key] = &r;
+    }
+
+    // Records present on exactly one side: name the key and the side
+    // it is missing from. Baseline coverage that disappeared is a
+    // regression; candidate-only records are informational.
+    for (const auto &[key, rec] : base_by_key) {
+        if (cand_by_key.find(key) == cand_by_key.end()) {
+            res.failureMessages.push_back(detail::formatMsg(
+                "FAIL record '%s' missing from candidate report",
+                key.c_str()));
+            ++res.failures;
+        }
+    }
+    for (const auto &[key, rec] : cand_by_key) {
+        if (base_by_key.find(key) == base_by_key.end())
+            res.notes.push_back(detail::formatMsg(
+                "note: record '%s' missing from baseline report "
+                "(new coverage)",
+                key.c_str()));
+    }
+
+    double log_ratio_sum = 0.0;
+    double flash_log_ratio_sum = 0.0;
+
+    for (const auto &[key, candp] : cand_by_key) {
+        auto bit = base_by_key.find(key);
+        if (bit == base_by_key.end())
+            continue;
+        const Record &base = *bit->second;
+        const Record &cand = *candp;
+        ++res.matched;
+
+        auto bw = base.find("wall_seconds");
+        auto cw = cand.find("wall_seconds");
+        if (bw != base.end() && cw != cand.end() && bw->second > 0.0
+            && cw->second > 0.0) {
+            log_ratio_sum += std::log(cw->second / bw->second);
+            ++res.wallSamples;
+        }
+
+        auto bf = base.find("flash_bytes");
+        auto cf = cand.find("flash_bytes");
+        if (bf != base.end() && cf != cand.end() && bf->second > 0.0
+            && cf->second > 0.0) {
+            flash_log_ratio_sum += std::log(cf->second / bf->second);
+            ++res.flashSamples;
+        }
+
+        for (const auto &[name, base_v] : base) {
+            if (name.rfind("modelled_", 0) != 0)
+                continue;
+            auto cit = cand.find(name);
+            if (cit == cand.end()) {
+                res.failureMessages.push_back(detail::formatMsg(
+                    "FAIL %s: field '%s' missing from candidate "
+                    "report",
+                    key.c_str(), name.c_str()));
+                ++res.failures;
+                continue;
+            }
+            double cand_v = cit->second;
+            double denom = std::fabs(base_v) > 0.0
+                ? std::fabs(base_v) : 1.0;
+            double drift = std::fabs(cand_v - base_v) / denom;
+            if (drift > opt.modelTolerance) {
+                res.failureMessages.push_back(detail::formatMsg(
+                    "FAIL %s: %s drifted %.17g -> %.17g "
+                    "(rel %.3g > tol %.3g)",
+                    key.c_str(), name.c_str(), base_v, cand_v, drift,
+                    opt.modelTolerance));
+                ++res.failures;
+            }
+        }
+    }
+
+    if (res.matched == 0) {
+        res.fatal = true;
+        res.fatalMessage = "no matching records between the reports";
+        return res;
+    }
+
+    res.wallGeomean = res.wallSamples > 0
+        ? std::exp(log_ratio_sum / res.wallSamples) : 1.0;
+    double limit = 1.0 + opt.wallThresholdPct / 100.0;
+    if (res.wallGeomean > limit) {
+        res.failureMessages.push_back(detail::formatMsg(
+            "FAIL wall_seconds geomean ratio %.4f exceeds limit %.4f",
+            res.wallGeomean, limit));
+        ++res.failures;
+    }
+    if (res.flashSamples > 0) {
+        res.flashGeomean =
+            std::exp(flash_log_ratio_sum / res.flashSamples);
+        double flash_limit = 1.0 + opt.flashThresholdPct / 100.0;
+        if (res.flashGeomean > flash_limit) {
+            res.failureMessages.push_back(detail::formatMsg(
+                "FAIL flash_bytes geomean ratio %.4f exceeds limit "
+                "%.4f",
+                res.flashGeomean, flash_limit));
+            ++res.failures;
+        }
+    }
+    return res;
+}
+
+} // namespace aquoman::tools
+
+#endif // AQUOMAN_TOOLS_BENCH_DIFF_CORE_HH

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Inspector for --slo-report files written by bench/service_workload:
+ *
+ *   slo_report <report.json>
+ *       Pretty-print the per-run, per-tenant SLO timeline: totals,
+ *       windowed latency quantiles, burn rates, error-budget
+ *       consumption, and burn-rate alert firings.
+ *
+ *   slo_report --diff <baseline.json> <candidate.json> [--tolerance T]
+ *       Structural diff of two reports. Every missing member is named
+ *       together with the side it is missing from; numeric leaves
+ *       compare exactly unless --tolerance (relative) is given.
+ *
+ * Exit codes: 0 pass / identical, 1 differences found, 2 usage or
+ * parse error.
+ */
+
+#include "bench_diff_core.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace aquoman::tools;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Pretty printer
+// ---------------------------------------------------------------------
+
+double
+num(const JsonValue *v, double fallback = 0.0)
+{
+    return v ? v->numberOr(fallback) : fallback;
+}
+
+void
+printRun(const JsonValue &run)
+{
+    const JsonValue *label = run.find("label");
+    std::printf("run %s  (overload x%.1f, %s)\n",
+                label && label->kind == JsonValue::Kind::String
+                    ? label->str.c_str() : "?",
+                num(run.find("overload"), 1.0),
+                num(run.find("fifo")) != 0.0 ? "fifo" : "drr");
+
+    const JsonValue *slo = run.find("slo");
+    if (!slo) {
+        std::printf("  (no slo section)\n");
+        return;
+    }
+    const JsonValue *tenants = slo->find("tenants");
+    if (tenants && tenants->kind == JsonValue::Kind::Array) {
+        for (const JsonValue &t : tenants->array) {
+            const JsonValue *name = t.find("name");
+            const JsonValue *obj = t.find("objective");
+            std::printf("  tenant %-12s",
+                        name && name->kind == JsonValue::Kind::String
+                            ? name->str.c_str() : "?");
+            if (obj && obj->kind == JsonValue::Kind::Object)
+                std::printf(" slo<=%.3fs @%.2f%%",
+                            num(obj->find("latency_target_seconds")),
+                            100.0 * num(obj->find("attainment")));
+            else
+                std::printf(" (no objective)");
+            const JsonValue *tot = t.find("totals");
+            if (tot)
+                std::printf("  done=%g viol=%g shed=%g susp=%g "
+                            "attain=%.4f budget=%.3f\n",
+                            num(tot->find("completed")),
+                            num(tot->find("violations")),
+                            num(tot->find("shed")),
+                            num(tot->find("suspended")),
+                            num(tot->find("attainment"), 1.0),
+                            num(tot->find("budget_consumed")));
+            else
+                std::printf("\n");
+
+            const JsonValue *wins = t.find("windows");
+            if (!wins || wins->kind != JsonValue::Kind::Array
+                || wins->array.empty())
+                continue;
+            std::printf("    %6s %9s %5s %5s %5s %5s %8s %8s %8s "
+                        "%7s %7s\n",
+                        "win", "start_s", "done", "viol", "shed",
+                        "susp", "p50_s", "p90_s", "p99_s", "burn",
+                        "budget");
+            for (const JsonValue &w : wins->array) {
+                const JsonValue *lat = w.find("latency");
+                std::printf("    %6.0f %9.2f %5.0f %5.0f %5.0f %5.0f "
+                            "%8.4f %8.4f %8.4f %7.2f %7.3f\n",
+                            num(w.find("window")),
+                            num(w.find("start_seconds")),
+                            num(w.find("completed")),
+                            num(w.find("violations")),
+                            num(w.find("shed")),
+                            num(w.find("suspended")),
+                            lat ? num(lat->find("p50")) : 0.0,
+                            lat ? num(lat->find("p90")) : 0.0,
+                            lat ? num(lat->find("p99")) : 0.0,
+                            num(w.find("burn")),
+                            num(w.find("budget_consumed")));
+            }
+        }
+    }
+    const JsonValue *alerts = slo->find("alerts");
+    if (alerts && alerts->kind == JsonValue::Kind::Array) {
+        if (alerts->array.empty()) {
+            std::printf("  alerts: none\n");
+        } else {
+            for (const JsonValue &a : alerts->array) {
+                const JsonValue *tn = a.find("tenant");
+                const JsonValue *rule = a.find("rule");
+                std::printf("  ALERT %-8s tenant=%-12s at=%.2fs "
+                            "short_burn=%.2f long_burn=%.2f\n",
+                            rule && rule->kind == JsonValue::Kind::String
+                                ? rule->str.c_str() : "?",
+                            tn && tn->kind == JsonValue::Kind::String
+                                ? tn->str.c_str() : "?",
+                            num(a.find("at_seconds")),
+                            num(a.find("short_burn")),
+                            num(a.find("long_burn")));
+            }
+        }
+    }
+}
+
+int
+prettyPrint(const std::string &path)
+{
+    JsonValue root;
+    std::string error;
+    if (!parseJsonFile(path, &root, &error)) {
+        std::fprintf(stderr, "slo_report: %s\n", error.c_str());
+        return 2;
+    }
+    std::printf("slo report %s  window=%.3gs seed=%g\n", path.c_str(),
+                num(root.find("window_seconds")),
+                num(root.find("seed")));
+    const JsonValue *runs = root.find("runs");
+    if (!runs || runs->kind != JsonValue::Kind::Array) {
+        std::fprintf(stderr,
+                     "slo_report: %s has no \"runs\" array\n",
+                     path.c_str());
+        return 2;
+    }
+    for (const JsonValue &run : runs->array)
+        printRun(run);
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Structural diff
+// ---------------------------------------------------------------------
+
+struct DiffState
+{
+    double tolerance = 0.0;
+    int differences = 0;
+    int reported = 0;
+    static constexpr int kMaxReported = 64;
+
+    void
+    report(const std::string &msg)
+    {
+        ++differences;
+        if (reported < kMaxReported) {
+            std::fprintf(stderr, "DIFF %s\n", msg.c_str());
+            if (++reported == kMaxReported)
+                std::fprintf(stderr,
+                             "DIFF (further differences "
+                             "suppressed)\n");
+        }
+    }
+};
+
+const char *
+kindName(JsonValue::Kind k)
+{
+    switch (k) {
+      case JsonValue::Kind::Null: return "null";
+      case JsonValue::Kind::Bool: return "bool";
+      case JsonValue::Kind::Number: return "number";
+      case JsonValue::Kind::String: return "string";
+      case JsonValue::Kind::Array: return "array";
+      case JsonValue::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+void
+diffValue(const std::string &path, const JsonValue &a,
+          const JsonValue &b, DiffState &st)
+{
+    if (a.kind != b.kind) {
+        st.report(path + ": type " + kindName(a.kind)
+                  + " in baseline vs " + kindName(b.kind)
+                  + " in candidate");
+        return;
+    }
+    switch (a.kind) {
+      case JsonValue::Kind::Null:
+        return;
+      case JsonValue::Kind::Bool:
+        if (a.boolean != b.boolean)
+            st.report(path + ": " + (a.boolean ? "true" : "false")
+                      + " vs " + (b.boolean ? "true" : "false"));
+        return;
+      case JsonValue::Kind::Number: {
+        double denom = std::fabs(a.number) > 0.0
+            ? std::fabs(a.number) : 1.0;
+        double drift = std::fabs(b.number - a.number) / denom;
+        if (drift > st.tolerance)
+            st.report(detail::formatMsg(
+                "%s: %.17g vs %.17g (rel %.3g > tol %.3g)",
+                path.c_str(), a.number, b.number, drift,
+                st.tolerance));
+        return;
+      }
+      case JsonValue::Kind::String:
+        if (a.str != b.str)
+            st.report(path + ": \"" + a.str + "\" vs \"" + b.str
+                      + "\"");
+        return;
+      case JsonValue::Kind::Array: {
+        if (a.array.size() != b.array.size())
+            st.report(detail::formatMsg(
+                "%s: array length %zu in baseline vs %zu in "
+                "candidate",
+                path.c_str(), a.array.size(), b.array.size()));
+        std::size_t n = std::min(a.array.size(), b.array.size());
+        for (std::size_t i = 0; i < n; ++i)
+            diffValue(detail::formatMsg("%s[%zu]", path.c_str(), i),
+                      a.array[i], b.array[i], st);
+        return;
+      }
+      case JsonValue::Kind::Object: {
+        for (const auto &[key, av] : a.object) {
+            const JsonValue *bv = b.find(key);
+            if (bv == nullptr) {
+                st.report(path + "." + key
+                          + ": missing from candidate");
+                continue;
+            }
+            diffValue(path + "." + key, av, *bv, st);
+        }
+        for (const auto &[key, bv] : b.object) {
+            if (a.find(key) == nullptr)
+                st.report(path + "." + key
+                          + ": missing from baseline");
+        }
+        return;
+      }
+    }
+}
+
+int
+diffReportsCmd(const std::string &a_path, const std::string &b_path,
+               double tolerance)
+{
+    JsonValue a, b;
+    std::string error;
+    if (!parseJsonFile(a_path, &a, &error)
+        || !parseJsonFile(b_path, &b, &error)) {
+        std::fprintf(stderr, "slo_report: %s\n", error.c_str());
+        return 2;
+    }
+    DiffState st;
+    st.tolerance = tolerance;
+    diffValue("$", a, b, st);
+    if (st.differences == 0) {
+        std::printf("slo_report: %s and %s match\n", a_path.c_str(),
+                    b_path.c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "slo_report: %d difference(s) between %s and "
+                 "%s\n",
+                 st.differences, a_path.c_str(), b_path.c_str());
+    return 1;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: slo_report <report.json>\n"
+        "       slo_report --diff <baseline.json> <candidate.json> "
+        "[--tolerance T]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool diff = false;
+    double tolerance = 0.0;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--diff") {
+            diff = true;
+        } else if (a == "--tolerance" && i + 1 < argc) {
+            tolerance = std::atof(argv[++i]);
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (diff) {
+        if (paths.size() != 2)
+            return usage();
+        return diffReportsCmd(paths[0], paths[1], tolerance);
+    }
+    if (paths.size() != 1)
+        return usage();
+    return prettyPrint(paths[0]);
+}
