@@ -19,6 +19,7 @@
 #include "common/decimal.hh"
 #include "obs/trace.hh"
 #include "relalg/eval.hh"
+#include "relalg/pred_kernel.hh"
 
 namespace aquoman {
 
@@ -710,8 +711,9 @@ struct AquomanDevice::Impl
             o->resize(rows);
         std::vector<const std::int64_t *> in_ptrs(inputs.size());
         std::vector<std::int64_t *> out_ptrs(outs.size());
-        for (std::int64_t b = 0; b < rows; b += kPeBatchRows) {
-            std::int64_t e = std::min(rows, b + kPeBatchRows);
+        const std::int64_t morsel = peBatchMorselRows();
+        for (std::int64_t b = 0; b < rows; b += morsel) {
+            std::int64_t e = std::min(rows, b + morsel);
             for (std::size_t i = 0; i < inputs.size(); ++i)
                 in_ptrs[i] = inputs[i].vals->data() + b;
             for (std::size_t o = 0; o < outs.size(); ++o)
@@ -919,6 +921,17 @@ struct AquomanDevice::Impl
                     RelColumn v = evalExpr(c, one, "pred");
                     if (v.get(0) == 0 || v.get(0) == kNullValue)
                         sel = SelectionVector::dense(0);
+                    continue;
+                }
+                // Compiled mask kernel over the gathered view (flash
+                // traffic was charged above, so this only changes CPU
+                // cost); same verdicts as evalPredicate by contract.
+                if (auto kern = ConjunctKernel::tryCompile(c, view)) {
+                    BitVector mask;
+                    ConjunctKernel::Scratch scratch;
+                    kern->evalMask(view, nullptr, 0, view.numRows(),
+                                   mask, scratch);
+                    sel.filter(mask);
                     continue;
                 }
                 sel.filter(evalPredicate(c, view));

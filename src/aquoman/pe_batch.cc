@@ -1,55 +1,342 @@
 #include "aquoman/pe_batch.hh"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <map>
 #include <set>
+#include <string_view>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "common/date.hh"
 #include "common/decimal.hh"
+#include "common/simd.hh"
 
 namespace aquoman {
 
 namespace {
 
-/** Resolved operand for one vectorized op: a column or a constant. */
-struct Operand
+std::atomic<std::int64_t> g_morsel_rows{-1};
+
+constexpr std::int64_t kMinMorselRows = 1024;
+constexpr std::int64_t kMaxMorselRows = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Specialized kernels: one instantiation per (opcode × operand shape).
+// The generic loops are written branch-free over the whole morsel so
+// the compiler can vectorize them (`omp simd` asserts no loop-carried
+// dependence); the AVX2 variants below make the five cheapest ops
+// explicit for hosts that have it.
+// ---------------------------------------------------------------------
+
+struct AddOp
 {
-    const std::int64_t *ptr = nullptr;
-    std::int64_t c = 0;
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return x + y;
+    }
+};
+struct SubOp
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return x - y;
+    }
+};
+struct MulOp
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return x * y;
+    }
+};
+struct DivOp
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return peDiv(x, y);
+    }
+};
+struct EqOp
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return static_cast<std::int64_t>(x == y);
+    }
+};
+struct LtOp
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return static_cast<std::int64_t>(x < y);
+    }
+};
+struct GtOp
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return static_cast<std::int64_t>(x > y);
+    }
+};
+struct MulScaledOp
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return decimalMul(x, y);
+    }
+};
+struct DivScaledOp
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return decimalDiv(x, y);
+    }
+};
+struct YearOp
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t)
+    {
+        return civilFromDays(static_cast<std::int32_t>(x)).year;
+    }
 };
 
-/**
- * Apply @p f element-wise with the operand shapes specialized, so the
- * common column/column and column/constant cases compile to tight
- * loops without per-element branching.
- */
-template <class F>
+template <class Op>
 void
-applyOp(std::int64_t *dst, Operand a, Operand b, std::int64_t n, F f)
+kColCol(std::int64_t *dst, const std::int64_t *a, std::int64_t,
+        const std::int64_t *b, std::int64_t, std::int64_t n)
 {
-    if (a.ptr != nullptr && b.ptr != nullptr) {
-        const std::int64_t *pa = a.ptr, *pb = b.ptr;
-        for (std::int64_t i = 0; i < n; ++i)
-            dst[i] = f(pa[i], pb[i]);
-    } else if (a.ptr != nullptr) {
-        const std::int64_t *pa = a.ptr;
-        const std::int64_t yb = b.c;
-        for (std::int64_t i = 0; i < n; ++i)
-            dst[i] = f(pa[i], yb);
-    } else if (b.ptr != nullptr) {
-        const std::int64_t xa = a.c;
-        const std::int64_t *pb = b.ptr;
-        for (std::int64_t i = 0; i < n; ++i)
-            dst[i] = f(xa, pb[i]);
-    } else {
-        const std::int64_t v = f(a.c, b.c);
-        for (std::int64_t i = 0; i < n; ++i)
-            dst[i] = v;
+#pragma omp simd
+    for (std::int64_t i = 0; i < n; ++i)
+        dst[i] = Op::apply(a[i], b[i]);
+}
+
+template <class Op>
+void
+kColConst(std::int64_t *dst, const std::int64_t *a, std::int64_t,
+          const std::int64_t *, std::int64_t bc, std::int64_t n)
+{
+#pragma omp simd
+    for (std::int64_t i = 0; i < n; ++i)
+        dst[i] = Op::apply(a[i], bc);
+}
+
+template <class Op>
+void
+kConstCol(std::int64_t *dst, const std::int64_t *, std::int64_t ac,
+          const std::int64_t *b, std::int64_t, std::int64_t n)
+{
+#pragma omp simd
+    for (std::int64_t i = 0; i < n; ++i)
+        dst[i] = Op::apply(ac, b[i]);
+}
+
+template <class Op>
+void
+kConstConst(std::int64_t *dst, const std::int64_t *, std::int64_t ac,
+            const std::int64_t *, std::int64_t bc, std::int64_t n)
+{
+    const std::int64_t v = Op::apply(ac, bc);
+    for (std::int64_t i = 0; i < n; ++i)
+        dst[i] = v;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+// AVX2 variants for the ops with a native 64-bit vector form: add/sub
+// and the signed compares (AVX2 has no 64-bit multiply low, so Mul and
+// the scaled decimal ops stay on the autovectorized generic loops).
+// Compares produce all-ones lanes; a logical right shift by 63 turns
+// them into the 0/1 the PE contract requires. Remainder rows run the
+// scalar expression — bit-identical by construction.
+
+#define AQ_AVX2_KERNEL_PAIR(NAME, VECEXPR, SCALEXPR)                         \
+    __attribute__((target("avx2"))) void NAME##ColColAvx2(                   \
+        std::int64_t *dst, const std::int64_t *a, std::int64_t,              \
+        const std::int64_t *b, std::int64_t, std::int64_t n)                 \
+    {                                                                        \
+        std::int64_t i = 0;                                                  \
+        for (; i + 4 <= n; i += 4) {                                         \
+            __m256i va = _mm256_loadu_si256(                                 \
+                reinterpret_cast<const __m256i *>(a + i));                   \
+            __m256i vb = _mm256_loadu_si256(                                 \
+                reinterpret_cast<const __m256i *>(b + i));                   \
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),        \
+                                (VECEXPR));                                  \
+        }                                                                    \
+        for (; i < n; ++i) {                                                 \
+            std::int64_t x = a[i], y = b[i];                                 \
+            dst[i] = (SCALEXPR);                                             \
+        }                                                                    \
+    }                                                                        \
+    __attribute__((target("avx2"))) void NAME##ColConstAvx2(                 \
+        std::int64_t *dst, const std::int64_t *a, std::int64_t,              \
+        const std::int64_t *, std::int64_t bc, std::int64_t n)               \
+    {                                                                        \
+        const __m256i vb = _mm256_set1_epi64x(bc);                           \
+        std::int64_t i = 0;                                                  \
+        for (; i + 4 <= n; i += 4) {                                         \
+            __m256i va = _mm256_loadu_si256(                                 \
+                reinterpret_cast<const __m256i *>(a + i));                   \
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),        \
+                                (VECEXPR));                                  \
+        }                                                                    \
+        for (; i < n; ++i) {                                                 \
+            std::int64_t x = a[i], y = bc;                                   \
+            dst[i] = (SCALEXPR);                                             \
+        }                                                                    \
+    }
+
+AQ_AVX2_KERNEL_PAIR(kAdd, _mm256_add_epi64(va, vb), x + y)
+AQ_AVX2_KERNEL_PAIR(kSub, _mm256_sub_epi64(va, vb), x - y)
+AQ_AVX2_KERNEL_PAIR(kEq,
+                    _mm256_srli_epi64(_mm256_cmpeq_epi64(va, vb), 63),
+                    static_cast<std::int64_t>(x == y))
+AQ_AVX2_KERNEL_PAIR(kLt,
+                    _mm256_srli_epi64(_mm256_cmpgt_epi64(vb, va), 63),
+                    static_cast<std::int64_t>(x < y))
+AQ_AVX2_KERNEL_PAIR(kGt,
+                    _mm256_srli_epi64(_mm256_cmpgt_epi64(va, vb), 63),
+                    static_cast<std::int64_t>(x > y))
+
+#undef AQ_AVX2_KERNEL_PAIR
+
+/** AVX2 variant for (op × shape), or nullptr when none exists. */
+PeBatchKernel::KernelFn
+selectAvx2Kernel(PeOpcode op, bool a_col, bool b_col)
+{
+    if (a_col && b_col) {
+        switch (op) {
+          case PeOpcode::Add: return &kAddColColAvx2;
+          case PeOpcode::Sub: return &kSubColColAvx2;
+          case PeOpcode::Eq: return &kEqColColAvx2;
+          case PeOpcode::Lt: return &kLtColColAvx2;
+          case PeOpcode::Gt: return &kGtColColAvx2;
+          default: return nullptr;
+        }
+    }
+    if (a_col && !b_col) {
+        switch (op) {
+          case PeOpcode::Add: return &kAddColConstAvx2;
+          case PeOpcode::Sub: return &kSubColConstAvx2;
+          case PeOpcode::Eq: return &kEqColConstAvx2;
+          case PeOpcode::Lt: return &kLtColConstAvx2;
+          case PeOpcode::Gt: return &kGtColConstAvx2;
+          default: return nullptr;
+        }
+    }
+    return nullptr;
+}
+
+#else
+
+PeBatchKernel::KernelFn
+selectAvx2Kernel(PeOpcode, bool, bool)
+{
+    return nullptr;
+}
+
+#endif // __x86_64__ && __GNUC__
+
+template <class Op>
+PeBatchKernel::KernelFn
+selectShape(bool a_col, bool b_col)
+{
+    if (a_col && b_col)
+        return &kColCol<Op>;
+    if (a_col)
+        return &kColConst<Op>;
+    if (b_col)
+        return &kConstCol<Op>;
+    return &kConstConst<Op>;
+}
+
+/**
+ * Pick the kernel for (opcode × operand shape), preferring the AVX2
+ * variant when the host supports it. Called once per DAG value at
+ * kernel-compile time; run() never dispatches on the opcode again.
+ */
+PeBatchKernel::KernelFn
+selectKernel(PeOpcode op, bool a_col, bool b_col, bool use_avx2)
+{
+    if (use_avx2) {
+        if (PeBatchKernel::KernelFn f = selectAvx2Kernel(op, a_col, b_col))
+            return f;
+    }
+    switch (op) {
+      case PeOpcode::Add: return selectShape<AddOp>(a_col, b_col);
+      case PeOpcode::Sub: return selectShape<SubOp>(a_col, b_col);
+      case PeOpcode::Mul: return selectShape<MulOp>(a_col, b_col);
+      case PeOpcode::Div: return selectShape<DivOp>(a_col, b_col);
+      case PeOpcode::Eq: return selectShape<EqOp>(a_col, b_col);
+      case PeOpcode::Lt: return selectShape<LtOp>(a_col, b_col);
+      case PeOpcode::Gt: return selectShape<GtOp>(a_col, b_col);
+      case PeOpcode::MulScaled:
+        return selectShape<MulScaledOp>(a_col, b_col);
+      case PeOpcode::DivScaled:
+        return selectShape<DivScaledOp>(a_col, b_col);
+      case PeOpcode::Year: return selectShape<YearOp>(a_col, b_col);
+      default:
+        panic("non-arithmetic opcode in batch kernel DAG");
+    }
+}
+
+/** Can (a op b) be rewritten (b op' a)? Sets @p swapped_op if so. */
+bool
+commuteOp(PeOpcode op, PeOpcode &swapped_op)
+{
+    switch (op) {
+      case PeOpcode::Add:
+      case PeOpcode::Eq:
+        swapped_op = op;
+        return true;
+      case PeOpcode::Lt:
+        swapped_op = PeOpcode::Gt;
+        return true;
+      case PeOpcode::Gt:
+        swapped_op = PeOpcode::Lt;
+        return true;
+      default:
+        return false;
     }
 }
 
 } // namespace
+
+std::int64_t
+peBatchMorselRows()
+{
+    std::int64_t v = g_morsel_rows.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = kPeBatchRows;
+        if (const char *e = std::getenv("AQUOMAN_MORSEL")) {
+            char *end = nullptr;
+            long long parsed = std::strtoll(e, &end, 10);
+            if (end != e && parsed > 0) {
+                v = std::min(kMaxMorselRows,
+                             std::max(kMinMorselRows,
+                                      static_cast<std::int64_t>(parsed)));
+            }
+        }
+        g_morsel_rows.store(v, std::memory_order_relaxed);
+    }
+    return v;
+}
+
+void
+setPeBatchMorselRows(std::int64_t rows)
+{
+    if (rows <= 0) {
+        g_morsel_rows.store(-1, std::memory_order_relaxed);
+        return;
+    }
+    g_morsel_rows.store(
+        std::min(kMaxMorselRows, std::max(kMinMorselRows, rows)),
+        std::memory_order_relaxed);
+}
 
 PeBatchKernel::PeBatchKernel(
     const std::vector<std::vector<PeInstruction>> &programs,
@@ -61,6 +348,8 @@ PeBatchKernel::PeBatchKernel(
         vals_.clear();
         outputs_.clear();
         numBuffers_ = 0;
+    } else {
+        buildSteps();
     }
 }
 
@@ -193,6 +482,59 @@ PeBatchKernel::compile(
     return true;
 }
 
+/**
+ * Lower every Kind::Op value to a Step: resolve each operand to an
+ * input column, a scratch buffer, or a constant; normalize const-col
+ * shapes of commutable ops to col-const (halving the AVX2 kernel
+ * matrix); and select the (opcode × shape) kernel instantiation once.
+ */
+void
+PeBatchKernel::buildSteps()
+{
+    const bool use_avx2 = avx2Available();
+    steps_.clear();
+    steps_.reserve(vals_.size());
+    auto src_of = [&](int id) {
+        Src s;
+        if (id < 0)
+            return s; // constant 0 (unary ops' unused operand)
+        const Val &v = vals_[id];
+        switch (v.kind) {
+          case Val::Kind::Input:
+            s.input = v.input;
+            break;
+          case Val::Kind::Zero:
+            break;
+          case Val::Kind::Op:
+            s.buf = v.buf;
+            break;
+        }
+        return s;
+    };
+    for (const Val &v : vals_) {
+        if (v.kind != Val::Kind::Op)
+            continue;
+        Step st;
+        st.dstBuf = v.buf;
+        st.a = src_of(v.a);
+        if (v.useImm)
+            st.b.c = v.imm;
+        else
+            st.b = src_of(v.b);
+        bool a_col = st.a.input >= 0 || st.a.buf >= 0;
+        bool b_col = st.b.input >= 0 || st.b.buf >= 0;
+        PeOpcode op = v.op;
+        PeOpcode swapped;
+        if (!a_col && b_col && commuteOp(op, swapped)) {
+            std::swap(st.a, st.b);
+            std::swap(a_col, b_col);
+            op = swapped;
+        }
+        st.fn = selectKernel(op, a_col, b_col, use_avx2);
+        steps_.push_back(st);
+    }
+}
+
 void
 PeBatchKernel::run(const std::int64_t *const *inputs, std::int64_t n,
                    std::int64_t *const *outputs, int num_outputs)
@@ -211,85 +553,17 @@ PeBatchKernel::run(const std::int64_t *const *inputs, std::int64_t n,
         if (static_cast<std::int64_t>(buf.size()) < n)
             buf.resize(n);
     }
-    auto operand = [&](int id) {
-        Operand o;
-        const Val &v = vals_[id];
-        switch (v.kind) {
-          case Val::Kind::Input:
-            o.ptr = inputs[v.input];
-            break;
-          case Val::Kind::Zero:
-            o.c = 0;
-            break;
-          case Val::Kind::Op:
-            o.ptr = scratch_[v.buf].data();
-            break;
-        }
-        return o;
+    auto ptr_of = [&](const Src &s) -> const std::int64_t * {
+        if (s.input >= 0)
+            return inputs[s.input];
+        if (s.buf >= 0)
+            return scratch_[s.buf].data();
+        return nullptr;
     };
-    // Value ids are in definition order, so operands are always ready.
-    for (const Val &v : vals_) {
-        if (v.kind != Val::Kind::Op)
-            continue;
-        std::int64_t *dst = scratch_[v.buf].data();
-        Operand a = operand(v.a);
-        Operand b;
-        if (v.useImm)
-            b.c = v.imm;
-        else if (v.b >= 0)
-            b = operand(v.b);
-        switch (v.op) {
-          case PeOpcode::Add:
-            applyOp(dst, a, b, n,
-                    [](std::int64_t x, std::int64_t y) { return x + y; });
-            break;
-          case PeOpcode::Sub:
-            applyOp(dst, a, b, n,
-                    [](std::int64_t x, std::int64_t y) { return x - y; });
-            break;
-          case PeOpcode::Mul:
-            applyOp(dst, a, b, n,
-                    [](std::int64_t x, std::int64_t y) { return x * y; });
-            break;
-          case PeOpcode::Div:
-            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
-                return peDiv(x, y);
-            });
-            break;
-          case PeOpcode::Eq:
-            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
-                return static_cast<std::int64_t>(x == y);
-            });
-            break;
-          case PeOpcode::Lt:
-            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
-                return static_cast<std::int64_t>(x < y);
-            });
-            break;
-          case PeOpcode::Gt:
-            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
-                return static_cast<std::int64_t>(x > y);
-            });
-            break;
-          case PeOpcode::MulScaled:
-            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
-                return decimalMul(x, y);
-            });
-            break;
-          case PeOpcode::DivScaled:
-            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t y) {
-                return decimalDiv(x, y);
-            });
-            break;
-          case PeOpcode::Year:
-            applyOp(dst, a, b, n, [](std::int64_t x, std::int64_t) {
-                return static_cast<std::int64_t>(
-                    civilFromDays(static_cast<std::int32_t>(x)).year);
-            });
-            break;
-          default:
-            panic("non-arithmetic opcode in batch kernel DAG");
-        }
+    // Steps are in definition order, so operands are always ready.
+    for (const Step &st : steps_) {
+        st.fn(scratch_[st.dstBuf].data(), ptr_of(st.a), st.a.c,
+              ptr_of(st.b), st.b.c, n);
     }
     for (int o = 0; o < num_outputs; ++o) {
         const Val &v = vals_[outputs_[o]];

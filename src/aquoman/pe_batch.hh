@@ -15,6 +15,13 @@
  * bit-identical behaviour — including panics on FIFO underflow. The
  * scalar interpreter therefore stays the semantic oracle; the batch
  * kernel is only ever a faster way to run the same program.
+ *
+ * Each DAG value is lowered once, at compile time, to a specialized
+ * kernel function: one template instantiation per (opcode × operand
+ * shape), so run() is a loop over precompiled function pointers with
+ * no per-morsel opcode dispatch (DESIGN.md §16). Ops with an AVX2
+ * vector form additionally pick an explicit intrinsic variant behind
+ * the avx2Available() CPUID check.
  */
 
 #ifndef AQUOMAN_AQUOMAN_PE_BATCH_HH
@@ -27,8 +34,23 @@
 
 namespace aquoman {
 
-/** Rows per batch-kernel morsel (contiguous flat-buffer runs). */
+/** Default rows per batch-kernel morsel (contiguous flat-buffer runs).
+ *  16K won the 4K–64K sweep (`micro_components --morsel-sweep`): big
+ *  enough to amortize per-morsel setup, small enough that one input
+ *  column plus the kernel scratch stays L2-resident. */
 constexpr std::int64_t kPeBatchRows = 16384;
+
+/**
+ * Effective batch-morsel row count: kPeBatchRows unless overridden via
+ * the AQUOMAN_MORSEL environment variable (clamped to [1024, 1M]).
+ * Morsel size is a pure performance knob — results are bit-identical
+ * at any value, as the kernels carry no cross-morsel state and the
+ * scalar fallback processes rows in order regardless of the split.
+ */
+std::int64_t peBatchMorselRows();
+
+/** Test hook: force the morsel size (0 restores the env/default). */
+void setPeBatchMorselRows(std::int64_t rows);
 
 /** A systolic-array program compiled for column-at-a-time execution. */
 class PeBatchKernel
@@ -56,6 +78,16 @@ class PeBatchKernel
     void run(const std::int64_t *const *inputs, std::int64_t n,
              std::int64_t *const *outputs, int num_outputs);
 
+    /**
+     * Specialized inner loop for one DAG value: writes n results to
+     * dst from (a_ptr | a_const) op (b_ptr | b_const). The operand
+     * shape (column vs constant) and opcode are baked into the
+     * function at compile time via template instantiation.
+     */
+    using KernelFn = void (*)(std::int64_t *dst, const std::int64_t *a,
+                              std::int64_t ac, const std::int64_t *b,
+                              std::int64_t bc, std::int64_t n);
+
   private:
     /** One symbolic per-row value (SSA-style definition). */
     struct Val
@@ -71,13 +103,32 @@ class PeBatchKernel
         int buf = -1;                 ///< scratch buffer (Kind::Op)
     };
 
+    /** Run-time operand source: input column, scratch buffer, or
+     *  constant (the shape is already baked into the kernel). */
+    struct Src
+    {
+        int input = -1; ///< input column index, or -1
+        int buf = -1;   ///< scratch buffer index, or -1
+        std::int64_t c = 0;
+    };
+
+    /** One precompiled op: kernel pointer + resolved operand sources. */
+    struct Step
+    {
+        KernelFn fn = nullptr;
+        int dstBuf = -1;
+        Src a, b;
+    };
+
     bool compile(const std::vector<std::vector<PeInstruction>> &programs);
+    void buildSteps();
     void runScalar(const std::int64_t *const *inputs, std::int64_t n,
                    std::int64_t *const *outputs, int num_outputs);
 
     int numInputs_ = 0;
     bool vectorizable_ = false;
     std::vector<Val> vals_;
+    std::vector<Step> steps_;  ///< one per Kind::Op val, definition order
     std::vector<int> outputs_; ///< value ids of the last PE's out FIFO
     int numBuffers_ = 0;
     std::vector<std::vector<std::int64_t>> scratch_;

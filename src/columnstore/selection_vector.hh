@@ -72,28 +72,57 @@ class SelectionVector
         return dense_ ? nullptr : idx_.data();
     }
 
-    /** Replace the selection with a (subset) index list. */
+    /**
+     * Replace the selection with a (subset) index list. The dense
+     * promotion in normalize() infers "covers [0, n)" from the first
+     * and last entry alone, which is only sound for strictly ascending
+     * input — debug builds verify the whole list here to catch callers
+     * handing over unsorted or duplicated rows.
+     */
     void
     assign(std::vector<std::int64_t> rows)
     {
+#ifndef NDEBUG
+        for (std::size_t i = 1; i < rows.size(); ++i) {
+            AQ_ASSERT(rows[i] > rows[i - 1],
+                      "selection rows not strictly ascending at ", i);
+        }
+#endif
         count_ = static_cast<std::int64_t>(rows.size());
         idx_ = std::move(rows);
         dense_ = false;
         normalize();
+        checkInvariants();
     }
 
     /**
      * Shrink to the positions where @p mask is set. @p mask indexes
-     * selection positions (0..size()), not row ids.
+     * selection positions (0..size()), not row ids. Survivors are
+     * extracted word-at-a-time (popcount-sized allocation, ctz bit
+     * walk), so an AND-folded mask costs O(words + survivors) rather
+     * than a branch per selection position.
      */
     void
     filter(const BitVector &mask)
     {
+        AQ_ASSERT(mask.size() == count_,
+                  "mask has ", mask.size(), " bits for ", count_,
+                  " selected rows");
+        const std::int64_t kept = mask.popcount();
+        if (kept == count_)
+            return; // every position survives: selection unchanged
         std::vector<std::int64_t> next;
-        next.reserve(count_);
-        for (std::int64_t pos = 0; pos < count_; ++pos) {
-            if (mask.get(pos))
-                next.push_back((*this)[pos]);
+        next.reserve(kept);
+        const std::int64_t nw = mask.numWords();
+        for (std::int64_t w = 0; w < nw; ++w) {
+            std::uint32_t m = mask.word(w);
+            const std::int64_t base = w * 32;
+            while (m != 0) {
+                const std::int64_t pos =
+                    base + __builtin_ctz(m);
+                next.push_back(dense_ ? pos : idx_[pos]);
+                m &= m - 1;
+            }
         }
         assign(std::move(next));
     }
@@ -122,6 +151,26 @@ class SelectionVector
             idx_.clear();
             idx_.shrink_to_fit();
         }
+    }
+
+    /**
+     * Canonical-form invariants, checked after every fold: dense holds
+     * no index storage; sparse is non-empty, sized to count_, starts
+     * at a valid row and is NOT the full prefix (normalize() would
+     * have promoted it). The O(1) checks are always on; the full
+     * strict-ascension scan lives in assign() under !NDEBUG.
+     */
+    void
+    checkInvariants() const
+    {
+        if (dense_) {
+            AQ_ASSERT(idx_.empty() && count_ >= 0);
+            return;
+        }
+        AQ_ASSERT(static_cast<std::int64_t>(idx_.size()) == count_);
+        AQ_ASSERT(count_ > 0 && idx_.front() >= 0);
+        AQ_ASSERT(!(idx_.front() == 0 && idx_.back() == count_ - 1),
+                  "unnormalized full-prefix selection");
     }
 
     bool dense_ = true;

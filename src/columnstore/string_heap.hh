@@ -12,6 +12,7 @@
 #define AQUOMAN_COLUMNSTORE_STRING_HEAP_HH
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -20,6 +21,34 @@
 #include "common/logging.hh"
 
 namespace aquoman {
+
+/**
+ * Longest run of literal (non-wildcard) characters in a LIKE pattern.
+ * Every string matching the pattern must contain this run as a
+ * substring, so it is a *necessary* condition usable as a cheap byte
+ * prefilter before the full wildcard match — rejecting on its absence
+ * can never drop a true match. Empty for all-wildcard patterns.
+ */
+inline std::string_view
+likeLiteralRun(std::string_view pattern)
+{
+    std::size_t best = 0, best_len = 0, i = 0;
+    while (i < pattern.size()) {
+        if (pattern[i] == '%' || pattern[i] == '_') {
+            ++i;
+            continue;
+        }
+        std::size_t start = i;
+        while (i < pattern.size() && pattern[i] != '%'
+               && pattern[i] != '_')
+            ++i;
+        if (i - start > best_len) {
+            best = start;
+            best_len = i - start;
+        }
+    }
+    return pattern.substr(best, best_len);
+}
 
 /** Interning heap of NUL-terminated strings addressed by byte offset. */
 class StringHeap
@@ -76,6 +105,35 @@ class StringHeap
 
     /** Raw heap bytes (for flash persistence). */
     const std::vector<char> &raw() const { return bytes; }
+
+    /**
+     * Could any interned string contain @p lit as a substring? One
+     * memchr/memcmp scan over the contiguous heap bytes; since @p lit
+     * cannot contain the NUL separator, a hit can never straddle two
+     * strings, so a miss proves no string contains the run and a whole
+     * LIKE morsel can be rejected without running the wildcard
+     * matcher. False for an empty heap; true for an empty @p lit.
+     */
+    bool
+    mayContain(std::string_view lit) const
+    {
+        if (lit.empty())
+            return !bytes.empty();
+        const char *p = bytes.data();
+        const char *end = p + bytes.size();
+        while (static_cast<std::size_t>(end - p) >= lit.size()) {
+            const char *hit = static_cast<const char *>(
+                std::memchr(p, lit.front(),
+                            static_cast<std::size_t>(end - p)
+                                - lit.size() + 1));
+            if (hit == nullptr)
+                return false;
+            if (std::memcmp(hit, lit.data(), lit.size()) == 0)
+                return true;
+            p = hit + 1;
+        }
+        return false;
+    }
 
   private:
     std::vector<char> bytes;

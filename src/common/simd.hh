@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Runtime CPU-feature dispatch for the specialized batch kernels. The
+ * binaries are built for generic x86-64 (SSE2 baseline), so AVX2
+ * variants of the hot kernels are compiled with per-function target
+ * attributes and selected once per compiled kernel behind a CPUID
+ * check. The check is cached; AQUOMAN_AVX2=0 (or the test hook) forces
+ * the generic path so the two variants can be diffed for bit-identical
+ * output on the same host.
+ */
+
+#ifndef AQUOMAN_COMMON_SIMD_HH
+#define AQUOMAN_COMMON_SIMD_HH
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace aquoman {
+
+namespace detail {
+/// -1 = unresolved, 0 = generic kernels, 1 = AVX2 kernels.
+inline std::atomic<int> g_avx2_mode{-1};
+} // namespace detail
+
+/**
+ * Should kernel dispatch pick the AVX2 variants? True only when the
+ * CPU reports AVX2 and neither AQUOMAN_AVX2=0 nor the test hook has
+ * forced the generic path.
+ */
+inline bool
+avx2Available()
+{
+    int v = detail::g_avx2_mode.load(std::memory_order_relaxed);
+    if (v < 0) {
+#if defined(__x86_64__) && defined(__GNUC__)
+        bool on = __builtin_cpu_supports("avx2");
+#else
+        bool on = false;
+#endif
+        const char *e = std::getenv("AQUOMAN_AVX2");
+        if (e != nullptr && std::string_view(e) == "0")
+            on = false;
+        v = on ? 1 : 0;
+        detail::g_avx2_mode.store(v, std::memory_order_relaxed);
+    }
+    return v == 1;
+}
+
+/**
+ * Test hook: force AVX2 (true) or generic (false) kernel selection.
+ * Forcing true on a CPU without AVX2 would SIGILL; tests must only
+ * force true when a prior avx2Available() probe returned true.
+ */
+inline void
+setAvx2Enabled(bool on)
+{
+    detail::g_avx2_mode.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace aquoman
+
+#endif // AQUOMAN_COMMON_SIMD_HH

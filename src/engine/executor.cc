@@ -12,6 +12,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "relalg/eval.hh"
+#include "relalg/pred_kernel.hh"
 
 namespace aquoman {
 
@@ -477,17 +478,38 @@ Executor::execFilter(const Plan &p, const RelTable &in)
     for (const ExprPtr &c : conjuncts) {
         if (sel.empty())
             break;
+        // Compiled mask kernel where the conjunct is eligible: the
+        // morsel writes verdict words and survivors are extracted by
+        // bit walk, instead of an interpreted pass plus a branch per
+        // row. The mask is bit-identical to evalExprSel's verdicts, so
+        // the surviving row order is unchanged.
+        auto kern = ConjunctKernel::tryCompile(c, in);
         auto morsels = ThreadPool::splitRange(0, sel.size(), kMorselRows);
         std::vector<std::vector<std::int64_t>> locals(morsels.size());
         const std::int64_t *base = sel.data(); // nullptr when dense
         parallelFor(0, static_cast<std::int64_t>(morsels.size()), 1,
                     [&](std::int64_t m0, std::int64_t m1) {
+            ConjunctKernel::Scratch scratch;
+            BitVector mask;
             for (std::int64_t m = m0; m < m1; ++m) {
                 auto [b, e] = morsels[m];
                 const std::int64_t *rows =
                     base == nullptr ? nullptr : base + b;
-                RelColumn v = evalExprSel(c, in, rows, b, e - b, "pred");
                 std::vector<std::int64_t> &l = locals[m];
+                if (kern != nullptr) {
+                    kern->evalMask(in, rows, b, e - b, mask, scratch);
+                    const std::int64_t nw = mask.numWords();
+                    for (std::int64_t w = 0; w < nw; ++w) {
+                        std::uint32_t mw = mask.word(w);
+                        const std::int64_t wb = w * 32;
+                        while (mw != 0) {
+                            l.push_back(sel[b + wb + __builtin_ctz(mw)]);
+                            mw &= mw - 1;
+                        }
+                    }
+                    continue;
+                }
+                RelColumn v = evalExprSel(c, in, rows, b, e - b, "pred");
                 for (std::int64_t j = 0; j < e - b; ++j) {
                     std::int64_t val = v.get(j);
                     if (val != 0 && val != kNullValue)

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/batch_mode.hh"
 #include "common/decimal.hh"
 #include "relalg/plan.hh"
+#include "relalg/pred_kernel.hh"
 
 namespace aquoman {
 
@@ -237,7 +239,23 @@ evalExpr(const ExprPtr &e, const RelTable &input, const std::string &name)
         break;
       }
       case ExprKind::Like: {
+        // Byte prefilter: the pattern's longest literal run is a
+        // necessary substring of every match, so strings lacking it
+        // are rejected by one memchr-style scan before the wildcard
+        // matcher runs. Only guaranteed-false rows are skipped, so the
+        // result stays bit-identical to the plain likeMatch loop.
+        const std::string_view run = likeLiteralRun(e->pattern);
         const RelColumn *dict = varcharColRef(e->children[0], input);
+        if (dict && !run.empty() && !dict->heap->mayContain(run)) {
+            // No interned string contains the run: nothing can match.
+            out.vals->assign(n, 0);
+            break;
+        }
+        auto match = [&](std::string_view s) -> std::int64_t {
+            if (!run.empty() && s.find(run) == std::string_view::npos)
+                return 0;
+            return likeMatch(s, e->pattern);
+        };
         if (dict && dict->heap->numStrings() * 4 < n) {
             // Small dictionary: match each distinct string once and
             // reuse the verdict by interned offset.
@@ -248,8 +266,7 @@ evalExpr(const ExprPtr &e, const RelTable &input, const std::string &name)
             for (std::int64_t i = 0; i < n; ++i) {
                 auto [it, fresh] = memo.try_emplace(sv[i], 0);
                 if (fresh)
-                    it->second = likeMatch(dict->heap->get(sv[i]),
-                                           e->pattern);
+                    it->second = match(dict->heap->get(sv[i]));
                 (*out.vals)[i] = it->second;
             }
             break;
@@ -258,7 +275,7 @@ evalExpr(const ExprPtr &e, const RelTable &input, const std::string &name)
         AQ_ASSERT(isStringType(a.type), "LIKE over non-string");
         out.vals->resize(n);
         for (std::int64_t i = 0; i < n; ++i)
-            (*out.vals)[i] = likeMatch(a.str(i), e->pattern);
+            (*out.vals)[i] = match(a.str(i));
         break;
       }
       case ExprKind::InList: {
@@ -412,14 +429,73 @@ filterSelection(const ExprPtr &pred, const RelTable &input,
 {
     std::vector<ExprPtr> conjuncts;
     splitAndConjuncts(pred, conjuncts);
-    for (const ExprPtr &c : conjuncts) {
+
+    if (!batchExecutionEnabled()) {
+        // Reference path (AQUOMAN_BATCH=0): conjunct-at-a-time sparse
+        // merges through the interpreted evaluator — the bit-identical
+        // oracle the compiled fold below is diffed against.
+        for (const ExprPtr &c : conjuncts) {
+            if (sel.empty())
+                break;
+            std::int64_t n = sel.size();
+            RelColumn v = evalExprSel(c, input, sel.data(), 0, n, "pred");
+            BitVector mask(n);
+            for (std::int64_t i = 0; i < n; ++i)
+                mask.set(i, v.get(i) != 0 && v.get(i) != kNullValue);
+            sel.filter(mask);
+        }
+        return;
+    }
+
+    std::vector<std::unique_ptr<ConjunctKernel>> kernels(conjuncts.size());
+    for (std::size_t i = 0; i < conjuncts.size(); ++i)
+        kernels[i] = ConjunctKernel::tryCompile(conjuncts[i], input);
+    ConjunctKernel::Scratch scratch;
+
+    // Phase A: while the selection is still dense, AND-fold the masks
+    // of every cheap compiled conjunct (bare compares: one streaming
+    // pass each, no gather) word-wise, then materialize survivors
+    // once. Evaluating these out of order is sound because conjunct
+    // verdicts are pure and per-row — NULL fails a comparison on both
+    // paths — so AND order changes cost, never the surviving set.
+    std::vector<bool> folded(conjuncts.size(), false);
+    if (sel.isDense() && !sel.empty()) {
+        BitVector acc, m;
+        bool any = false;
+        for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+            if (kernels[i] == nullptr || !kernels[i]->cheap())
+                continue;
+            BitVector &dst = any ? m : acc;
+            kernels[i]->evalMask(input, nullptr, 0, sel.size(), dst,
+                                 scratch);
+            if (any)
+                acc.andWith(m);
+            any = true;
+            folded[i] = true;
+        }
+        if (any)
+            sel.filter(acc);
+    }
+
+    // Phase B: remaining conjuncts in original order over the
+    // shrinking selection — compiled kernels where eligible, the
+    // reference evaluator otherwise.
+    BitVector mask;
+    for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+        if (folded[i])
+            continue;
         if (sel.empty())
             break;
         std::int64_t n = sel.size();
-        RelColumn v = evalExprSel(c, input, sel.data(), 0, n, "pred");
-        BitVector mask(n);
-        for (std::int64_t i = 0; i < n; ++i)
-            mask.set(i, v.get(i) != 0 && v.get(i) != kNullValue);
+        if (kernels[i] != nullptr) {
+            kernels[i]->evalMask(input, sel.data(), 0, n, mask, scratch);
+        } else {
+            RelColumn v = evalExprSel(conjuncts[i], input, sel.data(), 0,
+                                      n, "pred");
+            mask.resize(n);
+            for (std::int64_t r = 0; r < n; ++r)
+                mask.set(r, v.get(r) != 0 && v.get(r) != kNullValue);
+        }
         sel.filter(mask);
     }
 }

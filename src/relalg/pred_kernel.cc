@@ -1,0 +1,544 @@
+#include "relalg/pred_kernel.hh"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "common/decimal.hh"
+#include "common/simd.hh"
+#include "relalg/plan.hh"
+
+namespace aquoman {
+
+namespace {
+
+constexpr std::int64_t kNull = kNullValue;
+
+bool
+isIntegral(ColumnType t)
+{
+    return t == ColumnType::Int32 || t == ColumnType::Int64;
+}
+
+bool
+isNumeric(ColumnType t)
+{
+    return t == ColumnType::Int32 || t == ColumnType::Int64
+        || t == ColumnType::Date || t == ColumnType::Decimal;
+}
+
+// ---------------------------------------------------------------------
+// Step loops. Null handling is a branch-free select (ternary compiles
+// to cmov/blend), so the loops vectorize and — crucially for the UBSan
+// build — never feed kNullValue (INT64_MIN) into arithmetic.
+// ---------------------------------------------------------------------
+
+struct AddN
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return x + y;
+    }
+};
+struct SubN
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return x - y;
+    }
+};
+struct MulIntN
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return x * y;
+    }
+};
+struct MulDecN
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return decimalMul(x, y);
+    }
+};
+struct DivIntN
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return y == 0 ? 0 : x / y;
+    }
+};
+struct DivDecN
+{
+    static std::int64_t apply(std::int64_t x, std::int64_t y)
+    {
+        return decimalDiv(x, y);
+    }
+};
+
+/** dst[i] = (x==null || y==null) ? null : Op(x, y), operand shapes
+ *  hoisted out of the loop. */
+template <class Op>
+void
+runArith(std::int64_t *dst, const std::int64_t *pa, std::int64_t ca,
+         const std::int64_t *pb, std::int64_t cb, std::int64_t n)
+{
+    if (pa != nullptr && pb != nullptr) {
+        for (std::int64_t i = 0; i < n; ++i) {
+            std::int64_t x = pa[i], y = pb[i];
+            bool nul = x == kNull || y == kNull;
+            dst[i] = nul ? kNull : Op::apply(nul ? 0 : x, nul ? 0 : y);
+        }
+    } else if (pa != nullptr) {
+        if (cb == kNull) {
+            for (std::int64_t i = 0; i < n; ++i)
+                dst[i] = kNull;
+            return;
+        }
+        for (std::int64_t i = 0; i < n; ++i) {
+            std::int64_t x = pa[i];
+            bool nul = x == kNull;
+            dst[i] = nul ? kNull : Op::apply(nul ? 0 : x, cb);
+        }
+    } else if (pb != nullptr) {
+        if (ca == kNull) {
+            for (std::int64_t i = 0; i < n; ++i)
+                dst[i] = kNull;
+            return;
+        }
+        for (std::int64_t i = 0; i < n; ++i) {
+            std::int64_t y = pb[i];
+            bool nul = y == kNull;
+            dst[i] = nul ? kNull : Op::apply(ca, nul ? 0 : y);
+        }
+    } else {
+        bool nul = ca == kNull || cb == kNull;
+        std::int64_t v = nul ? kNull : Op::apply(ca, cb);
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = v;
+    }
+}
+
+/** Null-safe decimal promotion: dst[i] = v==null ? null : v*100. */
+void
+runScale(std::int64_t *dst, const std::int64_t *src, std::int64_t n)
+{
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t v = src[i];
+        bool nul = v == kNull;
+        dst[i] = nul ? kNull : (nul ? 0 : v) * kDecimalScale;
+    }
+}
+
+/** Verdict of (x OP y) under evalExpr's three-way compare. */
+template <CmpOp OP>
+bool
+cmpVerdict(std::int64_t x, std::int64_t y)
+{
+    if constexpr (OP == CmpOp::Eq)
+        return x == y;
+    else if constexpr (OP == CmpOp::Ne)
+        return x != y;
+    else if constexpr (OP == CmpOp::Lt)
+        return x < y;
+    else if constexpr (OP == CmpOp::Le)
+        return x <= y;
+    else if constexpr (OP == CmpOp::Gt)
+        return x > y;
+    else
+        return x >= y;
+}
+
+/**
+ * Generic compare → mask words: 32 verdicts are packed per word, null
+ * on either side fails the row (evalExpr's compare-null contract).
+ */
+template <CmpOp OP>
+void
+cmpMask(const std::int64_t *pa, std::int64_t ca, std::int64_t sa,
+        const std::int64_t *pb, std::int64_t cb, std::int64_t sb,
+        std::int64_t n, BitVector &out)
+{
+    const std::int64_t nw = (n + 31) / 32;
+    for (std::int64_t w = 0; w < nw; ++w) {
+        const std::int64_t base = w * 32;
+        const std::int64_t hi = std::min<std::int64_t>(32, n - base);
+        std::uint32_t m = 0;
+        for (std::int64_t j = 0; j < hi; ++j) {
+            std::int64_t x = pa != nullptr ? pa[base + j] : ca;
+            std::int64_t y = pb != nullptr ? pb[base + j] : cb;
+            bool nul = x == kNull || y == kNull;
+            std::int64_t xs = (nul ? 0 : x) * sa;
+            std::int64_t ys = (nul ? 0 : y) * sb;
+            bool v = !nul && cmpVerdict<OP>(xs, ys);
+            m |= static_cast<std::uint32_t>(v) << j;
+        }
+        out.setWord(w, m);
+    }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+/**
+ * AVX2 AND-fold fast path: unscaled column-vs-constant compare packed
+ * straight into mask words via movemask, 4 rows per nibble. This is
+ * the kernel the dense cheap-conjunct fold spends its time in.
+ */
+template <CmpOp OP>
+__attribute__((target("avx2"))) void
+cmpMaskColConstAvx2(const std::int64_t *pa, std::int64_t cb,
+                    std::int64_t n, BitVector &out)
+{
+    const __m256i vc = _mm256_set1_epi64x(cb);
+    const __m256i vnull = _mm256_set1_epi64x(kNull);
+    const bool cnull = cb == kNull;
+    const std::int64_t full = n / 32;
+    for (std::int64_t w = 0; w < full; ++w) {
+        std::uint32_t m = 0;
+        const std::int64_t base = w * 32;
+        for (int g = 0; g < 8; ++g) {
+            __m256i vx = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(pa + base + g * 4));
+            __m256i hit;
+            if constexpr (OP == CmpOp::Eq || OP == CmpOp::Ne)
+                hit = _mm256_cmpeq_epi64(vx, vc);
+            else if constexpr (OP == CmpOp::Lt || OP == CmpOp::Ge)
+                hit = _mm256_cmpgt_epi64(vc, vx);
+            else
+                hit = _mm256_cmpgt_epi64(vx, vc);
+            std::uint32_t bits = static_cast<std::uint32_t>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(hit)));
+            if constexpr (OP == CmpOp::Ne || OP == CmpOp::Le
+                          || OP == CmpOp::Ge)
+                bits ^= 0xF;
+            std::uint32_t nulls = static_cast<std::uint32_t>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(
+                    _mm256_cmpeq_epi64(vx, vnull))));
+            bits &= ~nulls & 0xF;
+            m |= bits << (g * 4);
+        }
+        out.setWord(w, cnull ? 0 : m);
+    }
+    // Tail rows: scalar, same verdicts.
+    const std::int64_t done = full * 32;
+    if (done < n) {
+        const std::int64_t hi = n - done;
+        std::uint32_t m = 0;
+        for (std::int64_t j = 0; j < hi; ++j) {
+            std::int64_t x = pa[done + j];
+            bool nul = x == kNull || cnull;
+            bool v = !nul && cmpVerdict<OP>(x, cb);
+            m |= static_cast<std::uint32_t>(v) << j;
+        }
+        out.setWord(full, m);
+    }
+}
+
+template <CmpOp OP>
+bool
+tryCmpMaskAvx2(const std::int64_t *pa, std::int64_t /*ca*/,
+               std::int64_t sa, const std::int64_t *pb, std::int64_t cb,
+               std::int64_t sb, std::int64_t n, BitVector &out)
+{
+    if (!avx2Available())
+        return false;
+    if (pa != nullptr && pb == nullptr && sa == 1 && sb == 1) {
+        cmpMaskColConstAvx2<OP>(pa, cb, n, out);
+        return true;
+    }
+    return false;
+}
+
+#else
+
+template <CmpOp OP>
+bool
+tryCmpMaskAvx2(const std::int64_t *, std::int64_t, std::int64_t,
+               const std::int64_t *, std::int64_t, std::int64_t,
+               std::int64_t, BitVector &)
+{
+    return false;
+}
+
+#endif // __x86_64__ && __GNUC__
+
+template <CmpOp OP>
+void
+dispatchCmp(const std::int64_t *pa, std::int64_t ca, std::int64_t sa,
+            const std::int64_t *pb, std::int64_t cb, std::int64_t sb,
+            std::int64_t n, BitVector &out)
+{
+    if (tryCmpMaskAvx2<OP>(pa, ca, sa, pb, cb, sb, n, out))
+        return;
+    cmpMask<OP>(pa, ca, sa, pb, cb, sb, n, out);
+}
+
+} // namespace
+
+std::unique_ptr<ConjunctKernel>
+ConjunctKernel::tryCompile(const ExprPtr &e, const RelTable &input)
+{
+    if (e->kind != ExprKind::Compare)
+        return nullptr;
+
+    auto k = std::unique_ptr<ConjunctKernel>(new ConjunctKernel());
+
+    // Temporaries are numbered in a detached [kTempBase, ...) space
+    // while emitting, because column slots (buffers [0, ncols)) keep
+    // being discovered until the whole tree is walked; a final remap
+    // rebases them to [ncols, ncols + numBufs_).
+    constexpr int kTempBase = 1 << 24;
+
+    // Column slot per distinct referenced column; -1 on ineligibility.
+    auto col_slot = [&](const std::string &name) -> int {
+        int idx = input.indexOf(name);
+        for (std::size_t i = 0; i < k->cols_.size(); ++i) {
+            if (k->cols_[i] == idx)
+                return static_cast<int>(i);
+        }
+        k->cols_.push_back(idx);
+        return static_cast<int>(k->cols_.size()) - 1;
+    };
+
+    bool ok = true;
+
+    // Null-safe ×kDecimalScale of an operand (decimal promotion),
+    // folded when constant — mirrors evalExpr's promoteToDecimal.
+    auto scale = [&](Operand o) {
+        if (o.buf < 0) {
+            if (o.c != kNullValue)
+                o.c *= kDecimalScale;
+            return o;
+        }
+        Step st;
+        st.kind = StepKind::Scale;
+        st.a = o;
+        st.dst = kTempBase + k->numBufs_;
+        ++k->numBufs_;
+        k->steps_.push_back(st);
+        Operand r;
+        r.buf = st.dst;
+        return r;
+    };
+
+    // Emit the numeric subtree rooted at @p node; returns its operand
+    // and bound type. Transcribes the evalExpr Arith case exactly.
+    auto emit = [&](const ExprPtr &node, auto &&self)
+        -> std::pair<Operand, ColumnType> {
+        Operand o;
+        switch (node->kind) {
+          case ExprKind::ColRef: {
+            const RelColumn &c = input.col(input.indexOf(node->column));
+            if (!isNumeric(c.type)) {
+                ok = false;
+                return {o, c.type};
+            }
+            o.buf = col_slot(node->column);
+            return {o, c.type};
+          }
+          case ExprKind::Const:
+            if (!isNumeric(node->resultType)) {
+                ok = false;
+                return {o, node->resultType};
+            }
+            o.c = node->constVal;
+            return {o, node->resultType};
+          case ExprKind::Arith: {
+            auto [oa, ta] = self(node->children[0], self);
+            auto [ob, tb] = self(node->children[1], self);
+            if (!ok)
+                return {o, ColumnType::Int64};
+            bool dec = ta == ColumnType::Decimal
+                || tb == ColumnType::Decimal;
+            bool date_shift =
+                ta == ColumnType::Date && isIntegral(tb);
+            if (dec && !date_shift) {
+                if (ta != ColumnType::Decimal)
+                    oa = scale(oa);
+                if (tb != ColumnType::Decimal)
+                    ob = scale(ob);
+            }
+            ColumnType rt = ColumnType::Int64;
+            if (date_shift)
+                rt = ColumnType::Date;
+            else if (ta == ColumnType::Date && tb == ColumnType::Date)
+                rt = ColumnType::Int64;
+            else if (dec)
+                rt = ColumnType::Decimal;
+            if (oa.buf < 0 && ob.buf < 0) {
+                // Constant subtree: fold with the exact step semantics.
+                Operand r;
+                if (oa.c == kNullValue || ob.c == kNullValue) {
+                    r.c = kNullValue;
+                    return {r, rt};
+                }
+                switch (node->arithOp) {
+                  case ArithOp::Add: r.c = oa.c + ob.c; break;
+                  case ArithOp::Sub: r.c = oa.c - ob.c; break;
+                  case ArithOp::Mul:
+                    r.c = dec ? decimalMul(oa.c, ob.c) : oa.c * ob.c;
+                    break;
+                  case ArithOp::Div:
+                    r.c = dec ? decimalDiv(oa.c, ob.c)
+                              : (ob.c == 0 ? 0 : oa.c / ob.c);
+                    break;
+                }
+                return {r, rt};
+            }
+            Step st;
+            st.kind = StepKind::Arith;
+            st.op = node->arithOp;
+            st.dec = dec;
+            st.a = oa;
+            st.b = ob;
+            st.dst = kTempBase + k->numBufs_;
+            ++k->numBufs_;
+            k->steps_.push_back(st);
+            Operand r;
+            r.buf = st.dst;
+            return {r, rt};
+          }
+          default:
+            ok = false;
+            return {o, ColumnType::Int64};
+        }
+    };
+
+    auto [oa, ta] = emit(e->children[0], emit);
+    auto [ob, tb] = emit(e->children[1], emit);
+    if (!ok)
+        return nullptr;
+
+    k->cmp_.op = e->cmpOp;
+    k->cmp_.a = oa;
+    k->cmp_.b = ob;
+    bool dec =
+        ta == ColumnType::Decimal || tb == ColumnType::Decimal;
+    k->cmp_.sa = dec && ta != ColumnType::Decimal ? kDecimalScale : 1;
+    k->cmp_.sb = dec && tb != ColumnType::Decimal ? kDecimalScale : 1;
+    // Fold constant-side scaling so the hot loops see scale 1. The
+    // oracle only scales non-null values, hence the guard.
+    if (k->cmp_.a.buf < 0) {
+        if (k->cmp_.a.c != kNullValue)
+            k->cmp_.a.c *= k->cmp_.sa;
+        k->cmp_.sa = 1;
+    }
+    if (k->cmp_.b.buf < 0) {
+        if (k->cmp_.b.c != kNullValue)
+            k->cmp_.b.c *= k->cmp_.sb;
+        k->cmp_.sb = 1;
+    }
+
+    // Rebase temporaries now that the column-slot count is final.
+    const int ncols = static_cast<int>(k->cols_.size());
+    auto rebase = [&](int buf) {
+        return buf >= kTempBase ? ncols + (buf - kTempBase) : buf;
+    };
+    for (Step &st : k->steps_) {
+        st.a.buf = rebase(st.a.buf);
+        st.b.buf = rebase(st.b.buf);
+        st.dst = rebase(st.dst);
+    }
+    k->cmp_.a.buf = rebase(k->cmp_.a.buf);
+    k->cmp_.b.buf = rebase(k->cmp_.b.buf);
+    return k;
+}
+
+void
+ConjunctKernel::evalMask(const RelTable &input, const std::int64_t *rows,
+                         std::int64_t first, std::int64_t n,
+                         BitVector &out, Scratch &scratch) const
+{
+    out.resize(n);
+    if (n == 0)
+        return;
+    const int ncols = static_cast<int>(cols_.size());
+    const int total = ncols + numBufs_;
+    scratch.ptrs.assign(total, nullptr);
+    if (static_cast<int>(scratch.bufs.size()) < total)
+        scratch.bufs.resize(total);
+
+    for (int i = 0; i < ncols; ++i) {
+        const std::vector<std::int64_t> &src = *input.col(cols_[i]).vals;
+        if (rows == nullptr) {
+            scratch.ptrs[i] = src.data() + first;
+        } else {
+            std::vector<std::int64_t> &buf = scratch.bufs[i];
+            if (static_cast<std::int64_t>(buf.size()) < n)
+                buf.resize(n);
+            const std::int64_t *sp = src.data();
+            for (std::int64_t r = 0; r < n; ++r)
+                buf[r] = sp[rows[r]];
+            scratch.ptrs[i] = buf.data();
+        }
+    }
+
+    for (const Step &st : steps_) {
+        std::vector<std::int64_t> &dbuf = scratch.bufs[st.dst];
+        if (static_cast<std::int64_t>(dbuf.size()) < n)
+            dbuf.resize(n);
+        std::int64_t *dst = dbuf.data();
+        scratch.ptrs[st.dst] = dst;
+        const std::int64_t *pa =
+            st.a.buf >= 0 ? scratch.ptrs[st.a.buf] : nullptr;
+        const std::int64_t *pb =
+            st.b.buf >= 0 ? scratch.ptrs[st.b.buf] : nullptr;
+        if (st.kind == StepKind::Scale) {
+            runScale(dst, pa, n);
+            continue;
+        }
+        switch (st.op) {
+          case ArithOp::Add:
+            runArith<AddN>(dst, pa, st.a.c, pb, st.b.c, n);
+            break;
+          case ArithOp::Sub:
+            runArith<SubN>(dst, pa, st.a.c, pb, st.b.c, n);
+            break;
+          case ArithOp::Mul:
+            if (st.dec)
+                runArith<MulDecN>(dst, pa, st.a.c, pb, st.b.c, n);
+            else
+                runArith<MulIntN>(dst, pa, st.a.c, pb, st.b.c, n);
+            break;
+          case ArithOp::Div:
+            if (st.dec)
+                runArith<DivDecN>(dst, pa, st.a.c, pb, st.b.c, n);
+            else
+                runArith<DivIntN>(dst, pa, st.a.c, pb, st.b.c, n);
+            break;
+        }
+    }
+
+    const std::int64_t *pa =
+        cmp_.a.buf >= 0 ? scratch.ptrs[cmp_.a.buf] : nullptr;
+    const std::int64_t *pb =
+        cmp_.b.buf >= 0 ? scratch.ptrs[cmp_.b.buf] : nullptr;
+    switch (cmp_.op) {
+      case CmpOp::Eq:
+        dispatchCmp<CmpOp::Eq>(pa, cmp_.a.c, cmp_.sa, pb, cmp_.b.c,
+                               cmp_.sb, n, out);
+        break;
+      case CmpOp::Ne:
+        dispatchCmp<CmpOp::Ne>(pa, cmp_.a.c, cmp_.sa, pb, cmp_.b.c,
+                               cmp_.sb, n, out);
+        break;
+      case CmpOp::Lt:
+        dispatchCmp<CmpOp::Lt>(pa, cmp_.a.c, cmp_.sa, pb, cmp_.b.c,
+                               cmp_.sb, n, out);
+        break;
+      case CmpOp::Le:
+        dispatchCmp<CmpOp::Le>(pa, cmp_.a.c, cmp_.sa, pb, cmp_.b.c,
+                               cmp_.sb, n, out);
+        break;
+      case CmpOp::Gt:
+        dispatchCmp<CmpOp::Gt>(pa, cmp_.a.c, cmp_.sa, pb, cmp_.b.c,
+                               cmp_.sb, n, out);
+        break;
+      case CmpOp::Ge:
+        dispatchCmp<CmpOp::Ge>(pa, cmp_.a.c, cmp_.sa, pb, cmp_.b.c,
+                               cmp_.sb, n, out);
+        break;
+    }
+}
+
+} // namespace aquoman

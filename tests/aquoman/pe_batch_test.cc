@@ -10,10 +10,13 @@
 #include <algorithm>
 #include <limits>
 
+#include <cstdlib>
+
 #include "aquoman/pe_batch.hh"
 #include "common/date.hh"
 #include "common/decimal.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 
 namespace aquoman {
 namespace {
@@ -482,6 +485,145 @@ TEST(PeBatchTest, EmptyBatchIsANoop)
     const std::int64_t *in = nullptr;
     std::int64_t *out = nullptr;
     kernel.run(&in, 0, &out, 1); // must not touch the null buffers
+}
+
+// ---------------------------------------------------------------------
+// Specialized-kernel matrix: every (opcode × operand shape) dispatch
+// target against the scalar oracle, with edge-heavy inputs.
+// ---------------------------------------------------------------------
+
+/**
+ * Input column for the matrix tests. @p extremes mixes in INT64_MIN
+ * (the engine's raw NULL encoding), -1, 0 and large magnitudes — only
+ * legal for opcodes whose semantics are total over int64 (compares,
+ * peDiv); arithmetic opcodes get bounded values so no case relies on
+ * signed-overflow behaviour.
+ */
+std::vector<std::int64_t>
+matrixColumn(std::int64_t n, std::uint64_t seed, bool extremes)
+{
+    Rng rng(seed);
+    std::vector<std::int64_t> v(n);
+    for (auto &x : v) {
+        if (extremes) {
+            switch (rng.uniform(0, 5)) {
+              case 0: x = kInt64Min; break;
+              case 1: x = -1; break;
+              case 2: x = 0; break;
+              case 3: x = std::numeric_limits<std::int64_t>::max(); break;
+              default: x = rng.uniform(-1000000, 1000000); break;
+            }
+        } else {
+            x = rng.uniform(-1000000, 1000000);
+        }
+    }
+    return v;
+}
+
+TEST(PeBatchKernelMatrix, EveryOpcodeAndShapeMatchesScalar)
+{
+    struct Case
+    {
+        PeOpcode op;
+        bool extremes; ///< opcode is total over int64 (incl. MIN/-1)
+        std::int64_t imm;
+    };
+    const Case cases[] = {
+        {PeOpcode::Add, false, 37},
+        {PeOpcode::Sub, false, -41},
+        {PeOpcode::Mul, false, 7},
+        {PeOpcode::Div, true, -1}, // peDiv: /0 -> 0, MIN/-1 -> MIN
+        {PeOpcode::Eq, true, 0},
+        {PeOpcode::Lt, true, 12},
+        {PeOpcode::Gt, true, -12},
+        {PeOpcode::MulScaled, false, 95},
+        {PeOpcode::DivScaled, false, 0}, // decimalDiv: /0 -> 0
+    };
+    constexpr std::int64_t kRows = 257; // odd: exercises vector tails
+    for (const Case &c : cases) {
+        SCOPED_TRACE(testing::Message()
+                     << "opcode " << static_cast<int>(c.op));
+        auto a = matrixColumn(kRows, 101 + static_cast<int>(c.op),
+                              c.extremes);
+        auto b = matrixColumn(kRows, 202 + static_cast<int>(c.op),
+                              c.extremes);
+
+        // Col-col: both operands popped from input columns.
+        checkBatchAgainstScalar(
+            {{{PeOpcode::Pass, 1, 0, false, 0},
+              {PeOpcode::Store, 0, 0, false, 0},
+              {c.op, 0, 1, false, 0}}},
+            {a, b}, 1);
+        // Col-const: immediate operand baked into the kernel.
+        checkBatchAgainstScalar(
+            {{{PeOpcode::Pass, 1, 0, false, 0},
+              {c.op, 0, 1, true, c.imm}}},
+            {a}, 1);
+        // Const-col: rf[7] never written reads as constant zero while
+        // the operand register holds the column (commuted dispatch).
+        checkBatchAgainstScalar(
+            {{{PeOpcode::Store, 0, 0, false, 0},
+              {c.op, 0, 7, false, 0}}},
+            {a}, 1);
+    }
+    // Year is unary over day counts.
+    std::vector<std::int64_t> days(257);
+    Rng rng(7);
+    for (auto &d : days)
+        d = rng.uniform(-100000, 100000);
+    checkBatchAgainstScalar({{{PeOpcode::Year, 0, 0, false, 0}}},
+                            {days}, 1);
+}
+
+TEST(PeBatchKernelMatrix, Avx2AndGenericKernelsBitIdentical)
+{
+    // Kernel dispatch happens at construction, so build one kernel per
+    // mode and demand identical outputs. Covers every opcode with an
+    // AVX2 variant (Add/Sub/Eq/Lt/Gt) in col-col and col-const shapes.
+    const bool host_avx2 = avx2Available();
+    std::vector<std::vector<PeInstruction>> programs =
+        {{{PeOpcode::Pass, 1, 0, false, 0},
+          {PeOpcode::Store, 0, 0, false, 0},
+          {PeOpcode::Add, 2, 1, false, 0},
+          {PeOpcode::Sub, 3, 2, true, 17},
+          {PeOpcode::Eq, 0, 3, true, 4},
+          {PeOpcode::Lt, 0, 3, true, 4},
+          {PeOpcode::Store, 0, 2, false, 0}, // opReg <= rf[2]
+          {PeOpcode::Gt, 0, 1, false, 0}}};
+    constexpr std::int64_t kRows = 1027;
+    auto a = matrixColumn(kRows, 31, false);
+    auto b = matrixColumn(kRows, 32, false);
+    const std::int64_t *ins[2] = {a.data(), b.data()};
+
+    auto run_with = [&](bool mode) {
+        setAvx2Enabled(mode);
+        PeBatchKernel kernel(programs, 2);
+        EXPECT_TRUE(kernel.vectorizable());
+        std::vector<std::vector<std::int64_t>> out(
+            3, std::vector<std::int64_t>(kRows, 0));
+        std::int64_t *outs[3] = {out[0].data(), out[1].data(),
+                                 out[2].data()};
+        kernel.run(ins, kRows, outs, 3);
+        return out;
+    };
+    auto generic = run_with(false);
+    auto vec = run_with(host_avx2);
+    setAvx2Enabled(host_avx2);
+    EXPECT_EQ(generic, vec);
+}
+
+TEST(PeBatchTest, MorselOverrideClampsAndRestores)
+{
+    setPeBatchMorselRows(2048);
+    EXPECT_EQ(peBatchMorselRows(), 2048);
+    setPeBatchMorselRows(1); // below floor
+    EXPECT_EQ(peBatchMorselRows(), 1024);
+    setPeBatchMorselRows(std::int64_t{1} << 22); // above ceiling
+    EXPECT_EQ(peBatchMorselRows(), std::int64_t{1} << 20);
+    setPeBatchMorselRows(0); // back to env/default
+    if (std::getenv("AQUOMAN_MORSEL") == nullptr) {
+        EXPECT_EQ(peBatchMorselRows(), kPeBatchRows);
+    }
 }
 
 } // namespace

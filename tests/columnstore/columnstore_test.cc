@@ -43,6 +43,37 @@ TEST(StringHeapTest, InterningSharesStorage)
     EXPECT_EQ(heap.sizeBytes(), 12); // "hello\0world\0"
 }
 
+TEST(StringHeapTest, LikeLiteralRunPicksLongestRun)
+{
+    EXPECT_EQ(likeLiteralRun("%green%"), "green");
+    EXPECT_EQ(likeLiteralRun("ab%longest_x%"), "longest");
+    EXPECT_EQ(likeLiteralRun("under_score"), "under"); // tie keeps first
+    EXPECT_EQ(likeLiteralRun("plain"), "plain");
+    EXPECT_EQ(likeLiteralRun("%"), "");
+    EXPECT_EQ(likeLiteralRun("%_%_"), "");
+    EXPECT_EQ(likeLiteralRun(""), "");
+}
+
+TEST(StringHeapTest, MayContainScansAcrossHeapWithoutStraddling)
+{
+    StringHeap heap;
+    heap.intern("forest green");
+    heap.intern("metallic blue");
+    EXPECT_TRUE(heap.mayContain("green"));
+    EXPECT_TRUE(heap.mayContain("tallic"));
+    EXPECT_TRUE(heap.mayContain("forest green"));
+    EXPECT_FALSE(heap.mayContain("magenta"));
+    // "greenmetallic" spans the NUL between two entries: no single
+    // string contains it, and the NUL separator must stop the match.
+    EXPECT_FALSE(heap.mayContain("greenmetallic"));
+    // First-byte hits that fail the memcmp must keep scanning.
+    EXPECT_FALSE(heap.mayContain("greet"));
+    EXPECT_TRUE(heap.mayContain("")); // vacuous on a non-empty heap
+    StringHeap empty;
+    EXPECT_FALSE(empty.mayContain(""));
+    EXPECT_FALSE(empty.mayContain("x"));
+}
+
 TEST(TableTest, ColumnLookupAndTypes)
 {
     auto t = makeSales();

@@ -142,5 +142,60 @@ TEST(SelectionVectorTest, SparsePrefixWithGapStaysSparse)
     EXPECT_EQ(s[1], 2);
 }
 
+TEST(SelectionVectorTest, WordWiseFilterMatchesPositionalReference)
+{
+    // 100 rows spans three 32-bit mask words with a ragged tail; the
+    // word-at-a-time extraction must keep exactly the positions a
+    // per-bit loop keeps, in the same order.
+    constexpr std::int64_t kRows = 100;
+    SelectionVector s = SelectionVector::dense(kRows);
+    BitVector mask(kRows);
+    for (std::int64_t i = 0; i < kRows; ++i)
+        mask.set(i, i % 7 == 0 || i % 31 == 0);
+    std::vector<std::int64_t> expect;
+    for (std::int64_t i = 0; i < kRows; ++i)
+        if (mask.get(i))
+            expect.push_back(i);
+    s.filter(mask);
+    EXPECT_EQ(s.toIndices(), expect);
+
+    // Second fold over the now-sparse selection: mask indexes
+    // positions, and word boundaries no longer align with row ids.
+    BitVector second(s.size());
+    for (std::int64_t p = 0; p < s.size(); ++p)
+        second.set(p, p % 2 == 1);
+    std::vector<std::int64_t> expect2;
+    for (std::int64_t p = 0; p < static_cast<std::int64_t>(expect.size());
+         ++p)
+        if (second.get(p))
+            expect2.push_back(expect[p]);
+    s.filter(second);
+    EXPECT_EQ(s.toIndices(), expect2);
+}
+
+TEST(SelectionVectorTest, FilterKeepsExactWordBoundaries)
+{
+    // Survivors exactly at bits 31/32/63/64 — the ctz walk's word
+    // seams — plus an all-ones tail word.
+    constexpr std::int64_t kRows = 70;
+    SelectionVector s = SelectionVector::dense(kRows);
+    BitVector mask(kRows);
+    for (std::int64_t i : {31, 32, 63, 64, 68, 69})
+        mask.set(i, true);
+    s.filter(mask);
+    EXPECT_EQ(s.toIndices(),
+              (std::vector<std::int64_t>{31, 32, 63, 64, 68, 69}));
+}
+
+TEST(SelectionVectorTest, AllTrueMaskLeavesSparseSelectionUntouched)
+{
+    SelectionVector s = SelectionVector::sparse({2, 40, 41, 99});
+    BitVector all(4, true);
+    s.filter(all);
+    EXPECT_FALSE(s.isDense());
+    EXPECT_EQ(s.toIndices(),
+              (std::vector<std::int64_t>{2, 40, 41, 99}));
+}
+
 } // namespace
 } // namespace aquoman

@@ -120,6 +120,50 @@ TEST(BenchDiff, WallClockGateUsesGeomean)
     EXPECT_TRUE(containsMessage(bad.failureMessages, "geomean"));
 }
 
+TEST(BenchDiff, TrippedWallGateListsPerRecordRatiosWorstFirst)
+{
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0),
+                             makeRecord(14, 4, 1.0, 2.0),
+                             makeRecord(19, 4, 1.0, 2.0)};
+    std::vector<Record> cand{makeRecord(6, 4, 1.2, 2.0),
+                             makeRecord(14, 4, 2.0, 2.0),
+                             makeRecord(19, 4, 0.9, 2.0)};
+    DiffOptions opt;
+    opt.wallThresholdPct = 10.0;
+    DiffResult d = diffReports(base, cand, opt);
+    ASSERT_GE(d.failures, 1);
+    // Every matched record gets a ratio line, sorted worst first, so a
+    // CI log pinpoints which queries dragged the geomean over.
+    std::vector<std::string> ratio_lines;
+    for (const std::string &m : d.failureMessages)
+        if (m.find("wall_seconds '") != std::string::npos)
+            ratio_lines.push_back(m);
+    ASSERT_EQ(ratio_lines.size(), 3u);
+    EXPECT_NE(ratio_lines[0].find("'query=14,devices=4' ratio 2.0000"),
+              std::string::npos)
+        << ratio_lines[0];
+    EXPECT_NE(ratio_lines[1].find("'query=6,devices=4' ratio 1.2000"),
+              std::string::npos)
+        << ratio_lines[1];
+    EXPECT_NE(ratio_lines[2].find("'query=19,devices=4' ratio 0.9000"),
+              std::string::npos)
+        << ratio_lines[2];
+    // The breakdown includes the raw baseline -> candidate values.
+    EXPECT_NE(ratio_lines[0].find("(1 -> 2)"), std::string::npos)
+        << ratio_lines[0];
+}
+
+TEST(BenchDiff, HealthyWallGateEmitsNoPerRecordBreakdown)
+{
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0),
+                             makeRecord(14, 4, 1.0, 2.0)};
+    std::vector<Record> cand{makeRecord(6, 4, 1.05, 2.0),
+                             makeRecord(14, 4, 0.95, 2.0)};
+    DiffResult d = diffReports(base, cand, DiffOptions{});
+    EXPECT_EQ(d.failures, 0);
+    EXPECT_FALSE(containsMessage(d.failureMessages, "wall_seconds '"));
+}
+
 TEST(BenchDiff, NoMatchedRecordsIsFatal)
 {
     std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0)};

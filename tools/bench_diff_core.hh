@@ -17,6 +17,7 @@
 #ifndef AQUOMAN_TOOLS_BENCH_DIFF_CORE_HH
 #define AQUOMAN_TOOLS_BENCH_DIFF_CORE_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -483,6 +484,17 @@ diffReports(const std::vector<Record> &baseline,
 
     double log_ratio_sum = 0.0;
     double flash_log_ratio_sum = 0.0;
+    // (ratio, key, base, cand) per matched record, kept so a tripped
+    // geomean gate can name the records that dragged it over the line.
+    struct Sample
+    {
+        double ratio;
+        std::string key;
+        double base;
+        double cand;
+    };
+    std::vector<Sample> wall_samples;
+    std::vector<Sample> flash_samples;
 
     for (const auto &[key, candp] : cand_by_key) {
         auto bit = base_by_key.find(key);
@@ -498,6 +510,8 @@ diffReports(const std::vector<Record> &baseline,
             && cw->second > 0.0) {
             log_ratio_sum += std::log(cw->second / bw->second);
             ++res.wallSamples;
+            wall_samples.push_back(
+                {cw->second / bw->second, key, bw->second, cw->second});
         }
 
         auto bf = base.find("flash_bytes");
@@ -506,6 +520,8 @@ diffReports(const std::vector<Record> &baseline,
             && cf->second > 0.0) {
             flash_log_ratio_sum += std::log(cf->second / bf->second);
             ++res.flashSamples;
+            flash_samples.push_back(
+                {cf->second / bf->second, key, bf->second, cf->second});
         }
 
         for (const auto &[name, base_v] : base) {
@@ -541,6 +557,21 @@ diffReports(const std::vector<Record> &baseline,
         return res;
     }
 
+    // When a geomean gate trips, list every matched record's ratio,
+    // worst first, so the offending queries are identifiable without a
+    // rerun.
+    auto explain = [&res](const char *field,
+                          std::vector<Sample> &samples) {
+        std::sort(samples.begin(), samples.end(),
+                  [](const Sample &a, const Sample &b) {
+                      return a.ratio > b.ratio;
+                  });
+        for (const Sample &s : samples)
+            res.failureMessages.push_back(detail::formatMsg(
+                "  %s '%s' ratio %.4f (%.6g -> %.6g)", field,
+                s.key.c_str(), s.ratio, s.base, s.cand));
+    };
+
     res.wallGeomean = res.wallSamples > 0
         ? std::exp(log_ratio_sum / res.wallSamples) : 1.0;
     double limit = 1.0 + opt.wallThresholdPct / 100.0;
@@ -549,6 +580,7 @@ diffReports(const std::vector<Record> &baseline,
             "FAIL wall_seconds geomean ratio %.4f exceeds limit %.4f",
             res.wallGeomean, limit));
         ++res.failures;
+        explain("wall_seconds", wall_samples);
     }
     if (res.flashSamples > 0) {
         res.flashGeomean =
@@ -560,6 +592,7 @@ diffReports(const std::vector<Record> &baseline,
                 "%.4f",
                 res.flashGeomean, flash_limit));
             ++res.failures;
+            explain("flash_bytes", flash_samples);
         }
     }
     return res;
