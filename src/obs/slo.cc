@@ -107,6 +107,27 @@ SloEngine::recordSuspend(const std::string &tenant, double at_sec)
 }
 
 void
+SloEngine::recordQueueWait(const std::string &tenant, double at_sec,
+                           double wait_sec)
+{
+    tenantRules[tenant].resize(cfg.rules.size());
+    ts.observe(seriesKey("slo_queue_wait_seconds", tenant), at_sec,
+               wait_sec);
+    horizonSec = std::max(horizonSec, at_sec);
+}
+
+void
+SloEngine::recordBlame(const std::string &victim,
+                       const std::string &culprit, double at_sec,
+                       double sec)
+{
+    ts.add(labeledMetric("slo_blame_seconds",
+                         {{"culprit", culprit}, {"tenant", victim}}),
+           at_sec, sec);
+    horizonSec = std::max(horizonSec, at_sec);
+}
+
+void
 SloEngine::setAlertSink(std::function<void(const SloAlert &)> fn)
 {
     sink = std::move(fn);
@@ -263,10 +284,13 @@ SloEngine::toJson(std::ostream &os) const
                     seriesKey("slo_suspended", tenant), idx);
                 Histogram lat = ts.histogramAt(
                     seriesKey("slo_latency_seconds", tenant), idx);
+                Histogram qw = ts.histogramAt(
+                    seriesKey("slo_queue_wait_seconds", tenant), idx);
                 badCum += violations + shed;
                 totalCum += completed + shed;
                 if (completed == 0.0 && violations == 0.0 &&
-                    shed == 0.0 && suspended == 0.0 && lat.count() == 0)
+                    shed == 0.0 && suspended == 0.0 &&
+                    lat.count() == 0 && qw.count() == 0)
                     continue;
                 os << (firstWin ? "" : ",") << "{\"window\":" << idx
                    << ",\"start_seconds\":"
@@ -277,6 +301,8 @@ SloEngine::toJson(std::ostream &os) const
                    << ",\"suspended\":" << jsonNumber(suspended)
                    << ",\"latency\":";
                 lat.toJson(os);
+                os << ",\"queue_wait\":";
+                qw.toJson(os);
                 os << ",\"burn\":"
                    << jsonNumber(burnOver(tenant, idx, idx));
                 double budgetCum = 0.0;

@@ -120,6 +120,25 @@ class SloEngine
     void recordShed(const std::string &tenant, double at_sec);
     void recordSuspend(const std::string &tenant, double at_sec);
 
+    /**
+     * Admission-queue wait of one admitted query, windowed per tenant
+     * (series "slo_queue_wait_seconds"), so burn-rate breaches can be
+     * correlated with queueing onset window by window instead of one
+     * whole-run histogram.
+     */
+    void recordQueueWait(const std::string &tenant, double at_sec,
+                         double wait_sec);
+
+    /**
+     * Contention-seconds @p victim waited because of @p culprit
+     * (series "slo_blame_seconds", labels culprit + tenant=victim) —
+     * the windowed twin of the service's BlameMatrix. Not part of the
+     * timeline JSON; read it back through store().
+     */
+    void recordBlame(const std::string &victim,
+                     const std::string &culprit, double at_sec,
+                     double sec);
+
     /** Called synchronously for each alert firing, during advanceTo /
      *  finish. */
     void setAlertSink(std::function<void(const SloAlert &)> fn);
@@ -160,8 +179,8 @@ class SloEngine
      *    "tenants":[{"name","objective","totals","windows":[...]}],
      *    "alerts":[...]}
      * Per-tenant windows are sparse (only windows with activity) and
-     * carry counts, p50/p90/p99 latency, the single-window burn rate,
-     * and cumulative budget consumption.
+     * carry counts, p50/p90/p99 latency, the queue-wait histogram,
+     * the single-window burn rate, and cumulative budget consumption.
      */
     void toJson(std::ostream &os) const;
     std::string jsonString() const;

@@ -157,10 +157,19 @@ struct QueryService::Impl
         /// Modelled time the in-flight subtask was dispatched (exact
         /// span start for the trace).
         double inFlightStart = 0.0;
+        /// One ready-but-not-dispatched subtask: who is waiting and
+        /// since when (the entry time bounds its blame overlap with
+        /// the holds it sat through).
+        struct PendingSub
+        {
+            QueryId qid = -1;
+            double enterSec = 0.0;
+        };
+
         /// Ready subtasks keyed by admission index: the round-robin
         /// cursor walks this order so interleaving is fair and
         /// deterministic.
-        std::map<std::int64_t, QueryId> pending;
+        std::map<std::int64_t, PendingSub> pending;
         std::int64_t lastServed = -1;
 
         double busySec = 0.0;
@@ -179,6 +188,15 @@ struct QueryService::Impl
         std::size_t nextStep = 0;
         std::int64_t reservedBytes = 0;
         int queryTrack = -1; ///< lifecycle trace track (lazy)
+
+        /// Wait-ledger bookkeeping: the class the open interval will
+        /// be accounted under, when it opened, and how many of this
+        /// query's subtasks are in flight (union-of-intervals
+        /// device_exec attribution — parallel per-device slices count
+        /// wall-clock once).
+        obs::WaitClass waitClass = obs::WaitClass::AdmissionQueue;
+        double waitMark = 0.0;
+        int subtasksInFlight = 0;
     };
 
     enum class EventKind
@@ -236,6 +254,7 @@ struct QueryService::Impl
         devTracks.assign(cfg.numDevices, -1);
         aqPortTracks.assign(cfg.numDevices, -1);
         hostPortTracks.assign(cfg.numDevices, -1);
+        blame.resize(static_cast<int>(tenants.size()));
         std::vector<ControllerSwitch *> switches;
         for (int d = 0; d < cfg.numDevices; ++d) {
             auto node = std::make_unique<DeviceNode>();
@@ -423,6 +442,129 @@ struct QueryService::Impl
         e.rec.state = to;
     }
 
+    // -- wait-state ledger ---------------------------------------------
+
+    /**
+     * Close the wait interval open since e.waitMark into the class it
+     * was classified under, record the matching WaitSegment (when
+     * collection is on), and — for dram_wait — charge the stall to
+     * the tenant's own quota in the blame matrix. @p device / @p
+     * detail annotate the segment being closed.
+     */
+    void
+    accrueWait(QueryExec &e, int device = -1,
+               const std::string &detail = std::string())
+    {
+        double dur = clock - e.waitMark;
+        if (dur > 0.0) {
+            e.rec.waitLedger.add(e.waitClass, dur);
+            if (e.waitClass == obs::WaitClass::DramWait) {
+                // Quota stalls are self-inflicted: the culprit is the
+                // victim tenant's own running reservations.
+                blame.add(e.rec.tenant, e.rec.tenant, dur);
+                e.rec.contentionWaitSec += dur;
+                slo.recordBlame(tenantName(e), tenantName(e), clock,
+                                dur);
+            }
+            if (obs::waitSegmentCollectionEnabled())
+                e.rec.waitSegments.push_back(
+                    {e.waitClass, e.waitMark, clock, device, detail});
+        }
+        e.waitMark = clock;
+    }
+
+    /** Accrue the open interval, then switch the query's class. */
+    void
+    setWaitClass(QueryExec &e, obs::WaitClass to, int device = -1,
+                 const std::string &detail = std::string())
+    {
+        if (to == e.waitClass)
+            return; // lazy accrual: the open interval just continues
+        accrueWait(e, device, detail);
+        e.waitClass = to;
+    }
+
+    /**
+     * (Re)classify every queued query at a stable point — after
+     * tryAdmit() ran to fixpoint. With every admission slot taken, the
+     * whole queue waits for a slot (admission_queue); with free slots
+     * a tenant can only still be queued because its DRAM quota blocks
+     * it, else tryAdmit would have served it (dram_wait). The interval
+     * since the previous stable point stays with the class assigned
+     * there.
+     */
+    void
+    reclassifyQueuedWaits()
+    {
+        obs::WaitClass cls = running >= cfg.admissionLimit
+                                 ? obs::WaitClass::AdmissionQueue
+                                 : obs::WaitClass::DramWait;
+        for (TenantState &t : tenants)
+            for (QueryId qid : t.queue)
+                setWaitClass(execs[qid], cls);
+    }
+
+    /**
+     * A subtask of @p culprit released device @p d after holding it
+     * over [hold_start, clock]: every query still pending on d charges
+     * the overlap of its pending interval with that hold to the
+     * culprit's tenant. These are waiter-seconds — several victims may
+     * blame the same hold — distinct from the wall-exclusive
+     * device_busy ledger class.
+     */
+    void
+    blameWaiters(int d, double hold_start, const QueryExec &culprit)
+    {
+        DeviceNode &dn = *devices[d];
+        if (dn.pending.empty())
+            return;
+        for (const auto &[idx, p] : dn.pending) {
+            QueryExec &victim = execs[p.qid];
+            double ov = clock - std::max(p.enterSec, hold_start);
+            if (!(ov > 0.0))
+                continue;
+            blame.add(victim.rec.tenant, culprit.rec.tenant, ov);
+            victim.rec.contentionWaitSec += ov;
+            slo.recordBlame(tenantName(victim), tenantName(culprit),
+                            clock, ov);
+        }
+    }
+
+    /**
+     * Seal a completed query's ledger: the trailing host class (the
+     * last nonzero slot by construction) absorbs the floating-point
+     * residual so the fixed-order slot sum equals
+     * (doneSec - submitSec) bitwise — telescoping interval sums are
+     * not associative-exact on their own. The correction is a few
+     * ulps at most; debug builds cross-check it against the natural
+     * host interval and assert the exact partition.
+     */
+    void
+    sealWaitLedger(QueryExec &e)
+    {
+        AQ_ASSERT(e.waitClass == obs::WaitClass::SuspendHost ||
+                      e.waitClass == obs::WaitClass::HostFinish,
+                  "ledger must seal in a host class");
+        double total = e.rec.doneSec - e.rec.submitSec;
+        int k = static_cast<int>(e.waitClass);
+        obs::WaitLedger &w = e.rec.waitLedger;
+        for (int iter = 0; iter < 8 && w.total() != total; ++iter)
+            w.sec[k] += total - w.total();
+        if (obs::waitSegmentCollectionEnabled() && clock > e.waitMark)
+            e.rec.waitSegments.push_back({e.waitClass, e.waitMark,
+                                          clock, e.rec.anchorDevice,
+                                          "host"});
+        e.waitMark = clock;
+#ifndef NDEBUG
+        std::string err;
+        AQ_ASSERT(obs::validateWaitPartition(w, total, &err), err);
+        double natural = e.rec.hostFinishSec;
+        AQ_ASSERT(std::fabs(w.sec[k] - natural) <=
+                      1e-9 * std::max(1.0, std::fabs(natural)),
+                  "host-phase residual drifted from its interval");
+#endif
+    }
+
     // -- admission -----------------------------------------------------
 
     /**
@@ -432,11 +574,12 @@ struct QueryService::Impl
      * every submitted query exactly once.
      */
     void
-    shed(QueryExec &e, const std::string &why)
+    shed(QueryExec &e, const char *reason, const std::string &why)
     {
         TenantState &t = tenants[static_cast<std::size_t>(e.rec.tenant)];
         ++t.shedCount;
         e.rec.shed = true;
+        e.rec.shedReason = reason;
         e.rec.doneSec = clock;
         logState(e, QueryState::Shed);
         slo.recordShed(t.cfg.name, clock);
@@ -467,15 +610,17 @@ struct QueryService::Impl
         TenantState &t = tenants[static_cast<std::size_t>(e.rec.tenant)];
         if (t.cfg.dramQuotaBytes > 0 &&
             t.cfg.dramQuotaBytes < perQueryDram) {
-            shed(e, "quota " + std::to_string(t.cfg.dramQuotaBytes)
-                        + " below per-query reservation "
-                        + std::to_string(perQueryDram));
+            shed(e, "quota_below_reservation",
+                 "quota " + std::to_string(t.cfg.dramQuotaBytes)
+                     + " below per-query reservation "
+                     + std::to_string(perQueryDram));
             return;
         }
         if (cfg.maxQueuedPerTenant > 0 &&
             static_cast<int>(t.queue.size()) >= cfg.maxQueuedPerTenant) {
-            shed(e, "queue full ("
-                        + std::to_string(cfg.maxQueuedPerTenant) + ")");
+            shed(e, "queue_full",
+                 "queue full ("
+                     + std::to_string(cfg.maxQueuedPerTenant) + ")");
             return;
         }
         t.queue.push_back(qid);
@@ -546,6 +691,7 @@ struct QueryService::Impl
                 t.deficit = 0.0; // classic DRR: no credit hoarding
             admit(qid);
         }
+        reclassifyQueuedWaits();
     }
 
     void
@@ -556,6 +702,11 @@ struct QueryService::Impl
         e.admissionIdx = admissionCounter++;
         e.rec.admitSec = clock;
         e.rec.queueWaitSec = clock - e.rec.submitSec;
+        // Close the queue-phase interval (admission_queue or
+        // dram_wait, whatever the last stable point decided); until a
+        // subtask actually dispatches the query is waiting on devices.
+        setWaitClass(e, obs::WaitClass::DeviceBusy);
+        slo.recordQueueWait(t.cfg.name, clock, e.rec.queueWaitSec);
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
         if (reg.enabled()) {
             reg.observe("service.queue_wait_seconds",
@@ -692,7 +843,7 @@ struct QueryService::Impl
         TaskStep &step = e.steps[e.nextStep];
         step.remaining = static_cast<int>(step.subs.size());
         for (const auto &[d, sub] : step.subs)
-            devices[d]->pending[e.admissionIdx] = e.rec.id;
+            devices[d]->pending[e.admissionIdx] = {e.rec.id, clock};
         for (const auto &[d, sub] : step.subs)
             dispatch(d);
     }
@@ -712,7 +863,7 @@ struct QueryService::Impl
         if (it == dn.pending.end())
             it = dn.pending.begin();
         dn.lastServed = it->first;
-        QueryId qid = it->second;
+        QueryId qid = it->second.qid;
         dn.pending.erase(it);
 
         QueryExec &e = execs[qid];
@@ -720,6 +871,11 @@ struct QueryService::Impl
         dn.busy = true;
         dn.inFlight = qid;
         dn.inFlightStart = clock;
+        // First subtask in flight ends the device_busy wait; further
+        // parallel slices extend the same device_exec interval.
+        if (e.subtasksInFlight++ == 0)
+            setWaitClass(e, obs::WaitClass::DeviceExec, d,
+                         e.steps[e.nextStep].what);
         flightNote("dispatch", deviceName(d),
                    queryLabel(e) + " " + e.steps[e.nextStep].what);
         schedule(clock + sub.seconds, EventKind::SubtaskDone, qid, d);
@@ -766,6 +922,16 @@ struct QueryService::Impl
                     1.0);
         }
 
+        // This hold just ended: queries pending on the device blame
+        // the culprit's tenant for the overlap they sat through, and
+        // with no slice of this query left in flight its device_exec
+        // interval closes (back to device_busy until the next
+        // dispatch — or the host phase, scheduled at this same clock).
+        blameWaiters(ev.device, dn.inFlightStart, e);
+        if (--e.subtasksInFlight == 0)
+            setWaitClass(e, obs::WaitClass::DeviceBusy, ev.device,
+                         step.what);
+
         if (--step.remaining == 0) {
             ++e.nextStep;
             if (e.nextStep < e.steps.size())
@@ -804,6 +970,11 @@ struct QueryService::Impl
     {
         TraceGroupScope group(tracer, sampling(), e.rec.id);
         logState(e, QueryState::HostFinish);
+        // The rest of the query's life is its host phase — one of the
+        // two exclusive trailing classes, by whether it suspended.
+        setWaitClass(e, e.rec.suspendCount > 0
+                            ? obs::WaitClass::SuspendHost
+                            : obs::WaitClass::HostFinish);
         DeviceNode &anchor = *devices[e.rec.anchorDevice];
         bool contended = anchor.busy || !anchor.pending.empty();
         double bw = anchor.sw->effectiveReadBandwidth(contended);
@@ -855,6 +1026,7 @@ struct QueryService::Impl
         logState(e, QueryState::Done);
         flightNote("done", queryLabel(e));
         e.rec.doneSec = clock;
+        sealWaitLedger(e);
         e.rec.metrics.queueWaitSec = e.rec.queueWaitSec;
         TenantState &t = tenants[static_cast<std::size_t>(e.rec.tenant)];
         e.rec.sloViolated =
@@ -953,6 +1125,9 @@ struct QueryService::Impl
     std::int64_t perQueryDram = 0;
     std::vector<QueryId> completed;
     std::vector<QueryId> shedIds;
+
+    /// Per-(victim x culprit) contention-seconds, indexed by tenant.
+    obs::BlameMatrix blame;
     std::priority_queue<Event, std::vector<Event>, std::greater<>>
         events;
     std::function<void(const QueryRecord &)> onComplete;
@@ -1040,6 +1215,7 @@ QueryService::submit(const Query &q, double arrival_sec, int tenant)
     e.rec.tenant = tenant;
     e.rec.submitSec = std::max(arrival_sec, impl->clock);
     e.rec.state = QueryState::Queued;
+    e.waitMark = e.rec.submitSec; // wait ledger opens at submission
     e.rec.lifecycle.push_back({QueryState::Queued, e.rec.submitSec});
     ++impl->tenants[static_cast<std::size_t>(tenant)].submitted;
     impl->flight.record(e.rec.submitSec, "submit",
@@ -1132,6 +1308,16 @@ QueryService::aggregate() const
         ts.shed = t.shedCount;
         s.tenants.push_back(std::move(ts));
     }
+    s.blame = impl->blame;
+    s.contentionWaitSec = s.blame.total();
+    for (std::size_t ti = 0; ti < s.tenants.size(); ++ti)
+        s.tenants[ti].contentionWaitSec =
+            s.blame.rowSum(static_cast<int>(ti));
+    for (QueryId id : impl->shedIds) {
+        const QueryRecord &r = impl->execs.at(id).rec;
+        if (!r.shedReason.empty())
+            ++s.shedReasonCounts[r.shedReason];
+    }
     if (impl->completed.empty())
         return s;
 
@@ -1151,6 +1337,8 @@ QueryService::aggregate() const
         TenantStats &ts = s.tenants[ti];
         ++ts.completed;
         ts.meanQueueWaitSec += r.queueWaitSec;
+        ts.waitLedger += r.waitLedger;
+        s.waitLedger += r.waitLedger;
         double slo = impl->tenants[ti].cfg.sloSec;
         if (slo <= 0.0 || r.latencySec() <= slo)
             ++ts.withinSlo;

@@ -39,6 +39,7 @@
 #include "engine/host_model.hh"
 #include "engine/metrics.hh"
 #include "flash/controller_switch.hh"
+#include "obs/latency_anatomy.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
 #include "obs/slo.hh"
@@ -199,6 +200,10 @@ struct QueryRecord
     /** True when admission control dropped the query (state Shed). */
     bool shed = false;
 
+    /** Structured shed reason ("queue_full",
+     *  "quota_below_reservation"; empty when not shed). */
+    std::string shedReason;
+
     /** Device whose switch carries this query's host/DMA traffic and
      *  whose DRAM holds its reservation. */
     int anchorDevice = -1;
@@ -218,6 +223,28 @@ struct QueryRecord
 
     /** Suspensions (admission reservation failures + Sec. VI-E). */
     std::int64_t suspendCount = 0;
+
+    /**
+     * Wait-state ledger: every modelled second between submitSec and
+     * doneSec in exactly one exclusive class. The fixed-order slot sum
+     * equals latencySec() bitwise for every completed query (all-zero
+     * for shed queries, whose latency is 0).
+     */
+    obs::WaitLedger waitLedger;
+
+    /**
+     * The same partition as timestamped intervals (the critical-path
+     * raw material); collected when
+     * obs::waitSegmentCollectionEnabled().
+     */
+    std::vector<obs::WaitSegment> waitSegments;
+
+    /**
+     * Contention-seconds this query charged to culprits: device-hold
+     * overlaps while pending plus dram_wait. Waiter-seconds, not
+     * wall-exclusive — parallel pending waits accrue independently.
+     */
+    double contentionWaitSec = 0.0;
 
     /** Bytes shipped to the host to finish the query. */
     std::int64_t hostFinishBytes = 0;
@@ -280,6 +307,17 @@ struct TenantStats
 
     /** SLO-meeting completions per modelled second of makespan. */
     double goodputQps = 0.0;
+
+    /** Summed wait ledgers of this tenant's completed queries. */
+    obs::WaitLedger waitLedger;
+
+    /**
+     * Total contention wait: the tenant's BlameMatrix row sum
+     * (device-hold overlaps while its queries were pending, plus their
+     * dram_wait). Equals ServiceStats::blame.rowSum(tenant index)
+     * bitwise by construction.
+     */
+    double contentionWaitSec = 0.0;
 };
 
 /** Aggregate service statistics over all completed queries. */
@@ -325,6 +363,22 @@ struct ServiceStats
 
     /** SuspendReason name -> completed queries that suspended for it. */
     std::map<std::string, std::int64_t> suspendReasonCounts;
+
+    /** Shed reason -> queries dropped for it (sibling of
+     *  suspendReasonCounts; sheds were previously only tenant totals). */
+    std::map<std::string, std::int64_t> shedReasonCounts;
+
+    /** Summed wait ledgers over all completed queries. */
+    obs::WaitLedger waitLedger;
+
+    /**
+     * Per-(victim x culprit) contention-seconds, indexed like
+     * `tenants`. Row sums reappear as TenantStats::contentionWaitSec.
+     */
+    obs::BlameMatrix blame;
+
+    /** blame.total(): all contention-seconds across tenants. */
+    double contentionWaitSec = 0.0;
 };
 
 /**

@@ -164,6 +164,42 @@ TEST(BenchDiff, HealthyWallGateEmitsNoPerRecordBreakdown)
     EXPECT_FALSE(containsMessage(d.failureMessages, "wall_seconds '"));
 }
 
+TEST(BenchDiff, VerboseEmitsPerRecordRatioNotesWhenHealthy)
+{
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0),
+                             makeRecord(14, 4, 1.0, 2.0)};
+    std::vector<Record> cand{makeRecord(6, 4, 1.05, 2.0),
+                             makeRecord(14, 4, 0.95, 2.0)};
+    DiffOptions opt;
+    opt.verbose = true;
+    DiffResult d = diffReports(base, cand, opt);
+    EXPECT_EQ(d.failures, 0);
+    // Ratio lines are notes (informational), never failure messages,
+    // and appear even though the geomean gate passes.
+    EXPECT_FALSE(containsMessage(d.failureMessages, "wall_seconds '"));
+    std::vector<std::string> ratio_lines;
+    for (const std::string &m : d.notes)
+        if (m.find("wall_seconds '") != std::string::npos)
+            ratio_lines.push_back(m);
+    ASSERT_EQ(ratio_lines.size(), 2u);
+    // Worst first.
+    EXPECT_NE(ratio_lines[0].find("'query=6,devices=4' ratio 1.0500"),
+              std::string::npos)
+        << ratio_lines[0];
+    EXPECT_NE(ratio_lines[1].find("'query=14,devices=4' ratio 0.9500"),
+              std::string::npos)
+        << ratio_lines[1];
+}
+
+TEST(BenchDiff, NonVerboseHealthyRunEmitsNoRatioNotes)
+{
+    std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0)};
+    std::vector<Record> cand{makeRecord(6, 4, 1.02, 2.0)};
+    DiffResult d = diffReports(base, cand, DiffOptions{});
+    EXPECT_EQ(d.failures, 0);
+    EXPECT_FALSE(containsMessage(d.notes, "wall_seconds '"));
+}
+
 TEST(BenchDiff, NoMatchedRecordsIsFatal)
 {
     std::vector<Record> base{makeRecord(6, 4, 1.0, 2.0)};

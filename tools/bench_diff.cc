@@ -33,8 +33,12 @@
  * Usage:
  *   bench_diff <baseline.json> <candidate.json>
  *              [--wall-threshold-pct P] [--model-tolerance T]
- *              [--flash-bytes-threshold-pct P]
+ *              [--flash-bytes-threshold-pct P] [--verbose]
  *
+ * --verbose additionally prints every matched record's wall ratio
+ * (worst first) even when the gate passes.
+ *
+
  * Exit codes: 0 pass, 1 regression detected, 2 usage / parse error.
  */
 
@@ -57,7 +61,8 @@ usage()
         "usage: bench_diff <baseline.json> <candidate.json>\n"
         "                  [--wall-threshold-pct P] "
         "[--model-tolerance T]\n"
-        "                  [--flash-bytes-threshold-pct P]\n");
+        "                  [--flash-bytes-threshold-pct P] "
+        "[--verbose]\n");
     return 2;
 }
 
@@ -76,6 +81,8 @@ main(int argc, char **argv)
             opt.modelTolerance = std::atof(argv[++i]);
         } else if (a == "--flash-bytes-threshold-pct" && i + 1 < argc) {
             opt.flashThresholdPct = std::atof(argv[++i]);
+        } else if (a == "--verbose") {
+            opt.verbose = true;
         } else if (baseline_path.empty()) {
             baseline_path = a;
         } else if (candidate_path.empty()) {

@@ -402,6 +402,10 @@ struct DiffOptions
     double wallThresholdPct = 10.0;
     double modelTolerance = 0.0;
     double flashThresholdPct = 0.0;
+
+    /** Emit every matched record's wall ratio (worst first) as notes,
+     *  healthy or not — the gate only lists them on failure. */
+    bool verbose = false;
 };
 
 struct DiffResult
@@ -574,6 +578,22 @@ diffReports(const std::vector<Record> &baseline,
 
     res.wallGeomean = res.wallSamples > 0
         ? std::exp(log_ratio_sum / res.wallSamples) : 1.0;
+
+    // --verbose: every matched record's wall ratio as a note, worst
+    // first, whether or not the geomean gate trips (the gate itself
+    // only names records on failure, as failure messages).
+    if (opt.verbose) {
+        std::vector<Sample> sorted = wall_samples;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const Sample &a, const Sample &b) {
+                      return a.ratio > b.ratio;
+                  });
+        for (const Sample &s : sorted)
+            res.notes.push_back(detail::formatMsg(
+                "wall_seconds '%s' ratio %.4f (%.6g -> %.6g)",
+                s.key.c_str(), s.ratio, s.base, s.cand));
+    }
+
     double limit = 1.0 + opt.wallThresholdPct / 100.0;
     if (res.wallGeomean > limit) {
         res.failureMessages.push_back(detail::formatMsg(

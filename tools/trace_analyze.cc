@@ -1,0 +1,730 @@
+/**
+ * @file
+ * Analyzer for --anatomy files written by bench/service_workload: the
+ * per-query latency anatomy (wait-state ledger, compressed critical
+ * path) plus the per-run cross-tenant blame matrix.
+ *
+ *   trace_analyze <anatomy.json> [--report <bench.json>] [--top K]
+ *                 [--json <out.json>]
+ *       Validate the anatomy invariants, then print per run the
+ *       wait-class breakdown (seconds and share of total latency),
+ *       the blame matrix, and the top-K slowest queries' critical
+ *       paths. With --report, cross-check the anatomy against the
+ *       bench's own --json report: the p99 recomputed from per-query
+ *       latencies must reproduce modelled_p99_latency_seconds, and
+ *       the report's modelled_wait_* / contention fields must equal
+ *       the anatomy's aggregates exactly.
+ *
+ *   trace_analyze --diff <baseline.json> <candidate.json>
+ *                 [--tolerance T]
+ *       Structural diff of two --json summaries (same discipline as
+ *       slo_report --diff): every missing member is named with the
+ *       side it is missing from; numeric leaves compare exactly
+ *       unless --tolerance (relative) is given.
+ *
+ * Invariants validated on every run (exit 1 when any fails):
+ *  - exact wait partition: each query's six wait-class seconds sum —
+ *    in fixed class order, on the parsed doubles — to
+ *    done_seconds - submit_seconds bitwise (shed queries: all-zero);
+ *  - blame row sums equal tenant_contention_seconds per tenant;
+ *  - per-run wait_totals match the per-class sums over the queries
+ *    (ulp-tolerant: the two sides accumulate in different orders);
+ *  - critical paths tile [submit, done] contiguously (when segment
+ *    collection was enabled).
+ *
+ * Exit codes: 0 pass / identical, 1 check failure or differences,
+ * 2 usage or parse error.
+ */
+
+#include "bench_diff_core.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace aquoman::tools;
+
+namespace {
+
+/// Fixed wait-class order: must match obs::WaitClass declaration
+/// order, which is also the order WaitLedger::toJson emits.
+const char *const kWaitClasses[] = {
+    "admission_queue", "dram_wait",    "device_busy",
+    "device_exec",     "suspend_host", "host_finish",
+};
+constexpr int kNumWaitClasses = 6;
+
+double
+num(const JsonValue *v, double fallback = 0.0)
+{
+    return v ? v->numberOr(fallback) : fallback;
+}
+
+std::string
+fmtNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/** Same nearest-rank percentile the service and bench use. */
+double
+percentileOf(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    auto idx = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted.size()))) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct CheckState
+{
+    int failures = 0;
+    int reported = 0;
+    static constexpr int kMaxReported = 64;
+
+    void
+    fail(const std::string &msg)
+    {
+        ++failures;
+        if (reported < kMaxReported) {
+            std::fprintf(stderr, "CHECK FAIL %s\n", msg.c_str());
+            if (++reported == kMaxReported)
+                std::fprintf(stderr,
+                             "CHECK FAIL (further failures "
+                             "suppressed)\n");
+        }
+    }
+};
+
+/** One parsed query of a run. */
+struct QueryRow
+{
+    double id = -1.0;
+    std::string name;
+    int tenant = 0;
+    double latency = 0.0;
+    bool shed = false;
+    double wait[kNumWaitClasses] = {};
+    double contention = 0.0;
+    const JsonValue *path = nullptr;
+};
+
+/** Earliest-wins argmax over the wait classes. */
+int
+dominantClass(const double (&wait)[kNumWaitClasses])
+{
+    int best = 0;
+    for (int i = 1; i < kNumWaitClasses; ++i)
+        if (wait[i] > wait[best])
+            best = i;
+    return best;
+}
+
+/**
+ * Validate one run's anatomy and collect its rows. Run-local exact
+ * checks: per-query partition, blame row sums vs
+ * tenant_contention_seconds, wait_totals vs per-class query sums,
+ * critical-path tiling.
+ */
+std::vector<QueryRow>
+validateRun(const JsonValue &run, const std::string &label,
+            CheckState &st)
+{
+    std::vector<QueryRow> rows;
+    const JsonValue *queries = run.find("queries");
+    if (!queries || queries->kind != JsonValue::Kind::Array) {
+        st.fail(label + ": no \"queries\" array");
+        return rows;
+    }
+
+    double classSum[kNumWaitClasses] = {};
+    for (const JsonValue &q : queries->array) {
+        QueryRow row;
+        row.id = num(q.find("id"), -1.0);
+        const JsonValue *name = q.find("name");
+        if (name && name->kind == JsonValue::Kind::String)
+            row.name = name->str;
+        row.tenant = static_cast<int>(num(q.find("tenant")));
+        double submit = num(q.find("submit_seconds"));
+        double done = num(q.find("done_seconds"));
+        row.latency = done - submit;
+        row.shed = num(q.find("shed")) != 0.0;
+        row.contention = num(q.find("contention_seconds"));
+        row.path = q.find("path");
+
+        const JsonValue *wait = q.find("wait");
+        std::string qlabel =
+            label + " query " + fmtNum(row.id);
+        if (!wait || wait->kind != JsonValue::Kind::Object) {
+            st.fail(qlabel + ": no \"wait\" ledger");
+            continue;
+        }
+        double sum = 0.0;
+        for (int i = 0; i < kNumWaitClasses; ++i) {
+            const JsonValue *v = wait->find(kWaitClasses[i]);
+            if (!v) {
+                st.fail(qlabel + ": wait ledger missing class "
+                        + kWaitClasses[i]);
+                continue;
+            }
+            row.wait[i] = v->numberOr(0.0);
+            sum += row.wait[i];
+            classSum[i] += row.wait[i];
+        }
+        // The exact-partition contract: fixed-order class sum equals
+        // end-to-end latency bitwise (all-zero for shed queries).
+        if (sum != row.latency)
+            st.fail(qlabel + ": wait classes sum to " + fmtNum(sum)
+                    + " but done - submit = " + fmtNum(row.latency));
+        if (row.shed && sum != 0.0)
+            st.fail(qlabel + ": shed query has non-zero wait ledger");
+
+        // Critical-path tiling: contiguous from submit to done.
+        if (row.path && row.path->kind == JsonValue::Kind::Array
+            && !row.path->array.empty()) {
+            double cursor = submit;
+            for (std::size_t si = 0; si < row.path->array.size();
+                 ++si) {
+                const JsonValue &seg = row.path->array[si];
+                double s = num(seg.find("start_seconds"));
+                double e = num(seg.find("end_seconds"));
+                if (s != cursor) {
+                    st.fail(qlabel + ": path segment "
+                            + std::to_string(si) + " starts at "
+                            + fmtNum(s) + ", expected " + fmtNum(cursor));
+                    break;
+                }
+                cursor = e;
+            }
+            if (cursor != done)
+                st.fail(qlabel + ": path ends at " + fmtNum(cursor)
+                        + ", done at " + fmtNum(done));
+        }
+        rows.push_back(std::move(row));
+    }
+
+    // Aggregate ledger: wait_totals vs the per-class sums over the
+    // queries. The service accumulates in completion order, this pass
+    // in id order, so the comparison is ulp-tolerant — unlike the
+    // per-query partition, which is bitwise.
+    const JsonValue *totals = run.find("wait_totals");
+    for (int i = 0; i < kNumWaitClasses; ++i) {
+        double t = totals ? num(totals->find(kWaitClasses[i])) : 0.0;
+        double denom = std::max(1.0, std::fabs(t));
+        if (std::fabs(t - classSum[i]) > 1e-9 * denom)
+            st.fail(label + ": wait_totals." + kWaitClasses[i] + " = "
+                    + fmtNum(t) + " but queries sum to "
+                    + fmtNum(classSum[i]));
+    }
+
+    // Blame row sums ARE each tenant's total contention wait.
+    const JsonValue *blame = run.find("blame");
+    const JsonValue *contention = run.find("tenant_contention_seconds");
+    const JsonValue *seconds = blame ? blame->find("seconds") : nullptr;
+    if (!seconds || seconds->kind != JsonValue::Kind::Array
+        || !contention
+        || contention->kind != JsonValue::Kind::Array) {
+        st.fail(label + ": missing blame matrix or "
+                "tenant_contention_seconds");
+    } else {
+        if (seconds->array.size() != contention->array.size())
+            st.fail(label + ": blame rows vs contention entries "
+                    "length mismatch");
+        std::size_t n = std::min(seconds->array.size(),
+                                 contention->array.size());
+        for (std::size_t v = 0; v < n; ++v) {
+            double rowSum = 0.0;
+            for (const JsonValue &cell : seconds->array[v].array)
+                rowSum += cell.numberOr(0.0);
+            double want = contention->array[v].numberOr(0.0);
+            if (rowSum != want)
+                st.fail(label + ": blame row " + std::to_string(v)
+                        + " sums to " + fmtNum(rowSum)
+                        + " but tenant_contention_seconds = "
+                        + fmtNum(want));
+        }
+    }
+    return rows;
+}
+
+/**
+ * Cross-check one run against the bench --json report: find the
+ * run-level record (no "tenant" key) matching (overload, fifo), then
+ * require the nearest-rank p99 recomputed from the anatomy's non-shed
+ * latencies to reproduce modelled_p99_latency_seconds, and the
+ * modelled_wait_* / modelled_contention_wait_seconds fields to equal
+ * the anatomy aggregates exactly.
+ */
+void
+crossCheckReport(const JsonValue &run, const std::string &label,
+                 const std::vector<QueryRow> &rows,
+                 const std::vector<Record> &records, CheckState &st)
+{
+    double overload = num(run.find("overload"), 1.0);
+    double fifo = num(run.find("fifo"));
+    const Record *rec = nullptr;
+    for (const Record &r : records) {
+        if (r.count("tenant"))
+            continue;
+        auto ov = r.find("overload");
+        auto fi = r.find("fifo");
+        if (ov != r.end() && fi != r.end() && ov->second == overload
+            && fi->second == fifo) {
+            rec = &r;
+            break;
+        }
+    }
+    if (rec == nullptr) {
+        st.fail(label + ": no run record (overload=" + fmtNum(overload)
+                + ", fifo=" + fmtNum(fifo) + ") in the bench report");
+        return;
+    }
+
+    std::vector<double> lat;
+    for (const QueryRow &q : rows)
+        if (!q.shed)
+            lat.push_back(q.latency);
+    std::sort(lat.begin(), lat.end());
+    double p99 = percentileOf(lat, 0.99);
+    auto field = [&](const char *name) {
+        auto it = rec->find(name);
+        return it == rec->end() ? -1.0 : it->second;
+    };
+    double want = field("modelled_p99_latency_seconds");
+    if (p99 != want)
+        st.fail(label + ": anatomy p99 " + fmtNum(p99)
+                + " does not reproduce modelled_p99_latency_seconds "
+                + fmtNum(want));
+
+    const JsonValue *totals = run.find("wait_totals");
+    for (int i = 0; i < kNumWaitClasses; ++i) {
+        std::string name =
+            std::string("modelled_wait_") + kWaitClasses[i]
+            + "_seconds";
+        double repv = field(name.c_str());
+        double anav = totals ? num(totals->find(kWaitClasses[i])) : 0.0;
+        if (repv != anav)
+            st.fail(label + ": " + name + " = " + fmtNum(repv)
+                    + " in the report but " + fmtNum(anav)
+                    + " in the anatomy");
+    }
+    const JsonValue *blame = run.find("blame");
+    const JsonValue *seconds = blame ? blame->find("seconds") : nullptr;
+    double blameTotal = 0.0;
+    if (seconds)
+        for (const JsonValue &r : seconds->array)
+            for (const JsonValue &cell : r.array)
+                blameTotal += cell.numberOr(0.0);
+    double repc = field("modelled_contention_wait_seconds");
+    if (repc != blameTotal)
+        st.fail(label + ": modelled_contention_wait_seconds = "
+                + fmtNum(repc) + " but the blame matrix sums to "
+                + fmtNum(blameTotal));
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------
+
+void
+printRun(const JsonValue &run, const std::string &label,
+         const std::vector<QueryRow> &rows, int topk)
+{
+    std::printf("\nrun %s  (overload x%.1f, %s): %zu queries\n",
+                label.c_str(), num(run.find("overload"), 1.0),
+                num(run.find("fifo")) != 0.0 ? "fifo" : "drr",
+                rows.size());
+
+    double classSum[kNumWaitClasses] = {};
+    double total = 0.0;
+    for (const QueryRow &q : rows)
+        for (int i = 0; i < kNumWaitClasses; ++i) {
+            classSum[i] += q.wait[i];
+            total += q.wait[i];
+        }
+    std::printf("  %-16s %12s %7s\n", "wait class", "seconds",
+                "share");
+    for (int i = 0; i < kNumWaitClasses; ++i)
+        std::printf("  %-16s %12.4f %6.1f%%\n", kWaitClasses[i],
+                    classSum[i],
+                    total > 0.0 ? 100.0 * classSum[i] / total : 0.0);
+
+    const JsonValue *blame = run.find("blame");
+    const JsonValue *tenants = blame ? blame->find("tenants") : nullptr;
+    const JsonValue *seconds = blame ? blame->find("seconds") : nullptr;
+    if (tenants && seconds
+        && tenants->kind == JsonValue::Kind::Array) {
+        std::printf("  blame (victim rows x culprit columns, "
+                    "waiter-seconds):\n");
+        std::printf("  %-14s", "victim\\culprit");
+        for (const JsonValue &t : tenants->array)
+            std::printf(" %12s", t.str.c_str());
+        std::printf(" %12s\n", "row_sum");
+        for (std::size_t v = 0; v < seconds->array.size(); ++v) {
+            std::printf("  %-14s",
+                        v < tenants->array.size()
+                            ? tenants->array[v].str.c_str() : "?");
+            double rowSum = 0.0;
+            for (const JsonValue &cell : seconds->array[v].array) {
+                std::printf(" %12.4f", cell.numberOr(0.0));
+                rowSum += cell.numberOr(0.0);
+            }
+            std::printf(" %12.4f\n", rowSum);
+        }
+    }
+
+    // Top-K slowest queries with their critical paths.
+    std::vector<const QueryRow *> by_latency;
+    for (const QueryRow &q : rows)
+        if (!q.shed)
+            by_latency.push_back(&q);
+    std::sort(by_latency.begin(), by_latency.end(),
+              [](const QueryRow *a, const QueryRow *b) {
+                  if (a->latency != b->latency)
+                      return a->latency > b->latency;
+                  return a->id < b->id;
+              });
+    if (static_cast<int>(by_latency.size()) > topk)
+        by_latency.resize(static_cast<std::size_t>(topk));
+    std::printf("  top %zu critical paths:\n", by_latency.size());
+    for (const QueryRow *q : by_latency) {
+        std::printf("    #%.0f %-4s tenant=%d latency=%.4fs "
+                    "dominant=%s\n",
+                    q->id, q->name.c_str(), q->tenant, q->latency,
+                    kWaitClasses[dominantClass(q->wait)]);
+        if (!q->path || q->path->kind != JsonValue::Kind::Array)
+            continue;
+        for (const JsonValue &seg : q->path->array) {
+            const JsonValue *cls = seg.find("class");
+            const JsonValue *detail = seg.find("detail");
+            double dur = num(seg.find("end_seconds"))
+                - num(seg.find("start_seconds"));
+            int device = static_cast<int>(num(seg.find("device"), -1));
+            std::printf("      %-16s %9.4fs",
+                        cls && cls->kind == JsonValue::Kind::String
+                            ? cls->str.c_str() : "?",
+                        dur);
+            if (device >= 0)
+                std::printf("  dev%d", device);
+            if (detail && detail->kind == JsonValue::Kind::String
+                && !detail->str.empty())
+                std::printf("  %s", detail->str.c_str());
+            std::printf("\n");
+        }
+    }
+}
+
+/** Deterministic summary JSON (stable key order, %.17g numbers). */
+void
+writeSummary(std::ostream &os, const JsonValue &root,
+             const std::vector<std::vector<QueryRow>> &runRows,
+             int topk)
+{
+    const JsonValue *runs = root.find("runs");
+    os << "{\"seed\":" << fmtNum(num(root.find("seed")))
+       << ",\"runs\":[";
+    for (std::size_t ri = 0; ri < runs->array.size(); ++ri) {
+        const JsonValue &run = runs->array[ri];
+        const std::vector<QueryRow> &rows = runRows[ri];
+        const JsonValue *label = run.find("label");
+        os << (ri ? "," : "") << "{\"label\":\""
+           << (label ? label->str : std::string()) << "\",\"overload\":"
+           << fmtNum(num(run.find("overload"), 1.0)) << ",\"fifo\":"
+           << fmtNum(num(run.find("fifo")));
+
+        std::size_t shed = 0;
+        double classSum[kNumWaitClasses] = {};
+        std::vector<double> lat;
+        for (const QueryRow &q : rows) {
+            if (q.shed)
+                ++shed;
+            else
+                lat.push_back(q.latency);
+            for (int i = 0; i < kNumWaitClasses; ++i)
+                classSum[i] += q.wait[i];
+        }
+        std::sort(lat.begin(), lat.end());
+        os << ",\"queries\":" << rows.size() << ",\"shed\":" << shed
+           << ",\"p50_seconds\":" << fmtNum(percentileOf(lat, 0.50))
+           << ",\"p99_seconds\":" << fmtNum(percentileOf(lat, 0.99));
+        os << ",\"wait_totals\":{";
+        for (int i = 0; i < kNumWaitClasses; ++i)
+            os << (i ? "," : "") << '"' << kWaitClasses[i] << "\":"
+               << fmtNum(classSum[i]);
+        os << '}';
+
+        const JsonValue *contention =
+            run.find("tenant_contention_seconds");
+        os << ",\"tenant_contention_seconds\":[";
+        if (contention
+            && contention->kind == JsonValue::Kind::Array)
+            for (std::size_t i = 0; i < contention->array.size(); ++i)
+                os << (i ? "," : "")
+                   << fmtNum(contention->array[i].numberOr(0.0));
+        os << ']';
+
+        std::vector<const QueryRow *> by_latency;
+        for (const QueryRow &q : rows)
+            if (!q.shed)
+                by_latency.push_back(&q);
+        std::sort(by_latency.begin(), by_latency.end(),
+                  [](const QueryRow *a, const QueryRow *b) {
+                      if (a->latency != b->latency)
+                          return a->latency > b->latency;
+                      return a->id < b->id;
+                  });
+        if (static_cast<int>(by_latency.size()) > topk)
+            by_latency.resize(static_cast<std::size_t>(topk));
+        os << ",\"top\":[";
+        for (std::size_t i = 0; i < by_latency.size(); ++i) {
+            const QueryRow *q = by_latency[i];
+            os << (i ? "," : "") << "{\"id\":" << fmtNum(q->id)
+               << ",\"name\":\"" << q->name << "\",\"tenant\":"
+               << q->tenant << ",\"latency_seconds\":"
+               << fmtNum(q->latency) << ",\"dominant\":\""
+               << kWaitClasses[dominantClass(q->wait)] << "\"}";
+        }
+        os << "]}";
+    }
+    os << "]}\n";
+}
+
+// ---------------------------------------------------------------------
+// Structural diff (same discipline as slo_report --diff)
+// ---------------------------------------------------------------------
+
+struct DiffState
+{
+    double tolerance = 0.0;
+    int differences = 0;
+    int reported = 0;
+    static constexpr int kMaxReported = 64;
+
+    void
+    report(const std::string &msg)
+    {
+        ++differences;
+        if (reported < kMaxReported) {
+            std::fprintf(stderr, "DIFF %s\n", msg.c_str());
+            if (++reported == kMaxReported)
+                std::fprintf(stderr,
+                             "DIFF (further differences "
+                             "suppressed)\n");
+        }
+    }
+};
+
+const char *
+kindName(JsonValue::Kind k)
+{
+    switch (k) {
+      case JsonValue::Kind::Null: return "null";
+      case JsonValue::Kind::Bool: return "bool";
+      case JsonValue::Kind::Number: return "number";
+      case JsonValue::Kind::String: return "string";
+      case JsonValue::Kind::Array: return "array";
+      case JsonValue::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+void
+diffValue(const std::string &path, const JsonValue &a,
+          const JsonValue &b, DiffState &st)
+{
+    if (a.kind != b.kind) {
+        st.report(path + ": type " + kindName(a.kind)
+                  + " in baseline vs " + kindName(b.kind)
+                  + " in candidate");
+        return;
+    }
+    switch (a.kind) {
+      case JsonValue::Kind::Null:
+        return;
+      case JsonValue::Kind::Bool:
+        if (a.boolean != b.boolean)
+            st.report(path + ": " + (a.boolean ? "true" : "false")
+                      + " vs " + (b.boolean ? "true" : "false"));
+        return;
+      case JsonValue::Kind::Number: {
+        double denom = std::fabs(a.number) > 0.0
+            ? std::fabs(a.number) : 1.0;
+        double drift = std::fabs(b.number - a.number) / denom;
+        if (drift > st.tolerance)
+            st.report(detail::formatMsg(
+                "%s: %.17g vs %.17g (rel %.3g > tol %.3g)",
+                path.c_str(), a.number, b.number, drift,
+                st.tolerance));
+        return;
+      }
+      case JsonValue::Kind::String:
+        if (a.str != b.str)
+            st.report(path + ": \"" + a.str + "\" vs \"" + b.str
+                      + "\"");
+        return;
+      case JsonValue::Kind::Array: {
+        if (a.array.size() != b.array.size())
+            st.report(detail::formatMsg(
+                "%s: array length %zu in baseline vs %zu in "
+                "candidate",
+                path.c_str(), a.array.size(), b.array.size()));
+        std::size_t n = std::min(a.array.size(), b.array.size());
+        for (std::size_t i = 0; i < n; ++i)
+            diffValue(detail::formatMsg("%s[%zu]", path.c_str(), i),
+                      a.array[i], b.array[i], st);
+        return;
+      }
+      case JsonValue::Kind::Object: {
+        for (const auto &[key, av] : a.object) {
+            const JsonValue *bv = b.find(key);
+            if (bv == nullptr) {
+                st.report(path + "." + key
+                          + ": missing from candidate");
+                continue;
+            }
+            diffValue(path + "." + key, av, *bv, st);
+        }
+        for (const auto &[key, bv] : b.object) {
+            if (a.find(key) == nullptr)
+                st.report(path + "." + key
+                          + ": missing from baseline");
+        }
+        return;
+      }
+    }
+}
+
+int
+diffCmd(const std::string &a_path, const std::string &b_path,
+        double tolerance)
+{
+    JsonValue a, b;
+    std::string error;
+    if (!parseJsonFile(a_path, &a, &error)
+        || !parseJsonFile(b_path, &b, &error)) {
+        std::fprintf(stderr, "trace_analyze: %s\n", error.c_str());
+        return 2;
+    }
+    DiffState st;
+    st.tolerance = tolerance;
+    diffValue("$", a, b, st);
+    if (st.differences == 0) {
+        std::printf("trace_analyze: %s and %s match\n", a_path.c_str(),
+                    b_path.c_str());
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "trace_analyze: %d difference(s) between %s and %s\n",
+                 st.differences, a_path.c_str(), b_path.c_str());
+    return 1;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: trace_analyze <anatomy.json> [--report <bench.json>]\n"
+        "                     [--top K] [--json <out.json>]\n"
+        "       trace_analyze --diff <baseline.json> <candidate.json> "
+        "[--tolerance T]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool diff = false;
+    double tolerance = 0.0;
+    int topk = 5;
+    std::string report_path;
+    std::string json_path;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--diff") {
+            diff = true;
+        } else if (a == "--tolerance" && i + 1 < argc) {
+            tolerance = std::atof(argv[++i]);
+        } else if (a == "--top" && i + 1 < argc) {
+            topk = std::atoi(argv[++i]);
+        } else if (a == "--report" && i + 1 < argc) {
+            report_path = argv[++i];
+        } else if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (diff) {
+        if (paths.size() != 2)
+            return usage();
+        return diffCmd(paths[0], paths[1], tolerance);
+    }
+    if (paths.size() != 1 || topk < 0)
+        return usage();
+
+    JsonValue root;
+    std::string error;
+    if (!parseJsonFile(paths[0], &root, &error)) {
+        std::fprintf(stderr, "trace_analyze: %s\n", error.c_str());
+        return 2;
+    }
+    const JsonValue *runs = root.find("runs");
+    if (!runs || runs->kind != JsonValue::Kind::Array) {
+        std::fprintf(stderr, "trace_analyze: %s has no \"runs\" array\n",
+                     paths[0].c_str());
+        return 2;
+    }
+
+    std::vector<Record> records;
+    if (!report_path.empty()
+        && !parseReport(report_path, &records, &error)) {
+        std::fprintf(stderr, "trace_analyze: %s\n", error.c_str());
+        return 2;
+    }
+
+    std::printf("anatomy %s  seed=%g, %zu run(s)\n", paths[0].c_str(),
+                num(root.find("seed")), runs->array.size());
+
+    CheckState st;
+    std::vector<std::vector<QueryRow>> runRows;
+    for (const JsonValue &run : runs->array) {
+        const JsonValue *label = run.find("label");
+        std::string name =
+            label && label->kind == JsonValue::Kind::String
+                ? label->str : "?";
+        runRows.push_back(validateRun(run, name, st));
+        if (!report_path.empty())
+            crossCheckReport(run, name, runRows.back(), records, st);
+        printRun(run, name, runRows.back(), topk);
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream f(json_path);
+        if (!f) {
+            std::fprintf(stderr, "trace_analyze: cannot write %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+        writeSummary(f, root, runRows, topk);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (st.failures > 0) {
+        std::fprintf(stderr, "trace_analyze: %d check failure(s)\n",
+                     st.failures);
+        return 1;
+    }
+    std::printf("trace_analyze: all anatomy checks passed%s\n",
+                report_path.empty() ? ""
+                                    : " (report cross-check included)");
+    return 0;
+}
